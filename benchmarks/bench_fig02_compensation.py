@@ -1,0 +1,127 @@
+"""Figure 2 — the long-running transaction *with* failure.
+
+t4 (hotel) aborts; tc1 compensates t2 (restaurant); t5'/t6' (cinema,
+late dinner) continue the activity.  Regenerated artefact: the task
+timeline with compensation, and the inventory deltas proving that
+exactly the compensated resources returned to the pool.
+"""
+
+import pytest
+
+from repro.apps import TravelScenario
+from repro.core import ActivityManager
+from repro.models import TaskState, Workflow, WorkflowEngine
+
+
+def build_failing_trip(scenario):
+    booked = {}
+
+    def book(name):
+        def work(c):
+            booked[name] = scenario.service_by_name(name).reserve("client")
+            return booked[name]
+
+        return work
+
+    def unbook(name):
+        def compensate(c):
+            return scenario.service_by_name(name).release(booked[name])
+
+        return compensate
+
+    def hotel(c):
+        raise RuntimeError("hotel overbooked")
+
+    workflow = Workflow("fig2-trip")
+    workflow.add_task("t1-taxi", book("taxi"))
+    workflow.add_task("t2-restaurant", book("restaurant"), deps=["t1-taxi"],
+                      compensation=unbook("restaurant"))
+    workflow.add_task("t3-theatre", book("theatre"), deps=["t1-taxi"])
+    workflow.add_task("t4-hotel", hotel, deps=["t2-restaurant", "t3-theatre"])
+    workflow.add_task("t5-cinema", lambda c: "cinema", fallback=True)
+    workflow.add_task("t6-dinner", lambda c: "dinner", deps=["t5-cinema"],
+                      fallback=True)
+    workflow.on_failure("t4-hotel", compensate=["t2-restaurant"],
+                        continue_with=["t5-cinema"])
+    return workflow
+
+
+class TestFig2:
+    def test_failure_path_regenerated(self, benchmark, emit):
+        def scenario_run():
+            scenario = TravelScenario(capacity=5)
+            engine = WorkflowEngine(ActivityManager(), tx_factory=scenario.factory)
+            result = engine.run(build_failing_trip(scenario))
+            return scenario, result
+
+        scenario, result = benchmark.pedantic(scenario_run, rounds=1, iterations=1)
+        assert result.state("t4-hotel") is TaskState.FAILED
+        assert result.state("t2-restaurant") is TaskState.COMPENSATED
+        assert result.state("t5-cinema") is TaskState.COMPLETED
+        assert result.state("t6-dinner") is TaskState.COMPLETED
+        # Inventory shape: restaurant returned, taxi + theatre kept.
+        assert scenario.restaurant.available() == 5
+        assert scenario.taxi.available() == 4
+        assert scenario.theatre.available() == 4
+        assert scenario.hotel.available() == 5
+        emit(
+            "fig02",
+            ["fig 2 — timeline with t4 abort, tc1 compensation, t5'/t6':"]
+            + [
+                f"  {name:15s} {state.value}"
+                for name, state in sorted(result.states.items())
+            ]
+            + [
+                f"  compensated: {result.compensated}",
+                f"  inventory: taxi={scenario.taxi.available()} "
+                f"restaurant={scenario.restaurant.available()} "
+                f"theatre={scenario.theatre.available()} "
+                f"hotel={scenario.hotel.available()}",
+            ],
+        )
+
+    def test_compensation_ordering(self, benchmark, emit):
+        """Compensation (tc1) runs strictly before the continuation (t5')."""
+        order = []
+
+        def scenario_run():
+            scenario = TravelScenario(capacity=5)
+            workflow = Workflow("ordering")
+            workflow.add_task(
+                "t2", lambda c: order.append("t2"),
+                compensation=lambda c: order.append("tc1"),
+            )
+
+            def fail(c):
+                raise RuntimeError("abort")
+
+            workflow.add_task("t4", fail, deps=["t2"])
+            workflow.add_task("t5p", lambda c: order.append("t5p"), fallback=True)
+            workflow.on_failure("t4", compensate=["t2"], continue_with=["t5p"])
+            WorkflowEngine(ActivityManager(), tx_factory=scenario.factory).run(workflow)
+
+        benchmark.pedantic(scenario_run, rounds=1, iterations=1)
+        assert order == ["t2", "tc1", "t5p"]
+        emit("fig02", [f"fig 2 — ordering: {order} (tc1 before t5')"])
+
+    @pytest.mark.parametrize("failure", ["none", "hotel"])
+    def test_bench_trip_with_and_without_failure(self, benchmark, failure):
+        """Cost of the compensation path vs the happy path."""
+
+        def run():
+            scenario = TravelScenario(capacity=1_000_000)
+            if failure == "none":
+                workflow = Workflow("ok")
+                workflow.add_task("t1", lambda c: scenario.taxi.reserve("x"))
+                workflow.add_task(
+                    "t2", lambda c: scenario.restaurant.reserve("x"), deps=["t1"],
+                    compensation=lambda c: None,
+                )
+                workflow.add_task(
+                    "t4", lambda c: scenario.hotel.reserve("x"), deps=["t2"]
+                )
+            else:
+                workflow = build_failing_trip(scenario)
+            WorkflowEngine(ActivityManager(), tx_factory=scenario.factory).run(workflow)
+
+        benchmark(run)

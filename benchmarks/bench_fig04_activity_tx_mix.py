@@ -1,0 +1,126 @@
+"""Figure 4 — activities and transactions mixed freely over time.
+
+A1 uses two top-level transactions during its lifetime; A2 uses none;
+A3 is transactional and contains a transactional nested activity A3'.
+Regenerated artefact: the executed structure (which activity ran which
+transactions, nesting), verified against the figure, plus the timing of
+the mixed structure.
+"""
+
+import pytest
+
+from repro.core import ActivityManager, CompletionStatus
+from repro.ots import TransactionCurrent, TransactionFactory, TransactionalCell
+
+
+def run_fig4(manager, factory, current, cells):
+    """Execute the fig. 4 structure; returns {activity: [transactions]}."""
+    used = {}
+
+    # A1: two top-level transactions during its lifetime.
+    a1 = manager.current.begin("A1")
+    tx = current.begin(name="A1-tx1")
+    cells["x"].write(tx, 1)
+    current.commit()
+    tx2 = current.begin(name="A1-tx2")
+    cells["x"].write(tx2, 2)
+    current.commit()
+    used["A1"] = [tx.tid, tx2.tid]
+    manager.current.complete()
+
+    # A2: no transactions at all.
+    manager.current.begin("A2")
+    used["A2"] = []
+    manager.current.complete()
+
+    # A3: transactional, with nested transactional activity A3'.
+    a3 = manager.current.begin("A3")
+    outer_tx = current.begin(name="A3-tx")
+    cells["y"].write(outer_tx, 10)
+    a3_prime = manager.current.begin("A3'")   # nested activity
+    inner_tx = current.begin(name="A3'-tx")   # nested transaction
+    cells["y"].write(inner_tx, 20)
+    current.commit()                          # inner commits into outer
+    manager.current.complete()                # A3' completes
+    current.commit()                          # outer commits
+    used["A3"] = [outer_tx.tid]
+    used["A3'"] = [inner_tx.tid]
+    manager.current.complete()
+
+    # A4, A5: plain sequenced activities.
+    for name in ("A4", "A5"):
+        manager.current.begin(name)
+        used[name] = []
+        manager.current.complete()
+    return used, a3_prime, inner_tx, outer_tx
+
+
+class TestFig4:
+    def test_structure_regenerated(self, benchmark, emit):
+        def scenario_run():
+            manager = ActivityManager()
+            factory = TransactionFactory()
+            current = TransactionCurrent(factory)
+            cells = {
+                "x": TransactionalCell("x", 0, factory),
+                "y": TransactionalCell("y", 0, factory),
+            }
+            used, a3_prime, inner_tx, outer_tx = run_fig4(
+                manager, factory, current, cells
+            )
+            return manager, cells, used, a3_prime, inner_tx, outer_tx
+
+        manager, cells, used, a3_prime, inner_tx, outer_tx = benchmark.pedantic(
+            scenario_run, rounds=1, iterations=1
+        )
+        assert len(used["A1"]) == 2, "A1 used two top-level transactions"
+        assert used["A2"] == [], "A2 used none"
+        assert inner_tx.parent is outer_tx, "A3' transaction nested in A3's"
+        assert a3_prime.parent is not None and a3_prime.parent.name == "A3"
+        assert cells["x"].read() == 2
+        assert cells["y"].read() == 20
+        emit(
+            "fig04",
+            ["fig 4 — activity/transaction relationship:"]
+            + [f"  {name}: transactions={tids}" for name, tids in sorted(used.items())]
+            + [
+                "  A3' activity nested in A3: True",
+                f"  A3' transaction nested in A3 transaction: {inner_tx.parent is outer_tx}",
+            ],
+        )
+
+    def test_activity_lifetime_spans_transactions(self, benchmark):
+        """An activity survives its transactions — transactional and
+        non-transactional periods alternate (§3.1)."""
+
+        def scenario_run():
+            manager = ActivityManager()
+            factory = TransactionFactory()
+            current = TransactionCurrent(factory)
+            cell = TransactionalCell("z", 0, factory)
+            activity = manager.current.begin("long")
+            for value in range(5):
+                tx = current.begin()
+                cell.write(tx, value)
+                current.commit()
+                # non-transactional period between transactions
+            outcome = manager.current.complete(CompletionStatus.SUCCESS)
+            return activity, outcome, cell
+
+        activity, outcome, cell = benchmark.pedantic(
+            scenario_run, rounds=1, iterations=1
+        )
+        assert outcome.is_done and cell.read() == 4
+
+    def test_bench_mixed_structure(self, benchmark):
+        def run():
+            manager = ActivityManager()
+            factory = TransactionFactory()
+            current = TransactionCurrent(factory)
+            cells = {
+                "x": TransactionalCell("x", 0, factory),
+                "y": TransactionalCell("y", 0, factory),
+            }
+            run_fig4(manager, factory, current, cells)
+
+        benchmark(run)

@@ -1,0 +1,87 @@
+"""Figure 6 — cardinalities of Activities/SignalSets/Actions/Signals.
+
+Fig. 6 is the UML relationship diagram: an activity uses many signal
+sets, a signal set serves many actions, an action may register with many
+signal sets, each signal belongs to one set.  Regenerated artefact: a
+live object graph instantiating every multiplicity, plus registration
+scaling (many sets × many actions per activity).
+"""
+
+import pytest
+
+from repro.core import ActivityManager, BroadcastSignalSet, RecordingAction
+
+
+class TestFig6:
+    def test_cardinalities_regenerated(self, benchmark, emit):
+        def scenario_run():
+            manager = ActivityManager()
+            activity = manager.begin("fig6")
+            shared_action = RecordingAction("shared")
+            # One action registered with MANY signal sets…
+            for set_index in range(3):
+                activity.add_action(f"set-{set_index}", shared_action)
+            # …and one signal set serving MANY actions.
+            extras = [RecordingAction(f"extra-{i}") for i in range(4)]
+            for action in extras:
+                activity.add_action("set-0", action)
+            # An activity uses many signal sets over its lifetime.
+            for set_index in range(3):
+                activity.register_signal_set(
+                    BroadcastSignalSet(
+                        f"signal-{set_index}", signal_set_name=f"set-{set_index}"
+                    )
+                )
+                activity.signal(f"set-{set_index}")
+            return activity, shared_action, extras
+
+        activity, shared_action, extras = benchmark.pedantic(
+            scenario_run, rounds=1, iterations=1
+        )
+        # The shared action saw one signal from each of the three sets.
+        assert shared_action.signal_names == ["signal-0", "signal-1", "signal-2"]
+        # Every extra action saw only set-0's signal.
+        for action in extras:
+            assert action.signal_names == ["signal-0"]
+        emit(
+            "fig06",
+            [
+                "fig 6 — relationship multiplicities exercised:",
+                "  activity 1 — signal sets 3 (0..* per activity)",
+                f"  set-0 actions: {1 + len(extras)} (0..* actions per set)",
+                "  shared action registered with 3 sets (0..* sets per action)",
+                "  each signal carried its set's name (1 set per signal)",
+            ],
+        )
+
+    @pytest.mark.parametrize("sets,actions", [(1, 10), (10, 1), (10, 10), (50, 10)])
+    def test_bench_registration_scaling(self, benchmark, sets, actions):
+        def run():
+            manager = ActivityManager()
+            activity = manager.begin()
+            for set_index in range(sets):
+                for action_index in range(actions):
+                    activity.add_action(
+                        f"set-{set_index}", RecordingAction(f"a-{action_index}")
+                    )
+
+        benchmark(run)
+
+    def test_bench_signal_fanout_through_graph(self, benchmark):
+        """Trigger ten sets of ten actions each — 100 transmissions."""
+        manager = ActivityManager()
+        activity = manager.begin()
+        for set_index in range(10):
+            for action_index in range(10):
+                activity.add_action(
+                    f"set-{set_index}", RecordingAction(f"a-{action_index}")
+                )
+
+        def run():
+            for set_index in range(10):
+                activity.register_signal_set(
+                    BroadcastSignalSet("tick", signal_set_name=f"set-{set_index}")
+                )
+                activity.signal(f"set-{set_index}")
+
+        benchmark(run)

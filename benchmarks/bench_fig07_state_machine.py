@@ -1,0 +1,111 @@
+"""Figure 7 — the SignalSet state machine (Waiting → GetSignal → End).
+
+Regenerated artefact: the transition trace of a set driven through its
+lifecycle, plus the guard's rejection of every illegal move, plus the
+cost of state-machine enforcement (guarded vs raw signal set churn).
+"""
+
+import pytest
+
+from repro.core import (
+    GuardedSignalSet,
+    Outcome,
+    SequenceSignalSet,
+    SignalSetActive,
+    SignalSetInactive,
+)
+from repro.core.status import SignalSetState
+
+
+def drive(guard):
+    """Drive a guarded set to End, returning the observed states."""
+    states = [guard.state]
+    while True:
+        signal, last = guard.get_signal()
+        states.append(guard.state)
+        if signal is None:
+            break
+        guard.set_response(Outcome.done())
+        if last:
+            guard.finish_broadcast()
+            break
+    guard.get_outcome()
+    states.append(guard.state)
+    return states
+
+
+class TestFig7:
+    def test_transitions_regenerated(self, benchmark, emit):
+        def scenario_run():
+            guard = GuardedSignalSet(SequenceSignalSet("s", ["a", "b"]))
+            return drive(guard)
+
+        states = benchmark.pedantic(scenario_run, rounds=1, iterations=1)
+        assert states[0] is SignalSetState.WAITING
+        assert SignalSetState.GET_SIGNAL in states
+        assert states[-1] is SignalSetState.END
+        emit(
+            "fig07",
+            ["fig 7 — state machine trace:"]
+            + [f"  {state.name}" for state in states]
+            + ["  (Waiting → GetSignal → End, no regressions)"],
+        )
+
+    def test_illegal_moves_rejected(self, benchmark, emit):
+        def scenario_run():
+            rejections = 0
+            # set_response before any signal.
+            guard = GuardedSignalSet(SequenceSignalSet("s", ["a"]))
+            try:
+                guard.set_response(Outcome.done())
+            except SignalSetInactive:
+                rejections += 1
+            # get_outcome mid-protocol.
+            guard = GuardedSignalSet(SequenceSignalSet("s", ["a", "b"]))
+            guard.get_signal()
+            try:
+                guard.get_outcome()
+            except SignalSetActive:
+                rejections += 1
+            # reuse after End.
+            guard = GuardedSignalSet(SequenceSignalSet("s", []))
+            guard.get_signal()
+            guard.get_outcome()
+            for call in (guard.get_signal,
+                         lambda: guard.set_response(Outcome.done())):
+                try:
+                    call()
+                except SignalSetInactive:
+                    rejections += 1
+            return rejections
+
+        rejections = benchmark.pedantic(scenario_run, rounds=1, iterations=1)
+        assert rejections == 4
+        emit("fig07", [f"fig 7 — illegal transitions rejected: {rejections}/4"])
+
+    @pytest.mark.parametrize("signals", [1, 8, 64])
+    def test_bench_guarded_lifecycle(self, benchmark, signals):
+        names = [f"s{i}" for i in range(signals)]
+
+        def run():
+            drive(GuardedSignalSet(SequenceSignalSet("s", names)))
+
+        benchmark(run)
+
+    @pytest.mark.parametrize("signals", [1, 8, 64])
+    def test_bench_raw_lifecycle(self, benchmark, signals):
+        """The unguarded baseline: what enforcement costs (ablation)."""
+        names = [f"s{i}" for i in range(signals)]
+
+        def run():
+            sequence = SequenceSignalSet("s", names)
+            while True:
+                signal, last = sequence.get_signal()
+                if signal is None:
+                    break
+                sequence.set_response(Outcome.done())
+                if last:
+                    break
+            sequence.get_outcome()
+
+        benchmark(run)

@@ -1,0 +1,106 @@
+"""Figure 13 — the J2EE-style high-level-service layering.
+
+Regenerated artefact: the fig. 13 stack in action (HLS configures the
+activity; the application only touches UserActivity), plus the overhead
+of HLS-mediated demarcation vs using the framework directly.
+"""
+
+import pytest
+
+from repro.core import ActivityManager, CompletionStatus
+from repro.hls import HlsActivityService, OpenNestedHls, TwoPhaseHls, WorkflowHls
+from repro.models import TwoPhaseCommitSignalSet, TwoPhaseParticipant, Workflow
+from repro.models.twopc import SET_NAME as TWOPC_SET
+
+
+class TestFig13:
+    def test_layering_regenerated(self, benchmark, emit):
+        def scenario_run():
+            hls = HlsActivityService()
+            hls.register_service(TwoPhaseHls())
+            hls.register_service(OpenNestedHls())
+            workflow_hls = WorkflowHls()
+            hls.register_service(workflow_hls)
+            # Application code: demarcation through UserActivity only.
+            activity = hls.begin("atomic", name="payment")
+            participant = TwoPhaseParticipant("ledger")
+            activity.add_action(TWOPC_SET, participant)
+            outcome = hls.complete()
+            return hls, outcome, participant
+
+        hls, outcome, participant = benchmark.pedantic(
+            scenario_run, rounds=1, iterations=1
+        )
+        assert outcome.name == "committed" and participant.committed
+        emit(
+            "fig13",
+            [
+                "fig 13 — layering exercised:",
+                "  High Level Service    : TwoPhaseHls / OpenNestedHls / WorkflowHls",
+                "  ActivityManager       : signal-set factories "
+                + str(sorted(hls.manager._signal_set_factories)),
+                "  UserActivity          : begin/complete demarcation",
+                "  Activity Service      : coordinator drove "
+                + f"{outcome.name} via {TWOPC_SET}",
+                f"  registered services   : {hls.service_names()}",
+            ],
+        )
+
+    def test_hls_swaps_models_without_app_changes(self, benchmark, emit):
+        """The same application code completes under different extended
+        transaction models purely by naming a different HLS."""
+
+        def scenario_run():
+            hls = HlsActivityService()
+            hls.register_service(TwoPhaseHls())
+            hls.register_service(OpenNestedHls())
+            outcomes = {}
+            for model in ("atomic", "open-nested"):
+                hls.begin(model, name=f"job-{model}")
+                outcomes[model] = hls.complete(CompletionStatus.SUCCESS)
+            return outcomes
+
+        outcomes = benchmark.pedantic(scenario_run, rounds=1, iterations=1)
+        assert outcomes["atomic"].name == "committed"
+        assert not outcomes["open-nested"].is_error
+        emit(
+            "fig13",
+            ["fig 13 — model swap by service name:",
+             f"  atomic      -> {outcomes['atomic'].name}",
+             f"  open-nested -> {outcomes['open-nested'].name}"],
+        )
+
+    def test_bench_direct_framework_use(self, benchmark):
+        manager = ActivityManager()
+
+        def run():
+            activity = manager.current.begin()
+            activity.add_action(TWOPC_SET, TwoPhaseParticipant("p"))
+            activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+            manager.current.complete(CompletionStatus.SUCCESS)
+
+        benchmark(run)
+
+    def test_bench_hls_mediated_use(self, benchmark):
+        hls = HlsActivityService()
+        hls.register_service(TwoPhaseHls())
+
+        def run():
+            activity = hls.begin("atomic")
+            activity.add_action(TWOPC_SET, TwoPhaseParticipant("p"))
+            hls.complete(CompletionStatus.SUCCESS)
+
+        benchmark(run)
+
+    def test_bench_workflow_through_hls(self, benchmark):
+        hls = HlsActivityService()
+        workflow_hls = WorkflowHls()
+        hls.register_service(workflow_hls)
+
+        def run():
+            workflow = Workflow("via-hls")
+            workflow.add_task("a", lambda c: 1)
+            workflow.add_task("b", lambda c: 2, deps=["a"])
+            workflow_hls.run(workflow)
+
+        benchmark(run)

@@ -1,0 +1,58 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_figNN_*.py`` regenerates one figure of the paper: message
+traces are asserted to match the figure's sequence chart, and scenario
+series (sweeps, timelines, resource-holding comparisons) are written to
+``benchmarks/results/figNN.txt`` so they survive pytest's output capture.
+Timing numbers come from pytest-benchmark itself.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    # Start each session clean so artefacts reflect this run only.
+    for entry in os.listdir(RESULTS_DIR):
+        if entry.endswith(".txt"):
+            os.remove(os.path.join(RESULTS_DIR, entry))
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """emit(name, lines): record a figure's regenerated series."""
+
+    def _emit(name: str, lines) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        text = "\n".join(str(line) for line in lines) + "\n"
+        mode = "a" if os.path.exists(path) else "w"
+        with open(path, mode) as handle:
+            handle.write(text)
+        print(text)
+        return path
+
+    return _emit
+
+
+@pytest.fixture
+def fresh_env():
+    """A complete single-process deployment for benchmarks."""
+
+    from repro.core import ActivityManager
+    from repro.ots import TransactionCurrent, TransactionFactory
+
+    class Env:
+        def __init__(self):
+            self.factory = TransactionFactory()
+            self.current = TransactionCurrent(self.factory)
+            self.manager = ActivityManager()
+
+    return Env()

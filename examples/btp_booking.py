@@ -1,0 +1,84 @@
+"""BTP atoms and cohesions for the travel booking (§4.5, figs 11–12).
+
+Run:  python examples/btp_booking.py
+
+Each reservation is a BTP *atom* (prepare = provisional hold, confirm =
+real booking, cancel = release).  The whole trip is a *cohesion*: the
+business logic prepares atoms as it goes, drops the hotel when it turns
+out to be unacceptable, enrols a cancellation atom, and finally confirms
+its chosen confirm-set atomically.
+"""
+
+from repro.apps import TravelScenario
+from repro.core import ActivityManager
+from repro.models import BtpAtom, BtpCohesion, BtpParticipant, BtpStatus
+
+
+def make_atom(manager, cohesion, service, client):
+    """One reservation atom whose participant drives the service."""
+    holds = {}
+
+    def on_prepare() -> bool:
+        try:
+            holds["id"] = service.prepare_booking(client)
+            return True
+        except Exception:
+            return False
+
+    def on_confirm() -> None:
+        service.confirm_booking(holds["id"])
+
+    def on_cancel() -> None:
+        if "id" in holds:
+            service.cancel_booking(holds["id"])
+
+    atom = BtpAtom(manager, service.name)
+    atom.enroll(
+        BtpParticipant(
+            service.name,
+            on_prepare=on_prepare,
+            on_confirm=on_confirm,
+            on_cancel=on_cancel,
+        )
+    )
+    cohesion.enroll(atom)
+    return atom
+
+
+def main() -> None:
+    scenario = TravelScenario(capacity=3)
+    manager = ActivityManager()
+    cohesion = BtpCohesion(manager, "trip")
+
+    for service in scenario.services:
+        make_atom(manager, cohesion, service, client="carol")
+
+    # Business rules in action: prepare the easy ones up front…
+    assert cohesion.prepare_member("taxi")
+    assert cohesion.prepare_member("restaurant")
+    print("taxi and restaurant prepared (held, not booked)")
+    print(f"  holds outstanding: taxi={scenario.taxi.holds_outstanding}, "
+          f"restaurant={scenario.restaurant.holds_outstanding}")
+
+    # …then discover the hotel quote is unacceptable and cancel that member.
+    cohesion.cancel_member("hotel")
+    print("hotel cancelled by business logic (price not acceptable)")
+
+    # The confirm-set is everything except the hotel.
+    outcomes = cohesion.confirm(["taxi", "restaurant", "theatre"])
+    print("cohesion outcomes:")
+    for name in sorted(outcomes):
+        print(f"  {name:12s} {outcomes[name].value}")
+
+    assert outcomes["taxi"] is BtpStatus.CONFIRMED
+    assert outcomes["theatre"] is BtpStatus.CONFIRMED
+    assert outcomes["hotel"] is BtpStatus.CANCELLED
+    # Confirmed services hold real bookings; the hotel pool is untouched.
+    assert scenario.taxi.booking_count() == 1
+    assert scenario.hotel.available() == 3
+    assert scenario.taxi.holds_outstanding == 0
+    print("\nconfirm-set booked atomically; cancelled member left no trace")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Open nesting with compensation on the bulletin board (§2.1(i), §4.2, fig. 9).
+
+Run:  python examples/bulletin_board_compensation.py
+
+Within a long application transaction A, a post is made to the bulletin
+board in an *independent* top-level transaction B so the board's lock is
+released immediately.  A CompensationAction guards the post: if A later
+rolls back, !B retracts it; if A commits, the action is discarded.
+"""
+
+from repro.apps import BulletinBoard
+from repro.core import ActivityManager
+from repro.models import OpenNestedCoordinator
+from repro.ots import TransactionCurrent, TransactionFactory
+
+
+def run(enclosing_commits: bool) -> None:
+    factory = TransactionFactory()
+    current = TransactionCurrent(factory)
+    board = BulletinBoard("jobs", factory, current=current)
+    manager = ActivityManager()
+    onc = OpenNestedCoordinator(manager)
+
+    label = "A commits" if enclosing_commits else "A rolls back"
+    print(f"--- {label} ---")
+
+    # The enclosing activity around application transaction A.
+    enclosing = onc.begin_enclosing("A")
+    tx_a = current.begin(name="A")
+
+    # B: post in an independent top-level transaction with compensation.
+    suspended = current.suspend()  # B must not be nested inside A
+    post_id, _inner = board.post_open_nested(
+        onc, author="sam", subject="position open", body="apply within"
+    )
+    current.resume(suspended)
+
+    print(f"posted {post_id}; board locked now? {board.is_locked()}")
+    assert not board.is_locked(), "B released the board immediately"
+    assert len(board.read_board()) == 1, "post is visible before A completes"
+
+    # ... A does a lot more long-running work here ...
+
+    if enclosing_commits:
+        current.commit()
+        onc.complete_enclosing(enclosing, success=True)
+        visible = board.read_board()
+        print(f"A committed; post still visible: {[p.post_id for p in visible]}")
+        assert len(visible) == 1
+    else:
+        current.rollback()
+        onc.complete_enclosing(enclosing, success=False)
+        visible = board.read_board()
+        retracted = board.read_post(post_id).retracted
+        print(f"A rolled back; compensation retracted the post "
+              f"(visible={len(visible)}, retracted={retracted})")
+        assert visible == [] and retracted
+    print()
+
+
+def main() -> None:
+    run(enclosing_commits=True)
+    run(enclosing_commits=False)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Name-server repairs and billing that survive rollback (§2.1(ii)–(iii)).
+
+Run:  python examples/name_server_billing.py
+
+An application transaction looks up a replicated object, discovers a dead
+replica, repairs the name server, gets charged for the lookup — and then
+*aborts*.  The repair and the charge survive (they must not be undone);
+the transactional credit does not.
+"""
+
+from repro.apps import BillingMeter, ReplicatedNameServer
+from repro.ots import TransactionCurrent, TransactionFactory, TransactionRolledBack
+
+
+def main() -> None:
+    factory = TransactionFactory()
+    current = TransactionCurrent(factory)
+    name_server = ReplicatedNameServer(factory, current=current)
+    billing = BillingMeter(factory, current=current)
+
+    name_server.register_object("accounts-db", ["replica-1", "replica-2", "replica-3"])
+
+    # -- inside an application transaction that will abort --------------------
+    tx = current.begin(name="app-tx")
+    binding = name_server.bind_to_available("accounts-db")
+    print(f"bound to {binding}")
+
+    # The replica turns out to be dead: repair the name server.  The repair
+    # runs in its own independent top-level transaction.
+    name_server.record_unavailable("accounts-db", "replica-1")
+    print("recorded replica-1 unavailable (independent transaction)")
+
+    # The provider charges for the lookup (non-recoverable)…
+    billing.charge("alice", 0.05, "name-server lookup")
+    # …and also applies a promotional credit (transactional: will be undone).
+    billing.credit_transactional("alice", 10.0)
+
+    current.rollback()
+    print("application transaction rolled back")
+
+    # -- what survived ---------------------------------------------------------
+    record = name_server.lookup("accounts-db")
+    print(f"available replicas now: {list(record.available)}")
+    assert record.available == ("replica-2", "replica-3"), record
+
+    charged = billing.total_charged("alice")
+    balance = billing.balance_of("alice")
+    print(f"alice's charges: {charged:.2f} (survived rollback)")
+    print(f"alice's transactional balance: {balance:.2f} (credit undone)")
+    assert charged == 0.05
+    assert balance == 0.0
+
+    # A later transaction binds straight to a live replica.
+    tx = current.begin(name="retry-tx")
+    binding = name_server.bind_to_available("accounts-db")
+    current.commit()
+    print(f"retry bound to {binding}")
+    assert binding == "replica-2"
+
+
+if __name__ == "__main__":
+    main()

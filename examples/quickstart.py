@@ -1,0 +1,73 @@
+"""Quickstart: activities, actions, signal sets, and two-phase commit.
+
+Run:  python examples/quickstart.py
+
+Walks the core vocabulary of the Activity Service (§3 of the paper):
+an activity with registered actions, a broadcast signal mid-lifetime,
+and a two-phase-commit completion protocol (§4.1, fig. 8).
+"""
+
+from repro.core import (
+    ActivityManager,
+    BroadcastSignalSet,
+    CompletionStatus,
+    FunctionAction,
+    Outcome,
+)
+from repro.models import TwoPhaseCommitSignalSet, TwoPhaseParticipant
+from repro.models.twopc import SET_NAME as TWOPC_SET
+
+
+def main() -> None:
+    manager = ActivityManager()
+
+    # -- 1. Begin an activity and register actions ----------------------------
+    activity = manager.current.begin("order-66")
+    print(f"began activity {activity.activity_id} ({activity.name})")
+
+    # A FunctionAction lifts any callable into the Action interface.
+    audit_entries = []
+    audit = FunctionAction(
+        lambda signal: audit_entries.append(signal.signal_name), name="audit"
+    )
+    activity.add_action("order.events", audit)
+
+    # -- 2. Signals can flow at any point in the activity's lifetime ----------
+    activity.register_signal_set(
+        BroadcastSignalSet("order-placed", data={"sku": "X-1"},
+                           signal_set_name="order.events")
+    )
+    outcome = activity.signal("order.events")
+    print(f"mid-lifetime broadcast -> {outcome}")
+
+    # -- 3. Complete the activity under a 2PC signal set ----------------------
+    ledger = TwoPhaseParticipant("ledger")
+    stock = TwoPhaseParticipant("stock")
+    activity.add_action(TWOPC_SET, ledger)
+    activity.add_action(TWOPC_SET, stock)
+    activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+
+    outcome = manager.current.complete(CompletionStatus.SUCCESS)
+    print(f"completion outcome: {outcome.name}")
+    print(f"ledger saw signals: {ledger.signals_seen}")
+    print(f"stock  saw signals: {stock.signals_seen}")
+    print(f"audit trail:        {audit_entries}")
+
+    assert outcome.name == "committed"
+    assert ledger.committed and stock.committed
+
+    # -- 4. A participant voting no pivots the protocol to rollback -----------
+    activity = manager.current.begin("order-67")
+    ok = TwoPhaseParticipant("ok")
+    refuses = TwoPhaseParticipant("refuses", on_prepare=lambda: False)
+    activity.add_action(TWOPC_SET, ok)
+    activity.add_action(TWOPC_SET, refuses)
+    activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+    outcome = manager.current.complete(CompletionStatus.SUCCESS)
+    print(f"\nsecond activity outcome: {outcome.name}")
+    print(f"'ok' participant rolled back: {ok.rolled_back}")
+    assert outcome.name == "rolled_back"
+
+
+if __name__ == "__main__":
+    main()

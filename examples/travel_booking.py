@@ -1,0 +1,96 @@
+"""The paper's running example: a long-running travel booking (figs 1–2).
+
+Run:  python examples/travel_booking.py
+
+An application activity books a taxi (t1), a restaurant table (t2), a
+theatre seat (t3) and a hotel room (t4), each as its own short top-level
+transaction coordinated by the workflow model (§4.4).  First the
+no-failure run of fig. 1; then the fig. 2 run where t4 aborts, t2 is
+compensated (tc1), and the booking continues with the cinema instead
+(t5', t6').
+"""
+
+from repro.apps import TravelScenario
+from repro.core import ActivityManager
+from repro.models import TaskState, Workflow, WorkflowEngine
+
+
+def build_workflow(scenario: TravelScenario, hotel_fails: bool) -> Workflow:
+    client = "alice"
+    booked = {}
+
+    def book(service_name):
+        def work(ctx):
+            service = scenario.service_by_name(service_name)
+            booking = service.reserve(client)
+            booked[service_name] = booking
+            return booking
+
+        return work
+
+    def unbook(service_name):
+        def compensation(ctx):
+            service = scenario.service_by_name(service_name)
+            return service.release(booked[service_name])
+
+        return compensation
+
+    def hotel_work(ctx):
+        if hotel_fails:
+            raise RuntimeError("hotel is overbooked")
+        return book("hotel")(ctx)
+
+    workflow = Workflow("trip")
+    workflow.add_task("t1-taxi", book("taxi"))
+    workflow.add_task(
+        "t2-restaurant", book("restaurant"), deps=["t1-taxi"],
+        compensation=unbook("restaurant"),
+    )
+    workflow.add_task("t3-theatre", book("theatre"), deps=["t1-taxi"])
+    workflow.add_task("t4-hotel", hotel_work, deps=["t2-restaurant", "t3-theatre"])
+    workflow.add_task("t5-cinema", lambda ctx: "cinema-tickets", fallback=True)
+    workflow.add_task(
+        "t6-dinner", lambda ctx: "late-dinner", deps=["t5-cinema"], fallback=True
+    )
+    # Fig. 2: when t4 aborts, compensate t2 (tc1) and continue with t5', t6'.
+    workflow.on_failure(
+        "t4-hotel", compensate=["t2-restaurant"], continue_with=["t5-cinema"]
+    )
+    return workflow
+
+
+def run(hotel_fails: bool) -> None:
+    scenario = TravelScenario(capacity=5)
+    manager = ActivityManager()
+    engine = WorkflowEngine(manager, tx_factory=scenario.factory)
+    workflow = build_workflow(scenario, hotel_fails=hotel_fails)
+
+    label = "fig. 2 (t4 aborts)" if hotel_fails else "fig. 1 (no failure)"
+    print(f"--- {label} ---")
+    result = engine.run(workflow)
+    for name in sorted(result.states):
+        print(f"  {name:15s} {result.states[name].value}")
+    print(f"  waves: {result.waves}")
+    print(f"  availability now: " + ", ".join(
+        f"{s.name}={s.available()}" for s in scenario.services))
+    if hotel_fails:
+        assert result.state("t4-hotel") is TaskState.FAILED
+        assert result.state("t2-restaurant") is TaskState.COMPENSATED
+        assert result.state("t5-cinema") is TaskState.COMPLETED
+        assert result.state("t6-dinner") is TaskState.COMPLETED
+        # The restaurant table went back to the pool; the taxi stayed booked.
+        assert scenario.restaurant.available() == 5
+        assert scenario.taxi.available() == 4
+    else:
+        assert result.succeeded
+        assert scenario.total_available() == 4 * 5 - 4
+    print()
+
+
+def main() -> None:
+    run(hotel_fails=False)
+    run(hotel_fails=True)
+
+
+if __name__ == "__main__":
+    main()

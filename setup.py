@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs where `wheel` is absent.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

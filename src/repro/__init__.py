@@ -1,0 +1,61 @@
+"""repro — a reproduction of the CORBA Activity Service framework.
+
+Houston, Little, Robinson, Shrivastava, Wheater: *The CORBA Activity
+Service Framework for Supporting Extended Transactions* (Middleware 2001;
+SPE 33(4), 2003).
+
+Package map:
+
+- :mod:`repro.core` — the Activity Service itself (Activities, Actions,
+  Signals, SignalSets, coordinators, PropertyGroups, recovery);
+- :mod:`repro.models` — extended transaction models built on the core
+  (2PC, open nesting + compensation, LRUOW, workflow, BTP, Sagas, CA);
+- :mod:`repro.orb` — simulated CORBA ORB (references, marshalling,
+  interceptors, faulty transport, naming);
+- :mod:`repro.ots` — Object Transaction Service (nested transactions,
+  2PC, locking, logging, crash recovery);
+- :mod:`repro.persistence` — object stores and write-ahead log;
+- :mod:`repro.hls` / :mod:`repro.wscf` — the J2EE and Web-Services
+  derivatives sketched in §5;
+- :mod:`repro.apps` — the §2.1 workloads (travel booking, bulletin
+  board, replicated name server, billing).
+
+Quickstart::
+
+    from repro.core import ActivityManager, CompletionStatus
+    from repro.models import TwoPhaseCommitSignalSet, TwoPhaseParticipant
+    from repro.models.twopc import SET_NAME
+
+    manager = ActivityManager()
+    activity = manager.current.begin("payment")
+    activity.add_action(SET_NAME, TwoPhaseParticipant("ledger"))
+    activity.add_action(SET_NAME, TwoPhaseParticipant("stock"))
+    activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+    outcome = manager.current.complete(CompletionStatus.SUCCESS)
+    assert outcome.name == "committed"
+"""
+
+from repro.core import (
+    Action,
+    Activity,
+    ActivityManager,
+    CompletionStatus,
+    Outcome,
+    Signal,
+    SignalSet,
+    UserActivity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Activity",
+    "ActivityManager",
+    "UserActivity",
+    "Action",
+    "Signal",
+    "Outcome",
+    "SignalSet",
+    "CompletionStatus",
+    "__version__",
+]

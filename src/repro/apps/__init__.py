@@ -1,0 +1,42 @@
+"""Application substrates: the paper's §2.1 motivating workloads.
+
+- :mod:`repro.apps.travel` — taxi/restaurant/theatre/hotel booking
+  services with bounded inventory (§2.1(iv), figs 1–2);
+- :mod:`repro.apps.bulletin_board` — transactional posting with early
+  resource release and compensating unpost (§2.1(i), fig. 9);
+- :mod:`repro.apps.name_server` — replicated-object name server whose
+  updates must survive enclosing-transaction aborts (§2.1(ii));
+- :mod:`repro.apps.billing` — usage charging that must not be recovered
+  on rollback (§2.1(iii)).
+
+These are full library applications: examples and benchmarks drive them
+through the extended-transaction models in :mod:`repro.models`.
+"""
+
+from repro.apps.billing import BillingMeter
+from repro.apps.bulletin_board import BulletinBoard, Post
+from repro.apps.name_server import ReplicaRecord, ReplicatedNameServer
+from repro.apps.travel import (
+    BookingError,
+    HotelService,
+    InventoryService,
+    RestaurantService,
+    TaxiService,
+    TheatreService,
+    TravelScenario,
+)
+
+__all__ = [
+    "InventoryService",
+    "TaxiService",
+    "RestaurantService",
+    "TheatreService",
+    "HotelService",
+    "TravelScenario",
+    "BookingError",
+    "BulletinBoard",
+    "Post",
+    "ReplicatedNameServer",
+    "ReplicaRecord",
+    "BillingMeter",
+]

@@ -1,0 +1,116 @@
+"""Billing and accounting of resource usage (§2.1(iii)).
+
+"If a service is accessed by a transaction and the user of the service is
+to be charged, then the charging information should not be recovered if
+the transaction aborts."  The meter therefore records charges *outside*
+transaction control: a charge made inside a transaction stays on the
+ledger even when that transaction rolls back.
+
+For contrast (and for the tests that pin down the difference), a
+transactional balance cell is also kept: refunds/credits applied through
+``credit_transactional`` *are* undone by rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.orb.core import Servant
+from repro.orb.marshal import GLOBAL_REGISTRY
+from repro.ots.coordinator import Transaction
+from repro.ots.current import TransactionCurrent
+from repro.ots.factory import TransactionFactory
+from repro.ots.recoverable import RecoverableRegistry, TransactionalCell
+from repro.persistence.object_store import ObjectStore
+
+
+class BillingError(ReproError):
+    """Unknown account or invalid amount."""
+
+
+@GLOBAL_REGISTRY.register_dataclass
+@dataclass(frozen=True)
+class ChargeRecord:
+    client: str
+    amount: float
+    description: str
+    tid: Optional[str] = None  # transaction that incurred the charge, if any
+
+
+class BillingMeter(Servant):
+    """Non-recoverable usage metering plus a transactional balance."""
+
+    def __init__(
+        self,
+        factory: TransactionFactory,
+        current: Optional[TransactionCurrent] = None,
+        store: Optional[ObjectStore] = None,
+        registry: Optional[RecoverableRegistry] = None,
+    ) -> None:
+        self.factory = factory
+        self.current = current
+        self._store = store
+        # The ledger is plain stable state, never enlisted in any
+        # transaction: rollback cannot touch it.
+        self._ledger: List[ChargeRecord] = []
+        self._balances = TransactionalCell(
+            "billing:balances", {}, factory, store=store, registry=registry
+        )
+
+    # -- non-recoverable charging --------------------------------------------------
+
+    def charge(self, client: str, amount: float, description: str = "") -> ChargeRecord:
+        """Record a charge immediately and durably (survives rollback)."""
+        if amount <= 0:
+            raise BillingError(f"charge must be positive, got {amount}")
+        tx = self.current.get_transaction() if self.current is not None else None
+        record = ChargeRecord(
+            client=client,
+            amount=amount,
+            description=description,
+            tid=tx.tid if tx is not None else None,
+        )
+        self._ledger.append(record)
+        if self._store is not None:
+            self._store.put(f"billing:ledger:{len(self._ledger):08d}", record)
+        return record
+
+    def charges_for(self, client: str) -> List[ChargeRecord]:
+        return [record for record in self._ledger if record.client == client]
+
+    def total_charged(self, client: str) -> float:
+        return sum(record.amount for record in self.charges_for(client))
+
+    @property
+    def ledger_size(self) -> int:
+        return len(self._ledger)
+
+    # -- transactional balance (the contrast case) ------------------------------------
+
+    def credit_transactional(self, client: str, amount: float) -> float:
+        """Apply a credit under the ambient transaction (undone on abort)."""
+        if amount <= 0:
+            raise BillingError(f"credit must be positive, got {amount}")
+        tx = self.current.get_transaction() if self.current is not None else None
+        if tx is not None:
+            balances = dict(self._balances.read(tx))
+            new_balance = balances.get(client, 0.0) + amount
+            balances[client] = new_balance
+            self._balances.write(tx, balances)
+            return new_balance
+        tx = self.factory.create(name="billing:auto")
+        try:
+            balances = dict(self._balances.read(tx))
+            new_balance = balances.get(client, 0.0) + amount
+            balances[client] = new_balance
+            self._balances.write(tx, balances)
+        except BaseException:
+            tx.rollback()
+            raise
+        tx.commit()
+        return new_balance
+
+    def balance_of(self, client: str) -> float:
+        return self._balances.read().get(client, 0.0)

@@ -1,0 +1,165 @@
+"""Bulletin board (§2.1(i), and the open-nested example of §4.2/fig. 9).
+
+Posting and reading are transactional, but if posts are made inside a
+long application transaction the board stays locked for its duration.
+The intended usage is therefore *open nesting*: post in an independent
+top-level transaction (releasing the board immediately) and register a
+compensating ``unpost`` in case the application transaction aborts.
+
+``post_open_nested`` packages that pattern using
+:class:`~repro.models.open_nested.OpenNestedCoordinator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.orb.core import Servant
+from repro.orb.marshal import GLOBAL_REGISTRY
+from repro.ots.coordinator import Transaction
+from repro.ots.current import TransactionCurrent
+from repro.ots.factory import TransactionFactory
+from repro.ots.recoverable import RecoverableRegistry, TransactionalCell
+from repro.persistence.object_store import ObjectStore
+from repro.util.idgen import IdGenerator
+
+
+class BulletinBoardError(ReproError):
+    """Unknown post or board misuse."""
+
+
+@GLOBAL_REGISTRY.register_dataclass
+@dataclass(frozen=True)
+class Post:
+    post_id: str
+    author: str
+    subject: str
+    body: str
+    retracted: bool = False
+
+
+class BulletinBoard(Servant):
+    """A transactional, lockable bulletin board."""
+
+    def __init__(
+        self,
+        name: str,
+        factory: TransactionFactory,
+        current: Optional[TransactionCurrent] = None,
+        store: Optional[ObjectStore] = None,
+        registry: Optional[RecoverableRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.factory = factory
+        self.current = current
+        self._ids = IdGenerator()
+        # One cell holds the whole board: coarse-grained, exactly what
+        # makes long transactions hurt (and early release attractive).
+        self._posts = TransactionalCell(
+            f"board:{name}", {}, factory, store=store, registry=registry
+        )
+
+    # -- transaction plumbing --------------------------------------------------
+
+    def _run(self, fn) -> Any:
+        tx = self.current.get_transaction() if self.current is not None else None
+        if tx is not None and tx.status.is_terminal:
+            tx = None  # stale association (e.g. compensation after rollback)
+        if tx is not None:
+            return fn(tx)
+        tx = self.factory.create(name=f"{self.name}:auto")
+        try:
+            result = fn(tx)
+        except BaseException:
+            if not tx.status.is_terminal:
+                tx.rollback()
+            raise
+        tx.commit()
+        return result
+
+    # -- operations ----------------------------------------------------------------
+
+    def post(self, author: str, subject: str, body: str) -> str:
+        """Add a post under the ambient (or an auto-commit) transaction."""
+
+        def body_fn(tx: Transaction) -> str:
+            post_id = self._ids.next(f"{self.name}-post")
+            posts = dict(self._posts.read(tx))
+            posts[post_id] = Post(post_id, author, subject, body)
+            self._posts.write(tx, posts)
+            return post_id
+
+        return self._run(body_fn)
+
+    def unpost(self, post_id: str) -> bool:
+        """Compensation: retract a post (kept, marked retracted)."""
+
+        def body_fn(tx: Transaction) -> bool:
+            posts = dict(self._posts.read(tx))
+            if post_id not in posts:
+                raise BulletinBoardError(f"no post {post_id!r} on board {self.name}")
+            existing = posts[post_id]
+            posts[post_id] = Post(
+                existing.post_id,
+                existing.author,
+                existing.subject,
+                existing.body,
+                retracted=True,
+            )
+            self._posts.write(tx, posts)
+            return True
+
+        return self._run(body_fn)
+
+    def read_board(self, include_retracted: bool = False) -> List[Post]:
+        posts = self._posts.read()
+        visible = [
+            post
+            for post in posts.values()
+            if include_retracted or not post.retracted
+        ]
+        return sorted(visible, key=lambda post: post.post_id)
+
+    def read_post(self, post_id: str) -> Post:
+        posts = self._posts.read()
+        if post_id not in posts:
+            raise BulletinBoardError(f"no post {post_id!r} on board {self.name}")
+        return posts[post_id]
+
+    def is_locked(self) -> bool:
+        return self._posts.is_locked()
+
+    def post_count(self, include_retracted: bool = False) -> int:
+        return len(self.read_board(include_retracted))
+
+    # -- the §4.2 pattern -----------------------------------------------------------
+
+    def post_open_nested(
+        self,
+        open_nested_coordinator: Any,
+        author: str,
+        subject: str,
+        body: str,
+        inner_name: Optional[str] = None,
+    ) -> Tuple[str, Any]:
+        """Post in an independent top-level transaction with compensation.
+
+        Returns ``(post_id, inner_activity)``; the compensating unpost is
+        registered with the *enclosing* activity's completion set via the
+        propagate signal when the inner activity completes (fig. 9).
+        """
+        holder: Dict[str, str] = {}
+
+        def compensate() -> None:
+            self.unpost(holder["post_id"])
+
+        inner, action = open_nested_coordinator.begin_inner(
+            inner_name if inner_name is not None else f"post@{self.name}",
+            compensate=compensate,
+        )
+        # B: the independent top-level transaction (auto-commit here).
+        holder["post_id"] = self.post(author, subject, body)
+        open_nested_coordinator.complete_inner(inner, success=True)
+        return holder["post_id"], inner

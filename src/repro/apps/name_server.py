@@ -1,0 +1,189 @@
+"""Replicated-object name server (§2.1(ii)).
+
+The name server tracks which replicas of a persistent object are
+available so clients can be bound to live ones.  Lookups and updates are
+transactional for consistency — but when an *application* transaction
+discovers a dead replica and fixes the mapping, that repair must **not**
+be undone if the application transaction later aborts ("There is no
+reason to undo these naming service updates").
+
+``record_unavailable`` therefore runs in its own independent top-level
+transaction (the §4.2 open-nesting pattern *without* compensation — the
+degenerate case the paper notes needs no undo at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.orb.core import Servant
+from repro.orb.marshal import GLOBAL_REGISTRY
+from repro.ots.coordinator import Transaction
+from repro.ots.current import TransactionCurrent
+from repro.ots.factory import TransactionFactory
+from repro.ots.recoverable import RecoverableRegistry, TransactionalCell
+from repro.persistence.object_store import ObjectStore
+
+
+class NameServerError(ReproError):
+    """Unknown object or replica."""
+
+
+@GLOBAL_REGISTRY.register_dataclass
+@dataclass(frozen=True)
+class ReplicaRecord:
+    """Where the replicas of one persistent object live."""
+
+    object_name: str
+    replicas: Tuple[str, ...]
+    available: Tuple[str, ...]
+
+    def first_available(self) -> Optional[str]:
+        return self.available[0] if self.available else None
+
+
+class ReplicatedNameServer(Servant):
+    """Availability-tracking name service for replicated objects."""
+
+    def __init__(
+        self,
+        factory: TransactionFactory,
+        current: Optional[TransactionCurrent] = None,
+        store: Optional[ObjectStore] = None,
+        registry: Optional[RecoverableRegistry] = None,
+    ) -> None:
+        self.factory = factory
+        self.current = current
+        self._table = TransactionalCell(
+            "nameserver:table", {}, factory, store=store, registry=registry
+        )
+        self.repairs = 0
+
+    def _ambient(self) -> Optional[Transaction]:
+        tx = self.current.get_transaction() if self.current is not None else None
+        if tx is not None and tx.status.is_terminal:
+            return None
+        return tx
+
+    def _run_independent(self, fn):
+        """Run ``fn(tx)`` in a fresh top-level transaction, regardless of
+        any ambient transaction (the §2.1(ii) semantics)."""
+        tx = self.factory.create(name="nameserver:independent")
+        try:
+            result = fn(tx)
+        except BaseException:
+            if not tx.status.is_terminal:
+                tx.rollback()
+            raise
+        tx.commit()
+        return result
+
+    # -- registration and lookup (transactional) -----------------------------------
+
+    def register_object(self, object_name: str, replicas: List[str]) -> ReplicaRecord:
+        def body(tx: Transaction) -> ReplicaRecord:
+            table = dict(self._table.read(tx))
+            record = ReplicaRecord(
+                object_name=object_name,
+                replicas=tuple(replicas),
+                available=tuple(replicas),
+            )
+            table[object_name] = record
+            self._table.write(tx, table)
+            return record
+
+        tx = self._ambient()
+        if tx is not None:
+            return body(tx)
+        return self._run_independent(body)
+
+    def lookup(self, object_name: str) -> ReplicaRecord:
+        """Committed-read lookup (deliberately lock-free).
+
+        The name server relaxes isolation for lookups: §2.1(ii) requires
+        that repairs commit independently *while the application
+        transaction is still running*, which is impossible if lookups
+        pin read locks for the application transaction's duration.  This
+        is precisely the "non-serializability without application-level
+        inconsistency" the paper describes for this service.
+        """
+        table = self._table.read()
+        if object_name not in table:
+            raise NameServerError(f"unknown object {object_name!r}")
+        return table[object_name]
+
+    def bind_to_available(self, object_name: str) -> str:
+        replica = self.lookup(object_name).first_available()
+        if replica is None:
+            raise NameServerError(f"no available replica of {object_name!r}")
+        return replica
+
+    # -- availability repair (independent of the ambient transaction) ----------------
+
+    def record_unavailable(self, object_name: str, replica: str) -> ReplicaRecord:
+        """Mark ``replica`` dead — durable even if the caller's transaction
+        aborts, because it runs in its own top-level transaction."""
+
+        def body(tx: Transaction) -> ReplicaRecord:
+            table = dict(self._table.read(tx))
+            if object_name not in table:
+                raise NameServerError(f"unknown object {object_name!r}")
+            record = table[object_name]
+            if replica not in record.replicas:
+                raise NameServerError(
+                    f"{replica!r} is not a replica of {object_name!r}"
+                )
+            available = tuple(r for r in record.available if r != replica)
+            updated = ReplicaRecord(
+                object_name=object_name,
+                replicas=record.replicas,
+                available=available,
+            )
+            table[object_name] = updated
+            self._table.write(tx, table)
+            return updated
+
+        # Detach from any ambient transaction on this logical thread: the
+        # repair must commit independently.
+        suspended = self.current.suspend() if self.current is not None else None
+        try:
+            result = self._run_independent(body)
+            self.repairs += 1
+            return result
+        finally:
+            if self.current is not None:
+                self.current.resume(suspended)
+
+    def record_available(self, object_name: str, replica: str) -> ReplicaRecord:
+        """Replica came back; also an independent repair."""
+
+        def body(tx: Transaction) -> ReplicaRecord:
+            table = dict(self._table.read(tx))
+            if object_name not in table:
+                raise NameServerError(f"unknown object {object_name!r}")
+            record = table[object_name]
+            if replica not in record.replicas:
+                raise NameServerError(
+                    f"{replica!r} is not a replica of {object_name!r}"
+                )
+            if replica in record.available:
+                return record
+            updated = ReplicaRecord(
+                object_name=object_name,
+                replicas=record.replicas,
+                available=record.available + (replica,),
+            )
+            table[object_name] = updated
+            self._table.write(tx, table)
+            return updated
+
+        suspended = self.current.suspend() if self.current is not None else None
+        try:
+            result = self._run_independent(body)
+            self.repairs += 1
+            return result
+        finally:
+            if self.current is not None:
+                self.current.resume(suspended)

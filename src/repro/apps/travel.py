@@ -1,0 +1,257 @@
+"""Travel-booking services (§2.1(iv), figs 1–2).
+
+Each service manages a bounded inventory (seats, tables, rooms, cabs)
+backed by :class:`~repro.ots.recoverable.TransactionalCell`, so
+reservations participate in transactions with strict two-phase locking —
+which is precisely what makes the *monolithic* long-running transaction
+of fig. 1 hold resources needlessly (the fig. 1 bench measures that).
+
+Two access styles are provided, matching the models that consume them:
+
+- **transactional**: ``reserve``/``release`` run under the ambient OTS
+  transaction (or an auto-commit transaction when none is active);
+- **BTP-style**: ``prepare_booking`` places a provisional *hold* outside
+  any transaction; ``confirm_booking``/``cancel_booking`` settle it —
+  the behaviour BTP atoms need ("for t1 the taxi is reserved (prepared)
+  and not booked (confirmed)", §4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.orb.core import Servant
+from repro.ots.coordinator import Transaction
+from repro.ots.current import TransactionCurrent
+from repro.ots.exceptions import TransactionRolledBack
+from repro.ots.factory import TransactionFactory
+from repro.ots.locks import LockConflict
+from repro.ots.recoverable import RecoverableRegistry, TransactionalCell
+from repro.persistence.object_store import ObjectStore
+from repro.util.idgen import IdGenerator
+
+
+class BookingError(ReproError):
+    """No inventory left, unknown booking, or conflicting reservation."""
+
+
+class InventoryService(Servant):
+    """One bookable service with ``capacity`` interchangeable units."""
+
+    kind = "inventory"
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        factory: TransactionFactory,
+        current: Optional[TransactionCurrent] = None,
+        store: Optional[ObjectStore] = None,
+        registry: Optional[RecoverableRegistry] = None,
+        price: float = 0.0,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity cannot be negative")
+        self.name = name
+        self.capacity = capacity
+        self.price = price
+        self.factory = factory
+        self.current = current
+        self._ids = IdGenerator()
+        self._available = TransactionalCell(
+            f"{name}:available", capacity, factory, store=store, registry=registry
+        )
+        self._bookings = TransactionalCell(
+            f"{name}:bookings", {}, factory, store=store, registry=registry
+        )
+        # BTP-style provisional holds live outside transaction control.
+        self._holds: Dict[str, str] = {}
+        self.denied_requests = 0
+
+    # -- transaction plumbing ----------------------------------------------------
+
+    def _ambient_tx(self) -> Optional[Transaction]:
+        if self.current is None:
+            return None
+        tx = self.current.get_transaction()
+        if tx is not None and tx.status.is_terminal:
+            # A completed transaction left on the caller's stack (e.g. a
+            # compensation running after rollback) must not capture writes.
+            return None
+        return tx
+
+    def _run(self, fn) -> Any:
+        """Run ``fn(tx)`` under the ambient transaction or auto-commit."""
+        tx = self._ambient_tx()
+        if tx is not None:
+            return fn(tx)
+        tx = self.factory.create(name=f"{self.name}:auto")
+        try:
+            result = fn(tx)
+        except BaseException:
+            if not tx.status.is_terminal:
+                tx.rollback()
+            raise
+        tx.commit()
+        return result
+
+    # -- transactional operations ---------------------------------------------------
+
+    def available(self) -> int:
+        """Committed availability (no transaction, no locks)."""
+        return self._available.read()
+
+    def reserve(self, client: str) -> str:
+        """Take one unit for ``client`` under the ambient transaction."""
+
+        def body(tx: Transaction) -> str:
+            try:
+                available = self._available.read(tx)
+            except LockConflict:
+                self.denied_requests += 1
+                raise
+            if available <= 0:
+                self.denied_requests += 1
+                raise BookingError(f"{self.name} is fully booked")
+            booking_id = self._ids.next(f"{self.name}-bk")
+            bookings = dict(self._bookings.read(tx))
+            bookings[booking_id] = client
+            self._available.write(tx, available - 1)
+            self._bookings.write(tx, bookings)
+            return booking_id
+
+        return self._run(body)
+
+    def release(self, booking_id: str) -> bool:
+        """Return a unit (cancellation or compensation)."""
+
+        def body(tx: Transaction) -> bool:
+            bookings = dict(self._bookings.read(tx))
+            if booking_id not in bookings:
+                raise BookingError(f"unknown booking {booking_id!r} at {self.name}")
+            del bookings[booking_id]
+            self._available.write(tx, self._available.read(tx) + 1)
+            self._bookings.write(tx, bookings)
+            return True
+
+        return self._run(body)
+
+    def bookings_of(self, client: str) -> List[str]:
+        bookings = self._bookings.read()
+        return sorted(bid for bid, owner in bookings.items() if owner == client)
+
+    def booking_count(self) -> int:
+        return len(self._bookings.read())
+
+    def is_locked(self) -> bool:
+        return self._available.is_locked()
+
+    # -- BTP-style provisional operations ----------------------------------------------
+
+    def prepare_booking(self, client: str) -> str:
+        """Place a provisional hold (no transaction, immediately durable)."""
+        def body(tx: Transaction) -> str:
+            available = self._available.read(tx)
+            if available <= 0:
+                self.denied_requests += 1
+                raise BookingError(f"{self.name} cannot hold: fully booked")
+            self._available.write(tx, available - 1)
+            return self._ids.next(f"{self.name}-hold")
+
+        hold_id = self._run(body)
+        self._holds[hold_id] = client
+        return hold_id
+
+    def confirm_booking(self, hold_id: str) -> str:
+        """Turn a hold into a real booking."""
+        client = self._holds.pop(hold_id, None)
+        if client is None:
+            raise BookingError(f"unknown hold {hold_id!r} at {self.name}")
+
+        def body(tx: Transaction) -> str:
+            booking_id = self._ids.next(f"{self.name}-bk")
+            bookings = dict(self._bookings.read(tx))
+            bookings[booking_id] = client
+            self._bookings.write(tx, bookings)
+            return booking_id
+
+        return self._run(body)
+
+    def cancel_booking(self, hold_id: str) -> bool:
+        """Release a hold, returning the unit to the pool."""
+        client = self._holds.pop(hold_id, None)
+        if client is None:
+            return False  # idempotent: cancelling twice is fine
+
+        def body(tx: Transaction) -> bool:
+            self._available.write(tx, self._available.read(tx) + 1)
+            return True
+
+        return self._run(body)
+
+    @property
+    def holds_outstanding(self) -> int:
+        return len(self._holds)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, {self.available()}/{self.capacity})"
+
+
+class TaxiService(InventoryService):
+    kind = "taxi"
+
+
+class RestaurantService(InventoryService):
+    kind = "restaurant"
+
+
+class TheatreService(InventoryService):
+    kind = "theatre"
+
+
+class HotelService(InventoryService):
+    kind = "hotel"
+
+
+class TravelScenario:
+    """The fig. 1 deployment: four services sharing one OTS factory."""
+
+    def __init__(
+        self,
+        factory: Optional[TransactionFactory] = None,
+        current: Optional[TransactionCurrent] = None,
+        capacity: int = 10,
+        store: Optional[ObjectStore] = None,
+        registry: Optional[RecoverableRegistry] = None,
+    ) -> None:
+        self.factory = factory if factory is not None else TransactionFactory()
+        self.current = (
+            current if current is not None else TransactionCurrent(self.factory)
+        )
+        make = lambda cls, name, price: cls(  # noqa: E731 - local factory helper
+            name,
+            capacity,
+            self.factory,
+            current=self.current,
+            store=store,
+            registry=registry,
+            price=price,
+        )
+        self.taxi = make(TaxiService, "taxi", 20.0)
+        self.restaurant = make(RestaurantService, "restaurant", 60.0)
+        self.theatre = make(TheatreService, "theatre", 45.0)
+        self.hotel = make(HotelService, "hotel", 150.0)
+
+    @property
+    def services(self) -> Tuple[InventoryService, ...]:
+        return (self.taxi, self.restaurant, self.theatre, self.hotel)
+
+    def service_by_name(self, name: str) -> InventoryService:
+        for service in self.services:
+            if service.name == name:
+                return service
+        raise BookingError(f"no service named {name!r}")
+
+    def total_available(self) -> int:
+        return sum(service.available() for service in self.services)

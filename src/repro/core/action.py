@@ -1,0 +1,138 @@
+"""Actions — the signal receivers of the framework (§3.2.2).
+
+The paper's IDL::
+
+    interface Action {
+        Outcome process_signal(in Signal sig) raises(ActionError);
+    };
+
+An action may be a local object, a servant invoked through an
+:class:`~repro.orb.reference.ObjectRef` (the coordinator handles both), or
+one of the adapters here:
+
+- :class:`FunctionAction` lifts a plain callable;
+- :class:`IdempotentAction` deduplicates redelivered signals by
+  ``delivery_id`` — the behaviour §3.4 *requires* of actions under
+  at-least-once delivery;
+- :class:`RecordingAction` remembers everything it was sent (tests and
+  trace reproduction).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.exceptions import ActionError
+from repro.core.signals import Outcome, Signal
+
+
+class Action(abc.ABC):
+    """A registered receiver of signals from one or more SignalSets."""
+
+    @abc.abstractmethod
+    def process_signal(self, signal: Signal) -> Outcome:
+        """Handle ``signal`` and report an :class:`Outcome`.
+
+        Implementations may raise :class:`ActionError`; the coordinator
+        converts it into an error outcome for the SignalSet.  Under
+        at-least-once delivery the same logical signal may arrive more
+        than once (same ``delivery_id``); implementations must tolerate
+        that (see :class:`IdempotentAction`).
+        """
+
+
+class FunctionAction(Action):
+    """Wraps ``fn(signal) -> Outcome | Any | None`` as an Action."""
+
+    def __init__(self, fn: Callable[[Signal], Any], name: Optional[str] = None) -> None:
+        self._fn = fn
+        self.name = name if name is not None else getattr(fn, "__name__", "action")
+
+    def process_signal(self, signal: Signal) -> Outcome:
+        result = self._fn(signal)
+        if isinstance(result, Outcome):
+            return result
+        return Outcome.done(result)
+
+    def __repr__(self) -> str:
+        return f"FunctionAction({self.name})"
+
+
+class IdempotentAction(Action):
+    """Deduplicating wrapper: redeliveries return the cached outcome.
+
+    Signals are keyed by ``delivery_id``.  Unstamped signals (delivery_id
+    None) pass straight through — the coordinator always stamps, so those
+    only occur when an action is invoked outside a coordinator.
+    """
+
+    def __init__(self, inner: Action) -> None:
+        self.inner = inner
+        self._seen: Dict[str, Outcome] = {}
+        self.duplicates_suppressed = 0
+
+    def process_signal(self, signal: Signal) -> Outcome:
+        key = signal.delivery_id
+        if key is None:
+            return self.inner.process_signal(signal)
+        if key in self._seen:
+            self.duplicates_suppressed += 1
+            return self._seen[key]
+        outcome = self.inner.process_signal(signal)
+        self._seen[key] = outcome
+        return outcome
+
+
+class RecordingAction(Action):
+    """Remembers received signals; replies with a fixed or computed outcome."""
+
+    def __init__(
+        self,
+        name: str = "recorder",
+        reply: Optional[Callable[[Signal], Outcome]] = None,
+    ) -> None:
+        self.name = name
+        self.received: List[Signal] = []
+        self._reply = reply
+
+    def process_signal(self, signal: Signal) -> Outcome:
+        self.received.append(signal)
+        if self._reply is not None:
+            return self._reply(signal)
+        return Outcome.done()
+
+    @property
+    def signal_names(self) -> List[str]:
+        return [signal.signal_name for signal in self.received]
+
+    def __repr__(self) -> str:
+        return f"RecordingAction({self.name}, {len(self.received)} signals)"
+
+
+class ScriptedAction(Action):
+    """Replies per-signal-name from a script dict; errors on demand.
+
+    ``script`` maps signal_name → Outcome, callable, or an Exception
+    instance to raise.  Unknown signals get ``Outcome.done()``.
+    """
+
+    def __init__(self, script: Dict[str, Any], name: str = "scripted") -> None:
+        self.script = script
+        self.name = name
+        self.received: List[Signal] = []
+
+    def process_signal(self, signal: Signal) -> Outcome:
+        self.received.append(signal)
+        entry = self.script.get(signal.signal_name)
+        if entry is None:
+            return Outcome.done()
+        if isinstance(entry, BaseException):
+            raise entry
+        if callable(entry):
+            entry = entry(signal)
+        if not isinstance(entry, Outcome):
+            raise ActionError(
+                f"scripted reply for {signal.signal_name!r} is not an Outcome"
+            )
+        return entry

@@ -1,0 +1,128 @@
+"""Activity context propagation over the ORB.
+
+When application code inside an activity invokes a remote object, the
+activity's identity and its PropertyGroups travel implicitly as a service
+context (§3.3 — visibility "in downstream nodes", propagation by value or
+by reference).  A client request interceptor builds the
+:class:`ActivityContext`; the server interceptor re-associates the
+activity (when the receiving deployment knows it) and exposes the
+received property groups to the servant through the invocation-current
+slot ``activity_context``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.property_group import (
+    Propagation,
+    PropertyGroup,
+    RemotePropertyGroup,
+)
+from repro.orb.core import Orb
+from repro.orb.interceptors import (
+    ACTIVITY_CONTEXT_ID,
+    ClientRequestInterceptor,
+    RequestInfo,
+    ServerRequestInterceptor,
+)
+from repro.orb.marshal import GLOBAL_REGISTRY
+from repro.orb.reference import ObjectRef
+
+
+@GLOBAL_REGISTRY.register_dataclass
+@dataclass(frozen=True)
+class ActivityContext:
+    """Wire form of a propagated activity association."""
+
+    activity_id: str
+    activity_name: str
+    # group name -> snapshot dict (by-value groups)
+    property_values: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    # group name -> ObjectRef of the origin group (by-reference groups)
+    property_refs: Dict[str, ObjectRef] = field(default_factory=dict)
+
+    def received_groups(self) -> Dict[str, PropertyGroup]:
+        """Materialise the context's property groups on the receiving side."""
+        groups: Dict[str, PropertyGroup] = {}
+        for name, values in self.property_values.items():
+            groups[name] = PropertyGroup(
+                name, propagation=Propagation.VALUE, initial=values
+            )
+        for name, ref in self.property_refs.items():
+            groups[name] = RemotePropertyGroup(name, ref)
+        return groups
+
+
+def build_context(activity: Any) -> ActivityContext:
+    """Snapshot an activity into its wire context."""
+    values: Dict[str, Dict[str, Any]] = {}
+    refs: Dict[str, ObjectRef] = {}
+    for group in activity.property_groups():
+        if group.propagation is Propagation.VALUE:
+            values[group.name] = group.snapshot()
+        elif group.propagation is Propagation.REFERENCE:
+            exported = getattr(group, "exported_ref", None)
+            if exported is not None:
+                refs[group.name] = exported
+            else:
+                # Un-exported by-reference groups degrade to by-value.
+                values[group.name] = group.snapshot()
+    return ActivityContext(
+        activity_id=activity.activity_id,
+        activity_name=activity.name,
+        property_values=values,
+        property_refs=refs,
+    )
+
+
+class ActivityClientInterceptor(ClientRequestInterceptor):
+    """Attaches the current activity's context to outgoing requests."""
+
+    name = "activity-client"
+
+    def __init__(self, current: Any) -> None:
+        self.current = current
+
+    def send_request(self, info: RequestInfo) -> None:
+        activity = self.current.current_activity()
+        if activity is not None and not activity.status.is_terminal:
+            info.set_context(ACTIVITY_CONTEXT_ID, build_context(activity))
+
+
+class ActivityServerInterceptor(ServerRequestInterceptor):
+    """Re-establishes the propagated activity around each dispatch."""
+
+    name = "activity-server"
+
+    def __init__(self, orb: Orb, manager: Any) -> None:
+        self.orb = orb
+        self.manager = manager
+        self._resumed: List[bool] = []
+
+    def receive_request(self, info: RequestInfo) -> None:
+        context = info.get_context(ACTIVITY_CONTEXT_ID)
+        if isinstance(context, ActivityContext):
+            # Expose the raw context (and its property groups) to servants.
+            self.orb.current.set_slot("activity_context", context)
+            if self.manager.knows(context.activity_id):
+                self.manager.current.resume(self.manager.get(context.activity_id))
+                self._resumed.append(True)
+                return
+        self._resumed.append(False)
+
+    def _detach(self) -> None:
+        if self._resumed and self._resumed.pop():
+            self.manager.current.suspend()
+
+    def send_reply(self, info: RequestInfo) -> None:
+        self._detach()
+
+    def send_exception(self, info: RequestInfo) -> None:
+        self._detach()
+
+
+def received_context(orb: Orb) -> Optional[ActivityContext]:
+    """The activity context of the request being dispatched, if any."""
+    return orb.current.get_slot("activity_context")

@@ -1,0 +1,196 @@
+"""The activity coordinator (fig. 5).
+
+One coordinator is associated with each activity.  Actions register
+interest in SignalSets *by name* (§3.2.3 — the concrete signals a set will
+produce may not be known in advance).  When the activity triggers a
+SignalSet, the coordinator:
+
+1. asks the set for a signal (``get_signal``);
+2. transmits it to every action registered for that set, in registration
+   order, stamping a fresh ``delivery_id`` per logical transmission and
+   pushing it through the configured delivery policy;
+3. reports each action's outcome back to the set (``set_response``);
+   a True reply abandons the current broadcast and fetches a new signal
+   immediately;
+4. repeats until the set is done, then collates via ``get_outcome``.
+
+Every step is recorded in the event log; the figure-8/11/12 benches
+compare these traces with the paper's sequence charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.action import Action
+from repro.core.delivery import AtLeastOnceDelivery, DeliveryPolicy
+from repro.core.exceptions import ActionError, NoSuchSignalSet
+from repro.core.signal_set import GuardedSignalSet, SignalSet
+from repro.core.signals import Outcome, Signal
+from repro.core.status import CompletionStatus
+from repro.exceptions import CommunicationError
+from repro.orb.reference import ObjectRef
+from repro.util.events import EventLog
+from repro.util.idgen import IdGenerator
+
+ActionLike = Union[Action, ObjectRef]
+
+
+@dataclass
+class ActionRecord:
+    """One registration of an action with a signal-set name."""
+
+    action_id: str
+    signal_set_name: str
+    action: ActionLike
+    # Durable-recovery metadata (optional): how to re-create this action.
+    factory_name: Optional[str] = None
+    factory_config: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        name = getattr(self.action, "name", None)
+        if isinstance(self.action, ObjectRef):
+            name = self.action.key()
+        return name if name else self.action_id
+
+
+class ActivityCoordinator:
+    """Signal broadcast engine for one activity."""
+
+    def __init__(
+        self,
+        activity_id: str,
+        event_log: Optional[EventLog] = None,
+        delivery: Optional[DeliveryPolicy] = None,
+    ) -> None:
+        self.activity_id = activity_id
+        self.event_log = event_log if event_log is not None else EventLog()
+        self.delivery = delivery if delivery is not None else AtLeastOnceDelivery()
+        self._ids = IdGenerator()
+        self._actions: Dict[str, List[ActionRecord]] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def add_action(
+        self,
+        signal_set_name: str,
+        action: ActionLike,
+        factory_name: Optional[str] = None,
+        factory_config: Optional[Dict[str, Any]] = None,
+    ) -> ActionRecord:
+        """Register ``action`` for every signal the named set will produce."""
+        record = ActionRecord(
+            action_id=self._ids.next("action"),
+            signal_set_name=signal_set_name,
+            action=action,
+            factory_name=factory_name,
+            factory_config=dict(factory_config) if factory_config else {},
+        )
+        self._actions.setdefault(signal_set_name, []).append(record)
+        self.event_log.record(
+            "add_action",
+            activity=self.activity_id,
+            signal_set=signal_set_name,
+            action=record.label,
+        )
+        return record
+
+    def remove_action(self, record: ActionRecord) -> None:
+        records = self._actions.get(record.signal_set_name, [])
+        if record in records:
+            records.remove(record)
+
+    def remove_actions_for(self, signal_set_name: str) -> int:
+        removed = len(self._actions.get(signal_set_name, []))
+        self._actions.pop(signal_set_name, None)
+        return removed
+
+    def actions_for(self, signal_set_name: str) -> List[ActionRecord]:
+        return list(self._actions.get(signal_set_name, []))
+
+    @property
+    def action_count(self) -> int:
+        return sum(len(records) for records in self._actions.values())
+
+    # -- broadcasting -----------------------------------------------------------
+
+    def process_signal_set(
+        self,
+        signal_set: SignalSet,
+        completion_status: Optional[CompletionStatus] = None,
+    ) -> Outcome:
+        """Drive a whole SignalSet to completion and return its outcome."""
+        guard = (
+            signal_set
+            if isinstance(signal_set, GuardedSignalSet)
+            else GuardedSignalSet(signal_set)
+        )
+        if completion_status is not None:
+            guard.set_completion_status(completion_status)
+        name = guard.signal_set_name
+        log = self.event_log
+        log.record("get_signal", activity=self.activity_id, signal_set=name)
+        signal, last = guard.get_signal()
+        while signal is not None:
+            interrupted = False
+            for record in self.actions_for(name):
+                stamped = signal.with_delivery_id(self._ids.next("delivery"))
+                log.record(
+                    "transmit",
+                    activity=self.activity_id,
+                    signal_set=name,
+                    signal=stamped.signal_name,
+                    action=record.label,
+                )
+                outcome = self.delivery.deliver(
+                    lambda s, r=record: self._invoke(r, s), stamped
+                )
+                log.record(
+                    "set_response",
+                    activity=self.activity_id,
+                    signal_set=name,
+                    signal=stamped.signal_name,
+                    action=record.label,
+                    outcome=outcome.name,
+                    error=outcome.is_error,
+                )
+                if guard.set_response(outcome):
+                    interrupted = True
+                    break
+            if not interrupted and guard.finish_broadcast():
+                break
+            log.record("get_signal", activity=self.activity_id, signal_set=name)
+            signal, last = guard.get_signal()
+        outcome = guard.get_outcome()
+        log.record(
+            "get_outcome",
+            activity=self.activity_id,
+            signal_set=name,
+            outcome=outcome.name,
+            error=outcome.is_error,
+        )
+        return outcome
+
+    def _invoke(self, record: ActionRecord, signal: Signal) -> Outcome:
+        """One attempt at sending ``signal`` to one action.
+
+        ActionError (and unexpected application failures) become error
+        outcomes for the SignalSet to digest; CommunicationError escapes
+        so the delivery policy can retry.
+        """
+        try:
+            if isinstance(record.action, ObjectRef):
+                result = record.action.invoke("process_signal", signal)
+            else:
+                result = record.action.process_signal(signal)
+        except CommunicationError:
+            raise
+        except ActionError as exc:
+            return Outcome.error(data=str(exc))
+        except Exception as exc:  # noqa: BLE001 - action bugs must not kill the protocol
+            return Outcome.error(data=f"{type(exc).__name__}: {exc}")
+        if not isinstance(result, Outcome):
+            return Outcome.done(result)
+        return result

@@ -1,0 +1,124 @@
+"""Signal delivery policies (§3.4).
+
+The paper mandates *at least once* delivery for signals: an action may
+receive the same signal multiple times and must behave idempotently.  It
+also notes that exactly-once semantics "can be provided by the activity
+service itself making use of the underlying transaction service".
+
+Policies here wrap a single-attempt send callable:
+
+- :class:`AtMostOnceDelivery` — one attempt; a lost message surfaces as an
+  unreachable outcome (no retry, no duplicates beyond what the network
+  itself injects);
+- :class:`AtLeastOnceDelivery` — retries transient communication failures
+  with the *same* delivery id, so the receiver may observe duplicates;
+- :class:`ExactlyOnceDelivery` — at-least-once plus a durable *sender*
+  ledger keyed by delivery id: an already-acknowledged delivery is never
+  resent, even across coordinator restarts.  Full exactly-once semantics
+  pairs this with a *receiver-side* dedup ledger
+  (:class:`~repro.core.action.IdempotentAction` — the transaction-service
+  half the paper alludes to), which absorbs duplicates the network itself
+  injects (e.g. a reply lost after the action already executed).
+
+The cost difference between these is measured by
+``benchmarks/bench_ablation_delivery.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional
+
+from repro.core.signals import Outcome, Signal
+from repro.exceptions import CommunicationError
+from repro.persistence.object_store import MemoryStore, ObjectStore
+
+SendFn = Callable[[Signal], Outcome]
+
+
+class DeliveryPolicy(abc.ABC):
+    """Strategy for pushing one stamped signal to one action."""
+
+    @abc.abstractmethod
+    def deliver(self, send: SendFn, signal: Signal) -> Outcome:
+        """Deliver ``signal`` via ``send``; never raises CommunicationError —
+        an undeliverable signal becomes ``Outcome.unreachable``."""
+
+
+class AtMostOnceDelivery(DeliveryPolicy):
+    """Single attempt; losses surface immediately."""
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.failures = 0
+
+    def deliver(self, send: SendFn, signal: Signal) -> Outcome:
+        self.attempts += 1
+        try:
+            return send(signal)
+        except CommunicationError as exc:
+            self.failures += 1
+            return Outcome.unreachable(str(exc))
+
+
+class AtLeastOnceDelivery(DeliveryPolicy):
+    """Retry transient losses, reusing the delivery id (duplicates possible)."""
+
+    def __init__(self, max_attempts: int = 5) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.max_attempts = max_attempts
+        self.attempts = 0
+        self.retries = 0
+        self.exhausted = 0
+
+    def deliver(self, send: SendFn, signal: Signal) -> Outcome:
+        last_error: Optional[CommunicationError] = None
+        for attempt in range(self.max_attempts):
+            self.attempts += 1
+            if attempt > 0:
+                self.retries += 1
+            try:
+                return send(signal)
+            except CommunicationError as exc:
+                if not exc.transient:
+                    return Outcome.unreachable(str(exc))
+                last_error = exc
+        self.exhausted += 1
+        return Outcome.unreachable(str(last_error))
+
+
+class ExactlyOnceDelivery(DeliveryPolicy):
+    """At-least-once plus a durable ledger of completed deliveries.
+
+    Before each attempt the ledger is checked: an already-recorded
+    delivery id returns its recorded outcome without resending, so the
+    receiver processes each logical signal at most once *through this
+    policy* even across coordinator restarts (the ledger lives in an
+    object store).  Combined with the at-least-once retry loop this
+    yields exactly-once semantics, at the price of one durable write per
+    delivery — the cost the ablation bench quantifies.
+    """
+
+    def __init__(self, max_attempts: int = 5, store: Optional[ObjectStore] = None) -> None:
+        self._inner = AtLeastOnceDelivery(max_attempts)
+        self._store = store if store is not None else MemoryStore()
+        self.ledger_hits = 0
+
+    def deliver(self, send: SendFn, signal: Signal) -> Outcome:
+        key = f"delivery:{signal.delivery_id}"
+        if signal.delivery_id is not None and self._store.contains(key):
+            self.ledger_hits += 1
+            return self._store.get(key)
+        outcome = self._inner.deliver(send, signal)
+        if signal.delivery_id is not None and not outcome.is_error:
+            self._store.put(key, outcome)
+        return outcome
+
+    @property
+    def attempts(self) -> int:
+        return self._inner.attempts
+
+    @property
+    def retries(self) -> int:
+        return self._inner.retries

@@ -1,0 +1,70 @@
+"""Activity Service exception hierarchy.
+
+Names follow the OMG Additional Structuring Mechanisms specification where
+the paper references them (``SignalSetActive``, ``SignalSetInactive``,
+``ActionError``); the rest cover activity lifecycle misuse.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+
+class ActivityServiceError(ReproError):
+    """Base for all activity-service errors."""
+
+
+class ActionError(ActivityServiceError):
+    """Raised by an Action that could not process a signal.
+
+    The coordinator converts this into an error Outcome and feeds it to
+    the SignalSet, which decides how the protocol proceeds.
+    """
+
+
+class SignalSetActive(ActivityServiceError):
+    """``get_outcome`` was called while the SignalSet is still signalling."""
+
+
+class SignalSetInactive(ActivityServiceError):
+    """The SignalSet reached End and cannot be driven further (fig. 7)."""
+
+
+class InvalidActivityState(ActivityServiceError):
+    """The activity's lifecycle state forbids the requested operation."""
+
+
+class ActivityPending(InvalidActivityState):
+    """Completion was requested while child activities are still active."""
+
+
+class ActivityCompleted(InvalidActivityState):
+    """The operation addressed an already-completed activity."""
+
+
+class NoActivity(ActivityServiceError):
+    """The calling thread has no associated activity."""
+
+
+class NotOriginator(ActivityServiceError):
+    """Only the node/thread that began an activity may complete it."""
+
+
+class CompletionStatusLatched(InvalidActivityState):
+    """Attempted to change a FAIL_ONLY completion status (§3.2.1)."""
+
+
+class NoSuchSignalSet(ActivityServiceError):
+    """The referenced SignalSet name is not registered with the activity."""
+
+
+class NoSuchPropertyGroup(ActivityServiceError):
+    """The referenced PropertyGroup is not attached to the activity."""
+
+
+class PropertyGroupError(ActivityServiceError):
+    """PropertyGroup access or registration failure."""
+
+
+class RecoveryError(ActivityServiceError):
+    """The activity structure could not be recovered."""

@@ -1,0 +1,223 @@
+"""The ActivityManager: system-facing entry point of the Activity Service.
+
+Fig. 13 of the paper splits the service's API into ``ActivityManager``
+(used by high-level services to configure coordination: plug in
+SignalSets, register recoverable Action factories) and ``UserActivity``
+(application-facing demarcation).  This class is the former; it also owns
+the registry of live activities, the property-group factories, timeout
+policing, ORB installation (context-propagation interceptors) and the
+checkpoint store used for activity-structure recovery (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.action import Action
+from repro.core.activity import Activity
+from repro.core.current import ActivityCurrent
+from repro.core.delivery import AtLeastOnceDelivery, DeliveryPolicy
+from repro.core.exceptions import ActivityServiceError, RecoveryError
+from repro.core.property_group import PropertyGroupManager
+from repro.core.signal_set import SignalSet
+from repro.core.status import ActivityStatus, CompletionStatus
+from repro.orb.core import Node, Orb
+from repro.orb.reference import ObjectRef
+from repro.persistence.object_store import ObjectStore
+from repro.util.clock import Clock, SimulatedClock
+from repro.util.events import EventLog
+from repro.util.idgen import IdGenerator
+
+SignalSetFactory = Callable[..., SignalSet]
+ActionFactory = Callable[[Dict[str, Any]], Action]
+
+
+class ActivityManager:
+    """Creates, tracks, recovers and distributes activities."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        event_log: Optional[EventLog] = None,
+        delivery: Optional[DeliveryPolicy] = None,
+        store: Optional[ObjectStore] = None,
+        property_groups: Optional[PropertyGroupManager] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.event_log = event_log if event_log is not None else EventLog(self.clock)
+        self.delivery = delivery if delivery is not None else AtLeastOnceDelivery()
+        self.store = store
+        self.property_groups = (
+            property_groups if property_groups is not None else PropertyGroupManager()
+        )
+        self.current = ActivityCurrent(self)
+        self.ids = IdGenerator()
+        self.orb: Optional[Orb] = None
+        self._activities: Dict[str, Activity] = {}
+        self._signal_set_factories: Dict[str, SignalSetFactory] = {}
+        self._action_factories: Dict[str, ActionFactory] = {}
+        self.begun = 0
+        self.completed = 0
+
+    # -- creation ------------------------------------------------------------
+
+    def begin(
+        self,
+        name: Optional[str] = None,
+        parent: Optional[Activity] = None,
+        timeout: float = 0.0,
+    ) -> Activity:
+        """Create (and start) a new activity."""
+        activity_id = self.ids.next("activity")
+        activity = Activity(
+            activity_id=activity_id,
+            name=name,
+            parent=parent,
+            manager=self,
+            event_log=self.event_log,
+            delivery=self.delivery,
+            timeout=timeout,
+            clock=self.clock,
+        )
+        self._attach_property_groups(activity, parent)
+        self._activities[activity_id] = activity
+        self.begun += 1
+        self.event_log.record(
+            "activity_begin",
+            activity=activity_id,
+            name=activity.name,
+            parent=parent.activity_id if parent is not None else None,
+        )
+        return activity
+
+    def _attach_property_groups(
+        self, activity: Activity, parent: Optional[Activity]
+    ) -> None:
+        if parent is not None:
+            for group in parent.property_groups():
+                activity.attach_property_group(group.child_view())
+        else:
+            for group in self.property_groups.create_all().values():
+                activity.attach_property_group(group)
+
+    # -- registry ----------------------------------------------------------------
+
+    def get(self, activity_id: str) -> Activity:
+        try:
+            return self._activities[activity_id]
+        except KeyError:
+            raise ActivityServiceError(f"unknown activity {activity_id!r}") from None
+
+    def knows(self, activity_id: str) -> bool:
+        return activity_id in self._activities
+
+    def active_activities(self) -> List[Activity]:
+        return [
+            activity
+            for activity in self._activities.values()
+            if not activity.status.is_terminal
+        ]
+
+    def on_activity_completed(self, activity: Activity) -> None:
+        self.completed += 1
+        if self.store is not None:
+            self.checkpoint(activity)
+
+    # -- timeouts ------------------------------------------------------------------
+
+    def expire_timeouts(self) -> List[str]:
+        """Latch FAIL_ONLY onto every active activity past its deadline."""
+        expired = []
+        now = self.clock.now()
+        for activity in self.active_activities():
+            if (
+                activity.deadline is not None
+                and now > activity.deadline
+                and activity.get_completion_status() is not CompletionStatus.FAIL_ONLY
+            ):
+                activity.set_completion_status(CompletionStatus.FAIL_ONLY)
+                expired.append(activity.activity_id)
+        return expired
+
+    # -- distribution -----------------------------------------------------------------
+
+    def install(self, orb: Orb) -> None:
+        """Wire activity-context propagation into an ORB."""
+        from repro.core import exceptions as core_exceptions
+        from repro.core.context import ActivityClientInterceptor, ActivityServerInterceptor
+
+        self.orb = orb
+        orb.interceptors.add_client(ActivityClientInterceptor(self.current))
+        orb.interceptors.add_server(ActivityServerInterceptor(orb, self))
+        for name in (
+            "ActionError",
+            "SignalSetActive",
+            "SignalSetInactive",
+            "InvalidActivityState",
+            "ActivityPending",
+            "ActivityCompleted",
+            "NoActivity",
+            "CompletionStatusLatched",
+            "NoSuchSignalSet",
+            "NoSuchPropertyGroup",
+            "PropertyGroupError",
+            "ActivityServiceError",
+        ):
+            orb.register_exception(getattr(core_exceptions, name))
+
+    def export(self, activity: Activity, node: Node) -> ObjectRef:
+        """Activate an activity as a servant so peers can enlist remotely."""
+        return node.activate(
+            activity, object_id=f"activity:{activity.activity_id}", durable=True
+        )
+
+    def export_property_group(self, group: Any, node: Node) -> ObjectRef:
+        """Activate a property group for by-reference propagation."""
+        ref = node.activate(group, object_id=f"pg:{group.name}:{id(group):x}")
+        setattr(group, "exported_ref", ref)
+        return ref
+
+    # -- recovery plumbing (used by core.recovery) ---------------------------------------
+
+    def register_signal_set_factory(self, name: str, factory: SignalSetFactory) -> None:
+        self._signal_set_factories[name] = factory
+
+    def register_action_factory(self, name: str, factory: ActionFactory) -> None:
+        self._action_factories[name] = factory
+
+    def make_signal_set(self, factory_name: str) -> SignalSet:
+        try:
+            factory = self._signal_set_factories[factory_name]
+        except KeyError:
+            raise RecoveryError(f"no signal-set factory {factory_name!r}") from None
+        return factory()
+
+    def make_action(self, factory_name: str, config: Dict[str, Any]) -> Action:
+        try:
+            factory = self._action_factories[factory_name]
+        except KeyError:
+            raise RecoveryError(f"no action factory {factory_name!r}") from None
+        return factory(config)
+
+    def checkpoint(self, activity: Activity) -> None:
+        from repro.core.recovery import ActivityRecoveryService
+
+        if self.store is None:
+            raise RecoveryError("manager has no checkpoint store")
+        ActivityRecoveryService(self, self.store).checkpoint(activity)
+
+    def recover(self) -> List[str]:
+        """Rebuild the activity structure from the checkpoint store.
+
+        Returns the ids of recovered activities that are still in flight
+        (application logic must drive them to completion, §3.4).
+        """
+        from repro.core.recovery import ActivityRecoveryService
+
+        if self.store is None:
+            raise RecoveryError("manager has no checkpoint store")
+        return ActivityRecoveryService(self, self.store).recover()
+
+    def adopt(self, activity: Activity) -> None:
+        """Install a recovered activity into the registry (recovery only)."""
+        self._activities[activity.activity_id] = activity

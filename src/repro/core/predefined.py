@@ -1,0 +1,102 @@
+"""Predefined Signals and SignalSets (§3.2.3).
+
+"With the exception of some predefined Signals and SignalSets, the
+majority … will be defined and provided by the higher-level applications."
+The predefined ones:
+
+- :class:`CompletionSignalSet` — the vanilla completion protocol: sends a
+  single ``success`` or ``failure`` signal reflecting the activity's
+  completion status;
+- :class:`BroadcastSignalSet` — sends one application-provided signal and
+  collates the outcomes (the simplest possible coordination: a barrier /
+  notification).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core.signal_set import SignalSet
+from repro.core.signals import Outcome, Signal
+from repro.core.status import CompletionStatus
+
+SIGNAL_SUCCESS = "success"
+SIGNAL_FAILURE = "failure"
+COMPLETION_SET_NAME = "repro.predefined.completion"
+BROADCAST_SET_NAME = "repro.predefined.broadcast"
+
+
+class CompletionSignalSet(SignalSet):
+    """Signals ``success`` or ``failure`` once, per the completion status."""
+
+    def __init__(self, data: Any = None) -> None:
+        self.signal_set_name = COMPLETION_SET_NAME
+        self._data = data
+        self._sent = False
+        self.responses: List[Outcome] = []
+
+    def get_signal(self) -> Tuple[Optional[Signal], bool]:
+        if self._sent:
+            return None, True
+        self._sent = True
+        failed = self.get_completion_status() is not CompletionStatus.SUCCESS
+        name = SIGNAL_FAILURE if failed else SIGNAL_SUCCESS
+        return (
+            Signal(
+                signal_name=name,
+                signal_set_name=self.signal_set_name,
+                application_specific_data=self._data,
+            ),
+            True,
+        )
+
+    def set_response(self, response: Outcome) -> bool:
+        self.responses.append(response)
+        return False
+
+    def get_outcome(self) -> Outcome:
+        errors = [r for r in self.responses if r.is_error]
+        if self.get_completion_status() is not CompletionStatus.SUCCESS:
+            return Outcome.error(data="activity completed in failure")
+        if errors:
+            return Outcome.error(data=f"{len(errors)} actions failed")
+        return Outcome.done(data=len(self.responses))
+
+
+class BroadcastSignalSet(SignalSet):
+    """Sends one signal to every registered action; outcome lists replies."""
+
+    def __init__(
+        self,
+        signal_name: str,
+        data: Any = None,
+        signal_set_name: str = BROADCAST_SET_NAME,
+    ) -> None:
+        self.signal_set_name = signal_set_name
+        self._signal_name = signal_name
+        self._data = data
+        self._sent = False
+        self.responses: List[Outcome] = []
+
+    def get_signal(self) -> Tuple[Optional[Signal], bool]:
+        if self._sent:
+            return None, True
+        self._sent = True
+        return (
+            Signal(
+                signal_name=self._signal_name,
+                signal_set_name=self.signal_set_name,
+                application_specific_data=self._data,
+            ),
+            True,
+        )
+
+    def set_response(self, response: Outcome) -> bool:
+        self.responses.append(response)
+        return False
+
+    def get_outcome(self) -> Outcome:
+        names = [response.name for response in self.responses]
+        if any(response.is_error for response in self.responses):
+            return Outcome.error(data=names)
+        return Outcome.done(data=names)

@@ -1,0 +1,209 @@
+"""PropertyGroups (§3.3): tuple-space configuration attached to activities.
+
+A PropertyGroup manages attribute/value pairs and defines behaviour along
+two axes the paper calls out explicitly:
+
+- **nested visibility** — what a child activity sees and whether its
+  changes leak out: ``SHARED`` (one space for the whole tree — the
+  paper's "client environment" example, PG1) or ``SCOPED`` (the child
+  gets a copy-on-write view; its changes stay in its own context — the
+  paper's "application context" example, PG2);
+- **propagation** — how the group travels with remote invocations:
+  ``VALUE`` (a snapshot crosses the wire), ``REFERENCE`` (an ObjectRef
+  to the origin group crosses, and downstream reads/writes call back),
+  or ``NONE`` (the group never propagates).
+
+Rather than mandating a store, applications register *factories* with the
+:class:`PropertyGroupManager`, mirroring the spec's "obtain their own
+property store implementations".
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.exceptions import NoSuchPropertyGroup, PropertyGroupError
+from repro.orb.reference import ObjectRef
+
+
+class NestedVisibility(Enum):
+    SHARED = "shared"
+    SCOPED = "scoped"
+
+
+class Propagation(Enum):
+    VALUE = "by-value"
+    REFERENCE = "by-reference"
+    NONE = "none"
+
+
+class PropertyGroup:
+    """A named tuple-space of attribute/value pairs."""
+
+    def __init__(
+        self,
+        name: str,
+        visibility: NestedVisibility = NestedVisibility.SHARED,
+        propagation: Propagation = Propagation.VALUE,
+        initial: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.visibility = visibility
+        self.propagation = propagation
+        self._values: Dict[str, Any] = dict(initial) if initial else {}
+
+    # -- tuple space operations (dispatchable as a servant) --------------------
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def set_property(self, key: str, value: Any) -> None:
+        self._values[key] = value
+
+    def delete_property(self, key: str) -> None:
+        if key not in self._values:
+            raise PropertyGroupError(f"no property {key!r} in group {self.name!r}")
+        del self._values[key]
+
+    def has_property(self, key: str) -> bool:
+        return key in self._values
+
+    def property_names(self) -> List[str]:
+        return sorted(self._values)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return dict(self._values)
+
+    def update_from(self, values: Dict[str, Any]) -> None:
+        self._values.update(values)
+
+    # -- nesting ------------------------------------------------------------------
+
+    def child_view(self) -> "PropertyGroup":
+        """The group a nested activity should see (§3.3)."""
+        if self.visibility is NestedVisibility.SHARED:
+            return self
+        return ScopedPropertyGroup(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGroup({self.name!r}, {self.visibility.value}, "
+            f"{self.propagation.value}, {len(self._values)} entries)"
+        )
+
+
+class ScopedPropertyGroup(PropertyGroup):
+    """Copy-on-write overlay for a nested activity.
+
+    Reads fall through to the parent group until the key is written
+    locally; writes and deletes never leak upward.
+    """
+
+    _TOMBSTONE = object()
+
+    def __init__(self, parent: PropertyGroup) -> None:
+        super().__init__(
+            parent.name, visibility=parent.visibility, propagation=parent.propagation
+        )
+        self._parent = parent
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        if key in self._values:
+            value = self._values[key]
+            return default if value is self._TOMBSTONE else value
+        return self._parent.get_property(key, default)
+
+    def has_property(self, key: str) -> bool:
+        if key in self._values:
+            return self._values[key] is not self._TOMBSTONE
+        return self._parent.has_property(key)
+
+    def delete_property(self, key: str) -> None:
+        if not self.has_property(key):
+            raise PropertyGroupError(f"no property {key!r} in group {self.name!r}")
+        self._values[key] = self._TOMBSTONE
+
+    def property_names(self) -> List[str]:
+        names = set(self._parent.property_names())
+        for key, value in self._values.items():
+            if value is self._TOMBSTONE:
+                names.discard(key)
+            else:
+                names.add(key)
+        return sorted(names)
+
+    def snapshot(self) -> Dict[str, Any]:
+        merged = self._parent.snapshot()
+        for key, value in self._values.items():
+            if value is self._TOMBSTONE:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        return merged
+
+
+class RemotePropertyGroup(PropertyGroup):
+    """Client-side proxy for a by-reference group received in a context.
+
+    Every operation calls back to the origin group through the ORB, so
+    downstream changes are visible upstream immediately (and cost a
+    round-trip — the propagation ablation bench measures this).
+    """
+
+    def __init__(self, name: str, ref: ObjectRef) -> None:
+        super().__init__(name, propagation=Propagation.REFERENCE)
+        self._ref = ref
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        return self._ref.invoke("get_property", key, default)
+
+    def set_property(self, key: str, value: Any) -> None:
+        self._ref.invoke("set_property", key, value)
+
+    def delete_property(self, key: str) -> None:
+        self._ref.invoke("delete_property", key)
+
+    def has_property(self, key: str) -> bool:
+        return self._ref.invoke("has_property", key)
+
+    def property_names(self) -> List[str]:
+        return self._ref.invoke("property_names")
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self._ref.invoke("snapshot")
+
+    def update_from(self, values: Dict[str, Any]) -> None:
+        self._ref.invoke("update_from", values)
+
+
+PropertyGroupFactory = Callable[[], PropertyGroup]
+
+
+class PropertyGroupManager:
+    """Registry of property-group factories for one deployment.
+
+    Activities created by the activity service get one group per
+    registered factory attached automatically (applications can attach
+    further groups by hand).
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, PropertyGroupFactory] = {}
+
+    def register_factory(self, name: str, factory: PropertyGroupFactory) -> None:
+        self._factories[name] = factory
+
+    def factory_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._factories))
+
+    def create_all(self) -> Dict[str, PropertyGroup]:
+        groups = {}
+        for name, factory in self._factories.items():
+            group = factory()
+            if group.name != name:
+                raise PropertyGroupError(
+                    f"factory {name!r} produced group named {group.name!r}"
+                )
+            groups[name] = group
+        return groups

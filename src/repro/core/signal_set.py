@@ -1,0 +1,184 @@
+"""SignalSets — the pluggable protocol intelligence (§3.2.3).
+
+The paper's IDL::
+
+    interface SignalSet {
+        readonly attribute string signal_set_name;
+        Signal  get_signal(inout boolean lastSignal);
+        Outcome get_outcome() raises(SignalSetActive);
+        boolean set_response(in Outcome response, out boolean nextSignal)
+                             raises(SignalSetInactive);
+        void set_completion_status(in CompletionStatus cs);
+        CompletionStatus get_completion_status();
+    };
+
+Pythonic mapping (documented in DESIGN.md):
+
+- ``get_signal()`` returns ``(signal, last)``; ``(None, True)`` means the
+  set has nothing (more) to send;
+- ``set_response(outcome)`` returns True when the set wants to *abandon*
+  the current broadcast and deliver a fresh signal immediately (how 2PC
+  pivots from ``prepare`` to ``rollback`` on a no-vote);
+- the fig. 7 Waiting → GetSignal → End state machine is enforced by
+  :class:`GuardedSignalSet`, which the coordinator wraps around every set.
+  Misuse raises the spec exceptions ``SignalSetActive`` /
+  ``SignalSetInactive``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import SignalSetActive, SignalSetInactive
+from repro.core.signals import Outcome, Signal
+from repro.core.status import CompletionStatus, SignalSetState
+
+
+class SignalSet(abc.ABC):
+    """Protocol driver: produces signals, digests responses."""
+
+    signal_set_name: str = "signal-set"
+
+    @abc.abstractmethod
+    def get_signal(self) -> Tuple[Optional[Signal], bool]:
+        """Return ``(signal, last)``; ``(None, True)`` ends the set."""
+
+    @abc.abstractmethod
+    def get_outcome(self) -> Outcome:
+        """Collated result of the whole interaction."""
+
+    def set_response(self, response: Outcome) -> bool:
+        """Digest one action's outcome; True requests an immediate new signal."""
+        return False
+
+    def set_completion_status(self, status: CompletionStatus) -> None:
+        """Tell the set the activity's completion status before it runs."""
+        self._completion_status = status
+
+    def get_completion_status(self) -> CompletionStatus:
+        return getattr(self, "_completion_status", CompletionStatus.SUCCESS)
+
+
+class GuardedSignalSet:
+    """State-machine enforcement wrapper (fig. 7) around a SignalSet.
+
+    The guard *is* a SignalSet from the coordinator's point of view and
+    additionally exposes :attr:`state`.  Transitions:
+
+    - WAITING --get_signal--> GET_SIGNAL (or END when nothing to send);
+    - GET_SIGNAL --get_signal/set_response--> GET_SIGNAL;
+    - the guard moves to END when the set reports its last signal's
+      broadcast is finished, or when ``get_outcome`` is served;
+    - any driving call in END raises :class:`SignalSetInactive`;
+    - ``get_outcome`` in WAITING/GET_SIGNAL with unfinished signalling
+      raises :class:`SignalSetActive`.
+    """
+
+    def __init__(self, inner: SignalSet) -> None:
+        self.inner = inner
+        self.state = SignalSetState.WAITING
+        self._last_delivered = False
+
+    @property
+    def signal_set_name(self) -> str:
+        return self.inner.signal_set_name
+
+    def get_signal(self) -> Tuple[Optional[Signal], bool]:
+        if self.state is SignalSetState.END:
+            raise SignalSetInactive(
+                f"SignalSet {self.signal_set_name!r} already ended; sets are not reusable"
+            )
+        signal, last = self.inner.get_signal()
+        if signal is None:
+            self.state = SignalSetState.END
+            self._last_delivered = True
+            return None, True
+        self.state = SignalSetState.GET_SIGNAL
+        self._last_delivered = bool(last)
+        return signal, bool(last)
+
+    def set_response(self, response: Outcome) -> bool:
+        if self.state is SignalSetState.END:
+            raise SignalSetInactive(
+                f"set_response on ended SignalSet {self.signal_set_name!r}"
+            )
+        if self.state is SignalSetState.WAITING:
+            raise SignalSetInactive(
+                f"set_response before any signal from {self.signal_set_name!r}"
+            )
+        return bool(self.inner.set_response(response))
+
+    def finish_broadcast(self) -> bool:
+        """Coordinator hook: current signal fully broadcast.
+
+        Returns True when the set is now finished (last signal done).
+        """
+        if self._last_delivered and self.state is not SignalSetState.END:
+            self.state = SignalSetState.END
+            return True
+        return self.state is SignalSetState.END
+
+    def get_outcome(self) -> Outcome:
+        if self.state is SignalSetState.GET_SIGNAL and not self._last_delivered:
+            raise SignalSetActive(
+                f"SignalSet {self.signal_set_name!r} is still signalling"
+            )
+        self.state = SignalSetState.END
+        return self.inner.get_outcome()
+
+    def set_completion_status(self, status: CompletionStatus) -> None:
+        self.inner.set_completion_status(status)
+
+    def get_completion_status(self) -> CompletionStatus:
+        return self.inner.get_completion_status()
+
+    def __repr__(self) -> str:
+        return f"GuardedSignalSet({self.signal_set_name}, {self.state.name})"
+
+
+class SequenceSignalSet(SignalSet):
+    """Base for protocols that send a fixed sequence of signals.
+
+    Subclasses (or callers) provide the ordered signal names; responses
+    are collected per signal.  ``on_response`` may be overridden to steer
+    (e.g. abandon the sequence).  The default outcome reports success when
+    no action returned an error.
+    """
+
+    def __init__(self, signal_set_name: str, signal_names: Sequence[str]) -> None:
+        self.signal_set_name = signal_set_name
+        self._names: List[str] = list(signal_names)
+        self._index = -1
+        self.responses: List[Tuple[str, Outcome]] = []
+
+    def current_signal_name(self) -> Optional[str]:
+        if 0 <= self._index < len(self._names):
+            return self._names[self._index]
+        return None
+
+    def make_signal(self, name: str) -> Signal:
+        """Hook: build the Signal for ``name`` (override to attach data)."""
+        return Signal(signal_name=name, signal_set_name=self.signal_set_name)
+
+    def get_signal(self) -> Tuple[Optional[Signal], bool]:
+        self._index += 1
+        if self._index >= len(self._names):
+            return None, True
+        last = self._index == len(self._names) - 1
+        return self.make_signal(self._names[self._index]), last
+
+    def set_response(self, response: Outcome) -> bool:
+        name = self.current_signal_name() or "?"
+        self.responses.append((name, response))
+        return self.on_response(name, response)
+
+    def on_response(self, signal_name: str, response: Outcome) -> bool:
+        """Hook: return True to abandon the broadcast for a new signal."""
+        return False
+
+    def get_outcome(self) -> Outcome:
+        errors = [response for _, response in self.responses if response.is_error]
+        if errors:
+            return Outcome.error(data=[e.name for e in errors])
+        return Outcome.done(data=len(self.responses))

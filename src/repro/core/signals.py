@@ -1,0 +1,87 @@
+"""Signal and Outcome value types (§3.2.2).
+
+``Signal`` mirrors the paper's IDL struct::
+
+    struct Signal {
+        string signal_name;
+        string signal_set_name;
+        any    application_specific_data;
+    };
+
+plus a ``delivery_id`` stamped by the coordinator on each *logical*
+transmission: retries of a lost transmission reuse the id, so idempotent
+actions can deduplicate under the at-least-once delivery regime (§3.4).
+
+``Outcome`` is an action's reply to a signal, and also the collated result
+of processing a whole SignalSet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from repro.orb.marshal import GLOBAL_REGISTRY
+
+# Well-known outcome names.
+OUTCOME_DONE = "repro.activity.done"
+OUTCOME_ERROR = "repro.activity.error"
+OUTCOME_UNREACHABLE = "repro.activity.unreachable"
+
+
+@GLOBAL_REGISTRY.register_dataclass
+@dataclass(frozen=True)
+class Signal:
+    """One coordination event sent from a SignalSet to Actions."""
+
+    signal_name: str
+    signal_set_name: str
+    application_specific_data: Any = None
+    delivery_id: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.signal_name
+
+    def with_delivery_id(self, delivery_id: str) -> "Signal":
+        return replace(self, delivery_id=delivery_id)
+
+    def with_data(self, data: Any) -> "Signal":
+        return replace(self, application_specific_data=data)
+
+    def __str__(self) -> str:
+        return f"Signal({self.signal_name}@{self.signal_set_name})"
+
+
+@GLOBAL_REGISTRY.register_dataclass
+@dataclass(frozen=True)
+class Outcome:
+    """An action's (or a whole SignalSet's) result."""
+
+    name: str
+    data: Any = None
+    is_error: bool = False
+
+    @classmethod
+    def done(cls, data: Any = None) -> "Outcome":
+        return cls(name=OUTCOME_DONE, data=data)
+
+    @classmethod
+    def of(cls, name: str, data: Any = None) -> "Outcome":
+        return cls(name=name, data=data)
+
+    @classmethod
+    def error(cls, data: Any = None, name: str = OUTCOME_ERROR) -> "Outcome":
+        return cls(name=name, data=data, is_error=True)
+
+    @classmethod
+    def unreachable(cls, data: Any = None) -> "Outcome":
+        return cls(name=OUTCOME_UNREACHABLE, data=data, is_error=True)
+
+    @property
+    def is_done(self) -> bool:
+        return self.name == OUTCOME_DONE and not self.is_error
+
+    def __str__(self) -> str:
+        flag = "!" if self.is_error else ""
+        return f"Outcome({flag}{self.name})"

@@ -1,0 +1,54 @@
+"""Activity lifecycle and completion-status types (§3.2.1 of the paper)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.orb.marshal import GLOBAL_REGISTRY
+
+
+@GLOBAL_REGISTRY.register_enum
+class CompletionStatus(Enum):
+    """The state an activity would complete in if completed now.
+
+    Mirrors the paper's enumeration: SUCCESS and FAIL may change back and
+    forth during the activity's lifetime; FAIL_ONLY latches — once set the
+    only possible outcome is failure (§3.2.1).
+    """
+
+    SUCCESS = "CompletionStatusSuccess"
+    FAIL = "CompletionStatusFail"
+    FAIL_ONLY = "CompletionStatusFailOnly"
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not CompletionStatus.SUCCESS
+
+    def may_become(self, new: "CompletionStatus") -> bool:
+        """Whether a transition from self to ``new`` is legal."""
+        if self is CompletionStatus.FAIL_ONLY:
+            return new is CompletionStatus.FAIL_ONLY
+        return True
+
+
+@GLOBAL_REGISTRY.register_enum
+class ActivityStatus(Enum):
+    """Lifecycle states of an activity object."""
+
+    ACTIVE = "ActivityActive"
+    SUSPENDED = "ActivitySuspended"
+    COMPLETING = "ActivityCompleting"
+    COMPLETED = "ActivityCompleted"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self is ActivityStatus.COMPLETED
+
+
+@GLOBAL_REGISTRY.register_enum
+class SignalSetState(Enum):
+    """Fig. 7: the state machine every SignalSet obeys."""
+
+    WAITING = "Waiting"
+    GET_SIGNAL = "GetSignal"
+    END = "End"

@@ -1,0 +1,72 @@
+"""UserActivity — the application-facing demarcation API (fig. 13).
+
+A thin facade over :class:`~repro.core.current.ActivityCurrent`, shaped
+after the J2EE Activity Service's ``UserActivity`` interface (JSR 95): the
+application begins and completes activities and manipulates the
+completion status, without touching coordinators or signal sets — those
+belong to the high-level service (see :mod:`repro.hls`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.activity import Activity
+from repro.core.exceptions import NoActivity
+from repro.core.signals import Outcome
+from repro.core.status import ActivityStatus, CompletionStatus
+
+
+class UserActivity:
+    """Demarcation facade bound to one ActivityManager."""
+
+    def __init__(self, manager: Any) -> None:
+        self.manager = manager
+
+    # -- demarcation ---------------------------------------------------------
+
+    def begin(self, name: Optional[str] = None, timeout: float = 0.0) -> Activity:
+        """Begin a (possibly nested) activity on the current thread."""
+        return self.manager.current.begin(name=name, timeout=timeout)
+
+    def complete(self) -> Outcome:
+        """Complete the current activity with its current completion status."""
+        return self.manager.current.complete()
+
+    def complete_with_status(self, status: CompletionStatus) -> Outcome:
+        return self.manager.current.complete(status)
+
+    # -- status ---------------------------------------------------------------
+
+    def set_completion_status(self, status: CompletionStatus) -> None:
+        self.manager.current.set_completion_status(status)
+
+    def get_completion_status(self) -> CompletionStatus:
+        return self.manager.current.get_completion_status()
+
+    def get_status(self) -> Optional[ActivityStatus]:
+        return self.manager.current.get_status()
+
+    def get_activity_name(self) -> str:
+        activity = self._require()
+        return activity.name
+
+    def get_activity_id(self) -> str:
+        return self._require().activity_id
+
+    # -- association ---------------------------------------------------------------
+
+    def current_activity(self) -> Optional[Activity]:
+        return self.manager.current.current_activity()
+
+    def suspend(self) -> Optional[Activity]:
+        return self.manager.current.suspend()
+
+    def resume(self, activity: Optional[Activity]) -> None:
+        self.manager.current.resume(activity)
+
+    def _require(self) -> Activity:
+        activity = self.manager.current.current_activity()
+        if activity is None:
+            raise NoActivity("no activity associated with this thread")
+        return activity

@@ -1,0 +1,24 @@
+"""High-Level Service layer (fig. 13; the J2EE Activity Service, JSR 95).
+
+A *high-level service* (HLS) packages one extended transaction model: it
+provides the SignalSets and specifies the protocol its Actions follow.
+Applications demarcate through :class:`~repro.core.user_activity.UserActivity`
+while the HLS configures each activity behind the scenes via the
+ActivityManager — the exact layering of the paper's fig. 13.
+"""
+
+from repro.hls.service import (
+    HighLevelService,
+    HlsActivityService,
+    OpenNestedHls,
+    TwoPhaseHls,
+    WorkflowHls,
+)
+
+__all__ = [
+    "HighLevelService",
+    "HlsActivityService",
+    "TwoPhaseHls",
+    "OpenNestedHls",
+    "WorkflowHls",
+]

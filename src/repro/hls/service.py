@@ -1,0 +1,145 @@
+"""HLS plumbing: pluggable extended-transaction models over UserActivity.
+
+"The high-level service (HLS) specifies a specific extended transaction
+model.  As such, it is the responsibility of the HLS implementer to
+provide appropriate SignalSets and specify the associated protocol that
+Action implementations use. […] The implementations the HLS needs to
+provide in order to configure the Activity Service (e.g., the SignalSet)
+can be plugged into the underlying implementation via appropriate
+methods.  Activities can be demarcated through UserActivity." (§5.1)
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional
+
+from repro.core.activity import Activity
+from repro.core.exceptions import ActivityServiceError
+from repro.core.manager import ActivityManager
+from repro.core.signals import Outcome
+from repro.core.status import CompletionStatus
+from repro.core.user_activity import UserActivity
+from repro.models.open_nested import OpenNestedCompletionSignalSet
+from repro.models.twopc import SET_NAME as TWOPC_SET
+from repro.models.twopc import TwoPhaseCommitSignalSet
+from repro.models.workflow import Workflow, WorkflowEngine, WorkflowResult
+
+
+class HighLevelService(abc.ABC):
+    """One pluggable extended-transaction model."""
+
+    service_name: str = "hls"
+
+    @abc.abstractmethod
+    def configure(self, activity: Activity) -> None:
+        """Attach this model's SignalSets (and any Actions) to a fresh
+        activity.  Called by :class:`HlsActivityService` at begin time."""
+
+    def install(self, manager: ActivityManager) -> None:
+        """Register recovery factories etc.; default does nothing."""
+
+
+class HlsActivityService:
+    """The fig. 13 stack: HLS → ActivityManager/UserActivity → core.
+
+    Applications pick a registered model by name when beginning an
+    activity; everything below the demarcation API is configured by the
+    chosen HLS.
+    """
+
+    def __init__(self, manager: Optional[ActivityManager] = None) -> None:
+        self.manager = manager if manager is not None else ActivityManager()
+        self.user_activity = UserActivity(self.manager)
+        self._services: Dict[str, HighLevelService] = {}
+
+    def register_service(self, service: HighLevelService) -> None:
+        self._services[service.service_name] = service
+        service.install(self.manager)
+
+    def service_names(self) -> List[str]:
+        return sorted(self._services)
+
+    def begin(
+        self,
+        service_name: Optional[str] = None,
+        name: Optional[str] = None,
+        timeout: float = 0.0,
+    ) -> Activity:
+        """Begin an activity, configured by the named HLS (if given)."""
+        activity = self.user_activity.begin(name=name, timeout=timeout)
+        if service_name is not None:
+            try:
+                service = self._services[service_name]
+            except KeyError:
+                raise ActivityServiceError(
+                    f"no high-level service {service_name!r} registered"
+                ) from None
+            service.configure(activity)
+        return activity
+
+    def complete(self, status: Optional[CompletionStatus] = None) -> Outcome:
+        if status is None:
+            return self.user_activity.complete()
+        return self.user_activity.complete_with_status(status)
+
+
+class TwoPhaseHls(HighLevelService):
+    """HLS offering atomic (2PC) outcome for the activity's participants."""
+
+    service_name = "atomic"
+
+    def configure(self, activity: Activity) -> None:
+        activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+
+    def install(self, manager: ActivityManager) -> None:
+        manager.register_signal_set_factory(
+            "hls.atomic.completion", TwoPhaseCommitSignalSet
+        )
+
+    @staticmethod
+    def participant_set_name() -> str:
+        return TWOPC_SET
+
+
+class OpenNestedHls(HighLevelService):
+    """HLS offering open-nested completion with compensations (§4.2)."""
+
+    service_name = "open-nested"
+
+    def configure(self, activity: Activity) -> None:
+        activity.register_signal_set(
+            OpenNestedCompletionSignalSet(), completion=True
+        )
+
+    def install(self, manager: ActivityManager) -> None:
+        manager.register_signal_set_factory(
+            "hls.open-nested.completion", OpenNestedCompletionSignalSet
+        )
+
+
+class WorkflowHls(HighLevelService):
+    """HLS embedding the workflow coordination model (§4.4).
+
+    Workflow activities are driven by the engine rather than a single
+    completion set, so ``configure`` is a no-op; the service exposes
+    ``run`` instead.
+    """
+
+    service_name = "workflow"
+
+    def __init__(self, tx_factory: Optional[Any] = None) -> None:
+        self.tx_factory = tx_factory
+        self._manager: Optional[ActivityManager] = None
+
+    def install(self, manager: ActivityManager) -> None:
+        self._manager = manager
+
+    def configure(self, activity: Activity) -> None:
+        pass
+
+    def run(self, workflow: Workflow) -> WorkflowResult:
+        if self._manager is None:
+            raise ActivityServiceError("WorkflowHls is not installed")
+        engine = WorkflowEngine(self._manager, tx_factory=self.tx_factory)
+        return engine.run(workflow)

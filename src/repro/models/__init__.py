@@ -1,0 +1,71 @@
+"""Extended transaction models built purely on the Activity Service core.
+
+Each module maps one model from §4 of the paper (plus the referenced Sagas
+and CA-action models) onto concrete SignalSet and Action implementations —
+no model touches the coordinator's internals, demonstrating the paper's
+central claim: "a single implementation of this framework [can] serve a
+large variety of extended transaction models".
+"""
+
+from repro.models.btp import (
+    BtpAtom,
+    BtpCohesion,
+    BtpParticipant,
+    BtpPrepareSignalSet,
+    BtpCompleteSignalSet,
+    BtpStatus,
+)
+from repro.models.ca_actions import CaAction, CaParticipant, ExceptionResolutionTree
+from repro.models.lruow import (
+    LongRunningUnitOfWork,
+    LruowConflict,
+    LruowResource,
+    PerformanceSignalSet,
+    RehearsalSignalSet,
+)
+from repro.models.open_nested import (
+    CompensationAction,
+    OpenNestedCompletionSignalSet,
+    OpenNestedCoordinator,
+)
+from repro.models.saga import Saga, SagaAbortedError, SagaResult, SagaStep
+from repro.models.twopc import (
+    TransactionalResourceAction,
+    TwoPhaseCommitSignalSet,
+    TwoPhaseOutcome,
+    TwoPhaseParticipant,
+)
+from repro.models.workflow import Task, TaskState, Workflow, WorkflowEngine, WorkflowResult
+
+__all__ = [
+    "TwoPhaseCommitSignalSet",
+    "TwoPhaseParticipant",
+    "TwoPhaseOutcome",
+    "TransactionalResourceAction",
+    "OpenNestedCompletionSignalSet",
+    "CompensationAction",
+    "OpenNestedCoordinator",
+    "LongRunningUnitOfWork",
+    "LruowResource",
+    "LruowConflict",
+    "RehearsalSignalSet",
+    "PerformanceSignalSet",
+    "Workflow",
+    "WorkflowEngine",
+    "WorkflowResult",
+    "Task",
+    "TaskState",
+    "BtpAtom",
+    "BtpCohesion",
+    "BtpParticipant",
+    "BtpPrepareSignalSet",
+    "BtpCompleteSignalSet",
+    "BtpStatus",
+    "Saga",
+    "SagaStep",
+    "SagaResult",
+    "SagaAbortedError",
+    "CaAction",
+    "CaParticipant",
+    "ExceptionResolutionTree",
+]

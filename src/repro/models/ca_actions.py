@@ -1,0 +1,232 @@
+"""Coordinated Atomic (CA) actions with exception resolution [13].
+
+A CA action is a multi-party unit of work: all participants enter
+together, each performs its role, and if one or more raise exceptions the
+action performs *exception resolution* — concurrent exceptions are
+resolved to a single covering exception through a resolution tree, and
+every participant then runs its handler for the resolved exception
+(§3.2.3: "a coordinator for a CA action model may be required to send a
+Signal informing participants to perform exception resolution").
+
+Mapping onto the framework:
+
+- role work runs inside one activity per CA action;
+- when exceptions were raised, the :class:`ResolutionSignalSet` emits a
+  single ``resolve`` signal whose data names the resolved exception;
+- each participant's Action runs the matching handler and reports
+  handled / unhandled;
+- the CA action outcome is normal, *exceptional* (all handlers ran) or
+  *failed* (some participant could not handle the resolved exception).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.action import Action
+from repro.core.activity import Activity
+from repro.core.signal_set import SignalSet
+from repro.core.signals import Outcome, Signal
+from repro.core.status import CompletionStatus
+from repro.exceptions import ReproError
+
+RESOLUTION_SET = "ca.resolution"
+SIGNAL_RESOLVE = "resolve"
+OUTCOME_HANDLED = "handled"
+OUTCOME_UNHANDLED = "unhandled"
+ROOT_EXCEPTION = "UniversalException"
+
+
+class CaError(ReproError):
+    """CA action definition or execution error."""
+
+
+class ExceptionResolutionTree:
+    """A tree of exception names; concurrent exceptions resolve to their
+    lowest common ancestor (the root covers everything)."""
+
+    def __init__(self, root: str = ROOT_EXCEPTION) -> None:
+        self.root = root
+        self._parent: Dict[str, str] = {}
+
+    def add(self, name: str, parent: Optional[str] = None) -> None:
+        parent_name = parent if parent is not None else self.root
+        if parent_name != self.root and parent_name not in self._parent:
+            raise CaError(f"unknown parent exception {parent_name!r}")
+        if name == self.root:
+            raise CaError("cannot re-add the root exception")
+        self._parent[name] = parent_name
+
+    def knows(self, name: str) -> bool:
+        return name == self.root or name in self._parent
+
+    def path_to_root(self, name: str) -> List[str]:
+        if not self.knows(name):
+            raise CaError(f"unknown exception {name!r}")
+        path = [name]
+        while path[-1] != self.root:
+            path.append(self._parent[path[-1]])
+        return path
+
+    def resolve(self, names: Set[str]) -> str:
+        """Lowest common ancestor of all raised exceptions."""
+        if not names:
+            raise CaError("nothing to resolve")
+        paths = [self.path_to_root(name) for name in names]
+        candidates = set(paths[0])
+        for path in paths[1:]:
+            candidates &= set(path)
+        # The LCA is the candidate deepest in the first path.
+        for name in paths[0]:
+            if name in candidates:
+                return name
+        return self.root
+
+
+class ResolutionSignalSet(SignalSet):
+    """Single ``resolve`` signal carrying the resolved exception name."""
+
+    def __init__(self, resolved: str) -> None:
+        self.signal_set_name = RESOLUTION_SET
+        self.resolved = resolved
+        self._sent = False
+        self.responses: List[Outcome] = []
+
+    def get_signal(self) -> Tuple[Optional[Signal], bool]:
+        if self._sent:
+            return None, True
+        self._sent = True
+        return (
+            Signal(
+                SIGNAL_RESOLVE,
+                self.signal_set_name,
+                application_specific_data={"exception": self.resolved},
+            ),
+            True,
+        )
+
+    def set_response(self, response: Outcome) -> bool:
+        self.responses.append(response)
+        return False
+
+    def get_outcome(self) -> Outcome:
+        unhandled = [r for r in self.responses if r.name != OUTCOME_HANDLED]
+        if unhandled:
+            return Outcome.error(name="ca.unhandled", data=len(unhandled))
+        return Outcome.of("ca.exceptional", data=self.resolved)
+
+
+@dataclass
+class CaParticipant:
+    """One role in a CA action.
+
+    ``work(ctx)`` may raise :class:`CaRoleException` (or any exception,
+    which is treated as its type name).  ``handlers`` maps exception
+    names to recovery callables; a handler for an ancestor exception
+    covers descendants that resolve to it.
+    """
+
+    name: str
+    work: Callable[[Dict[str, Any]], Any]
+    handlers: Dict[str, Callable[[Dict[str, Any]], Any]] = field(default_factory=dict)
+
+
+class CaRoleException(Exception):
+    """Exception raised by a participant's role, tagged with a tree name."""
+
+    def __init__(self, exception_name: str, message: str = "") -> None:
+        super().__init__(message or exception_name)
+        self.exception_name = exception_name
+
+
+class _ParticipantResolutionAction(Action):
+    """Runs a participant's handler for the resolved exception."""
+
+    def __init__(self, participant: CaParticipant, context: Dict[str, Any]) -> None:
+        self.participant = participant
+        self.context = context
+        self.name = f"resolve:{participant.name}"
+        self.handled_with: Optional[str] = None
+
+    def process_signal(self, signal: Signal) -> Outcome:
+        if signal.signal_name != SIGNAL_RESOLVE:
+            return Outcome.error(data=f"unexpected signal {signal.signal_name}")
+        resolved = (signal.application_specific_data or {}).get("exception")
+        handler = self.participant.handlers.get(resolved)
+        if handler is None:
+            return Outcome.of(OUTCOME_UNHANDLED)
+        handler(self.context)
+        self.handled_with = resolved
+        return Outcome.of(OUTCOME_HANDLED)
+
+
+@dataclass
+class CaOutcome:
+    kind: str  # "normal" | "exceptional" | "failed"
+    resolved_exception: Optional[str] = None
+    raised: Dict[str, str] = field(default_factory=dict)
+    outputs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_normal(self) -> bool:
+        return self.kind == "normal"
+
+
+class CaAction:
+    """A coordinated atomic action over the Activity Service."""
+
+    def __init__(
+        self,
+        manager: Any,
+        resolution: Optional[ExceptionResolutionTree] = None,
+        name: str = "ca-action",
+    ) -> None:
+        self.manager = manager
+        self.name = name
+        self.resolution = (
+            resolution if resolution is not None else ExceptionResolutionTree()
+        )
+        self.participants: List[CaParticipant] = []
+
+    def add_participant(self, participant: CaParticipant) -> None:
+        self.participants.append(participant)
+
+    def run(self, context: Optional[Dict[str, Any]] = None) -> CaOutcome:
+        if not self.participants:
+            raise CaError("CA action has no participants")
+        ctx = context if context is not None else {}
+        activity: Activity = self.manager.begin(name=f"ca:{self.name}")
+        raised: Dict[str, str] = {}
+        outputs: Dict[str, Any] = {}
+        for participant in self.participants:
+            try:
+                outputs[participant.name] = participant.work(ctx)
+            except CaRoleException as exc:
+                raised[participant.name] = exc.exception_name
+            except Exception as exc:  # noqa: BLE001 - untagged role failure
+                raised[participant.name] = type(exc).__name__
+        if not raised:
+            activity.complete(CompletionStatus.SUCCESS)
+            return CaOutcome(kind="normal", outputs=outputs)
+        names = {
+            name if self.resolution.knows(name) else self.resolution.root
+            for name in raised.values()
+        }
+        resolved = self.resolution.resolve(names)
+        resolution_set = ResolutionSignalSet(resolved)
+        for participant in self.participants:
+            activity.add_action(
+                RESOLUTION_SET, _ParticipantResolutionAction(participant, ctx)
+            )
+        activity.register_signal_set(resolution_set)
+        outcome = activity.signal(RESOLUTION_SET)
+        if outcome.is_error:
+            activity.complete(CompletionStatus.FAIL_ONLY)
+            return CaOutcome(
+                kind="failed", resolved_exception=resolved, raised=raised, outputs=outputs
+            )
+        activity.complete(CompletionStatus.FAIL)
+        return CaOutcome(
+            kind="exceptional", resolved_exception=resolved, raised=raised, outputs=outputs
+        )

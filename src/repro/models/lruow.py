@@ -1,0 +1,270 @@
+"""LRUOW — Long Running Unit Of Work (§4.3).
+
+The LRUOW model [Bennett et al., Middleware 2000] executes long-running
+work in two phases: a *rehearsal* phase that journals operations (with
+operation predicates) against a snapshot, without serialisability, and a
+*performance* phase that replays the journal against live data under
+locks, committing only if every predicate still holds (type-specific
+concurrency control).
+
+Per §4.3, the model maps onto the framework as a
+:class:`RehearsalSignalSet` and a :class:`PerformanceSignalSet`; each
+LRUOW resource registers an Action with both, driven when the activity
+completes.  The higher-level API (:class:`LongRunningUnitOfWork`) "would
+still be applicable, but would be mapped down to using these SignalSets
+and Actions" — which is exactly what it does here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.action import Action
+from repro.core.exceptions import ActionError
+from repro.core.signal_set import SequenceSignalSet
+from repro.core.signals import Outcome, Signal
+from repro.core.status import CompletionStatus
+from repro.exceptions import ReproError
+
+REHEARSAL_SET = "repro.lruow.rehearsal"
+PERFORMANCE_SET = "repro.lruow.performance"
+SIGNAL_REHEARSE = "rehearse"
+SIGNAL_VALIDATE = "validate"
+SIGNAL_APPLY = "apply"
+SIGNAL_ABANDON = "abandon"
+OUTCOME_VALID = "valid"
+OUTCOME_CONFLICT = "conflict"
+OUTCOME_APPLIED = "applied"
+OUTCOME_ABANDONED = "abandoned"
+OUTCOME_REHEARSING = "rehearsing"
+
+# An operation is fn(value) -> new value; a predicate is pred(value) -> bool
+Operation = Callable[[Any], Any]
+Predicate = Callable[[Any], bool]
+
+
+class LruowConflict(ReproError):
+    """An operation predicate failed during the performance phase."""
+
+
+class LruowResource:
+    """One resource supporting rehearsal/performance execution.
+
+    Rehearsal operations are journaled per unit of work together with
+    their predicates; reads during rehearsal see the journal replayed
+    over the snapshot taken at rehearsal start.  ``validate`` replays the
+    journal over the *current* committed value, checking each predicate;
+    ``apply`` installs the staged result.
+    """
+
+    def __init__(self, name: str, initial: Any) -> None:
+        self.name = name
+        self.committed = initial
+        self.version = 0
+        self._journals: Dict[str, List[Tuple[Operation, Optional[Predicate]]]] = {}
+        self._snapshots: Dict[str, Any] = {}
+        self._staged: Dict[str, Any] = {}
+
+    # -- rehearsal phase -------------------------------------------------------
+
+    def begin_rehearsal(self, uow_id: str) -> None:
+        self._journals[uow_id] = []
+        self._snapshots[uow_id] = self.committed
+
+    def rehearse(
+        self, uow_id: str, operation: Operation, predicate: Optional[Predicate] = None
+    ) -> Any:
+        """Journal an operation; returns the rehearsal-visible value."""
+        if uow_id not in self._journals:
+            raise LruowConflict(f"uow {uow_id!r} is not rehearsing on {self.name!r}")
+        if predicate is not None and not predicate(self.rehearsal_value(uow_id)):
+            raise LruowConflict(
+                f"predicate failed during rehearsal of {uow_id!r} on {self.name!r}"
+            )
+        self._journals[uow_id].append((operation, predicate))
+        return self.rehearsal_value(uow_id)
+
+    def rehearsal_value(self, uow_id: str) -> Any:
+        value = self._snapshots[uow_id]
+        for operation, _ in self._journals[uow_id]:
+            value = operation(value)
+        return value
+
+    # -- performance phase ---------------------------------------------------------
+
+    def validate(self, uow_id: str) -> bool:
+        """Replay the journal over live data, checking every predicate."""
+        journal = self._journals.get(uow_id)
+        if journal is None:
+            return False
+        value = self.committed
+        for operation, predicate in journal:
+            if predicate is not None and not predicate(value):
+                return False
+            value = operation(value)
+        self._staged[uow_id] = value
+        return True
+
+    def apply(self, uow_id: str) -> None:
+        if uow_id not in self._staged:
+            raise LruowConflict(f"uow {uow_id!r} has no validated stage on {self.name!r}")
+        self.committed = self._staged.pop(uow_id)
+        self.version += 1
+        self._cleanup(uow_id)
+
+    def abandon(self, uow_id: str) -> None:
+        self._staged.pop(uow_id, None)
+        self._cleanup(uow_id)
+
+    def _cleanup(self, uow_id: str) -> None:
+        self._journals.pop(uow_id, None)
+        self._snapshots.pop(uow_id, None)
+
+
+class RehearsalSignalSet(SequenceSignalSet):
+    """Broadcasts ``rehearse`` to move resources into journaling mode."""
+
+    def __init__(self) -> None:
+        super().__init__(REHEARSAL_SET, [SIGNAL_REHEARSE])
+
+
+class PerformanceSignalSet(SequenceSignalSet):
+    """validate → apply, pivoting to abandon on any conflict.
+
+    Behaves like 2PC with renamed phases: ``validate`` collects
+    valid/conflict outcomes; a conflict abandons the broadcast and sends
+    ``abandon`` to everyone; otherwise ``apply`` follows.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(PERFORMANCE_SET, [SIGNAL_VALIDATE, SIGNAL_APPLY])
+        self._conflict = False
+        self._abandon_sent = False
+
+    def get_signal(self) -> Tuple[Optional[Signal], bool]:
+        if self.get_completion_status() is not CompletionStatus.SUCCESS and self._index < 0:
+            # Failed activity: abandon everything without validating.
+            self._conflict = True
+        if self._conflict:
+            if self._abandon_sent:
+                return None, True
+            self._abandon_sent = True
+            return (
+                Signal(signal_name=SIGNAL_ABANDON, signal_set_name=self.signal_set_name),
+                True,
+            )
+        return super().get_signal()
+
+    def on_response(self, signal_name: str, response: Outcome) -> bool:
+        if signal_name == SIGNAL_VALIDATE and (
+            response.is_error or response.name == OUTCOME_CONFLICT
+        ):
+            self._conflict = True
+            return True
+        return False
+
+    def set_response(self, response: Outcome) -> bool:
+        if self._abandon_sent:
+            self.responses.append((SIGNAL_ABANDON, response))
+            return False
+        return super().set_response(response)
+
+    def get_outcome(self) -> Outcome:
+        if self._conflict:
+            return Outcome.error(name="lruow.abandoned", data=len(self.responses))
+        return Outcome.of("lruow.performed", data=len(self.responses))
+
+    @property
+    def performed(self) -> bool:
+        return not self._conflict
+
+
+class UowResourceAction(Action):
+    """The Action one resource registers with both LRUOW signal sets."""
+
+    def __init__(self, resource: LruowResource, uow_id: str) -> None:
+        self.resource = resource
+        self.uow_id = uow_id
+        self.name = f"uow-{resource.name}"
+
+    def process_signal(self, signal: Signal) -> Outcome:
+        if signal.signal_name == SIGNAL_REHEARSE:
+            self.resource.begin_rehearsal(self.uow_id)
+            return Outcome.of(OUTCOME_REHEARSING)
+        if signal.signal_name == SIGNAL_VALIDATE:
+            if self.resource.validate(self.uow_id):
+                return Outcome.of(OUTCOME_VALID)
+            return Outcome.of(OUTCOME_CONFLICT)
+        if signal.signal_name == SIGNAL_APPLY:
+            self.resource.apply(self.uow_id)
+            return Outcome.of(OUTCOME_APPLIED)
+        if signal.signal_name == SIGNAL_ABANDON:
+            self.resource.abandon(self.uow_id)
+            return Outcome.of(OUTCOME_ABANDONED)
+        raise ActionError(f"unknown LRUOW signal {signal.signal_name}")
+
+
+class LongRunningUnitOfWork:
+    """Higher-level LRUOW API mapped down to SignalSets and Actions.
+
+    Usage::
+
+        uow = LongRunningUnitOfWork(manager)
+        uow.enlist(resource_a)
+        uow.enlist(resource_b)
+        uow.begin()                      # rehearsal signal to all resources
+        uow.update(resource_a, op, pred) # journaled, no locks held
+        performed = uow.complete()       # performance phase
+    """
+
+    def __init__(self, manager: Any, name: str = "lruow") -> None:
+        self.manager = manager
+        self.activity = manager.begin(name=name)
+        self.uow_id = self.activity.activity_id
+        self._actions: Dict[str, UowResourceAction] = {}
+        self._begun = False
+        self._rehearsal = RehearsalSignalSet()
+        self._performance = PerformanceSignalSet()
+        self.activity.register_signal_set(self._rehearsal)
+        self.activity.register_signal_set(self._performance, completion=True)
+
+    def enlist(self, resource: LruowResource) -> None:
+        if self._begun:
+            raise LruowConflict("cannot enlist after rehearsal began")
+        if resource.name in self._actions:
+            return
+        action = UowResourceAction(resource, self.uow_id)
+        self._actions[resource.name] = action
+        self.activity.add_action(REHEARSAL_SET, action)
+        self.activity.add_action(PERFORMANCE_SET, action)
+
+    def begin(self) -> None:
+        """Enter the rehearsal phase (signals every enlisted resource)."""
+        if self._begun:
+            raise LruowConflict("rehearsal already begun")
+        self._begun = True
+        self.activity.signal(REHEARSAL_SET)
+
+    def update(
+        self,
+        resource: LruowResource,
+        operation: Operation,
+        predicate: Optional[Predicate] = None,
+    ) -> Any:
+        if not self._begun:
+            raise LruowConflict("begin() the unit of work before updating")
+        return resource.rehearse(self.uow_id, operation, predicate)
+
+    def read(self, resource: LruowResource) -> Any:
+        if not self._begun:
+            return resource.committed
+        return resource.rehearsal_value(self.uow_id)
+
+    def complete(self) -> bool:
+        """Run the performance phase; True if the work committed."""
+        outcome = self.activity.complete(CompletionStatus.SUCCESS)
+        return not outcome.is_error
+
+    def cancel(self) -> None:
+        """Abandon the unit of work (sends abandon to all resources)."""
+        self.activity.complete(CompletionStatus.FAIL)

@@ -1,0 +1,193 @@
+"""Open nested transactions with compensation (§4.2, fig. 9).
+
+Within a top-level transaction A the application starts an *independent*
+top-level transaction B.  If B commits but A later rolls back, B's
+committed effects must be undone by a compensating transaction !B.
+
+Mapping onto the framework, exactly as §4.2 prescribes:
+
+- every enclosing activity registers an
+  :class:`OpenNestedCompletionSignalSet` as its completion set.  It emits
+  one of three signals: ``success`` (completed, no dependants),
+  ``propagate`` (completed successfully but dependants exist — the signal
+  data carries the identity of the activity to re-register with) or
+  ``failure``;
+- a :class:`CompensationAction` guards each inner transaction B.  Its
+  state transitions follow the paper letter for letter: Success → remove
+  self; Propagate → enlist with the encoded activity and remember having
+  been propagated; Failure → if never propagated do nothing, else run !B.
+
+:class:`OpenNestedCoordinator` packages the bookkeeping (creating the
+enclosing activities, wiring B's completion set, registering the
+compensation with A).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.action import Action
+from repro.core.activity import Activity
+from repro.core.signal_set import SignalSet
+from repro.core.signals import Outcome, Signal
+from repro.core.status import CompletionStatus
+
+SET_NAME = "repro.open-nested.completion"
+SIGNAL_SUCCESS = "success"
+SIGNAL_FAILURE = "failure"
+SIGNAL_PROPAGATE = "propagate"
+OUTCOME_REMOVED = "removed"
+OUTCOME_ENLISTED = "enlisted"
+OUTCOME_COMPENSATED = "compensated"
+OUTCOME_IGNORED = "ignored"
+
+
+class OpenNestedCompletionSignalSet(SignalSet):
+    """Completion set with Success / Failure / Propagate signals.
+
+    ``propagate_to`` names the activity that registered compensations
+    should re-enlist with when this activity completes successfully but
+    has dependants (the enclosing transaction A in fig. 9).
+    """
+
+    def __init__(self, propagate_to: Optional[str] = None) -> None:
+        self.signal_set_name = SET_NAME
+        self.propagate_to = propagate_to
+        self._sent = False
+        self.responses: List[Outcome] = []
+
+    def get_signal(self) -> Tuple[Optional[Signal], bool]:
+        if self._sent:
+            return None, True
+        self._sent = True
+        if self.get_completion_status() is not CompletionStatus.SUCCESS:
+            name, data = SIGNAL_FAILURE, None
+        elif self.propagate_to is not None:
+            name, data = SIGNAL_PROPAGATE, {"activity_id": self.propagate_to}
+        else:
+            name, data = SIGNAL_SUCCESS, None
+        return (
+            Signal(
+                signal_name=name,
+                signal_set_name=self.signal_set_name,
+                application_specific_data=data,
+            ),
+            True,
+        )
+
+    def set_response(self, response: Outcome) -> bool:
+        self.responses.append(response)
+        return False
+
+    def get_outcome(self) -> Outcome:
+        errors = [r for r in self.responses if r.is_error]
+        if errors:
+            return Outcome.error(data=[e.name for e in errors])
+        if self.get_completion_status() is not CompletionStatus.SUCCESS:
+            return Outcome.error(data="completed in failure")
+        return Outcome.done(data=[r.name for r in self.responses])
+
+
+class CompensationAction(Action):
+    """Starts !B when a propagated dependency ultimately fails (§4.2)."""
+
+    def __init__(
+        self,
+        compensate: Callable[[], Any],
+        manager: Any,
+        name: str = "compensation",
+    ) -> None:
+        self.compensate = compensate
+        self.manager = manager
+        self.name = name
+        self.propagated = False
+        self.removed = False
+        self.compensated = False
+        self.history: List[str] = []
+
+    def process_signal(self, signal: Signal) -> Outcome:
+        self.history.append(signal.signal_name)
+        if signal.signal_name == SIGNAL_SUCCESS:
+            # All enclosing work committed: compensation never needed.
+            self.removed = True
+            return Outcome.of(OUTCOME_REMOVED)
+        if signal.signal_name == SIGNAL_PROPAGATE:
+            target_id = (signal.application_specific_data or {}).get("activity_id")
+            if target_id is None:
+                return Outcome.error(data="propagate signal without target activity")
+            target = self.manager.get(target_id)
+            target.add_action(SET_NAME, self)
+            self.propagated = True
+            return Outcome.of(OUTCOME_ENLISTED)
+        if signal.signal_name == SIGNAL_FAILURE:
+            if not self.propagated:
+                # B itself rolled back: nothing committed, nothing to undo.
+                self.removed = True
+                return Outcome.of(OUTCOME_IGNORED)
+            if not self.compensated:
+                self.compensate()
+                self.compensated = True
+            self.removed = True
+            return Outcome.of(OUTCOME_COMPENSATED)
+        return Outcome.error(data=f"unexpected signal {signal.signal_name}")
+
+
+class OpenNestedCoordinator:
+    """Convenience wiring for the fig. 9 pattern.
+
+    Typical use::
+
+        onc = OpenNestedCoordinator(manager)
+        outer = onc.begin_enclosing("A")          # activity around tx A
+        inner = onc.begin_inner("B", compensate=undo_b)   # activity around tx B
+        onc.complete_inner(inner, success=True)   # B committed -> propagate
+        onc.complete_enclosing(outer, success=False)      # A aborted -> !B runs
+    """
+
+    def __init__(self, manager: Any) -> None:
+        self.manager = manager
+
+    def begin_enclosing(self, name: str = "A") -> Activity:
+        activity = self.manager.current.begin(name)
+        activity.register_signal_set(
+            OpenNestedCompletionSignalSet(), completion=True
+        )
+        return activity
+
+    def begin_inner(
+        self,
+        name: str,
+        compensate: Callable[[], Any],
+        enclosing: Optional[Activity] = None,
+    ) -> Tuple[Activity, CompensationAction]:
+        """Begin inner activity B whose compensation tracks ``enclosing``.
+
+        The inner activity is a *sibling* unit of work at the activity
+        level (B is an independent top-level transaction) but its
+        completion set knows which activity to propagate the compensation
+        to.
+        """
+        if enclosing is None:
+            enclosing = self.manager.current.current_activity()
+            if enclosing is None:
+                raise ValueError("no enclosing activity to propagate to")
+        inner = self.manager.begin(name=name)
+        inner.register_signal_set(
+            OpenNestedCompletionSignalSet(propagate_to=enclosing.activity_id),
+            completion=True,
+        )
+        action = CompensationAction(
+            compensate, self.manager, name=f"compensate-{name}"
+        )
+        inner.add_action(SET_NAME, action)
+        return inner, action
+
+    def complete_inner(self, inner: Activity, success: bool = True) -> Outcome:
+        status = CompletionStatus.SUCCESS if success else CompletionStatus.FAIL
+        return inner.complete(status)
+
+    def complete_enclosing(self, enclosing: Activity, success: bool = True) -> Outcome:
+        status = CompletionStatus.SUCCESS if success else CompletionStatus.FAIL
+        if self.manager.current.current_activity() is enclosing:
+            return self.manager.current.complete(status)
+        return enclosing.complete(status)

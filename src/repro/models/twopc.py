@@ -1,0 +1,187 @@
+"""Two-phase commit as a SignalSet (§4.1, fig. 8).
+
+The classic transaction commit protocol expressed purely in framework
+terms: the coordinating activity drives a :class:`TwoPhaseCommitSignalSet`;
+participants are Actions.  The exchange reproduces fig. 8 exactly:
+
+    get_signal → "prepare"→A1, set_response, "prepare"→A2, set_response,
+    get_signal → "commit"→A1, set_response, "commit"→A2, set_response,
+    get_outcome
+
+A ``vote_rollback`` (or an error/unreachable outcome) makes
+``set_response`` return True — the coordinator abandons the prepare
+broadcast and the set pivots to a ``rollback`` signal, which goes to every
+participant (idempotent: un-prepared participants ignore it).
+
+:class:`TransactionalResourceAction` adapts any OTS
+:class:`~repro.ots.resource.Resource` into a participant, tying the
+framework back to the transaction service.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.action import Action
+from repro.core.exceptions import ActionError
+from repro.core.signal_set import SignalSet
+from repro.core.signals import Outcome, Signal
+from repro.core.status import CompletionStatus
+from repro.ots.resource import Resource
+from repro.ots.status import Vote
+
+SET_NAME = "repro.2pc"
+SIGNAL_PREPARE = "prepare"
+SIGNAL_COMMIT = "commit"
+SIGNAL_ROLLBACK = "rollback"
+OUTCOME_VOTE_COMMIT = "vote_commit"
+OUTCOME_VOTE_ROLLBACK = "vote_rollback"
+OUTCOME_VOTE_READONLY = "vote_readonly"
+OUTCOME_DONE_2PC = "done"
+
+
+class TwoPhaseOutcome(Enum):
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled_back"
+
+
+class TwoPhaseCommitSignalSet(SignalSet):
+    """Drives prepare then commit/rollback over registered actions."""
+
+    def __init__(self, signal_set_name: str = SET_NAME) -> None:
+        self.signal_set_name = signal_set_name
+        self._phase: Optional[str] = None
+        self._pivot_to_rollback = False
+        self.votes: List[str] = []
+        self.phase_two_responses: List[Outcome] = []
+
+    # -- SignalSet ------------------------------------------------------------
+
+    def get_signal(self) -> Tuple[Optional[Signal], bool]:
+        if self._phase is None:
+            # A failed/failing activity skips straight to rollback.
+            if self.get_completion_status() is not CompletionStatus.SUCCESS:
+                self._phase = SIGNAL_ROLLBACK
+                return self._make(SIGNAL_ROLLBACK), True
+            self._phase = SIGNAL_PREPARE
+            return self._make(SIGNAL_PREPARE), False
+        if self._phase == SIGNAL_PREPARE:
+            if self._pivot_to_rollback:
+                self._phase = SIGNAL_ROLLBACK
+                return self._make(SIGNAL_ROLLBACK), True
+            if any(vote == OUTCOME_VOTE_COMMIT for vote in self.votes):
+                self._phase = SIGNAL_COMMIT
+                return self._make(SIGNAL_COMMIT), True
+            # Everyone read-only: nothing to do in phase two.
+            self._phase = "done"
+            return None, True
+        return None, True
+
+    def _make(self, name: str) -> Signal:
+        return Signal(signal_name=name, signal_set_name=self.signal_set_name)
+
+    def set_response(self, response: Outcome) -> bool:
+        if self._phase == SIGNAL_PREPARE:
+            if response.is_error or response.name == OUTCOME_VOTE_ROLLBACK:
+                self.votes.append(OUTCOME_VOTE_ROLLBACK)
+                self._pivot_to_rollback = True
+                return True  # abandon prepare, fetch rollback now
+            self.votes.append(
+                OUTCOME_VOTE_READONLY
+                if response.name == OUTCOME_VOTE_READONLY
+                else OUTCOME_VOTE_COMMIT
+            )
+            return False
+        self.phase_two_responses.append(response)
+        return False
+
+    def get_outcome(self) -> Outcome:
+        if self._phase in (SIGNAL_ROLLBACK,):
+            return Outcome.of(TwoPhaseOutcome.ROLLED_BACK.value, data=list(self.votes))
+        return Outcome.of(TwoPhaseOutcome.COMMITTED.value, data=list(self.votes))
+
+    @property
+    def decided(self) -> TwoPhaseOutcome:
+        if self._phase == SIGNAL_ROLLBACK:
+            return TwoPhaseOutcome.ROLLED_BACK
+        return TwoPhaseOutcome.COMMITTED
+
+
+class TwoPhaseParticipant(Action):
+    """A participant with app-supplied prepare/commit/rollback behaviour.
+
+    ``on_prepare`` returns True (vote commit), False (vote rollback) or
+    ``None`` (read-only).  Participants track their own state so that a
+    rollback signal after a failed prepare is a no-op — the idempotency
+    §3.4 requires.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        on_prepare: Optional[Callable[[], Optional[bool]]] = None,
+        on_commit: Optional[Callable[[], None]] = None,
+        on_rollback: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.name = name
+        self._on_prepare = on_prepare
+        self._on_commit = on_commit
+        self._on_rollback = on_rollback
+        self.prepared = False
+        self.committed = False
+        self.rolled_back = False
+        self.signals_seen: List[str] = []
+
+    def process_signal(self, signal: Signal) -> Outcome:
+        self.signals_seen.append(signal.signal_name)
+        if signal.signal_name == SIGNAL_PREPARE:
+            verdict = self._on_prepare() if self._on_prepare else True
+            if verdict is None:
+                return Outcome.of(OUTCOME_VOTE_READONLY)
+            if verdict:
+                self.prepared = True
+                return Outcome.of(OUTCOME_VOTE_COMMIT)
+            return Outcome.of(OUTCOME_VOTE_ROLLBACK)
+        if signal.signal_name == SIGNAL_COMMIT:
+            if self.prepared and not self.committed:
+                if self._on_commit:
+                    self._on_commit()
+                self.committed = True
+            return Outcome.of(OUTCOME_DONE_2PC)
+        if signal.signal_name == SIGNAL_ROLLBACK:
+            if self.prepared and not self.rolled_back and not self.committed:
+                if self._on_rollback:
+                    self._on_rollback()
+            self.rolled_back = True
+            self.prepared = False
+            return Outcome.of(OUTCOME_DONE_2PC)
+        raise ActionError(f"participant {self.name} got unknown signal {signal}")
+
+
+class TransactionalResourceAction(Action):
+    """Adapts an OTS :class:`Resource` into a 2PC-signal participant."""
+
+    def __init__(self, resource: Resource, name: str = "resource") -> None:
+        self.resource = resource
+        self.name = name
+        self._vote: Optional[Vote] = None
+
+    def process_signal(self, signal: Signal) -> Outcome:
+        if signal.signal_name == SIGNAL_PREPARE:
+            self._vote = self.resource.prepare()
+            if self._vote is Vote.COMMIT:
+                return Outcome.of(OUTCOME_VOTE_COMMIT)
+            if self._vote is Vote.READONLY:
+                return Outcome.of(OUTCOME_VOTE_READONLY)
+            return Outcome.of(OUTCOME_VOTE_ROLLBACK)
+        if signal.signal_name == SIGNAL_COMMIT:
+            if self._vote is Vote.COMMIT:
+                self.resource.commit()
+            return Outcome.of(OUTCOME_DONE_2PC)
+        if signal.signal_name == SIGNAL_ROLLBACK:
+            if self._vote is Vote.COMMIT:
+                self.resource.rollback()
+            self._vote = None
+            return Outcome.of(OUTCOME_DONE_2PC)
+        raise ActionError(f"resource action got unknown signal {signal}")

@@ -1,0 +1,49 @@
+"""A simulated CORBA ORB.
+
+This package stands in for the commercial ORB the paper's framework was
+specified against.  It provides the pieces the Activity Service actually
+depends on:
+
+- location-transparent invocation on :class:`~repro.orb.reference.ObjectRef`
+  (the moral equivalent of an IOR);
+- a CDR-style value marshaller enforcing pass-by-value semantics across
+  "nodes" (:mod:`repro.orb.marshal`);
+- request/reply delivery through a transport with configurable latency,
+  message loss, duplication and node crashes (:mod:`repro.orb.transport`);
+- client/server request interceptors carrying *service contexts* — the
+  mechanism CORBA uses to propagate transaction and activity contexts
+  implicitly (:mod:`repro.orb.interceptors`);
+- a COS-Naming-style name service (:mod:`repro.orb.naming`).
+
+Everything runs in-process and single-threaded under a simulated clock so
+runs are deterministic, but the code paths (marshalling boundaries, context
+propagation, unreliable delivery) mirror a real distributed deployment.
+"""
+
+from repro.orb.core import Node, Orb, Servant
+from repro.orb.interceptors import (
+    ClientRequestInterceptor,
+    RequestInfo,
+    ServerRequestInterceptor,
+)
+from repro.orb.marshal import Marshaller, ValueTypeRegistry, marshal_roundtrip
+from repro.orb.naming import NamingService
+from repro.orb.reference import ObjectRef
+from repro.orb.transport import FaultPlan, Transport, TransportStats
+
+__all__ = [
+    "Orb",
+    "Node",
+    "Servant",
+    "ObjectRef",
+    "Marshaller",
+    "ValueTypeRegistry",
+    "marshal_roundtrip",
+    "Transport",
+    "TransportStats",
+    "FaultPlan",
+    "NamingService",
+    "RequestInfo",
+    "ClientRequestInterceptor",
+    "ServerRequestInterceptor",
+]

@@ -1,0 +1,123 @@
+"""Portable-interceptor-style request interception.
+
+CORBA propagates transaction and activity contexts *implicitly*: a client
+request interceptor attaches a service context to each outgoing request and
+a server request interceptor re-establishes it on the receiving side.  The
+Activity Service specification relies on this machinery (its contexts ride
+in service context id 0x41435400, "ACT\\0").
+
+We reproduce the same structure: interceptors see a :class:`RequestInfo`
+carrying the operation, the target and a service-context dict.  Service
+context values must be marshallable (they cross the simulated wire).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+# Well-known service context ids, mirroring OMG-assigned tags.
+TRANSACTION_CONTEXT_ID = "CosTransactions"
+ACTIVITY_CONTEXT_ID = "CosActivity"
+PROPERTY_CONTEXT_ID = "CosActivityProperties"
+
+
+@dataclass
+class RequestInfo:
+    """Everything an interceptor may inspect about one invocation."""
+
+    operation: str
+    target_node: str
+    target_object: str
+    interface: str
+    service_contexts: Dict[str, Any] = field(default_factory=dict)
+    # Filled in on the reply path:
+    reply_contexts: Dict[str, Any] = field(default_factory=dict)
+    exception: Optional[BaseException] = None
+
+    def get_context(self, context_id: str) -> Any:
+        return self.service_contexts.get(context_id)
+
+    def set_context(self, context_id: str, value: Any) -> None:
+        self.service_contexts[context_id] = value
+
+
+class ClientRequestInterceptor(abc.ABC):
+    """Client-side hook pair around each outgoing invocation."""
+
+    name: str = "client-interceptor"
+
+    def send_request(self, info: RequestInfo) -> None:
+        """Called before the request is marshalled; may add contexts."""
+
+    def receive_reply(self, info: RequestInfo) -> None:
+        """Called after a successful reply is unmarshalled."""
+
+    def receive_exception(self, info: RequestInfo) -> None:
+        """Called when the invocation raised (system or application)."""
+
+
+class ServerRequestInterceptor(abc.ABC):
+    """Server-side hook pair around each incoming invocation."""
+
+    name: str = "server-interceptor"
+
+    def receive_request(self, info: RequestInfo) -> None:
+        """Called before the servant runs; may establish thread contexts."""
+
+    def send_reply(self, info: RequestInfo) -> None:
+        """Called after the servant returns, before the reply is sent."""
+
+    def send_exception(self, info: RequestInfo) -> None:
+        """Called when the servant raised; the exception is in ``info``."""
+
+
+class InterceptorChain:
+    """Ordered interceptor registry for one ORB."""
+
+    def __init__(self) -> None:
+        self._client: list[ClientRequestInterceptor] = []
+        self._server: list[ServerRequestInterceptor] = []
+
+    def add_client(self, interceptor: ClientRequestInterceptor) -> None:
+        self._client.append(interceptor)
+
+    def add_server(self, interceptor: ServerRequestInterceptor) -> None:
+        self._server.append(interceptor)
+
+    @property
+    def client_interceptors(self) -> Tuple[ClientRequestInterceptor, ...]:
+        return tuple(self._client)
+
+    @property
+    def server_interceptors(self) -> Tuple[ServerRequestInterceptor, ...]:
+        return tuple(self._server)
+
+    # The ORB drives these; failures in interceptors abort the invocation,
+    # as in CORBA (an interceptor raising is a system-level failure).
+
+    def run_send_request(self, info: RequestInfo) -> None:
+        for interceptor in self._client:
+            interceptor.send_request(info)
+
+    def run_receive_reply(self, info: RequestInfo) -> None:
+        for interceptor in reversed(self._client):
+            interceptor.receive_reply(info)
+
+    def run_receive_exception(self, info: RequestInfo) -> None:
+        for interceptor in reversed(self._client):
+            interceptor.receive_exception(info)
+
+    def run_receive_request(self, info: RequestInfo) -> None:
+        for interceptor in self._server:
+            interceptor.receive_request(info)
+
+    def run_send_reply(self, info: RequestInfo) -> None:
+        for interceptor in reversed(self._server):
+            interceptor.send_reply(info)
+
+    def run_send_exception(self, info: RequestInfo) -> None:
+        for interceptor in reversed(self._server):
+            interceptor.send_exception(info)

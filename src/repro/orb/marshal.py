@@ -1,0 +1,298 @@
+"""CDR-style marshalling.
+
+CORBA's GIOP encodes request arguments in the Common Data Representation.
+We reproduce the *semantics* that matter to the Activity Service:
+
+- arguments and results cross node boundaries **by value** — mutating a
+  received structure never mutates the sender's copy;
+- object references cross **by reference** — an :class:`ObjectRef` is
+  re-bound to the receiving node's ORB on arrival;
+- application types (Signals, Outcomes, contexts…) must be explicitly
+  registered, mirroring IDL-declared value types.
+
+The encoding itself is a compact tagged binary format so transports can
+account for message sizes realistically.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.exceptions import ReproError
+
+
+class MarshalError(ReproError):
+    """A value could not be encoded or decoded."""
+
+
+# One-byte type tags.
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_TUPLE = b"U"
+_TAG_DICT = b"M"
+_TAG_SET = b"E"
+_TAG_OBJREF = b"O"
+_TAG_VALUE = b"V"
+_TAG_ENUM = b"G"
+
+
+class ValueTypeRegistry:
+    """Registry of application value types allowed on the wire.
+
+    A value type is registered under its *repository id* (we use the
+    qualified class name).  Dataclasses get automatic field-based
+    encoders; other classes must provide ``to_parts``/``from_parts``.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Tuple[Type, Callable, Callable]] = {}
+        self._by_type: Dict[Type, str] = {}
+        self._enums: Dict[str, Type[Enum]] = {}
+
+    @staticmethod
+    def repository_id(cls: Type) -> str:
+        return f"{cls.__module__}.{cls.__qualname__}"
+
+    def register_dataclass(self, cls: Type) -> Type:
+        """Register a dataclass; usable as a decorator."""
+        if not is_dataclass(cls):
+            raise MarshalError(f"{cls!r} is not a dataclass")
+        name = self.repository_id(cls)
+
+        def to_parts(value: Any) -> Dict[str, Any]:
+            return {f.name: getattr(value, f.name) for f in fields(cls)}
+
+        def from_parts(parts: Dict[str, Any]) -> Any:
+            return cls(**parts)
+
+        self._by_name[name] = (cls, to_parts, from_parts)
+        self._by_type[cls] = name
+        return cls
+
+    def register_custom(
+        self,
+        cls: Type,
+        to_parts: Callable[[Any], Dict[str, Any]],
+        from_parts: Callable[[Dict[str, Any]], Any],
+    ) -> None:
+        name = self.repository_id(cls)
+        self._by_name[name] = (cls, to_parts, from_parts)
+        self._by_type[cls] = name
+
+    def register_enum(self, cls: Type[Enum]) -> Type[Enum]:
+        self._enums[self.repository_id(cls)] = cls
+        return cls
+
+    def lookup_type(self, cls: Type) -> Optional[str]:
+        return self._by_type.get(cls)
+
+    def lookup_name(self, name: str) -> Tuple[Type, Callable, Callable]:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MarshalError(f"unregistered value type: {name}") from None
+
+    def lookup_enum(self, name: str) -> Type[Enum]:
+        try:
+            return self._enums[name]
+        except KeyError:
+            raise MarshalError(f"unregistered enum type: {name}") from None
+
+    def is_enum_registered(self, cls: Type) -> bool:
+        return self.repository_id(cls) in self._enums
+
+
+GLOBAL_REGISTRY = ValueTypeRegistry()
+
+
+class Marshaller:
+    """Encodes/decodes values to bytes using a :class:`ValueTypeRegistry`."""
+
+    def __init__(self, registry: Optional[ValueTypeRegistry] = None) -> None:
+        self.registry = registry if registry is not None else GLOBAL_REGISTRY
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, value: Any) -> bytes:
+        chunks: list[bytes] = []
+        self._encode(value, chunks)
+        return b"".join(chunks)
+
+    def _encode(self, value: Any, out: list) -> None:
+        # Order matters: bool is a subclass of int.
+        if value is None:
+            out.append(_TAG_NONE)
+        elif value is True:
+            out.append(_TAG_TRUE)
+        elif value is False:
+            out.append(_TAG_FALSE)
+        elif isinstance(value, int):
+            out.append(_TAG_INT)
+            try:
+                out.append(struct.pack("<q", value))
+            except struct.error:
+                raise MarshalError(
+                    f"integer {value} exceeds the wire format's 64-bit range"
+                ) from None
+        elif isinstance(value, float):
+            out.append(_TAG_FLOAT)
+            out.append(struct.pack("<d", value))
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            out.append(_TAG_STR)
+            out.append(struct.pack("<I", len(raw)))
+            out.append(raw)
+        elif isinstance(value, bytes):
+            out.append(_TAG_BYTES)
+            out.append(struct.pack("<I", len(value)))
+            out.append(value)
+        elif isinstance(value, list):
+            out.append(_TAG_LIST)
+            out.append(struct.pack("<I", len(value)))
+            for item in value:
+                self._encode(item, out)
+        elif isinstance(value, tuple):
+            out.append(_TAG_TUPLE)
+            out.append(struct.pack("<I", len(value)))
+            for item in value:
+                self._encode(item, out)
+        elif isinstance(value, (set, frozenset)):
+            out.append(_TAG_SET)
+            items = sorted(value, key=repr)
+            out.append(struct.pack("<I", len(items)))
+            for item in items:
+                self._encode(item, out)
+        elif isinstance(value, dict):
+            out.append(_TAG_DICT)
+            out.append(struct.pack("<I", len(value)))
+            for key, item in value.items():
+                self._encode(key, out)
+                self._encode(item, out)
+        elif isinstance(value, Enum) and self.registry.is_enum_registered(type(value)):
+            out.append(_TAG_ENUM)
+            self._encode_str(self.registry.repository_id(type(value)), out)
+            self._encode_str(value.name, out)
+        elif self._is_objref(value):
+            out.append(_TAG_OBJREF)
+            self._encode_str(value.node_id, out)
+            self._encode_str(value.object_id, out)
+            self._encode_str(value.interface, out)
+        else:
+            name = self.registry.lookup_type(type(value))
+            if name is None:
+                raise MarshalError(
+                    f"cannot marshal value of unregistered type {type(value).__qualname__}"
+                )
+            _, to_parts, _ = self.registry.lookup_name(name)
+            out.append(_TAG_VALUE)
+            self._encode_str(name, out)
+            self._encode(to_parts(value), out)
+
+    def _encode_str(self, value: str, out: list) -> None:
+        raw = value.encode("utf-8")
+        out.append(struct.pack("<I", len(raw)))
+        out.append(raw)
+
+    @staticmethod
+    def _is_objref(value: Any) -> bool:
+        from repro.orb.reference import ObjectRef
+
+        return isinstance(value, ObjectRef)
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, data: bytes, orb: Optional[Any] = None) -> Any:
+        try:
+            value, offset = self._decode(data, 0, orb)
+        except (struct.error, IndexError, UnicodeDecodeError) as exc:
+            raise MarshalError(f"malformed message: {exc}") from exc
+        if offset != len(data):
+            raise MarshalError(f"{len(data) - offset} trailing bytes after decode")
+        return value
+
+    def _decode(self, data: bytes, offset: int, orb: Optional[Any]) -> Tuple[Any, int]:
+        if offset >= len(data):
+            raise MarshalError("truncated message")
+        tag = data[offset : offset + 1]
+        offset += 1
+        if tag == _TAG_NONE:
+            return None, offset
+        if tag == _TAG_TRUE:
+            return True, offset
+        if tag == _TAG_FALSE:
+            return False, offset
+        if tag == _TAG_INT:
+            (value,) = struct.unpack_from("<q", data, offset)
+            return value, offset + 8
+        if tag == _TAG_FLOAT:
+            (value,) = struct.unpack_from("<d", data, offset)
+            return value, offset + 8
+        if tag == _TAG_STR:
+            text, offset = self._decode_str(data, offset)
+            return text, offset
+        if tag == _TAG_BYTES:
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            return data[offset : offset + length], offset + length
+        if tag in (_TAG_LIST, _TAG_TUPLE, _TAG_SET):
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            items = []
+            for _ in range(length):
+                item, offset = self._decode(data, offset, orb)
+                items.append(item)
+            if tag == _TAG_LIST:
+                return items, offset
+            if tag == _TAG_TUPLE:
+                return tuple(items), offset
+            return set(items), offset
+        if tag == _TAG_DICT:
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            result = {}
+            for _ in range(length):
+                key, offset = self._decode(data, offset, orb)
+                value, offset = self._decode(data, offset, orb)
+                result[key] = value
+            return result, offset
+        if tag == _TAG_ENUM:
+            name, offset = self._decode_str(data, offset)
+            member, offset = self._decode_str(data, offset)
+            enum_cls = self.registry.lookup_enum(name)
+            return enum_cls[member], offset
+        if tag == _TAG_OBJREF:
+            from repro.orb.reference import ObjectRef
+
+            node_id, offset = self._decode_str(data, offset)
+            object_id, offset = self._decode_str(data, offset)
+            interface, offset = self._decode_str(data, offset)
+            ref = ObjectRef(node_id=node_id, object_id=object_id, interface=interface)
+            if orb is not None:
+                ref.bind(orb)
+            return ref, offset
+        if tag == _TAG_VALUE:
+            name, offset = self._decode_str(data, offset)
+            parts, offset = self._decode(data, offset, orb)
+            _, __, from_parts = self.registry.lookup_name(name)
+            return from_parts(parts), offset
+        raise MarshalError(f"unknown tag {tag!r} at offset {offset - 1}")
+
+    def _decode_str(self, data: bytes, offset: int) -> Tuple[str, int]:
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+def marshal_roundtrip(value: Any, orb: Optional[Any] = None, registry: Optional[ValueTypeRegistry] = None) -> Any:
+    """Encode then decode ``value`` — the by-value copy a remote peer sees."""
+    marshaller = Marshaller(registry)
+    return marshaller.decode(marshaller.encode(value), orb)

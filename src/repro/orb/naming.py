@@ -1,0 +1,108 @@
+"""A COS-Naming-style name service.
+
+Names are hierarchical, written ``"context/sub/name"``.  The service is an
+ordinary servant, so lookups and (re)bindings are remote invocations like
+any other — which is what lets the replicated-name-server application of
+§2.1(ii) of the paper exercise the activity service.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.orb.core import Node, Orb, Servant
+from repro.orb.reference import ObjectRef
+
+
+class NameNotFound(ReproError):
+    """The resolved path does not exist."""
+
+
+class NameAlreadyBound(ReproError):
+    """``bind`` hit an existing binding (use ``rebind``)."""
+
+
+class _Context:
+    """One directory level: bindings plus sub-contexts."""
+
+    def __init__(self) -> None:
+        self.bindings: Dict[str, ObjectRef] = {}
+        self.children: Dict[str, "_Context"] = {}
+
+
+class NamingService(Servant):
+    """Hierarchical name → ObjectRef registry, deployable as a servant."""
+
+    def __init__(self) -> None:
+        self._root = _Context()
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _split(name: str) -> Tuple[List[str], str]:
+        parts = [part for part in name.split("/") if part]
+        if not parts:
+            raise NameNotFound("empty name")
+        return parts[:-1], parts[-1]
+
+    def _walk(self, path: List[str], create: bool) -> _Context:
+        context = self._root
+        for part in path:
+            child = context.children.get(part)
+            if child is None:
+                if not create:
+                    raise NameNotFound(f"no context {part!r}")
+                child = _Context()
+                context.children[part] = child
+            context = child
+        return context
+
+    # -- operations (dispatchable) ----------------------------------------
+
+    def bind(self, name: str, ref: ObjectRef) -> None:
+        path, leaf = self._split(name)
+        context = self._walk(path, create=True)
+        if leaf in context.bindings:
+            raise NameAlreadyBound(name)
+        context.bindings[leaf] = ref
+
+    def rebind(self, name: str, ref: ObjectRef) -> None:
+        path, leaf = self._split(name)
+        context = self._walk(path, create=True)
+        context.bindings[leaf] = ref
+
+    def resolve(self, name: str) -> ObjectRef:
+        path, leaf = self._split(name)
+        context = self._walk(path, create=False)
+        try:
+            return context.bindings[leaf]
+        except KeyError:
+            raise NameNotFound(name) from None
+
+    def unbind(self, name: str) -> None:
+        path, leaf = self._split(name)
+        context = self._walk(path, create=False)
+        if leaf not in context.bindings:
+            raise NameNotFound(name)
+        del context.bindings[leaf]
+
+    def list_names(self, context_name: str = "") -> List[str]:
+        path = [part for part in context_name.split("/") if part]
+        context = self._walk(path, create=False)
+        return sorted(context.bindings)
+
+    def list_contexts(self, context_name: str = "") -> List[str]:
+        path = [part for part in context_name.split("/") if part]
+        context = self._walk(path, create=False)
+        return sorted(context.children)
+
+
+def install_naming(orb: Orb, node: Node) -> ObjectRef:
+    """Activate a naming service on ``node`` and register it as the
+    ``NameService`` initial reference."""
+    ref = node.activate(NamingService(), object_id="NameService", durable=True)
+    orb.register_initial_reference("NameService", ref)
+    orb.register_exception(NameNotFound)
+    orb.register_exception(NameAlreadyBound)
+    return ref

@@ -1,0 +1,89 @@
+"""Object references — the simulated IOR.
+
+An :class:`ObjectRef` names a servant by ``(node_id, object_id)`` plus the
+interface it implements.  References are location-transparent: invoking one
+routes the request through the owning :class:`~repro.orb.core.Orb`'s
+transport even when caller and servant share a node, so marshalling and
+interceptor code paths are always exercised.
+
+References can cross the wire (see :mod:`repro.orb.marshal`); the receiving
+side re-binds them to its own ORB, exactly as a CORBA IOR is re-hydrated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.exceptions import InvalidStateError
+
+
+class ObjectRef:
+    """A remote-invocable handle on a servant."""
+
+    __slots__ = ("node_id", "object_id", "interface", "_orb")
+
+    def __init__(self, node_id: str, object_id: str, interface: str = "") -> None:
+        self.node_id = node_id
+        self.object_id = object_id
+        self.interface = interface
+        self._orb: Optional[Any] = None
+
+    def bind(self, orb: Any) -> "ObjectRef":
+        """Attach this reference to an ORB so it can be invoked."""
+        self._orb = orb
+        return self
+
+    @property
+    def is_bound(self) -> bool:
+        return self._orb is not None
+
+    @property
+    def orb(self) -> Any:
+        if self._orb is None:
+            raise InvalidStateError(f"reference {self} is not bound to an ORB")
+        return self._orb
+
+    def invoke(self, operation: str, *args: Any, **kwargs: Any) -> Any:
+        """Perform a (simulated) remote invocation on the target servant."""
+        return self.orb.invoke(self, operation, args, kwargs)
+
+    def proxy(self) -> "Proxy":
+        """Return an attribute-style proxy: ``ref.proxy().op(a, b)``."""
+        return Proxy(self)
+
+    def key(self) -> str:
+        return f"{self.node_id}/{self.object_id}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ObjectRef)
+            and self.node_id == other.node_id
+            and self.object_id == other.object_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.node_id, self.object_id))
+
+    def __repr__(self) -> str:
+        return f"ObjectRef({self.node_id}/{self.object_id}:{self.interface})"
+
+
+class Proxy:
+    """Sugar wrapper turning attribute access into remote operations."""
+
+    __slots__ = ("_ref",)
+
+    def __init__(self, ref: ObjectRef) -> None:
+        object.__setattr__(self, "_ref", ref)
+
+    def __getattr__(self, operation: str) -> Any:
+        ref = object.__getattribute__(self, "_ref")
+
+        def call(*args: Any, **kwargs: Any) -> Any:
+            return ref.invoke(operation, *args, **kwargs)
+
+        call.__name__ = operation
+        return call
+
+    def __repr__(self) -> str:
+        return f"Proxy({object.__getattribute__(self, '_ref')!r})"

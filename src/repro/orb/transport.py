@@ -1,0 +1,183 @@
+"""Request/reply transport with fault injection.
+
+The transport carries already-marshalled request and reply payloads between
+nodes.  A :class:`FaultPlan` makes the network misbehave deterministically
+(seeded): messages may be dropped (raising ``CommunicationError``), may be
+*duplicated* (the servant executes twice — this is what motivates the
+spec's at-least-once / idempotent-Action requirement, §3.4 of the paper),
+and every hop may add latency drawn from a configurable model.
+
+All statistics (messages, bytes, drops, duplicates, simulated latency) are
+collected in :class:`TransportStats` for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.exceptions import CommunicationError
+from repro.util.clock import Clock
+from repro.util.rng import SeededRng
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic misbehaviour description for a transport.
+
+    drop_probability
+        Chance an individual message (request or reply) is lost.
+    duplicate_probability
+        Chance a *delivered* request is re-executed once more by the target
+        (at-least-once delivery visible to the servant).
+    latency
+        Fixed seconds added per hop.
+    jitter
+        Extra uniform-random seconds in ``[0, jitter]`` per hop.
+    partitioned
+        Pairs of node ids that currently cannot talk (both directions).
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    latency: float = 0.0
+    jitter: float = 0.0
+    partitioned: set = field(default_factory=set)
+
+    def partition(self, node_a: str, node_b: str) -> None:
+        self.partitioned.add(frozenset((node_a, node_b)))
+
+    def heal(self, node_a: str, node_b: str) -> None:
+        self.partitioned.discard(frozenset((node_a, node_b)))
+
+    def heal_all(self) -> None:
+        self.partitioned.clear()
+
+    def is_partitioned(self, node_a: str, node_b: str) -> bool:
+        return frozenset((node_a, node_b)) in self.partitioned
+
+
+@dataclass
+class TransportStats:
+    """Counters accumulated across the life of a transport."""
+
+    requests_sent: int = 0
+    replies_sent: int = 0
+    requests_dropped: int = 0
+    replies_dropped: int = 0
+    duplicates_delivered: int = 0
+    bytes_sent: int = 0
+    simulated_latency_total: float = 0.0
+
+    def reset(self) -> None:
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.requests_dropped = 0
+        self.replies_dropped = 0
+        self.duplicates_delivered = 0
+        self.bytes_sent = 0
+        self.simulated_latency_total = 0.0
+
+
+class Transport:
+    """Moves request/reply payloads between nodes under a fault plan.
+
+    ``deliver`` is synchronous: it models a blocking two-way CORBA
+    invocation.  The ``dispatch`` callable is supplied by the ORB and runs
+    the server-side work for one request payload.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        rng: Optional[SeededRng] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.clock = clock
+        self.rng = rng if rng is not None else SeededRng(0)
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self.stats = TransportStats()
+
+    # -- latency -----------------------------------------------------------
+
+    def _hop_delay(self) -> float:
+        plan = self.fault_plan
+        delay = plan.latency
+        if plan.jitter > 0:
+            delay += self.rng.uniform(0.0, plan.jitter)
+        return delay
+
+    def _advance(self, delay: float) -> None:
+        if delay > 0:
+            self.stats.simulated_latency_total += delay
+            self.clock.sleep(delay)
+
+    # -- delivery ----------------------------------------------------------
+
+    def deliver(
+        self,
+        source_node: str,
+        target_node: str,
+        request_bytes: bytes,
+        dispatch: Callable[[bytes], bytes],
+    ) -> bytes:
+        """Carry one request to ``target_node`` and return the reply bytes.
+
+        Raises :class:`CommunicationError` when the request or the reply is
+        lost, or when a partition separates the endpoints.  A duplicated
+        request executes the dispatch function again (the second reply is
+        discarded), which is exactly how an at-least-once network looks to
+        a servant.
+        """
+        plan = self.fault_plan
+        if plan.is_partitioned(source_node, target_node):
+            raise CommunicationError(
+                f"network partition between {source_node} and {target_node}"
+            )
+
+        self.stats.requests_sent += 1
+        self.stats.bytes_sent += len(request_bytes)
+        self._advance(self._hop_delay())
+        if self.rng.chance(plan.drop_probability):
+            self.stats.requests_dropped += 1
+            raise CommunicationError(
+                f"request from {source_node} to {target_node} lost"
+            )
+
+        reply = dispatch(request_bytes)
+
+        if self.rng.chance(plan.duplicate_probability):
+            self.stats.duplicates_delivered += 1
+            # The network re-delivered the request; the servant runs again.
+            # The duplicate's reply is discarded by the runtime.
+            dispatch(request_bytes)
+
+        self.stats.replies_sent += 1
+        self.stats.bytes_sent += len(reply)
+        self._advance(self._hop_delay())
+        if self.rng.chance(plan.drop_probability):
+            self.stats.replies_dropped += 1
+            raise CommunicationError(
+                f"reply from {target_node} to {source_node} lost"
+            )
+        return reply
+
+    # -- configuration helpers ---------------------------------------------
+
+    def set_fault_plan(self, plan: FaultPlan) -> None:
+        self.fault_plan = plan
+
+    def reliable(self) -> None:
+        """Remove all injected faults (latency retained)."""
+        self.fault_plan = FaultPlan(
+            latency=self.fault_plan.latency, jitter=self.fault_plan.jitter
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "drop_probability": self.fault_plan.drop_probability,
+            "duplicate_probability": self.fault_plan.duplicate_probability,
+            "latency": self.fault_plan.latency,
+            "jitter": self.fault_plan.jitter,
+            "partitions": sorted(tuple(sorted(p)) for p in self.fault_plan.partitioned),
+        }

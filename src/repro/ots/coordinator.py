@@ -1,0 +1,501 @@
+"""The transaction object: Coordinator + Terminator + Control in one engine.
+
+A :class:`Transaction` plays all three CosTransactions roles; thin
+:class:`Control`, :class:`Coordinator` and :class:`Terminator` facades
+expose the spec-shaped surfaces.  Top-level commitment runs presumed-abort
+two-phase commit:
+
+1. ``before_completion`` synchronizations (a failure forces rollback);
+2. phase one: every registered resource votes; VoteReadOnly participants
+   drop out, any VoteRollback aborts the rest;
+3. the commit decision and the participants' recovery keys are *forced to
+   the write-ahead log* before phase two (the recovery manager finishes
+   phase two after a coordinator crash);
+4. phase two: commit each remaining resource (retrying transient
+   communication failures, collecting heuristic outcomes);
+5. a completion record is logged, ``after_completion`` runs, locks release.
+
+Nested (sub)transactions never touch the log: their commit provisionally
+hands resources, locks and synchronizations to the parent, per the
+retained-resources model in the paper's introduction; their rollback
+undoes only their own work.
+
+Fail-points (:class:`~repro.ots.exceptions.SimulatedCrash`) can be armed
+between any two protocol steps to reproduce coordinator failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Set
+
+from repro.exceptions import CommunicationError
+from repro.ots.exceptions import (
+    HeuristicCommit,
+    HeuristicException,
+    HeuristicHazard,
+    HeuristicMixed,
+    HeuristicRollback,
+    Inactive,
+    InvalidTransaction,
+    SimulatedCrash,
+    SubtransactionsUnavailable,
+    SynchronizationUnavailable,
+    TransactionRolledBack,
+)
+from repro.ots.resource import call_participant
+from repro.ots.status import TransactionStatus, Vote
+
+
+@dataclass
+class ResourceRecord:
+    """Bookkeeping for one registered two-phase participant."""
+
+    participant: Any
+    recovery_key: Optional[str] = None
+    vote: Optional[Vote] = None
+    completed: bool = False
+
+
+class Transaction:
+    """One transaction (top-level or nested).  Create via the factory."""
+
+    def __init__(
+        self,
+        factory: Any,
+        tid: str,
+        parent: Optional["Transaction"] = None,
+        timeout: float = 0.0,
+        name: Optional[str] = None,
+    ) -> None:
+        self.factory = factory
+        self.tid = tid
+        self.parent = parent
+        self.name = name if name is not None else tid
+        self.children: List[Transaction] = []
+        self.status = TransactionStatus.ACTIVE
+        self.deadline: Optional[float] = (
+            factory.clock.now() + timeout if timeout > 0 else None
+        )
+        self._resources: List[ResourceRecord] = []
+        self._subtran_aware: List[Any] = []
+        self._synchronizations: List[Any] = []
+        self._heuristics: List[HeuristicException] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- identity and structure ------------------------------------------------
+
+    @property
+    def is_top_level(self) -> bool:
+        return self.parent is None
+
+    @property
+    def top_level(self) -> "Transaction":
+        tx = self
+        while tx.parent is not None:
+            tx = tx.parent
+        return tx
+
+    @property
+    def depth(self) -> int:
+        depth = 0
+        tx = self
+        while tx.parent is not None:
+            depth += 1
+            tx = tx.parent
+        return depth
+
+    def is_same_transaction(self, other: "Transaction") -> bool:
+        return other is self or (
+            isinstance(other, Transaction) and other.tid == self.tid
+        )
+
+    def is_ancestor_of(self, other: Any) -> bool:
+        """True for ``other`` itself and any descendant of self."""
+        tx = other
+        while isinstance(tx, Transaction):
+            if tx.tid == self.tid:
+                return True
+            tx = tx.parent
+        return False
+
+    def is_descendant_of(self, other: "Transaction") -> bool:
+        return other.is_ancestor_of(self)
+
+    def hash_transaction(self) -> int:
+        return hash(self.tid) & 0x7FFFFFFF
+
+    def get_transaction_name(self) -> str:
+        return self.name
+
+    def get_status(self) -> TransactionStatus:
+        return self.status
+
+    # -- registration -------------------------------------------------------------
+
+    def _check_active(self) -> None:
+        if self.deadline is not None and self.factory.clock.now() > self.deadline:
+            if self.status is TransactionStatus.ACTIVE:
+                self.status = TransactionStatus.MARKED_ROLLBACK
+        if self.status is TransactionStatus.MARKED_ROLLBACK:
+            return  # registration still allowed; commit will refuse
+        if self.status is not TransactionStatus.ACTIVE:
+            raise Inactive(f"transaction {self.tid} is {self.status.value}")
+
+    def register_resource(
+        self, participant: Any, recovery_key: Optional[str] = None
+    ) -> ResourceRecord:
+        """Enlist a two-phase participant (local object or ObjectRef)."""
+        self._check_active()
+        record = ResourceRecord(participant=participant, recovery_key=recovery_key)
+        self._resources.append(record)
+        self.factory.event_log.record(
+            "tx_register_resource", tid=self.tid, key=recovery_key
+        )
+        return record
+
+    def register_subtran_aware(self, participant: Any) -> None:
+        """Enlist a participant in *this* subtransaction's completion."""
+        if self.is_top_level:
+            raise SubtransactionsUnavailable(
+                "subtransaction-aware registration requires a nested transaction"
+            )
+        self._check_active()
+        self._subtran_aware.append(participant)
+
+    def register_synchronization(self, synchronization: Any) -> None:
+        if not self.is_top_level:
+            raise SynchronizationUnavailable(
+                "synchronizations attach to top-level transactions only"
+            )
+        self._check_active()
+        self._synchronizations.append(synchronization)
+
+    def rollback_only(self) -> None:
+        if self.status.is_terminal:
+            raise Inactive(f"transaction {self.tid} already completed")
+        self.status = TransactionStatus.MARKED_ROLLBACK
+
+    # -- structure ------------------------------------------------------------------
+
+    def begin_subtransaction(self, name: Optional[str] = None) -> "Transaction":
+        self._check_active()
+        if self.status is TransactionStatus.MARKED_ROLLBACK:
+            raise Inactive(f"transaction {self.tid} is marked rollback-only")
+        return self.factory.create_subtransaction(self, name=name)
+
+    # -- completion -------------------------------------------------------------------
+
+    def commit(self, report_heuristics: bool = True) -> None:
+        """Commit; raises TransactionRolledBack if the outcome is rollback."""
+        if self.status.is_terminal:
+            raise Inactive(f"transaction {self.tid} already completed")
+        if self.deadline is not None and self.factory.clock.now() > self.deadline:
+            self.status = TransactionStatus.MARKED_ROLLBACK
+        if self.status is TransactionStatus.MARKED_ROLLBACK:
+            self.rollback()
+            raise TransactionRolledBack(f"transaction {self.tid} was marked rollback-only")
+        if self.status is not TransactionStatus.ACTIVE:
+            raise Inactive(f"transaction {self.tid} is {self.status.value}")
+        if any(not child.status.is_terminal for child in self.children):
+            # Children must complete before the parent; roll back to be safe.
+            self.rollback()
+            raise TransactionRolledBack(
+                f"transaction {self.tid} has incomplete subtransactions"
+            )
+        if self.is_top_level:
+            self._commit_top_level(report_heuristics)
+        else:
+            self._commit_nested()
+
+    def _commit_top_level(self, report_heuristics: bool) -> None:
+        log = self.factory.event_log
+        log.record("tx_commit_begin", tid=self.tid, resources=len(self._resources))
+        if not self._run_before_completion():
+            self._rollback_resources(self._resources)
+            self._finish(TransactionStatus.ROLLED_BACK)
+            raise TransactionRolledBack(
+                f"before_completion failure rolled back {self.tid}"
+            )
+        # One-phase optimisation.
+        live = list(self._resources)
+        if len(live) == 1:
+            self._commit_one_phase(live[0], report_heuristics)
+            return
+        if not live:
+            self._finish(TransactionStatus.COMMITTED)
+            return
+        # Phase one.
+        self.status = TransactionStatus.PREPARING
+        rollback_voter = None
+        for record in live:
+            self.factory.failpoints.hit("before_prepare")
+            try:
+                record.vote = call_participant(record.participant, "prepare")
+            except (CommunicationError, Exception) as exc:
+                if isinstance(exc, SimulatedCrash):
+                    raise
+                record.vote = Vote.ROLLBACK
+            log.record("tx_vote", tid=self.tid, vote=record.vote.name)
+            if record.vote is Vote.ROLLBACK:
+                rollback_voter = record
+                break
+        if rollback_voter is not None:
+            self.status = TransactionStatus.ROLLING_BACK
+            to_undo = [r for r in live if r.vote is Vote.COMMIT]
+            self._rollback_resources(to_undo)
+            self._finish(TransactionStatus.ROLLED_BACK)
+            raise TransactionRolledBack(
+                f"a resource voted rollback in transaction {self.tid}"
+            )
+        self.status = TransactionStatus.PREPARED
+        committers = [r for r in live if r.vote is Vote.COMMIT]
+        if not committers:
+            # Everyone was read-only: committed with no phase two, no log.
+            self._finish(TransactionStatus.COMMITTED)
+            return
+        # Force the commit decision before telling anyone to commit.
+        self.factory.failpoints.hit("before_commit_log")
+        self.factory.wal.append(
+            "tx_commit_decision",
+            tid=self.tid,
+            recovery_keys=[r.recovery_key for r in committers if r.recovery_key],
+        )
+        self.factory.failpoints.hit("after_commit_log")
+        # Phase two.
+        self.status = TransactionStatus.COMMITTING
+        self._commit_resources(committers)
+        self.factory.wal.append("tx_completed", tid=self.tid)
+        self._finish(TransactionStatus.COMMITTED)
+        self._report_heuristics(report_heuristics, committed=True)
+
+    def _commit_one_phase(self, record: ResourceRecord, report_heuristics: bool) -> None:
+        self.status = TransactionStatus.COMMITTING
+        try:
+            call_participant(record.participant, "commit_one_phase")
+        except TransactionRolledBack:
+            self._finish(TransactionStatus.ROLLED_BACK)
+            raise
+        except HeuristicException as exc:
+            self._heuristics.append(exc)
+            self._safe_forget(record)
+            self._finish(TransactionStatus.COMMITTED)
+            self._report_heuristics(report_heuristics, committed=True)
+            return
+        except SimulatedCrash:
+            raise
+        except CommunicationError:
+            self._finish(TransactionStatus.UNKNOWN)
+            raise HeuristicHazard(
+                f"one-phase participant unreachable in {self.tid}; outcome unknown"
+            )
+        record.completed = True
+        self._finish(TransactionStatus.COMMITTED)
+
+    def _commit_resources(self, committers: List[ResourceRecord]) -> None:
+        for index, record in enumerate(committers):
+            self.factory.failpoints.hit(f"before_commit_resource_{index}")
+            try:
+                self._call_with_retry(record.participant, "commit")
+                record.completed = True
+            except HeuristicRollback as exc:
+                self._heuristics.append(exc)
+                self._safe_forget(record)
+            except (HeuristicMixed, HeuristicHazard) as exc:
+                self._heuristics.append(exc)
+                self._safe_forget(record)
+            except CommunicationError as exc:
+                self._heuristics.append(
+                    HeuristicHazard(
+                        f"resource unreachable during commit of {self.tid}: {exc}"
+                    )
+                )
+
+    def _rollback_resources(self, records: List[ResourceRecord]) -> None:
+        for record in records:
+            try:
+                self._call_with_retry(record.participant, "rollback")
+                record.completed = True
+            except HeuristicCommit as exc:
+                self._heuristics.append(exc)
+                self._safe_forget(record)
+            except (HeuristicMixed, HeuristicHazard) as exc:
+                self._heuristics.append(exc)
+                self._safe_forget(record)
+            except CommunicationError as exc:
+                self._heuristics.append(
+                    HeuristicHazard(
+                        f"resource unreachable during rollback of {self.tid}: {exc}"
+                    )
+                )
+
+    def _call_with_retry(self, participant: Any, operation: str) -> None:
+        attempts = self.factory.retry_attempts
+        last_error: Optional[CommunicationError] = None
+        for _ in range(attempts):
+            try:
+                call_participant(participant, operation)
+                return
+            except CommunicationError as exc:
+                if not exc.transient:
+                    raise
+                last_error = exc
+        raise last_error if last_error is not None else CommunicationError()
+
+    def _safe_forget(self, record: ResourceRecord) -> None:
+        try:
+            call_participant(record.participant, "forget")
+        except (CommunicationError, AttributeError):
+            pass
+
+    def _commit_nested(self) -> None:
+        """Provisional commit: effects move to the parent."""
+        parent = self.parent
+        assert parent is not None
+        self.status = TransactionStatus.COMMITTING
+        for participant in self._subtran_aware:
+            call_participant(participant, "commit_subtransaction", parent)
+        # Resources and pending synchronizations are retained by the parent.
+        parent._resources.extend(self._resources)
+        self._resources = []
+        self.factory.lock_manager.transfer(self, parent)
+        self.status = TransactionStatus.COMMITTED
+        self.factory.event_log.record(
+            "tx_subcommit", tid=self.tid, parent=parent.tid
+        )
+        self.factory.on_transaction_finished(self)
+
+    def rollback(self) -> None:
+        if self.status.is_terminal:
+            raise Inactive(f"transaction {self.tid} already completed")
+        self.status = TransactionStatus.ROLLING_BACK
+        # Roll back live children first, deepest work first.
+        for child in self.children:
+            if not child.status.is_terminal:
+                child.rollback()
+        if self.is_top_level:
+            to_undo = [r for r in self._resources if not r.completed]
+            self._rollback_resources(to_undo)
+            self._finish(TransactionStatus.ROLLED_BACK)
+        else:
+            for participant in self._subtran_aware:
+                call_participant(participant, "rollback_subtransaction")
+            self.factory.lock_manager.release_all(self)
+            self.status = TransactionStatus.ROLLED_BACK
+            self.factory.event_log.record("tx_subrollback", tid=self.tid)
+            self.factory.on_transaction_finished(self)
+
+    # -- completion plumbing ---------------------------------------------------------
+
+    def _run_before_completion(self) -> bool:
+        for synchronization in self._synchronizations:
+            try:
+                call_participant(synchronization, "before_completion")
+            except Exception:
+                return False
+        return True
+
+    def _finish(self, status: TransactionStatus) -> None:
+        self.status = status
+        self.factory.lock_manager.release_all(self)
+        for synchronization in self._synchronizations:
+            try:
+                call_participant(synchronization, "after_completion", status)
+            except Exception:
+                pass
+        self.factory.event_log.record(
+            "tx_finished", tid=self.tid, status=status.name
+        )
+        self.factory.on_transaction_finished(self)
+
+    def _report_heuristics(self, report: bool, committed: bool) -> None:
+        if not self._heuristics:
+            return
+        if not report:
+            return
+        kinds: Set[type] = {type(h) for h in self._heuristics}
+        if kinds == {HeuristicHazard}:
+            raise HeuristicHazard(
+                f"transaction {self.tid}: {len(self._heuristics)} hazards"
+            )
+        raise HeuristicMixed(
+            f"transaction {self.tid}: mixed heuristic outcomes "
+            f"({sorted(k.__name__ for k in kinds)})"
+        )
+
+    @property
+    def heuristics(self) -> List[HeuristicException]:
+        return list(self._heuristics)
+
+    @property
+    def resources(self) -> List[ResourceRecord]:
+        return list(self._resources)
+
+    def __repr__(self) -> str:
+        kind = "top" if self.is_top_level else f"nested<{self.parent.tid}>"
+        return f"Transaction({self.tid}, {kind}, {self.status.name})"
+
+
+class Coordinator:
+    """Spec-shaped coordinator facade over a :class:`Transaction`."""
+
+    def __init__(self, transaction: Transaction) -> None:
+        self._tx = transaction
+
+    def get_status(self) -> TransactionStatus:
+        return self._tx.get_status()
+
+    def is_same_transaction(self, other: "Coordinator") -> bool:
+        return self._tx.is_same_transaction(other._tx)
+
+    def hash_transaction(self) -> int:
+        return self._tx.hash_transaction()
+
+    def register_resource(self, resource: Any, recovery_key: Optional[str] = None) -> None:
+        self._tx.register_resource(resource, recovery_key)
+
+    def register_subtran_aware(self, resource: Any) -> None:
+        self._tx.register_subtran_aware(resource)
+
+    def register_synchronization(self, synchronization: Any) -> None:
+        self._tx.register_synchronization(synchronization)
+
+    def rollback_only(self) -> None:
+        self._tx.rollback_only()
+
+    def create_subtransaction(self) -> "Control":
+        return Control(self._tx.begin_subtransaction())
+
+    def get_transaction_name(self) -> str:
+        return self._tx.get_transaction_name()
+
+
+class Terminator:
+    """Spec-shaped terminator facade."""
+
+    def __init__(self, transaction: Transaction) -> None:
+        self._tx = transaction
+
+    def commit(self, report_heuristics: bool = True) -> None:
+        self._tx.commit(report_heuristics)
+
+    def rollback(self) -> None:
+        self._tx.rollback()
+
+
+class Control:
+    """Spec-shaped control facade: access to coordinator and terminator."""
+
+    def __init__(self, transaction: Transaction) -> None:
+        self._tx = transaction
+
+    @property
+    def transaction(self) -> Transaction:
+        return self._tx
+
+    def get_coordinator(self) -> Coordinator:
+        return Coordinator(self._tx)
+
+    def get_terminator(self) -> Terminator:
+        return Terminator(self._tx)

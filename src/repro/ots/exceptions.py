@@ -1,0 +1,73 @@
+"""OTS exception hierarchy, mirroring CosTransactions exceptions."""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+
+class TransactionError(ReproError):
+    """Base for all transaction-service errors."""
+
+
+class TransactionRolledBack(TransactionError):
+    """Commit was requested but the transaction rolled back instead."""
+
+
+class TransactionRequired(TransactionError):
+    """An operation needed an active transaction and none was present."""
+
+
+class InvalidTransaction(TransactionError):
+    """The supplied transaction handle is unusable in this context."""
+
+
+class NoTransaction(TransactionError):
+    """The calling thread has no associated transaction."""
+
+
+class Inactive(TransactionError):
+    """The transaction is no longer active (completing or completed)."""
+
+
+class NotPrepared(TransactionError):
+    """Phase-two operation invoked before a successful prepare."""
+
+
+class SubtransactionsUnavailable(TransactionError):
+    """Nested transactions were requested where unsupported."""
+
+
+class SynchronizationUnavailable(TransactionError):
+    """Synchronizations can only be registered with top-level transactions."""
+
+
+class WrongTransaction(TransactionError):
+    """A reply arrived under a different transaction than the request."""
+
+
+class HeuristicException(TransactionError):
+    """Base for heuristic outcomes raised by resources or the coordinator."""
+
+
+class HeuristicRollback(HeuristicException):
+    """The resource unilaterally rolled back after voting commit."""
+
+
+class HeuristicCommit(HeuristicException):
+    """The resource unilaterally committed after being told to roll back."""
+
+
+class HeuristicMixed(HeuristicException):
+    """Some parts of the transaction committed while others rolled back."""
+
+
+class HeuristicHazard(HeuristicException):
+    """The disposition of some updates is unknown."""
+
+
+class SimulatedCrash(ReproError):
+    """A fail-point fired: the coordinator 'machine' halted at this point.
+
+    Tests catch this, optionally crash the node, and then drive the
+    recovery manager — reproducing coordinator failure mid-protocol.
+    """

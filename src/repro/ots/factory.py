@@ -1,0 +1,158 @@
+"""Transaction factory: creation, registry, timeouts and fail-points."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.ots.coordinator import Control, Transaction
+from repro.ots.exceptions import InvalidTransaction, SimulatedCrash
+from repro.ots.locks import LockManager
+from repro.ots.status import TransactionStatus
+from repro.persistence.wal import WriteAheadLog
+from repro.util.clock import Clock, SimulatedClock
+from repro.util.events import EventLog
+from repro.util.idgen import IdGenerator
+
+
+class Failpoints:
+    """Named crash points armed by tests to halt the coordinator mid-protocol.
+
+    ``arm("after_commit_log")`` makes the next pass through that point
+    raise :class:`SimulatedCrash`; points disarm after firing once.
+    """
+
+    def __init__(self) -> None:
+        self._armed: Set[str] = set()
+        self.fired: List[str] = []
+
+    def arm(self, name: str) -> None:
+        self._armed.add(name)
+
+    def disarm(self, name: str) -> None:
+        self._armed.discard(name)
+
+    def clear(self) -> None:
+        self._armed.clear()
+
+    def hit(self, name: str) -> None:
+        if name in self._armed:
+            self._armed.discard(name)
+            self.fired.append(name)
+            raise SimulatedCrash(f"fail-point {name!r} fired")
+
+
+class TransactionFactory:
+    """Creates and tracks transactions for one simulated deployment.
+
+    The factory owns the pieces every transaction shares: the clock, the
+    write-ahead log (for commit decisions), the lock manager, the event
+    log and the fail-point switchboard.  It also keeps a registry of live
+    transactions by tid, which is what lets the propagation interceptors
+    re-associate an incoming request with its transaction — the moral
+    equivalent of OTS interposition.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        wal: Optional[WriteAheadLog] = None,
+        event_log: Optional[EventLog] = None,
+        retry_attempts: int = 3,
+    ) -> None:
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.event_log = event_log if event_log is not None else EventLog(self.clock)
+        self.lock_manager = LockManager()
+        self.failpoints = Failpoints()
+        self.retry_attempts = retry_attempts
+        self.ids = IdGenerator()
+        self._transactions: Dict[str, Transaction] = {}
+        self._active: Set[str] = set()
+        self.created = 0
+        self.committed = 0
+        self.rolled_back = 0
+
+    # -- creation ---------------------------------------------------------
+
+    def create(self, timeout: float = 0.0, name: Optional[str] = None) -> Transaction:
+        """Begin a new top-level transaction."""
+        tid = self.ids.next("tx")
+        tx = Transaction(self, tid, parent=None, timeout=timeout, name=name)
+        self._transactions[tid] = tx
+        self._active.add(tid)
+        self.created += 1
+        self.event_log.record("tx_begin", tid=tid, top_level=True)
+        if timeout > 0 and isinstance(self.clock, SimulatedClock):
+            self.clock.call_after(timeout, lambda: self._expire(tid))
+        return tx
+
+    def create_control(self, timeout: float = 0.0, name: Optional[str] = None) -> Control:
+        """Spec-shaped variant of :meth:`create`."""
+        return Control(self.create(timeout, name))
+
+    def create_subtransaction(
+        self, parent: Transaction, name: Optional[str] = None
+    ) -> Transaction:
+        tid = self.ids.next("tx")
+        tx = Transaction(self, tid, parent=parent, timeout=0.0, name=name)
+        self._transactions[tid] = tx
+        self._active.add(tid)
+        self.created += 1
+        self.event_log.record("tx_begin", tid=tid, top_level=False, parent=parent.tid)
+        return tx
+
+    # -- registry ------------------------------------------------------------
+
+    def get(self, tid: str) -> Transaction:
+        try:
+            return self._transactions[tid]
+        except KeyError:
+            raise InvalidTransaction(f"unknown transaction {tid!r}") from None
+
+    def knows(self, tid: str) -> bool:
+        return tid in self._transactions
+
+    def active_transactions(self) -> List[Transaction]:
+        return [self._transactions[tid] for tid in sorted(self._active)]
+
+    def on_transaction_finished(self, tx: Transaction) -> None:
+        """Called by transactions when they reach a terminal state."""
+        self._active.discard(tx.tid)
+        if tx.status is TransactionStatus.COMMITTED:
+            self.committed += 1
+        elif tx.status is TransactionStatus.ROLLED_BACK:
+            self.rolled_back += 1
+
+    # -- timeouts ---------------------------------------------------------------
+
+    def _expire(self, tid: str) -> None:
+        tx = self._transactions.get(tid)
+        if tx is None or tx.status.is_terminal:
+            return
+        if tx.deadline is not None and self.clock.now() >= tx.deadline:
+            self.event_log.record("tx_timeout", tid=tid)
+            tx.rollback()
+
+    def expire_timeouts(self) -> List[str]:
+        """Roll back every active transaction whose deadline has passed."""
+        expired = []
+        now = self.clock.now()
+        for tid in sorted(self._active):
+            tx = self._transactions[tid]
+            if tx.deadline is not None and now > tx.deadline and not tx.status.is_terminal:
+                tx.rollback()
+                expired.append(tid)
+        return expired
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def forget_completed(self) -> int:
+        """Drop completed transactions from the registry; return count."""
+        done = [
+            tid
+            for tid, tx in self._transactions.items()
+            if tx.status.is_terminal and tid not in self._active
+        ]
+        for tid in done:
+            del self._transactions[tid]
+        return len(done)

@@ -1,0 +1,100 @@
+"""Implicit transaction-context propagation over the ORB.
+
+A client request interceptor attaches the active transaction's id as the
+``CosTransactions`` service context; the server interceptor re-associates
+the transaction with the dispatching 'thread' for the duration of the
+request.  Because the factory registry is reachable from every node of the
+simulated deployment, re-association replaces full OTS interposition while
+exercising the identical application-visible behaviour (a servant sees the
+caller's transaction as its own current transaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.orb.core import Orb
+from repro.orb.interceptors import (
+    TRANSACTION_CONTEXT_ID,
+    ClientRequestInterceptor,
+    RequestInfo,
+    ServerRequestInterceptor,
+)
+from repro.orb.marshal import GLOBAL_REGISTRY
+from repro.ots.current import TransactionCurrent
+
+
+@GLOBAL_REGISTRY.register_dataclass
+@dataclass(frozen=True)
+class TransactionContext:
+    """Wire form of a propagated transaction association."""
+
+    tid: str
+
+
+class TransactionClientInterceptor(ClientRequestInterceptor):
+    """Attaches the caller's transaction id to outgoing requests."""
+
+    name = "ots-client"
+
+    def __init__(self, current: TransactionCurrent) -> None:
+        self.current = current
+
+    def send_request(self, info: RequestInfo) -> None:
+        tx = self.current.get_transaction()
+        if tx is not None and not tx.status.is_terminal:
+            info.set_context(TRANSACTION_CONTEXT_ID, TransactionContext(tid=tx.tid))
+
+
+class TransactionServerInterceptor(ServerRequestInterceptor):
+    """Re-associates the propagated transaction around each dispatch."""
+
+    name = "ots-server"
+
+    def __init__(self, current: TransactionCurrent) -> None:
+        self.current = current
+        self._resumed: List[bool] = []
+
+    def receive_request(self, info: RequestInfo) -> None:
+        context = info.get_context(TRANSACTION_CONTEXT_ID)
+        if isinstance(context, TransactionContext) and self.current.factory.knows(
+            context.tid
+        ):
+            self.current.resume(self.current.factory.get(context.tid))
+            self._resumed.append(True)
+        else:
+            self._resumed.append(False)
+
+    def _detach(self) -> None:
+        if self._resumed and self._resumed.pop():
+            self.current.suspend()
+
+    def send_reply(self, info: RequestInfo) -> None:
+        self._detach()
+
+    def send_exception(self, info: RequestInfo) -> None:
+        self._detach()
+
+
+def install_transaction_service(
+    orb: Orb, current: TransactionCurrent
+) -> None:
+    """Wire the OTS propagation interceptors into an ORB."""
+    orb.interceptors.add_client(TransactionClientInterceptor(current))
+    orb.interceptors.add_server(TransactionServerInterceptor(current))
+    from repro.ots import exceptions as ots_exceptions
+
+    for name in (
+        "TransactionRolledBack",
+        "TransactionRequired",
+        "InvalidTransaction",
+        "NoTransaction",
+        "Inactive",
+        "NotPrepared",
+        "HeuristicMixed",
+        "HeuristicHazard",
+        "HeuristicRollback",
+        "HeuristicCommit",
+    ):
+        orb.register_exception(getattr(ots_exceptions, name))

@@ -1,0 +1,80 @@
+"""Crash recovery for the transaction service (presumed abort).
+
+After a coordinator crash, the write-ahead log holds zero or one
+``tx_commit_decision`` record per transaction that reached the end of
+phase one.  Recovery:
+
+- transactions *with* a decision but no ``tx_completed`` record are
+  re-committed: each recovery key is resolved through the
+  :class:`~repro.ots.recoverable.RecoverableRegistry` and
+  ``recover_commit`` replayed (idempotent);
+- prepared state belonging to a transaction *without* a decision record
+  is presumed aborted and discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.ots.recoverable import RecoverableRegistry
+from repro.persistence.wal import WriteAheadLog
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery pass did."""
+
+    recommitted: Dict[str, List[str]] = field(default_factory=dict)
+    presumed_aborted: Dict[str, List[str]] = field(default_factory=dict)
+    unresolved_keys: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.recommitted and not self.presumed_aborted
+
+
+class RecoveryManager:
+    """Drives post-crash resolution of in-doubt transactions."""
+
+    def __init__(self, wal: WriteAheadLog, registry: RecoverableRegistry) -> None:
+        self.wal = wal
+        self.registry = registry
+
+    def recover(self) -> RecoveryReport:
+        """Resolve every in-doubt transaction recorded in the log."""
+        report = RecoveryReport()
+        decisions: Dict[str, List[str]] = {}
+        completed: Set[str] = set()
+        for record in self.wal.records():
+            if record.kind == "tx_commit_decision":
+                decisions[record.payload["tid"]] = list(
+                    record.payload.get("recovery_keys", [])
+                )
+            elif record.kind == "tx_completed":
+                completed.add(record.payload["tid"])
+
+        # Finish phase two for decided-but-incomplete transactions.
+        for tid, keys in decisions.items():
+            if tid in completed:
+                continue
+            applied = []
+            for key in keys:
+                recoverable = self.registry.resolve(key)
+                if recoverable is None:
+                    report.unresolved_keys.append(key)
+                    continue
+                if recoverable.recover_commit(tid):
+                    applied.append(key)
+            self.wal.append("tx_completed", tid=tid, recovered=True)
+            report.recommitted[tid] = applied
+
+        # Presume abort for prepared state with no commit decision.
+        for key in self.registry.keys():
+            recoverable = self.registry.resolve(key)
+            assert recoverable is not None
+            for tid in recoverable.list_in_doubt():
+                if tid not in decisions:
+                    recoverable.recover_abort(tid)
+                    report.presumed_aborted.setdefault(tid, []).append(key)
+        return report

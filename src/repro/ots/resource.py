@@ -1,0 +1,77 @@
+"""Participant interfaces: Resource, SubtransactionAwareResource, Synchronization.
+
+These mirror the CosTransactions participant interfaces.  A participant may
+be a local object implementing the interface or an
+:class:`~repro.orb.reference.ObjectRef` to a remote servant implementing
+it; the coordinator invokes either transparently.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.orb.reference import ObjectRef
+from repro.ots.status import TransactionStatus, Vote
+
+
+class Resource(abc.ABC):
+    """A two-phase-commit participant."""
+
+    @abc.abstractmethod
+    def prepare(self) -> Vote:
+        """Phase one.  Return a :class:`Vote`; VoteCommit promises that a
+        later ``commit`` will succeed even across failures."""
+
+    @abc.abstractmethod
+    def commit(self) -> None:
+        """Phase two, commit direction.  May raise a heuristic exception."""
+
+    @abc.abstractmethod
+    def rollback(self) -> None:
+        """Phase two, rollback direction.  May raise a heuristic exception."""
+
+    def commit_one_phase(self) -> None:
+        """Single-participant optimisation; default = prepare + commit."""
+        vote = self.prepare()
+        if vote is Vote.COMMIT:
+            self.commit()
+        elif vote is Vote.ROLLBACK:
+            from repro.ots.exceptions import TransactionRolledBack
+
+            raise TransactionRolledBack("resource voted rollback in one-phase commit")
+
+    def forget(self) -> None:
+        """Discard heuristic-outcome knowledge; default no-op."""
+
+
+class SubtransactionAwareResource(abc.ABC):
+    """A participant interested in *nested* transaction completion."""
+
+    @abc.abstractmethod
+    def commit_subtransaction(self, parent: Any) -> None:
+        """The registering subtransaction committed; ``parent`` is the
+        (provisional) new owner of its effects."""
+
+    @abc.abstractmethod
+    def rollback_subtransaction(self) -> None:
+        """The registering subtransaction rolled back."""
+
+
+class Synchronization(abc.ABC):
+    """Before/after completion callbacks (top-level transactions only)."""
+
+    @abc.abstractmethod
+    def before_completion(self) -> None:
+        """Runs before phase one; raising forces rollback."""
+
+    @abc.abstractmethod
+    def after_completion(self, status: TransactionStatus) -> None:
+        """Runs after the outcome is decided; must not raise."""
+
+
+def call_participant(participant: Any, operation: str, *args: Any) -> Any:
+    """Invoke ``operation`` on a local object or a remote ObjectRef."""
+    if isinstance(participant, ObjectRef):
+        return participant.invoke(operation, *args)
+    return getattr(participant, operation)(*args)

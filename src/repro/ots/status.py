@@ -1,0 +1,40 @@
+"""Transaction status and vote enumerations, mirroring CosTransactions."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.orb.marshal import GLOBAL_REGISTRY
+
+
+@GLOBAL_REGISTRY.register_enum
+class TransactionStatus(Enum):
+    """Lifecycle states of a transaction (CosTransactions::Status)."""
+
+    ACTIVE = "StatusActive"
+    MARKED_ROLLBACK = "StatusMarkedRollback"
+    PREPARING = "StatusPreparing"
+    PREPARED = "StatusPrepared"
+    COMMITTING = "StatusCommitting"
+    COMMITTED = "StatusCommitted"
+    ROLLING_BACK = "StatusRollingBack"
+    ROLLED_BACK = "StatusRolledBack"
+    NO_TRANSACTION = "StatusNoTransaction"
+    UNKNOWN = "StatusUnknown"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (TransactionStatus.COMMITTED, TransactionStatus.ROLLED_BACK)
+
+    @property
+    def is_active(self) -> bool:
+        return self is TransactionStatus.ACTIVE
+
+
+@GLOBAL_REGISTRY.register_enum
+class Vote(Enum):
+    """Phase-one replies from resources (CosTransactions::Vote)."""
+
+    COMMIT = "VoteCommit"
+    ROLLBACK = "VoteRollback"
+    READONLY = "VoteReadOnly"

@@ -1,0 +1,25 @@
+"""Persistence substrate: object stores and a write-ahead log.
+
+Fig. 3 of the paper shows the Activity Service implementation sitting on a
+persistence service and a logging service.  This package provides both:
+:class:`~repro.persistence.object_store.MemoryStore` /
+:class:`~repro.persistence.object_store.FileStore` for object state, and
+:class:`~repro.persistence.wal.WriteAheadLog` for the transaction and
+activity logs that drive crash recovery.
+
+In the simulation, a store/log object represents *stable storage*: it is
+deliberately held outside any :class:`~repro.orb.core.Node`, so a node
+crash loses volatile servants but never the store contents — the same
+failure model as a machine whose disks survive a reboot.
+"""
+
+from repro.persistence.object_store import FileStore, MemoryStore, ObjectStore
+from repro.persistence.wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "ObjectStore",
+    "MemoryStore",
+    "FileStore",
+    "WriteAheadLog",
+    "LogRecord",
+]

@@ -1,0 +1,135 @@
+"""Keyed object stores standing in for the CORBA Persistent State Service.
+
+A store maps string uids to marshallable values.  ``FileStore`` writes each
+entry through the CDR marshaller to its own file, so stored values obey
+exactly the same typing discipline as values on the wire.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.orb.marshal import Marshaller, ValueTypeRegistry
+
+
+class StoreError(ReproError):
+    """A store operation failed (missing key, I/O problem)."""
+
+
+class ObjectStore(abc.ABC):
+    """Abstract keyed store for recoverable object state."""
+
+    @abc.abstractmethod
+    def put(self, uid: str, state: Any) -> None:
+        """Durably record ``state`` under ``uid`` (overwrites)."""
+
+    @abc.abstractmethod
+    def get(self, uid: str) -> Any:
+        """Return the state stored under ``uid``; raise StoreError if absent."""
+
+    @abc.abstractmethod
+    def remove(self, uid: str) -> None:
+        """Delete ``uid``; raise StoreError if absent."""
+
+    @abc.abstractmethod
+    def contains(self, uid: str) -> bool: ...
+
+    @abc.abstractmethod
+    def keys(self) -> Tuple[str, ...]: ...
+
+    def get_or(self, uid: str, default: Any = None) -> Any:
+        return self.get(uid) if self.contains(uid) else default
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        for uid in self.keys():
+            yield uid, self.get(uid)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+class MemoryStore(ObjectStore):
+    """In-memory stable storage.
+
+    Values pass through the marshaller on ``put`` and ``get`` so that (a)
+    only wire-legal values can be stored and (b) readers always receive an
+    independent copy — a store can never alias live object state.
+    """
+
+    def __init__(self, registry: Optional[ValueTypeRegistry] = None) -> None:
+        self._marshaller = Marshaller(registry)
+        self._data: Dict[str, bytes] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def put(self, uid: str, state: Any) -> None:
+        self._data[uid] = self._marshaller.encode(state)
+        self.writes += 1
+
+    def get(self, uid: str) -> Any:
+        try:
+            raw = self._data[uid]
+        except KeyError:
+            raise StoreError(f"no state stored under {uid!r}") from None
+        self.reads += 1
+        return self._marshaller.decode(raw)
+
+    def remove(self, uid: str) -> None:
+        if uid not in self._data:
+            raise StoreError(f"no state stored under {uid!r}")
+        del self._data[uid]
+
+    def contains(self, uid: str) -> bool:
+        return uid in self._data
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._data)
+
+
+class FileStore(ObjectStore):
+    """One-file-per-entry store rooted at a directory."""
+
+    def __init__(self, root: str, registry: Optional[ValueTypeRegistry] = None) -> None:
+        self._root = root
+        self._marshaller = Marshaller(registry)
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, uid: str) -> str:
+        safe = uid.replace(os.sep, "_").replace("..", "_")
+        return os.path.join(self._root, safe + ".cdr")
+
+    def put(self, uid: str, state: Any) -> None:
+        data = self._marshaller.encode(state)
+        path = self._path(uid)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def get(self, uid: str) -> Any:
+        path = self._path(uid)
+        if not os.path.exists(path):
+            raise StoreError(f"no state stored under {uid!r}")
+        with open(path, "rb") as handle:
+            return self._marshaller.decode(handle.read())
+
+    def remove(self, uid: str) -> None:
+        path = self._path(uid)
+        if not os.path.exists(path):
+            raise StoreError(f"no state stored under {uid!r}")
+        os.remove(path)
+
+    def contains(self, uid: str) -> bool:
+        return os.path.exists(self._path(uid))
+
+    def keys(self) -> Tuple[str, ...]:
+        names = []
+        for entry in os.listdir(self._root):
+            if entry.endswith(".cdr"):
+                names.append(entry[: -len(".cdr")])
+        return tuple(sorted(names))

@@ -1,0 +1,143 @@
+"""Write-ahead log.
+
+The OTS coordinator logs its commit decision here before telling resources
+to commit (presumed-abort protocol), and the activity recovery manager
+logs activity-structure checkpoints.  Records are applied to an underlying
+:class:`~repro.persistence.object_store.ObjectStore` so they share the
+library's stable-storage model.
+
+Records are append-only with monotonically increasing LSNs.  A log can be
+reopened over the same store after a simulated crash; everything appended
+(and forced) before the crash is still there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import InvalidStateError
+from repro.persistence.object_store import MemoryStore, ObjectStore
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable log entry."""
+
+    lsn: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class WriteAheadLog:
+    """Append-only durable record list over an object store.
+
+    Writes are forced (durable) by default.  ``append_volatile`` +
+    ``force`` exist so benchmarks can measure the cost of group forcing,
+    and so crash tests can demonstrate loss of unforced records.
+    """
+
+    _META_KEY = "wal:meta"
+
+    def __init__(self, store: Optional[ObjectStore] = None, name: str = "wal") -> None:
+        self._store = store if store is not None else MemoryStore()
+        self._name = name
+        self._volatile: List[LogRecord] = []
+        self.forces = 0
+        meta = self._store.get_or(self._meta_key(), {"next_lsn": 1, "lsns": []})
+        self._next_lsn: int = meta["next_lsn"]
+        self._durable_lsns: List[int] = list(meta["lsns"])
+
+    def _meta_key(self) -> str:
+        return f"{self._name}:{self._META_KEY}"
+
+    def _record_key(self, lsn: int) -> str:
+        return f"{self._name}:rec:{lsn:012d}"
+
+    # -- appending ----------------------------------------------------------
+
+    def append(self, kind: str, **payload: Any) -> LogRecord:
+        """Append and immediately force a record."""
+        record = self.append_volatile(kind, **payload)
+        self.force()
+        return record
+
+    def append_volatile(self, kind: str, **payload: Any) -> LogRecord:
+        """Append a record that is lost on crash until :meth:`force` runs."""
+        record = LogRecord(lsn=self._next_lsn, kind=kind, payload=payload)
+        self._next_lsn += 1
+        self._volatile.append(record)
+        return record
+
+    def force(self) -> None:
+        """Flush all volatile records to stable storage."""
+        if not self._volatile:
+            return
+        for record in self._volatile:
+            self._store.put(
+                self._record_key(record.lsn),
+                {"lsn": record.lsn, "kind": record.kind, "payload": record.payload},
+            )
+            self._durable_lsns.append(record.lsn)
+        self._volatile.clear()
+        self._write_meta()
+        self.forces += 1
+
+    def _write_meta(self) -> None:
+        self._store.put(
+            self._meta_key(), {"next_lsn": self._next_lsn, "lsns": self._durable_lsns}
+        )
+
+    # -- reading ------------------------------------------------------------
+
+    def records(self) -> List[LogRecord]:
+        """All durable records in LSN order (volatile tail excluded)."""
+        result = []
+        for lsn in self._durable_lsns:
+            raw = self._store.get(self._record_key(lsn))
+            result.append(
+                LogRecord(lsn=raw["lsn"], kind=raw["kind"], payload=raw["payload"])
+            )
+        return result
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.records())
+
+    def __len__(self) -> int:
+        return len(self._durable_lsns)
+
+    def of_kind(self, *kinds: str) -> List[LogRecord]:
+        wanted = set(kinds)
+        return [record for record in self.records() if record.kind in wanted]
+
+    # -- truncation ----------------------------------------------------------
+
+    def truncate(self, up_to_lsn: int) -> int:
+        """Discard durable records with ``lsn <= up_to_lsn``; return count."""
+        kept: List[int] = []
+        dropped = 0
+        for lsn in self._durable_lsns:
+            if lsn <= up_to_lsn:
+                self._store.remove(self._record_key(lsn))
+                dropped += 1
+            else:
+                kept.append(lsn)
+        self._durable_lsns = kept
+        self._write_meta()
+        return dropped
+
+    # -- crash simulation ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Drop the volatile tail, as a machine crash would."""
+        self._volatile.clear()
+
+    def reopen(self) -> "WriteAheadLog":
+        """Return a fresh log handle over the same store (post-restart)."""
+        if self._volatile:
+            raise InvalidStateError("reopen with unforced records; crash() first")
+        return WriteAheadLog(self._store, self._name)
+
+    @property
+    def store(self) -> ObjectStore:
+        return self._store

@@ -1,0 +1,17 @@
+"""Utility substrate: simulated time, deterministic ids, event tracing."""
+
+from repro.util.clock import Clock, SimulatedClock, WallClock
+from repro.util.events import EventLog, TraceEvent
+from repro.util.idgen import IdGenerator, fresh_uid
+from repro.util.rng import SeededRng
+
+__all__ = [
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "EventLog",
+    "TraceEvent",
+    "IdGenerator",
+    "fresh_uid",
+    "SeededRng",
+]

@@ -1,0 +1,100 @@
+"""Clock abstraction used throughout the library.
+
+Benchmarks and tests need *deterministic* time so that resource-holding
+times, timeouts and latency distributions are reproducible.  Production-style
+code paths accept any :class:`Clock`; the test/bench harnesses pass a
+:class:`SimulatedClock` and advance it explicitly, while interactive use can
+fall back to :class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+import time
+from typing import Callable, List, Tuple
+
+from repro.exceptions import InvalidStateError
+
+
+class Clock(abc.ABC):
+    """Minimal clock interface: monotonically non-decreasing seconds."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Return the current time in seconds."""
+
+    @abc.abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds``."""
+
+
+class WallClock(Clock):
+    """Real time, for interactive use."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class SimulatedClock(Clock):
+    """A manually advanced clock with an ordered timer queue.
+
+    ``sleep`` advances simulated time immediately (there is no real blocking,
+    the whole library is single-threaded by design so that runs are
+    deterministic).  Timers scheduled with :meth:`call_at` fire during
+    :meth:`advance` in timestamp order; ties break by scheduling order.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = float(start)
+        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.advance(seconds)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run when simulated time reaches ``when``."""
+        if when < self._now:
+            raise InvalidStateError(
+                f"cannot schedule timer in the past ({when} < {self._now})"
+            )
+        heapq.heappush(self._timers, (when, next(self._counter), callback))
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        self.call_at(self._now + delay, callback)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward, firing any timers that become due."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        deadline = self._now + seconds
+        while self._timers and self._timers[0][0] <= deadline:
+            when, _, callback = heapq.heappop(self._timers)
+            self._now = max(self._now, when)
+            callback()
+        self._now = deadline
+
+    def run_until_idle(self) -> None:
+        """Fire every outstanding timer, advancing time as needed."""
+        while self._timers:
+            when, _, callback = heapq.heappop(self._timers)
+            self._now = max(self._now, when)
+            callback()
+
+    @property
+    def pending_timers(self) -> int:
+        return len(self._timers)

@@ -1,0 +1,108 @@
+"""Structured event tracing.
+
+The paper's figures 8, 10, 11 and 12 are message-sequence charts.  To
+*reproduce* them we record every protocol step (``get_signal``, signal
+transmission, ``set_response``, ``get_outcome``, workflow messages) in an
+:class:`EventLog` and assert the recorded sequence equals the figure's.
+The log doubles as a debugging aid and is cheap enough to leave enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol step."""
+
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+    timestamp: float = 0.0
+
+    def matches(self, kind: str, **detail: Any) -> bool:
+        """True if this event has ``kind`` and every given detail item."""
+        if self.kind != kind:
+            return False
+        return all(self.detail.get(key) == value for key, value in detail.items())
+
+    def brief(self) -> str:
+        parts = ", ".join(f"{k}={v!r}" for k, v in sorted(self.detail.items()))
+        return f"{self.kind}({parts})"
+
+
+class EventLog:
+    """An append-only trace of :class:`TraceEvent`.
+
+    The log can be shared by many components; a simulated clock may be
+    attached so events carry simulated timestamps.
+    """
+
+    def __init__(self, clock: Optional[Any] = None) -> None:
+        self._events: List[TraceEvent] = []
+        self._clock = clock
+        self._listeners: List[Callable[[TraceEvent], None]] = []
+
+    def record(self, kind: str, **detail: Any) -> TraceEvent:
+        timestamp = self._clock.now() if self._clock is not None else 0.0
+        event = TraceEvent(kind=kind, detail=detail, timestamp=timestamp)
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+        return event
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        wanted = set(kinds)
+        return [event for event in self._events if event.kind in wanted]
+
+    def kinds(self) -> List[str]:
+        return [event.kind for event in self._events]
+
+    def summary(self) -> List[str]:
+        return [event.brief() for event in self._events]
+
+    def sequence(self, *fields: str) -> List[Tuple[Any, ...]]:
+        """Project each event onto ``(kind, *detail[fields])`` tuples.
+
+        This is the form used to compare against the paper's sequence
+        charts: ``log.sequence("signal")`` yields e.g.
+        ``[("get_signal", "prepare"), ("transmit", "prepare"), ...]``.
+        """
+        return [
+            (event.kind,) + tuple(event.detail.get(name) for name in fields)
+            for event in self._events
+        ]
+
+    def assert_subsequence(self, expected: List[Tuple[Any, ...]], *fields: str) -> None:
+        """Assert ``expected`` appears in order (not necessarily contiguous).
+
+        Raises ``AssertionError`` with a readable diff otherwise.
+        """
+        actual = self.sequence(*fields)
+        position = 0
+        for step in expected:
+            while position < len(actual) and actual[position] != step:
+                position += 1
+            if position == len(actual):
+                raise AssertionError(
+                    f"expected step {step!r} not found in order; trace was:\n"
+                    + "\n".join(repr(item) for item in actual)
+                )
+            position += 1

@@ -1,0 +1,44 @@
+"""Deterministic identifier generation.
+
+CORBA object keys, transaction ids (``otid_t``) and activity ids (global
+activity identifiers) all need to be unique.  For reproducible tests and
+benches the generator is a simple namespaced counter rather than a UUID; the
+textual form stays stable across runs with the same call sequence.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict
+
+
+class IdGenerator:
+    """Produces ids of the form ``<namespace>-<n>``, unique per instance."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, itertools.count] = {}
+        self._lock = threading.Lock()
+
+    def next(self, namespace: str = "id") -> str:
+        with self._lock:
+            counter = self._counters.setdefault(namespace, itertools.count(1))
+            return f"{namespace}-{next(counter)}"
+
+    def reset(self) -> None:
+        """Forget all counters (tests only)."""
+        with self._lock:
+            self._counters.clear()
+
+
+_GLOBAL = IdGenerator()
+
+
+def fresh_uid(namespace: str = "uid") -> str:
+    """Return a fresh process-wide unique id in ``namespace``."""
+    return _GLOBAL.next(namespace)
+
+
+def reset_global_ids() -> None:
+    """Reset the process-wide generator (tests only)."""
+    _GLOBAL.reset()

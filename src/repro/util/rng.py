@@ -1,0 +1,66 @@
+"""Seeded randomness plumbing.
+
+All stochastic behaviour in the library (fault injection, latency sampling,
+workload generation) draws from a :class:`SeededRng` owned by the component,
+never from the global ``random`` module, so that every run is reproducible
+from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """A thin wrapper over :class:`random.Random` with convenience samplers."""
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self._seed = seed
+        self._random = random.Random(seed)
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self._seed
+
+    def fork(self, salt: str) -> "SeededRng":
+        """Derive an independent stream keyed by ``salt``.
+
+        Components that need their own stream (per node, per service) fork
+        from a root rng so adding a new consumer does not perturb others.
+        The derivation uses CRC32, not ``hash()``, so forked streams are
+        stable across processes (Python string hashing is randomised).
+        """
+        base = self._seed if self._seed is not None else 0
+        return SeededRng(zlib.crc32(f"{base}:{salt}".encode("utf-8")))
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability in [0, 1]."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        if probability == 0.0:
+            return False
+        return self._random.random() < probability
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def expovariate(self, rate: float) -> float:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        return self._random.expovariate(rate)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._random.choice(items)
+
+    def shuffle(self, items: list) -> None:
+        self._random.shuffle(items)

@@ -1,0 +1,27 @@
+"""Web Services Coordination Framework (§5.2).
+
+The WSCF variant of the Activity Service: activation and registration
+services hand out coordination contexts; protocols (atomic completion,
+BTP-style business completion) are built *entirely* on the framework —
+"the only noticeable difference … is that the former does not assume an
+underlying OTS implementation: all coordination services (including
+transactions) must be constructed on top of the framework".
+"""
+
+from repro.wscf.coordination import (
+    ActivationService,
+    CoordinationContext,
+    RegistrationService,
+    WscfCoordinator,
+    PROTOCOL_ATOMIC,
+    PROTOCOL_BUSINESS,
+)
+
+__all__ = [
+    "ActivationService",
+    "RegistrationService",
+    "CoordinationContext",
+    "WscfCoordinator",
+    "PROTOCOL_ATOMIC",
+    "PROTOCOL_BUSINESS",
+]

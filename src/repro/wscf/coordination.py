@@ -1,0 +1,147 @@
+"""WSCF activation/registration services and protocol coordination.
+
+The shape follows the HP submission the paper cites [21] (the lineage of
+WS-Coordination): an *activation service* creates a
+:class:`CoordinationContext` of a given coordination type; participants
+*register* for a named protocol of that context through a *registration
+service*; the coordinator terminates the context by driving the
+protocol's SignalSet over the registered participants.
+
+There is deliberately **no OTS underneath**: the atomic protocol here is
+the :class:`~repro.models.twopc.TwoPhaseCommitSignalSet` running directly
+on the Activity Service — transactions constructed on top of the
+framework, per §5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.action import Action
+from repro.core.activity import Activity
+from repro.core.exceptions import ActivityServiceError
+from repro.core.manager import ActivityManager
+from repro.core.signals import Outcome
+from repro.core.status import CompletionStatus
+from repro.exceptions import ReproError
+from repro.models.btp import (
+    COMPLETE_SET as BTP_COMPLETE_SET,
+    PREPARE_SET as BTP_PREPARE_SET,
+    BtpCompleteSignalSet,
+    BtpPrepareSignalSet,
+)
+from repro.models.twopc import SET_NAME as TWOPC_SET
+from repro.models.twopc import TwoPhaseCommitSignalSet
+from repro.orb.core import Servant
+from repro.orb.marshal import GLOBAL_REGISTRY
+from repro.orb.reference import ObjectRef
+
+PROTOCOL_ATOMIC = "wscf:atomic-outcome"
+PROTOCOL_BUSINESS = "wscf:business-outcome"
+
+
+class WscfError(ReproError):
+    """Coordination framework misuse."""
+
+
+@GLOBAL_REGISTRY.register_dataclass
+@dataclass(frozen=True)
+class CoordinationContext:
+    """The token a coordinator hands to prospective participants."""
+
+    context_id: str
+    coordination_type: str
+
+
+class WscfCoordinator:
+    """Owns the activities and signal sets behind issued contexts."""
+
+    def __init__(self, manager: Optional[ActivityManager] = None) -> None:
+        self.manager = manager if manager is not None else ActivityManager()
+        self._contexts: Dict[str, CoordinationContext] = {}
+        self._activities: Dict[str, Activity] = {}
+        self._terminated: Dict[str, Outcome] = {}
+
+    # -- activation ------------------------------------------------------------
+
+    def create_context(self, coordination_type: str) -> CoordinationContext:
+        if coordination_type not in (PROTOCOL_ATOMIC, PROTOCOL_BUSINESS):
+            raise WscfError(f"unknown coordination type {coordination_type!r}")
+        activity = self.manager.begin(name=f"wscf:{coordination_type}")
+        context = CoordinationContext(
+            context_id=activity.activity_id, coordination_type=coordination_type
+        )
+        self._contexts[context.context_id] = context
+        self._activities[context.context_id] = activity
+        if coordination_type == PROTOCOL_ATOMIC:
+            activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+        else:
+            activity.register_signal_set(BtpPrepareSignalSet())
+            activity.register_signal_set(BtpCompleteSignalSet(), completion=True)
+        return context
+
+    # -- registration -------------------------------------------------------------
+
+    def register(
+        self,
+        context_id: str,
+        participant: Union[Action, ObjectRef],
+        protocol: Optional[str] = None,
+    ) -> None:
+        activity = self._activity(context_id)
+        context = self._contexts[context_id]
+        if context.coordination_type == PROTOCOL_ATOMIC:
+            activity.add_action(TWOPC_SET, participant)
+        else:
+            activity.add_action(BTP_PREPARE_SET, participant)
+            activity.add_action(BTP_COMPLETE_SET, participant)
+
+    # -- termination -----------------------------------------------------------------
+
+    def prepare(self, context_id: str) -> Outcome:
+        """Business-outcome contexts: drive the explicit prepare phase."""
+        context = self._contexts.get(context_id)
+        if context is None or context.coordination_type != PROTOCOL_BUSINESS:
+            raise WscfError("prepare applies to business-outcome contexts only")
+        return self._activity(context_id).signal(BTP_PREPARE_SET)
+
+    def terminate(self, context_id: str, success: bool = True) -> Outcome:
+        activity = self._activity(context_id)
+        status = CompletionStatus.SUCCESS if success else CompletionStatus.FAIL
+        outcome = activity.complete(status)
+        self._terminated[context_id] = outcome
+        del self._activities[context_id]
+        return outcome
+
+    def outcome_of(self, context_id: str) -> Optional[Outcome]:
+        return self._terminated.get(context_id)
+
+    def _activity(self, context_id: str) -> Activity:
+        try:
+            return self._activities[context_id]
+        except KeyError:
+            raise WscfError(f"unknown or terminated context {context_id!r}") from None
+
+
+class ActivationService(Servant):
+    """Remote-invocable facade over :meth:`WscfCoordinator.create_context`."""
+
+    def __init__(self, coordinator: WscfCoordinator) -> None:
+        self._coordinator = coordinator
+
+    def create_coordination_context(self, coordination_type: str) -> CoordinationContext:
+        return self._coordinator.create_context(coordination_type)
+
+
+class RegistrationService(Servant):
+    """Remote-invocable facade over :meth:`WscfCoordinator.register`."""
+
+    def __init__(self, coordinator: WscfCoordinator) -> None:
+        self._coordinator = coordinator
+
+    def register_participant(
+        self, context_id: str, participant_ref: ObjectRef, protocol: str = ""
+    ) -> bool:
+        self._coordinator.register(context_id, participant_ref, protocol or None)
+        return True

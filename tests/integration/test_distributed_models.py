@@ -1,0 +1,173 @@
+"""Integration: extended transaction models with *remote* participants.
+
+Every test here drives a model whose Actions live on different simulated
+nodes, with the full marshalling + interceptor + transport path in
+between — including runs under message loss and duplication.
+"""
+
+import pytest
+
+from repro.core import (
+    ActivityManager,
+    CompletionStatus,
+    IdempotentAction,
+    RecordingAction,
+)
+from repro.models import (
+    BtpAtom,
+    BtpParticipant,
+    BtpStatus,
+    TwoPhaseCommitSignalSet,
+    TwoPhaseParticipant,
+)
+from repro.models.btp import COMPLETE_SET, PREPARE_SET
+from repro.models.twopc import SET_NAME as TWOPC_SET
+from repro.orb import FaultPlan, Orb
+from repro.util.rng import SeededRng
+
+
+@pytest.fixture
+def deployment():
+    class Deployment:
+        def __init__(self):
+            self.orb = Orb(rng=SeededRng(11))
+            self.coordinator_node = self.orb.create_node("coordinator")
+            self.service_nodes = [
+                self.orb.create_node(f"service-{i}") for i in range(3)
+            ]
+            self.manager = ActivityManager(clock=self.orb.clock)
+            self.manager.install(self.orb)
+
+    return Deployment()
+
+
+class TestRemote2pc:
+    def test_commit_across_three_nodes(self, deployment):
+        participants = []
+        refs = []
+        for index, node in enumerate(deployment.service_nodes):
+            participant = TwoPhaseParticipant(f"p{index}")
+            participants.append(participant)
+            refs.append(node.activate(participant, interface="Action"))
+        activity = deployment.manager.current.begin("distributed-2pc")
+        for ref in refs:
+            activity.add_action(TWOPC_SET, ref)
+        activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+        outcome = deployment.manager.current.complete(CompletionStatus.SUCCESS)
+        assert outcome.name == "committed"
+        assert all(p.committed for p in participants)
+
+    def test_remote_no_vote_rolls_back_all(self, deployment):
+        refuser = TwoPhaseParticipant("refuser", on_prepare=lambda: False)
+        acceptor = TwoPhaseParticipant("acceptor")
+        ref_a = deployment.service_nodes[0].activate(acceptor, interface="Action")
+        ref_r = deployment.service_nodes[1].activate(refuser, interface="Action")
+        activity = deployment.manager.current.begin()
+        activity.add_action(TWOPC_SET, ref_a)
+        activity.add_action(TWOPC_SET, ref_r)
+        activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+        outcome = deployment.manager.current.complete(CompletionStatus.SUCCESS)
+        assert outcome.name == "rolled_back"
+        assert acceptor.rolled_back
+
+    def test_commit_under_lossy_duplicating_network(self, deployment):
+        """At-least-once delivery + idempotent participants ⇒ the protocol
+        outcome is unaffected by drops and duplicates (§3.4)."""
+        participants = [TwoPhaseParticipant(f"p{i}") for i in range(3)]
+        activity = deployment.manager.current.begin("noisy-2pc")
+        for participant, node in zip(participants, deployment.service_nodes):
+            ref = node.activate(IdempotentAction(participant), interface="Action")
+            activity.add_action(TWOPC_SET, ref)
+        deployment.orb.transport.set_fault_plan(
+            FaultPlan(drop_probability=0.15, duplicate_probability=0.25)
+        )
+        # Generate some preliminary signal traffic so the fault assertions
+        # below are statistically certain, then run the commit protocol.
+        from repro.core import BroadcastSignalSet
+
+        warm_recorder = RecordingAction("warm")
+        warm_ref = deployment.service_nodes[0].activate(
+            IdempotentAction(warm_recorder), interface="Action"
+        )
+        activity.add_action("warmup", warm_ref)
+        for round_number in range(15):
+            activity.register_signal_set(
+                BroadcastSignalSet(f"warm-{round_number}", signal_set_name="warmup")
+            )
+            activity.signal("warmup")
+        activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+        outcome = deployment.manager.current.complete(CompletionStatus.SUCCESS)
+        assert outcome.name == "committed"
+        assert all(p.committed for p in participants)
+        assert all(not p.rolled_back for p in participants)
+        # The network really did misbehave.
+        stats = deployment.orb.transport.stats
+        assert stats.requests_dropped + stats.replies_dropped > 0
+        assert stats.duplicates_delivered > 0
+
+    def test_crashed_participant_node_rolls_back(self, deployment):
+        healthy = TwoPhaseParticipant("healthy")
+        doomed = TwoPhaseParticipant("doomed")
+        ref_h = deployment.service_nodes[0].activate(healthy, interface="Action")
+        ref_d = deployment.service_nodes[1].activate(doomed, interface="Action")
+        activity = deployment.manager.current.begin()
+        activity.add_action(TWOPC_SET, ref_h)
+        activity.add_action(TWOPC_SET, ref_d)
+        deployment.service_nodes[1].crash()
+        activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+        outcome = deployment.manager.current.complete(CompletionStatus.SUCCESS)
+        assert outcome.name == "rolled_back"
+        assert healthy.rolled_back
+
+
+class TestRemoteBtp:
+    def test_atom_with_remote_participants(self, deployment):
+        manager = deployment.manager
+        atom = BtpAtom(manager, "remote-atom")
+        participants = [BtpParticipant(f"svc{i}") for i in range(2)]
+        for participant, node in zip(participants, deployment.service_nodes):
+            ref = node.activate(participant, interface="Action")
+            atom.activity.add_action(PREPARE_SET, ref)
+            atom.activity.add_action(COMPLETE_SET, ref)
+            atom.participants.append(participant)
+        assert atom.prepare()
+        atom.confirm()
+        assert all(p.status is BtpStatus.CONFIRMED for p in participants)
+
+    def test_atom_under_lossy_network(self, deployment):
+        manager = deployment.manager
+        atom = BtpAtom(manager, "noisy-atom")
+        participant = BtpParticipant("svc")
+        ref = deployment.service_nodes[0].activate(
+            IdempotentAction(participant), interface="Action"
+        )
+        atom.activity.add_action(PREPARE_SET, ref)
+        atom.activity.add_action(COMPLETE_SET, ref)
+        deployment.orb.transport.set_fault_plan(
+            FaultPlan(drop_probability=0.2, duplicate_probability=0.2)
+        )
+        assert atom.prepare()
+        atom.confirm()
+        assert participant.status is BtpStatus.CONFIRMED
+
+
+class TestRemoteActivityEnlistment:
+    def test_action_registered_with_exported_activity(self, deployment):
+        """One activity enlists an action with another, remotely, via the
+        exported activity reference (the workflow/BTP enrolment pattern)."""
+        manager = deployment.manager
+        target = manager.begin("target")
+        target_ref = manager.export(target, deployment.coordinator_node)
+        recorder = RecordingAction("remote-recorder")
+        recorder_ref = deployment.service_nodes[0].activate(
+            recorder, interface="Action"
+        )
+        # Remote enlistment: invoke add_action on the activity servant.
+        target_ref.invoke("enlist", "events", recorder_ref)
+        from repro.core import BroadcastSignalSet
+
+        target.register_signal_set(
+            BroadcastSignalSet("poke", signal_set_name="events")
+        )
+        target_ref.invoke("signal", "events")
+        assert recorder.signal_names == ["poke"]

@@ -1,0 +1,207 @@
+"""Integration: the full figs 1–2 travel scenario across three models.
+
+Runs the same business process (taxi → restaurant ∥ theatre → hotel)
+through the workflow engine, a saga, and BTP cohesion, verifying that
+all three leave the inventory in the same state — the paper's claim that
+the framework hosts many models over one infrastructure.
+"""
+
+import pytest
+
+from repro.apps import TravelScenario
+from repro.core import ActivityManager
+from repro.models import (
+    BtpAtom,
+    BtpCohesion,
+    BtpParticipant,
+    BtpStatus,
+    Saga,
+    TaskState,
+    Workflow,
+    WorkflowEngine,
+)
+
+
+@pytest.fixture
+def scenario():
+    return TravelScenario(capacity=4)
+
+
+@pytest.fixture
+def manager():
+    return ActivityManager()
+
+
+def build_travel_workflow(scenario, hotel_fails):
+    booked = {}
+
+    def book(name):
+        def work(ctx):
+            booking = scenario.service_by_name(name).reserve("client")
+            booked[name] = booking
+            return booking
+
+        return work
+
+    def unbook(name):
+        def compensation(ctx):
+            return scenario.service_by_name(name).release(booked[name])
+
+        return compensation
+
+    def hotel(ctx):
+        if hotel_fails:
+            raise RuntimeError("no rooms")
+        return book("hotel")(ctx)
+
+    workflow = Workflow("trip")
+    workflow.add_task("taxi", book("taxi"))
+    workflow.add_task("restaurant", book("restaurant"), deps=["taxi"],
+                      compensation=unbook("restaurant"))
+    workflow.add_task("theatre", book("theatre"), deps=["taxi"])
+    workflow.add_task("hotel", hotel, deps=["restaurant", "theatre"])
+    workflow.add_task("cinema", lambda ctx: "cinema", fallback=True)
+    workflow.on_failure("hotel", compensate=["restaurant"], continue_with=["cinema"])
+    return workflow
+
+
+class TestWorkflowModel:
+    def test_no_failure_books_everything(self, scenario, manager):
+        engine = WorkflowEngine(manager, tx_factory=scenario.factory)
+        result = engine.run(build_travel_workflow(scenario, hotel_fails=False))
+        assert result.succeeded
+        assert scenario.taxi.available() == 3
+        assert scenario.hotel.available() == 3
+
+    def test_hotel_failure_compensates_restaurant(self, scenario, manager):
+        engine = WorkflowEngine(manager, tx_factory=scenario.factory)
+        result = engine.run(build_travel_workflow(scenario, hotel_fails=True))
+        assert result.state("hotel") is TaskState.FAILED
+        assert result.state("restaurant") is TaskState.COMPENSATED
+        assert result.state("cinema") is TaskState.COMPLETED
+        assert scenario.restaurant.available() == 4, "table returned"
+        assert scenario.taxi.available() == 3, "taxi kept"
+        assert scenario.hotel.available() == 4
+
+
+class TestSagaModel:
+    def test_saga_failure_compensates_reverse_prefix(self, scenario, manager):
+        booked = {}
+
+        def book(name):
+            def work(ctx):
+                booked[name] = scenario.service_by_name(name).reserve("client")
+                return booked[name]
+
+            return work
+
+        def unbook(name):
+            def compensate(ctx):
+                scenario.service_by_name(name).release(booked[name])
+
+            return compensate
+
+        def hotel_fails(ctx):
+            raise RuntimeError("no rooms")
+
+        saga = Saga(manager, "trip")
+        saga.add_step("taxi", book("taxi"), compensation=unbook("taxi"))
+        saga.add_step("restaurant", book("restaurant"), compensation=unbook("restaurant"))
+        saga.add_step("theatre", book("theatre"), compensation=unbook("theatre"))
+        saga.add_step("hotel", hotel_fails)
+        result = saga.run()
+        assert result.failed_step == "hotel"
+        assert result.compensated == ["theatre", "restaurant", "taxi"]
+        assert scenario.total_available() == 16, "saga undid the whole prefix"
+
+    def test_saga_success_keeps_bookings(self, scenario, manager):
+        saga = Saga(manager, "trip")
+        for name in ("taxi", "restaurant", "theatre", "hotel"):
+            saga.add_step(
+                name,
+                lambda ctx, n=name: scenario.service_by_name(n).reserve("client"),
+                compensation=lambda ctx, n=name: None,
+            )
+        result = saga.run()
+        assert result.succeeded
+        assert scenario.total_available() == 12
+
+
+class TestBtpModel:
+    def make_cohesion(self, scenario, manager):
+        cohesion = BtpCohesion(manager, "trip")
+        for service in scenario.services:
+            holds = {}
+            atom = BtpAtom(manager, service.name)
+            atom.enroll(
+                BtpParticipant(
+                    service.name,
+                    on_prepare=lambda s=service, h=holds: h.setdefault(
+                        "id", s.prepare_booking("client")
+                    ) is not None,
+                    on_confirm=lambda s=service, h=holds: s.confirm_booking(h["id"]),
+                    on_cancel=lambda s=service, h=holds: (
+                        s.cancel_booking(h["id"]) if "id" in h else None
+                    ),
+                )
+            )
+            cohesion.enroll(atom)
+        return cohesion
+
+    def test_full_confirm_set(self, scenario, manager):
+        cohesion = self.make_cohesion(scenario, manager)
+        outcomes = cohesion.confirm(["taxi", "restaurant", "theatre", "hotel"])
+        assert all(status is BtpStatus.CONFIRMED for status in outcomes.values())
+        assert scenario.total_available() == 12
+        assert all(s.booking_count() == 1 for s in scenario.services)
+
+    def test_partial_confirm_set_cancels_rest(self, scenario, manager):
+        cohesion = self.make_cohesion(scenario, manager)
+        cohesion.cancel_member("hotel")
+        outcomes = cohesion.confirm(["taxi", "restaurant", "theatre"])
+        assert outcomes["hotel"] is BtpStatus.CANCELLED
+        assert scenario.hotel.available() == 4
+        assert scenario.hotel.booking_count() == 0
+        assert scenario.taxi.booking_count() == 1
+        assert all(s.holds_outstanding == 0 for s in scenario.services)
+
+
+class TestCrossModelEquivalence:
+    def test_failure_paths_leave_equivalent_inventory(self, manager):
+        """Workflow-with-compensation and BTP-cancel leave the same
+        inventory: hotel untouched, taxi/theatre booked, restaurant free."""
+        wf_scenario = TravelScenario(capacity=4)
+        engine = WorkflowEngine(ActivityManager(), tx_factory=wf_scenario.factory)
+        engine.run(build_travel_workflow(wf_scenario, hotel_fails=True))
+
+        btp_scenario = TravelScenario(capacity=4)
+        cohesion = BtpCohesion(ActivityManager(), "trip")
+        for service in btp_scenario.services:
+            holds = {}
+            atom = BtpAtom(cohesion.manager, service.name)
+            atom.enroll(
+                BtpParticipant(
+                    service.name,
+                    on_prepare=lambda s=service, h=holds: h.setdefault(
+                        "id", s.prepare_booking("client")
+                    ) is not None,
+                    on_confirm=lambda s=service, h=holds: s.confirm_booking(h["id"]),
+                    on_cancel=lambda s=service, h=holds: (
+                        s.cancel_booking(h["id"]) if "id" in h else None
+                    ),
+                )
+            )
+            cohesion.enroll(atom)
+        cohesion.cancel_member("restaurant")
+        cohesion.cancel_member("hotel")
+        cohesion.confirm(["taxi", "theatre"])
+
+        for name in ("taxi", "theatre"):
+            assert (
+                wf_scenario.service_by_name(name).booking_count()
+                == btp_scenario.service_by_name(name).booking_count()
+                == 1
+            )
+        for name in ("restaurant", "hotel"):
+            assert wf_scenario.service_by_name(name).available() == 4
+            assert btp_scenario.service_by_name(name).available() == 4

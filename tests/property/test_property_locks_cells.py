@@ -1,0 +1,138 @@
+"""Property-based tests on lock-manager and transactional-cell invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ots import TransactionFactory, TransactionalCell
+from repro.ots.locks import LockConflict, LockManager, LockMode
+
+
+class TestLockInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),     # transaction index
+                st.integers(min_value=0, max_value=3),     # key index
+                st.sampled_from([LockMode.READ, LockMode.WRITE]),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_never_two_writers_and_writer_excludes_readers(self, operations):
+        factory = TransactionFactory()
+        locks = factory.lock_manager
+        transactions = [factory.create() for _ in range(5)]
+        for tx_index, key_index, mode in operations:
+            tx = transactions[tx_index]
+            key = f"k{key_index}"
+            try:
+                locks.acquire(tx, key, mode)
+            except LockConflict:
+                pass
+            # Invariant check after every step.
+            for check_key in {f"k{i}" for i in range(4)}:
+                holders = locks.holders(check_key)
+                writers = [t for t, m in holders if m is LockMode.WRITE]
+                readers = [t for t, m in holders if m is LockMode.READ]
+                assert len(writers) <= 1
+                if writers:
+                    # Top-level transactions here: a writer excludes all
+                    # other holders entirely.
+                    assert len(holders) == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.sampled_from([LockMode.READ, LockMode.WRITE]),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_release_all_leaves_no_residue(self, operations):
+        factory = TransactionFactory()
+        locks = factory.lock_manager
+        transactions = [factory.create() for _ in range(4)]
+        for tx_index, mode in operations:
+            try:
+                locks.acquire(transactions[tx_index], f"k{tx_index % 2}", mode)
+            except LockConflict:
+                pass
+        for tx in transactions:
+            locks.release_all(tx)
+        for key in ("k0", "k1"):
+            assert locks.holders(key) == []
+        for tx in transactions:
+            assert locks.keys_held_by(tx) == set()
+
+
+class TestCellSerialisability:
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_serial_transactions_apply_in_order(self, writes):
+        factory = TransactionFactory()
+        cell = TransactionalCell("c", 0, factory)
+        for value in writes:
+            tx = factory.create()
+            cell.write(tx, value)
+            tx.commit()
+        assert cell.read() == writes[-1]
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=8),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_aborted_transactions_leave_no_trace(self, deltas, data):
+        commit_mask = data.draw(
+            st.lists(st.booleans(), min_size=len(deltas), max_size=len(deltas))
+        )
+        factory = TransactionFactory()
+        cell = TransactionalCell("c", 0, factory)
+        expected = 0
+        for delta, commits in zip(deltas, commit_mask):
+            tx = factory.create()
+            cell.write(tx, cell.read(tx) + delta)
+            if commits:
+                tx.commit()
+                expected += delta
+            else:
+                tx.rollback()
+        assert cell.read() == expected
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=6))
+    @settings(max_examples=75, deadline=None)
+    def test_nested_chain_all_or_nothing(self, deltas):
+        """A chain of nested transactions all commit with the top level or
+        none do."""
+        factory = TransactionFactory()
+        cell = TransactionalCell("c", 0, factory)
+        # Build a nested chain, each level adding its delta.
+        top = factory.create()
+        current = top
+        stack = [top]
+        cell.write(top, deltas[0])
+        for delta in deltas[1:]:
+            current = current.begin_subtransaction()
+            stack.append(current)
+            cell.write(current, cell.read(current) + delta)
+        # Commit inner-to-outer except the top; then roll back the top.
+        for tx in reversed(stack[1:]):
+            tx.commit()
+        top.rollback()
+        assert cell.read() == 0
+        # And the committed variant:
+        cell2 = TransactionalCell("c2", 0, factory)
+        top = factory.create()
+        current = top
+        stack = [top]
+        cell2.write(top, deltas[0])
+        for delta in deltas[1:]:
+            current = current.begin_subtransaction()
+            stack.append(current)
+            cell2.write(current, cell2.read(current) + delta)
+        for tx in reversed(stack):
+            tx.commit()
+        assert cell2.read() == sum(deltas)

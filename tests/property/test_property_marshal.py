@@ -1,0 +1,99 @@
+"""Property-based tests: marshalling is a lossless involution."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signals import Outcome, Signal
+from repro.orb.marshal import Marshaller
+from repro.orb.reference import ObjectRef
+
+# Wire-legal scalar values.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+)
+
+# Recursive wire-legal values (keys restricted to hashables).
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+        st.tuples(children, children),
+    ),
+    max_leaves=25,
+)
+
+
+def roundtrip(value):
+    marshaller = Marshaller()
+    return marshaller.decode(marshaller.encode(value))
+
+
+class TestRoundtrip:
+    @given(values)
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_values_roundtrip(self, value):
+        assert roundtrip(value) == value
+
+    @given(values)
+    @settings(max_examples=50, deadline=None)
+    def test_double_roundtrip_stable(self, value):
+        once = roundtrip(value)
+        twice = roundtrip(once)
+        assert once == twice
+
+    @given(st.text(max_size=20), st.text(max_size=20), values)
+    @settings(max_examples=100, deadline=None)
+    def test_signals_roundtrip(self, name, set_name, data):
+        signal = Signal(name, set_name, data)
+        assert roundtrip(signal) == signal
+
+    @given(st.text(max_size=20), values, st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_outcomes_roundtrip(self, name, data, is_error):
+        outcome = Outcome(name=name, data=data, is_error=is_error)
+        assert roundtrip(outcome) == outcome
+
+    @given(st.text(min_size=1, max_size=10), st.text(min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_object_refs_roundtrip(self, node_id, object_id):
+        ref = ObjectRef(node_id, object_id, "Iface")
+        copy = roundtrip(ref)
+        assert copy == ref
+        assert copy.interface == "Iface"
+
+    @given(st.lists(values, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_mutation_of_copy_never_aliases(self, items):
+        original = {"items": list(items)}
+        copy = roundtrip(original)
+        copy["items"].append("sentinel")
+        assert len(original["items"]) == len(items)
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=-(2**63), max_value=2**63 - 1), scalars, max_size=8
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dict_key_types_preserved(self, mapping):
+        assert roundtrip(mapping) == mapping
+
+    @given(st.integers(min_value=2**63, max_value=2**70))
+    @settings(max_examples=20, deadline=None)
+    def test_out_of_range_integers_raise_marshal_error(self, value):
+        from repro.orb.marshal import MarshalError
+        import pytest
+
+        with pytest.raises(MarshalError):
+            Marshaller().encode(value)
+
+    @given(st.sets(st.integers(min_value=-1000, max_value=1000), max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_sets_roundtrip(self, items):
+        assert roundtrip(items) == items

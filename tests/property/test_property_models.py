@@ -1,0 +1,160 @@
+"""Property-based tests on model invariants: 2PC atomicity, saga
+compensation symmetry, completion-status latching, BTP outcome splits."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ActivityManager, CompletionStatus
+from repro.models import (
+    BtpAtom,
+    BtpCohesion,
+    BtpParticipant,
+    BtpStatus,
+    Saga,
+    TwoPhaseCommitSignalSet,
+    TwoPhaseParticipant,
+)
+from repro.models.twopc import SET_NAME as TWOPC_SET
+
+# A participant behaviour: True = vote commit, False = vote rollback,
+# None = read-only.
+votes = st.lists(
+    st.sampled_from([True, False, None]), min_size=0, max_size=8
+)
+
+
+class TestTwoPhaseAtomicity:
+    @given(votes)
+    @settings(max_examples=150, deadline=None)
+    def test_all_or_nothing(self, behaviours):
+        """Either every yes-voter commits, or no participant commits."""
+        manager = ActivityManager()
+        participants = [
+            TwoPhaseParticipant(f"p{i}", on_prepare=lambda b=b: b)
+            for i, b in enumerate(behaviours)
+        ]
+        activity = manager.begin()
+        for participant in participants:
+            activity.add_action(TWOPC_SET, participant)
+        activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+        outcome = activity.complete(CompletionStatus.SUCCESS)
+
+        any_no = any(b is False for b in behaviours)
+        committed = [p for p in participants if p.committed]
+        if any_no:
+            assert outcome.name == "rolled_back"
+            assert committed == [], "atomicity violated: someone committed"
+        else:
+            assert outcome.name == "committed"
+            expected = [p for p, b in zip(participants, behaviours) if b is True]
+            assert committed == expected
+
+    @given(votes)
+    @settings(max_examples=100, deadline=None)
+    def test_no_participant_both_committed_and_rolled_back(self, behaviours):
+        manager = ActivityManager()
+        participants = [
+            TwoPhaseParticipant(f"p{i}", on_prepare=lambda b=b: b)
+            for i, b in enumerate(behaviours)
+        ]
+        activity = manager.begin()
+        for participant in participants:
+            activity.add_action(TWOPC_SET, participant)
+        activity.register_signal_set(TwoPhaseCommitSignalSet(), completion=True)
+        activity.complete(CompletionStatus.SUCCESS)
+        for participant in participants:
+            assert not (participant.committed and participant.rolled_back)
+
+
+class TestSagaCompensationSymmetry:
+    @given(st.integers(min_value=0, max_value=8), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_compensations_are_reverse_of_completed_prefix(self, steps, data):
+        fail_at = data.draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=max(steps - 1, 0)))
+            if steps
+            else st.none()
+        )
+        manager = ActivityManager()
+        log = []
+        saga = Saga(manager, "property")
+        for index in range(steps):
+            def work(ctx, i=index):
+                if fail_at is not None and i == fail_at:
+                    raise RuntimeError("injected")
+                log.append(f"do-{i}")
+
+            saga.add_step(
+                f"s{index}", work,
+                compensation=lambda ctx, i=index: log.append(f"undo-{i}"),
+            )
+        result = saga.run()
+        if fail_at is None:
+            assert result.succeeded
+            assert all(not entry.startswith("undo") for entry in log)
+        else:
+            done = [entry for entry in log if entry.startswith("do-")]
+            undone = [entry for entry in log if entry.startswith("undo-")]
+            assert done == [f"do-{i}" for i in range(fail_at)]
+            assert undone == [f"undo-{i}" for i in reversed(range(fail_at))]
+
+
+class TestCompletionStatusLattice:
+    transitions = st.lists(
+        st.sampled_from(list(CompletionStatus)), min_size=0, max_size=10
+    )
+
+    @given(transitions)
+    @settings(max_examples=150, deadline=None)
+    def test_fail_only_latches_under_any_sequence(self, sequence):
+        manager = ActivityManager()
+        activity = manager.begin()
+        latched = False
+        for status in sequence:
+            try:
+                activity.set_completion_status(status)
+                applied = True
+            except Exception:
+                applied = False
+            if status is CompletionStatus.FAIL_ONLY:
+                latched = True
+            if latched:
+                assert (
+                    activity.get_completion_status() is CompletionStatus.FAIL_ONLY
+                )
+                if status is not CompletionStatus.FAIL_ONLY:
+                    assert not applied
+            elif applied:
+                assert activity.get_completion_status() is status
+
+
+class TestBtpCohesionSplit:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.data(),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_confirm_set_members_confirm_rest_cancel(self, members, data):
+        confirm_mask = data.draw(
+            st.lists(st.booleans(), min_size=members, max_size=members)
+        )
+        manager = ActivityManager()
+        cohesion = BtpCohesion(manager, "c")
+        participants = {}
+        for index in range(members):
+            name = f"m{index}"
+            atom = BtpAtom(manager, name)
+            participant = BtpParticipant(name)
+            atom.enroll(participant)
+            cohesion.enroll(atom)
+            participants[name] = participant
+        confirm_set = [f"m{i}" for i, keep in enumerate(confirm_mask) if keep]
+        outcomes = cohesion.confirm(confirm_set)
+        for index in range(members):
+            name = f"m{index}"
+            if confirm_mask[index]:
+                assert outcomes[name] is BtpStatus.CONFIRMED
+                assert participants[name].status is BtpStatus.CONFIRMED
+            else:
+                assert outcomes[name] is BtpStatus.CANCELLED
+                assert participants[name].status is BtpStatus.CANCELLED

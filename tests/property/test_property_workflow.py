@@ -1,0 +1,116 @@
+"""Property-based tests: workflow execution respects the task graph."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ActivityManager
+from repro.models import TaskState, Workflow, WorkflowEngine
+
+
+@st.composite
+def task_graphs(draw):
+    """A random DAG over up to 7 tasks (edges only point backwards) with a
+    random failure set."""
+    count = draw(st.integers(min_value=1, max_value=7))
+    edges = []
+    for index in range(count):
+        if index == 0:
+            edges.append([])
+            continue
+        predecessors = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=index - 1),
+                max_size=min(index, 3),
+                unique=True,
+            )
+        )
+        edges.append(predecessors)
+    failing = draw(
+        st.sets(st.integers(min_value=0, max_value=count - 1), max_size=2)
+    )
+    return count, edges, failing
+
+
+class TestWorkflowGraphProperties:
+    @given(task_graphs())
+    @settings(max_examples=120, deadline=None)
+    def test_execution_respects_dependencies_and_failures(self, graph):
+        count, edges, failing = graph
+        executed = []
+        workflow = Workflow("prop")
+        for index in range(count):
+            def work(ctx, i=index):
+                if i in failing:
+                    raise RuntimeError(f"task {i} fails")
+                executed.append(i)
+                return i
+
+            workflow.add_task(
+                f"t{index}", work, deps=[f"t{d}" for d in edges[index]]
+            )
+        result = WorkflowEngine(ActivityManager()).run(workflow)
+
+        states = {int(name[1:]): state for name, state in result.states.items()}
+        for index in range(count):
+            state = states[index]
+            deps_completed = all(
+                states[d] is TaskState.COMPLETED for d in edges[index]
+            )
+            if index in failing:
+                # A failing task either failed (deps met) or was skipped.
+                assert state in (TaskState.FAILED, TaskState.SKIPPED)
+                if state is TaskState.FAILED:
+                    assert deps_completed
+            elif state is TaskState.COMPLETED:
+                # Completed ⇒ every dependency completed first, in order.
+                assert deps_completed
+                for dep in edges[index]:
+                    assert executed.index(dep) < executed.index(index)
+            else:
+                # Skipped ⇒ some (transitive) dependency failed/skipped.
+                assert state is TaskState.SKIPPED
+                assert any(
+                    states[d] in (TaskState.FAILED, TaskState.SKIPPED)
+                    for d in edges[index]
+                )
+
+    @given(task_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_no_failures_means_everything_completes(self, graph):
+        count, edges, _ = graph
+        workflow = Workflow("prop-ok")
+        for index in range(count):
+            workflow.add_task(
+                f"t{index}", lambda ctx: None, deps=[f"t{d}" for d in edges[index]]
+            )
+        result = WorkflowEngine(ActivityManager()).run(workflow)
+        assert result.succeeded
+        assert all(
+            state is TaskState.COMPLETED for state in result.states.values()
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_linear_chain_stops_at_first_failure(self, length, data):
+        fail_at = data.draw(st.integers(min_value=0, max_value=length - 1))
+        workflow = Workflow("chain")
+        for index in range(length):
+            def work(ctx, i=index):
+                if i == fail_at:
+                    raise RuntimeError("boom")
+                return i
+
+            deps = [f"t{index - 1}"] if index else []
+            workflow.add_task(f"t{index}", work, deps=deps)
+        result = WorkflowEngine(ActivityManager()).run(workflow)
+        for index in range(length):
+            state = result.states[f"t{index}"]
+            if index < fail_at:
+                assert state is TaskState.COMPLETED
+            elif index == fail_at:
+                assert state is TaskState.FAILED
+            else:
+                assert state is TaskState.SKIPPED

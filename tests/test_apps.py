@@ -1,0 +1,280 @@
+"""Application substrates: travel, bulletin board, name server, billing."""
+
+import pytest
+
+from repro.apps import (
+    BillingMeter,
+    BookingError,
+    BulletinBoard,
+    ReplicatedNameServer,
+    TravelScenario,
+)
+from repro.apps.bulletin_board import BulletinBoardError
+from repro.apps.name_server import NameServerError
+from repro.apps.billing import BillingError
+from repro.core import ActivityManager
+from repro.models import OpenNestedCoordinator
+from repro.ots import TransactionCurrent, TransactionFactory
+from repro.ots.locks import LockConflict
+
+
+@pytest.fixture
+def env():
+    class Env:
+        def __init__(self):
+            self.factory = TransactionFactory()
+            self.current = TransactionCurrent(self.factory)
+
+    return Env()
+
+
+class TestTravelServices:
+    @pytest.fixture
+    def scenario(self, env):
+        return TravelScenario(env.factory, env.current, capacity=3)
+
+    def test_reserve_in_transaction(self, scenario, env):
+        env.current.begin()
+        booking = scenario.taxi.reserve("alice")
+        env.current.commit()
+        assert scenario.taxi.available() == 2
+        assert scenario.taxi.bookings_of("alice") == [booking]
+
+    def test_rollback_undoes_reservation(self, scenario, env):
+        env.current.begin()
+        scenario.taxi.reserve("alice")
+        env.current.rollback()
+        assert scenario.taxi.available() == 3
+        assert scenario.taxi.booking_count() == 0
+
+    def test_auto_commit_without_transaction(self, scenario):
+        booking = scenario.hotel.reserve("bob")
+        assert scenario.hotel.available() == 2
+        scenario.hotel.release(booking)
+        assert scenario.hotel.available() == 3
+
+    def test_capacity_exhaustion(self, scenario):
+        for i in range(3):
+            scenario.theatre.reserve(f"client-{i}")
+        with pytest.raises(BookingError):
+            scenario.theatre.reserve("late")
+        assert scenario.theatre.denied_requests == 1
+
+    def test_release_unknown_booking(self, scenario):
+        with pytest.raises(BookingError):
+            scenario.taxi.release("ghost")
+
+    def test_long_transaction_locks_out_others(self, scenario, env):
+        """The §2.1(iv) motivation: a monolithic transaction holds locks."""
+        tx = env.current.begin()
+        scenario.taxi.reserve("holder")
+        assert scenario.taxi.is_locked()
+        suspended = env.current.suspend()
+        other = env.factory.create()
+        with pytest.raises(LockConflict):
+            scenario.taxi._available.read(other)
+        other.rollback()
+        env.current.resume(suspended)
+        env.current.commit()
+        assert not scenario.taxi.is_locked()
+
+    def test_btp_hold_confirm(self, scenario):
+        hold = scenario.hotel.prepare_booking("carol")
+        assert scenario.hotel.available() == 2
+        assert scenario.hotel.holds_outstanding == 1
+        booking = scenario.hotel.confirm_booking(hold)
+        assert scenario.hotel.booking_count() == 1
+        assert scenario.hotel.holds_outstanding == 0
+        assert booking in scenario.hotel.bookings_of("carol")
+
+    def test_btp_hold_cancel_returns_unit(self, scenario):
+        hold = scenario.hotel.prepare_booking("carol")
+        assert scenario.hotel.cancel_booking(hold)
+        assert scenario.hotel.available() == 3
+        assert not scenario.hotel.cancel_booking(hold), "cancel is idempotent"
+
+    def test_confirm_unknown_hold(self, scenario):
+        with pytest.raises(BookingError):
+            scenario.hotel.confirm_booking("ghost")
+
+    def test_holds_denied_when_full(self, scenario):
+        for i in range(3):
+            scenario.taxi.prepare_booking(f"c{i}")
+        with pytest.raises(BookingError):
+            scenario.taxi.prepare_booking("late")
+
+    def test_scenario_helpers(self, scenario):
+        assert scenario.service_by_name("taxi") is scenario.taxi
+        with pytest.raises(BookingError):
+            scenario.service_by_name("submarine")
+        assert scenario.total_available() == 12
+
+    def test_negative_capacity_rejected(self, env):
+        from repro.apps import TaxiService
+
+        with pytest.raises(ValueError):
+            TaxiService("t", -1, env.factory)
+
+
+class TestBulletinBoard:
+    @pytest.fixture
+    def board(self, env):
+        return BulletinBoard("general", env.factory, current=env.current)
+
+    def test_post_and_read(self, board):
+        post_id = board.post("ann", "hello", "first post")
+        posts = board.read_board()
+        assert [p.post_id for p in posts] == [post_id]
+        assert posts[0].author == "ann"
+
+    def test_unpost_marks_retracted(self, board):
+        post_id = board.post("ann", "oops", "wrong board")
+        board.unpost(post_id)
+        assert board.read_board() == []
+        retained = board.read_board(include_retracted=True)
+        assert retained[0].retracted
+
+    def test_unpost_unknown(self, board):
+        with pytest.raises(BulletinBoardError):
+            board.unpost("ghost")
+
+    def test_read_post(self, board):
+        post_id = board.post("a", "s", "b")
+        assert board.read_post(post_id).subject == "s"
+        with pytest.raises(BulletinBoardError):
+            board.read_post("ghost")
+
+    def test_transactional_post_rolls_back(self, board, env):
+        env.current.begin()
+        board.post("ann", "tentative", "...")
+        env.current.rollback()
+        assert board.post_count() == 0
+
+    def test_open_nested_post_releases_board_early(self, board, env):
+        manager = ActivityManager()
+        onc = OpenNestedCoordinator(manager)
+        enclosing = onc.begin_enclosing("A")
+        post_id, _inner = board.post_open_nested(onc, "ann", "job", "apply")
+        assert not board.is_locked()
+        assert board.post_count() == 1
+        onc.complete_enclosing(enclosing, success=True)
+        assert board.post_count() == 1
+
+    def test_open_nested_post_compensated_on_failure(self, board, env):
+        manager = ActivityManager()
+        onc = OpenNestedCoordinator(manager)
+        enclosing = onc.begin_enclosing("A")
+        post_id, _inner = board.post_open_nested(onc, "ann", "job", "apply")
+        onc.complete_enclosing(enclosing, success=False)
+        assert board.post_count() == 0
+        assert board.read_post(post_id).retracted
+
+
+class TestNameServer:
+    @pytest.fixture
+    def names(self, env):
+        server = ReplicatedNameServer(env.factory, current=env.current)
+        server.register_object("db", ["r1", "r2", "r3"])
+        return server
+
+    def test_lookup_and_bind(self, names):
+        record = names.lookup("db")
+        assert record.replicas == ("r1", "r2", "r3")
+        assert names.bind_to_available("db") == "r1"
+
+    def test_unknown_object(self, names):
+        with pytest.raises(NameServerError):
+            names.lookup("ghost")
+
+    def test_repair_survives_enclosing_rollback(self, names, env):
+        env.current.begin()
+        names.record_unavailable("db", "r1")
+        env.current.rollback()
+        assert names.lookup("db").available == ("r2", "r3")
+        assert names.repairs == 1
+
+    def test_repair_validates_replica(self, names):
+        with pytest.raises(NameServerError):
+            names.record_unavailable("db", "not-a-replica")
+
+    def test_replica_return(self, names, env):
+        names.record_unavailable("db", "r1")
+        names.record_available("db", "r1")
+        assert names.lookup("db").available == ("r2", "r3", "r1")
+
+    def test_record_available_idempotent(self, names):
+        names.record_available("db", "r1")
+        assert names.lookup("db").available == ("r1", "r2", "r3")
+
+    def test_no_available_replicas(self, names):
+        for replica in ("r1", "r2", "r3"):
+            names.record_unavailable("db", replica)
+        with pytest.raises(NameServerError):
+            names.bind_to_available("db")
+
+    def test_ambient_transaction_restored_after_repair(self, names, env):
+        tx = env.current.begin()
+        names.record_unavailable("db", "r1")
+        assert env.current.get_transaction() is tx
+        env.current.commit()
+
+
+class TestBilling:
+    @pytest.fixture
+    def meter(self, env):
+        return BillingMeter(env.factory, current=env.current)
+
+    def test_charge_survives_rollback(self, meter, env):
+        env.current.begin()
+        meter.charge("alice", 1.5, "lookup")
+        env.current.rollback()
+        assert meter.total_charged("alice") == 1.5
+        assert meter.ledger_size == 1
+
+    def test_charge_records_transaction_id(self, meter, env):
+        tx = env.current.begin()
+        record = meter.charge("alice", 1.0)
+        env.current.commit()
+        assert record.tid == tx.tid
+
+    def test_charge_outside_transaction(self, meter):
+        record = meter.charge("bob", 2.0)
+        assert record.tid is None
+
+    def test_invalid_amounts_rejected(self, meter):
+        with pytest.raises(BillingError):
+            meter.charge("alice", 0)
+        with pytest.raises(BillingError):
+            meter.credit_transactional("alice", -1)
+
+    def test_transactional_credit_undone_by_rollback(self, meter, env):
+        env.current.begin()
+        meter.credit_transactional("alice", 10.0)
+        env.current.rollback()
+        assert meter.balance_of("alice") == 0.0
+
+    def test_transactional_credit_committed(self, meter, env):
+        env.current.begin()
+        meter.credit_transactional("alice", 10.0)
+        env.current.commit()
+        assert meter.balance_of("alice") == 10.0
+
+    def test_credit_auto_commit(self, meter):
+        meter.credit_transactional("carol", 5.0)
+        assert meter.balance_of("carol") == 5.0
+
+    def test_charges_per_client(self, meter):
+        meter.charge("a", 1.0)
+        meter.charge("b", 2.0)
+        meter.charge("a", 3.0)
+        assert meter.total_charged("a") == 4.0
+        assert len(meter.charges_for("b")) == 1
+
+    def test_durable_ledger_records(self, env):
+        from repro.persistence import MemoryStore
+
+        store = MemoryStore()
+        meter = BillingMeter(env.factory, current=env.current, store=store)
+        meter.charge("alice", 1.0)
+        ledger_keys = [k for k in store.keys() if k.startswith("billing:ledger:")]
+        assert len(ledger_keys) == 1

@@ -1,0 +1,229 @@
+"""Unit tests for Activity lifecycle, completion status, nesting, timeouts."""
+
+import pytest
+
+from repro.core import (
+    ActivityCompleted,
+    ActivityManager,
+    ActivityPending,
+    ActivityStatus,
+    BroadcastSignalSet,
+    CompletionSignalSet,
+    CompletionStatus,
+    CompletionStatusLatched,
+    InvalidActivityState,
+    NoSuchPropertyGroup,
+    NoSuchSignalSet,
+    RecordingAction,
+)
+
+
+@pytest.fixture
+def manager():
+    return ActivityManager()
+
+
+class TestLifecycle:
+    def test_begin_is_active(self, manager):
+        activity = manager.begin("job")
+        assert activity.status is ActivityStatus.ACTIVE
+        assert activity.name == "job"
+        assert activity.is_top_level
+
+    def test_complete_success(self, manager):
+        activity = manager.begin()
+        outcome = activity.complete(CompletionStatus.SUCCESS)
+        assert activity.status is ActivityStatus.COMPLETED
+        assert outcome.is_done
+        assert activity.get_outcome() is outcome
+
+    def test_complete_failure_without_set(self, manager):
+        activity = manager.begin()
+        outcome = activity.complete(CompletionStatus.FAIL)
+        assert outcome.is_error
+
+    def test_double_complete_rejected(self, manager):
+        activity = manager.begin()
+        activity.complete()
+        with pytest.raises(ActivityCompleted):
+            activity.complete()
+
+    def test_operations_after_completion_rejected(self, manager):
+        activity = manager.begin()
+        activity.complete()
+        with pytest.raises(ActivityCompleted):
+            activity.add_action("x", RecordingAction())
+        with pytest.raises(ActivityCompleted):
+            activity.register_signal_set(BroadcastSignalSet("s"))
+        with pytest.raises(ActivityCompleted):
+            activity.signal("x")
+
+    def test_suspend_resume(self, manager):
+        activity = manager.begin()
+        activity.suspend()
+        assert activity.status is ActivityStatus.SUSPENDED
+        with pytest.raises(InvalidActivityState):
+            activity.suspend()
+        with pytest.raises(InvalidActivityState):
+            activity.complete()
+        activity.resume()
+        assert activity.status is ActivityStatus.ACTIVE
+        with pytest.raises(InvalidActivityState):
+            activity.resume()
+        activity.complete()
+
+    def test_manager_counters(self, manager):
+        activity = manager.begin()
+        activity.complete()
+        assert manager.begun == 1
+        assert manager.completed == 1
+
+
+class TestCompletionStatus:
+    def test_defaults_to_success(self, manager):
+        assert manager.begin().get_completion_status() is CompletionStatus.SUCCESS
+
+    def test_flips_freely_between_success_and_fail(self, manager):
+        activity = manager.begin()
+        activity.set_completion_status(CompletionStatus.FAIL)
+        activity.set_completion_status(CompletionStatus.SUCCESS)
+        activity.set_completion_status(CompletionStatus.FAIL)
+        assert activity.get_completion_status() is CompletionStatus.FAIL
+
+    def test_fail_only_latches(self, manager):
+        activity = manager.begin()
+        activity.set_completion_status(CompletionStatus.FAIL_ONLY)
+        with pytest.raises(CompletionStatusLatched):
+            activity.set_completion_status(CompletionStatus.SUCCESS)
+        with pytest.raises(CompletionStatusLatched):
+            activity.set_completion_status(CompletionStatus.FAIL)
+        activity.set_completion_status(CompletionStatus.FAIL_ONLY)  # idempotent
+
+    def test_fail_only_forces_failure_outcome(self, manager):
+        activity = manager.begin()
+        activity.set_completion_status(CompletionStatus.FAIL_ONLY)
+        outcome = activity.complete()
+        assert outcome.is_error
+
+    def test_complete_with_status_latch_respected(self, manager):
+        activity = manager.begin()
+        activity.set_completion_status(CompletionStatus.FAIL_ONLY)
+        with pytest.raises(CompletionStatusLatched):
+            activity.complete(CompletionStatus.SUCCESS)
+
+
+class TestNesting:
+    def test_children_tracked(self, manager):
+        parent = manager.begin("p")
+        child = manager.begin("c", parent=parent)
+        assert child.parent is parent
+        assert parent.children == [child]
+        assert child.depth == 1
+        assert child.root is parent
+
+    def test_parent_completion_blocked_by_active_children(self, manager):
+        parent = manager.begin("p")
+        child = manager.begin("c", parent=parent)
+        with pytest.raises(ActivityPending):
+            parent.complete()
+        child.complete()
+        parent.complete()
+
+    def test_active_children_listing(self, manager):
+        parent = manager.begin("p")
+        child_a = manager.begin("a", parent=parent)
+        child_b = manager.begin("b", parent=parent)
+        child_a.complete()
+        assert parent.active_children() == [child_b]
+
+
+class TestSignalSets:
+    def test_register_and_trigger(self, manager):
+        activity = manager.begin()
+        recorder = RecordingAction()
+        activity.add_action("notify", recorder)
+        activity.register_signal_set(BroadcastSignalSet("hello", signal_set_name="notify"))
+        outcome = activity.signal("notify")
+        assert outcome.is_done
+        assert recorder.signal_names == ["hello"]
+
+    def test_unknown_signal_set_rejected(self, manager):
+        activity = manager.begin()
+        with pytest.raises(NoSuchSignalSet):
+            activity.signal("ghost")
+
+    def test_set_instance_consumed_after_use(self, manager):
+        activity = manager.begin()
+        activity.register_signal_set(BroadcastSignalSet("x", signal_set_name="s"))
+        activity.signal("s")
+        with pytest.raises(NoSuchSignalSet):
+            activity.signal("s")
+
+    def test_same_instance_cannot_be_reregistered(self, manager):
+        activity = manager.begin()
+        instance = BroadcastSignalSet("x", signal_set_name="s")
+        activity.register_signal_set(instance)
+        activity.signal("s")
+        with pytest.raises(NoSuchSignalSet):
+            activity.register_signal_set(instance)
+
+    def test_fresh_instance_under_same_name_allowed(self, manager):
+        activity = manager.begin()
+        for _ in range(3):
+            activity.register_signal_set(BroadcastSignalSet("x", signal_set_name="s"))
+            activity.signal("s")
+
+    def test_completion_set_drives_actions(self, manager):
+        activity = manager.begin()
+        recorder = RecordingAction()
+        activity.add_action("repro.predefined.completion", recorder)
+        activity.register_signal_set(CompletionSignalSet(), completion=True)
+        activity.complete(CompletionStatus.SUCCESS)
+        assert recorder.signal_names == ["success"]
+
+    def test_completion_set_signals_failure(self, manager):
+        activity = manager.begin()
+        recorder = RecordingAction()
+        activity.add_action("repro.predefined.completion", recorder)
+        activity.register_signal_set(CompletionSignalSet(), completion=True)
+        outcome = activity.complete(CompletionStatus.FAIL)
+        assert recorder.signal_names == ["failure"]
+        assert outcome.is_error
+
+    def test_signal_set_names_listing(self, manager):
+        activity = manager.begin()
+        activity.register_signal_set(BroadcastSignalSet("x", signal_set_name="b"))
+        activity.register_signal_set(CompletionSignalSet(), completion=True)
+        assert "b" in activity.signal_set_names()
+        assert activity.completion_signal_set_name == "repro.predefined.completion"
+
+
+class TestTimeouts:
+    def test_timed_out_activity_latches_fail_only(self):
+        manager = ActivityManager()
+        activity = manager.begin("slow", timeout=5.0)
+        manager.clock.advance(6.0)
+        expired = manager.expire_timeouts()
+        assert expired == [activity.activity_id]
+        assert activity.get_completion_status() is CompletionStatus.FAIL_ONLY
+
+    def test_completion_after_timeout_fails(self):
+        manager = ActivityManager()
+        activity = manager.begin("slow", timeout=5.0)
+        manager.clock.advance(6.0)
+        outcome = activity.complete()
+        assert outcome.is_error
+
+    def test_no_timeout_by_default(self):
+        manager = ActivityManager()
+        activity = manager.begin()
+        manager.clock.advance(10_000)
+        assert manager.expire_timeouts() == []
+        assert activity.complete().is_done
+
+
+class TestPropertyGroupAccess:
+    def test_missing_group_rejected(self, manager):
+        activity = manager.begin()
+        with pytest.raises(NoSuchPropertyGroup):
+            activity.get_property_group("ghost")

@@ -1,0 +1,222 @@
+"""Context propagation over the ORB and delivery-policy semantics."""
+
+import pytest
+
+from repro.core import (
+    ActivityManager,
+    AtLeastOnceDelivery,
+    AtMostOnceDelivery,
+    BroadcastSignalSet,
+    ExactlyOnceDelivery,
+    IdempotentAction,
+    Outcome,
+    Propagation,
+    PropertyGroup,
+    PropertyGroupManager,
+    RecordingAction,
+    received_context,
+)
+from repro.core.signals import Signal
+from repro.exceptions import CommunicationError
+from repro.orb import FaultPlan, Orb
+from repro.orb.core import Servant
+from repro.util.rng import SeededRng
+
+
+class TestContextPropagation:
+    @pytest.fixture
+    def deployment(self):
+        orb = Orb()
+        node = orb.create_node("server")
+        groups = PropertyGroupManager()
+        groups.register_factory(
+            "env",
+            lambda: PropertyGroup(
+                "env", propagation=Propagation.VALUE, initial={"locale": "en"}
+            ),
+        )
+        manager = ActivityManager(clock=orb.clock, property_groups=groups)
+        manager.install(orb)
+        return orb, node, manager
+
+    def test_context_carries_activity_identity(self, deployment):
+        orb, node, manager = deployment
+
+        class Probe(Servant):
+            def observe(self):
+                context = received_context(orb)
+                return (context.activity_id, context.activity_name)
+
+        ref = node.activate(Probe())
+        activity = manager.current.begin("job")
+        assert ref.invoke("observe") == (activity.activity_id, "job")
+        manager.current.complete()
+
+    def test_no_context_outside_activity(self, deployment):
+        orb, node, manager = deployment
+
+        class Probe(Servant):
+            def observe(self):
+                return received_context(orb) is None
+
+        ref = node.activate(Probe())
+        assert ref.invoke("observe") is True
+
+    def test_by_value_groups_snapshot(self, deployment):
+        orb, node, manager = deployment
+
+        class Probe(Servant):
+            def read_locale(self):
+                groups = received_context(orb).received_groups()
+                return groups["env"].get_property("locale")
+
+            def write_locale(self):
+                groups = received_context(orb).received_groups()
+                groups["env"].set_property("locale", "de")
+                return True
+
+        ref = node.activate(Probe())
+        activity = manager.current.begin("job")
+        activity.get_property_group("env").set_property("locale", "fr")
+        assert ref.invoke("read_locale") == "fr"
+        ref.invoke("write_locale")
+        # By value: the server-side write did not reach the origin.
+        assert activity.get_property_group("env").get_property("locale") == "fr"
+        manager.current.complete()
+
+    def test_by_reference_groups_call_back(self, deployment):
+        orb, node, manager = deployment
+        origin_node = orb.create_node("origin")
+
+        class Probe(Servant):
+            def write_shared(self):
+                groups = received_context(orb).received_groups()
+                groups["shared"].set_property("k", "written-remotely")
+                return True
+
+        ref = node.activate(Probe())
+        activity = manager.current.begin("job")
+        shared = PropertyGroup("shared", propagation=Propagation.REFERENCE)
+        manager.export_property_group(shared, origin_node)
+        activity.attach_property_group(shared)
+        ref.invoke("write_shared")
+        # By reference: the write landed on the origin group.
+        assert shared.get_property("k") == "written-remotely"
+        manager.current.complete()
+
+    def test_activity_resumed_on_server_side(self, deployment):
+        orb, node, manager = deployment
+
+        class Probe(Servant):
+            def current_id(self):
+                current = manager.current.current_activity()
+                return current.activity_id if current else None
+
+        ref = node.activate(Probe())
+        activity = manager.current.begin("job")
+        assert ref.invoke("current_id") == activity.activity_id
+        manager.current.complete()
+        assert ref.invoke("current_id") is None
+
+
+class FlakySender:
+    """send() fails transiently the first ``failures`` times per delivery."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+        self.processed = []
+
+    def __call__(self, signal):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise CommunicationError("blip")
+        self.processed.append(signal.delivery_id)
+        return Outcome.done()
+
+
+class TestDeliveryPolicies:
+    def test_at_most_once_no_retry(self):
+        sender = FlakySender(failures=1)
+        policy = AtMostOnceDelivery()
+        outcome = policy.deliver(sender, Signal("s", "set", delivery_id="d1"))
+        assert outcome.is_error
+        assert sender.calls == 1
+        assert policy.failures == 1
+
+    def test_at_least_once_retries(self):
+        sender = FlakySender(failures=2)
+        policy = AtLeastOnceDelivery(max_attempts=5)
+        outcome = policy.deliver(sender, Signal("s", "set", delivery_id="d1"))
+        assert outcome.is_done
+        assert sender.calls == 3
+        assert policy.retries == 2
+
+    def test_at_least_once_exhaustion(self):
+        sender = FlakySender(failures=100)
+        policy = AtLeastOnceDelivery(max_attempts=3)
+        outcome = policy.deliver(sender, Signal("s", "set", delivery_id="d1"))
+        assert outcome.is_error
+        assert policy.exhausted == 1
+
+    def test_at_least_once_non_transient_stops(self):
+        def sender(signal):
+            raise CommunicationError("dead", transient=False)
+
+        policy = AtLeastOnceDelivery(max_attempts=5)
+        outcome = policy.deliver(sender, Signal("s", "set", delivery_id="d1"))
+        assert outcome.is_error
+
+    def test_at_least_once_requires_positive_attempts(self):
+        with pytest.raises(ValueError):
+            AtLeastOnceDelivery(max_attempts=0)
+
+    def test_exactly_once_ledger_suppresses_resend(self):
+        sender = FlakySender(failures=0)
+        policy = ExactlyOnceDelivery()
+        signal = Signal("s", "set", delivery_id="d1")
+        first = policy.deliver(sender, signal)
+        second = policy.deliver(sender, signal)
+        assert first == second
+        assert sender.calls == 1
+        assert policy.ledger_hits == 1
+
+    def test_exactly_once_distinct_ids_sent(self):
+        sender = FlakySender(failures=0)
+        policy = ExactlyOnceDelivery()
+        policy.deliver(sender, Signal("s", "set", delivery_id="d1"))
+        policy.deliver(sender, Signal("s", "set", delivery_id="d2"))
+        assert sender.calls == 2
+
+    def test_exactly_once_errors_not_ledgered(self):
+        sender = FlakySender(failures=100)
+        policy = ExactlyOnceDelivery(max_attempts=2)
+        signal = Signal("s", "set", delivery_id="d1")
+        assert policy.deliver(sender, signal).is_error
+        # After the outage, the delivery goes through (not stuck on ledger).
+        sender.failures = 0
+        assert policy.deliver(sender, signal).is_done
+
+
+class TestEndToEndAtLeastOnce:
+    def test_duplicating_network_with_idempotent_actions(self):
+        """§3.4: duplicates on the wire, exactly-once effects at the action."""
+        orb = Orb(rng=SeededRng(3))
+        node = orb.create_node("remote")
+        manager = ActivityManager(clock=orb.clock)
+        manager.install(orb)
+        recorder = RecordingAction("r")
+        ref = node.activate(IdempotentAction(recorder), interface="Action")
+        orb.transport.set_fault_plan(
+            FaultPlan(drop_probability=0.2, duplicate_probability=0.3)
+        )
+        activity = manager.current.begin("noisy")
+        activity.add_action("events", ref)
+        for i in range(10):
+            activity.register_signal_set(
+                BroadcastSignalSet(f"evt-{i}", signal_set_name="events")
+            )
+            outcome = activity.signal("events")
+            assert not outcome.is_error
+        assert recorder.signal_names == [f"evt-{i}" for i in range(10)]
+        manager.current.complete()

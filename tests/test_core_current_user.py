@@ -1,0 +1,136 @@
+"""Unit tests for ActivityCurrent and the UserActivity facade."""
+
+import pytest
+
+from repro.core import (
+    ActivityManager,
+    ActivityStatus,
+    CompletionStatus,
+    InvalidActivityState,
+    NoActivity,
+    UserActivity,
+)
+
+
+@pytest.fixture
+def manager():
+    return ActivityManager()
+
+
+@pytest.fixture
+def current(manager):
+    return manager.current
+
+
+@pytest.fixture
+def user(manager):
+    return UserActivity(manager)
+
+
+class TestActivityCurrent:
+    def test_begin_associates(self, current):
+        activity = current.begin("a")
+        assert current.current_activity() is activity
+        assert current.depth == 1
+
+    def test_begin_nests_under_current(self, current):
+        parent = current.begin("p")
+        child = current.begin("c")
+        assert child.parent is parent
+        assert current.depth == 2
+
+    def test_complete_pops(self, current):
+        parent = current.begin("p")
+        current.begin("c")
+        current.complete()
+        assert current.current_activity() is parent
+
+    def test_complete_without_activity(self, current):
+        with pytest.raises(NoActivity):
+            current.complete()
+
+    def test_status_helpers(self, current):
+        assert current.get_status() is None
+        current.begin()
+        assert current.get_status() is ActivityStatus.ACTIVE
+        current.set_completion_status(CompletionStatus.FAIL)
+        assert current.get_completion_status() is CompletionStatus.FAIL
+        current.complete()
+
+    def test_suspend_resume_association(self, current):
+        activity = current.begin()
+        detached = current.suspend()
+        assert detached is activity
+        assert current.current_activity() is None
+        current.resume(detached)
+        assert current.current_activity() is activity
+
+    def test_suspend_empty(self, current):
+        assert current.suspend() is None
+        current.resume(None)
+
+    def test_resume_completed_rejected(self, current):
+        activity = current.begin()
+        current.complete()
+        with pytest.raises(InvalidActivityState):
+            current.resume(activity)
+
+    def test_resume_garbage_rejected(self, current):
+        with pytest.raises(InvalidActivityState):
+            current.resume(42)
+
+    def test_completion_status_applied_at_complete(self, current):
+        current.begin()
+        outcome = current.complete(CompletionStatus.FAIL)
+        assert outcome.is_error
+
+
+class TestUserActivity:
+    def test_begin_complete_roundtrip(self, user):
+        activity = user.begin("shopping")
+        assert user.current_activity() is activity
+        assert user.get_activity_name() == "shopping"
+        assert user.get_activity_id() == activity.activity_id
+        outcome = user.complete()
+        assert outcome.is_done
+        assert user.current_activity() is None
+
+    def test_complete_with_status(self, user):
+        user.begin()
+        assert user.complete_with_status(CompletionStatus.FAIL).is_error
+
+    def test_status_manipulation(self, user):
+        user.begin()
+        user.set_completion_status(CompletionStatus.FAIL)
+        assert user.get_completion_status() is CompletionStatus.FAIL
+        assert user.get_status() is ActivityStatus.ACTIVE
+        user.complete()
+
+    def test_requires_activity(self, user):
+        with pytest.raises(NoActivity):
+            user.get_activity_name()
+        with pytest.raises(NoActivity):
+            user.complete()
+
+    def test_nested_demarcation(self, user):
+        outer = user.begin("outer")
+        inner = user.begin("inner")
+        assert inner.parent is outer
+        user.complete()
+        user.complete()
+        assert outer.status.is_terminal
+
+    def test_suspend_resume(self, user):
+        activity = user.begin("bg")
+        token = user.suspend()
+        assert user.current_activity() is None
+        user.resume(token)
+        assert user.current_activity() is activity
+        user.complete()
+
+    def test_shares_manager_current(self, manager, user):
+        """UserActivity and ActivityCurrent views agree (fig. 13 layering)."""
+        activity = user.begin()
+        assert manager.current.current_activity() is activity
+        manager.current.complete()
+        assert user.current_activity() is None

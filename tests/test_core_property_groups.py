@@ -1,0 +1,171 @@
+"""Unit tests for PropertyGroups: visibility, propagation, factories (§3.3)."""
+
+import pytest
+
+from repro.core import (
+    ActivityManager,
+    NestedVisibility,
+    Propagation,
+    PropertyGroup,
+    PropertyGroupError,
+    PropertyGroupManager,
+    ScopedPropertyGroup,
+)
+
+
+class TestTupleSpace:
+    def test_get_set_delete(self):
+        group = PropertyGroup("env")
+        group.set_property("locale", "en_GB")
+        assert group.get_property("locale") == "en_GB"
+        assert group.has_property("locale")
+        group.delete_property("locale")
+        assert not group.has_property("locale")
+
+    def test_get_default(self):
+        group = PropertyGroup("env")
+        assert group.get_property("missing") is None
+        assert group.get_property("missing", "dflt") == "dflt"
+
+    def test_delete_missing_rejected(self):
+        with pytest.raises(PropertyGroupError):
+            PropertyGroup("env").delete_property("ghost")
+
+    def test_names_sorted(self):
+        group = PropertyGroup("env", initial={"b": 1, "a": 2})
+        assert group.property_names() == ["a", "b"]
+
+    def test_snapshot_is_copy(self):
+        group = PropertyGroup("env", initial={"a": 1})
+        snapshot = group.snapshot()
+        snapshot["a"] = 99
+        assert group.get_property("a") == 1
+
+    def test_update_from(self):
+        group = PropertyGroup("env")
+        group.update_from({"a": 1, "b": 2})
+        assert group.property_names() == ["a", "b"]
+
+
+class TestSharedVisibility:
+    """PG1 in the paper: client environment, one space for the tree."""
+
+    def test_child_view_is_same_object(self):
+        group = PropertyGroup("env", visibility=NestedVisibility.SHARED)
+        assert group.child_view() is group
+
+    def test_child_changes_visible_to_parent(self):
+        group = PropertyGroup("env", visibility=NestedVisibility.SHARED)
+        child_view = group.child_view()
+        child_view.set_property("codepage", "utf-8")
+        assert group.get_property("codepage") == "utf-8"
+
+
+class TestScopedVisibility:
+    """PG2 in the paper: application context, per-context overrides."""
+
+    @pytest.fixture
+    def parent(self):
+        return PropertyGroup(
+            "app", visibility=NestedVisibility.SCOPED, initial={"k": "parent"}
+        )
+
+    def test_child_view_is_overlay(self, parent):
+        child = parent.child_view()
+        assert isinstance(child, ScopedPropertyGroup)
+        assert child is not parent
+
+    def test_reads_fall_through(self, parent):
+        child = parent.child_view()
+        assert child.get_property("k") == "parent"
+
+    def test_child_writes_do_not_leak(self, parent):
+        child = parent.child_view()
+        child.set_property("k", "child")
+        assert child.get_property("k") == "child"
+        assert parent.get_property("k") == "parent"
+
+    def test_child_delete_masks_without_removing(self, parent):
+        child = parent.child_view()
+        child.delete_property("k")
+        assert not child.has_property("k")
+        assert parent.has_property("k")
+        assert child.get_property("k", "gone") == "gone"
+
+    def test_delete_missing_rejected(self, parent):
+        child = parent.child_view()
+        with pytest.raises(PropertyGroupError):
+            child.delete_property("ghost")
+
+    def test_names_merge_overlay(self, parent):
+        child = parent.child_view()
+        child.set_property("extra", 1)
+        assert child.property_names() == ["extra", "k"]
+        child.delete_property("k")
+        assert child.property_names() == ["extra"]
+
+    def test_snapshot_merges(self, parent):
+        child = parent.child_view()
+        child.set_property("extra", 1)
+        assert child.snapshot() == {"k": "parent", "extra": 1}
+
+    def test_grandchild_chains(self, parent):
+        child = parent.child_view()
+        child.set_property("mid", "m")
+        grandchild = child.child_view()
+        assert grandchild.get_property("k") == "parent"
+        assert grandchild.get_property("mid") == "m"
+        grandchild.set_property("k", "gc")
+        assert child.get_property("k") == "parent"
+
+
+class TestManagerIntegration:
+    def test_factories_attach_on_begin(self):
+        groups = PropertyGroupManager()
+        groups.register_factory(
+            "env", lambda: PropertyGroup("env", initial={"locale": "en"})
+        )
+        manager = ActivityManager(property_groups=groups)
+        activity = manager.begin()
+        assert activity.property_group_names() == ["env"]
+        assert activity.get_property_group("env").get_property("locale") == "en"
+
+    def test_factory_name_mismatch_rejected(self):
+        groups = PropertyGroupManager()
+        groups.register_factory("wrong", lambda: PropertyGroup("other"))
+        with pytest.raises(PropertyGroupError):
+            groups.create_all()
+
+    def test_children_get_views_per_visibility(self):
+        groups = PropertyGroupManager()
+        groups.register_factory(
+            "shared", lambda: PropertyGroup("shared", visibility=NestedVisibility.SHARED)
+        )
+        groups.register_factory(
+            "scoped", lambda: PropertyGroup("scoped", visibility=NestedVisibility.SCOPED)
+        )
+        manager = ActivityManager(property_groups=groups)
+        parent = manager.begin()
+        child = manager.begin(parent=parent)
+        assert child.get_property_group("shared") is parent.get_property_group("shared")
+        assert child.get_property_group("scoped") is not parent.get_property_group("scoped")
+
+    def test_both_group_kinds_coexist(self):
+        """The paper's PG1 + PG2 example: both at the same time."""
+        groups = PropertyGroupManager()
+        groups.register_factory(
+            "env",
+            lambda: PropertyGroup(
+                "env", visibility=NestedVisibility.SHARED, initial={"locale": "en"}
+            ),
+        )
+        groups.register_factory(
+            "app", lambda: PropertyGroup("app", visibility=NestedVisibility.SCOPED)
+        )
+        manager = ActivityManager(property_groups=groups)
+        parent = manager.begin()
+        child = manager.begin(parent=parent)
+        child.get_property_group("env").set_property("locale", "fr")
+        child.get_property_group("app").set_property("step", 3)
+        assert parent.get_property_group("env").get_property("locale") == "fr"
+        assert not parent.get_property_group("app").has_property("step")

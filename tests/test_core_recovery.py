@@ -1,0 +1,165 @@
+"""Activity-structure recovery (§3.4): checkpoint, rebuild, re-drive."""
+
+import pytest
+
+from repro.core import (
+    ActivityManager,
+    ActivityStatus,
+    CompletionSignalSet,
+    CompletionStatus,
+    RecordingAction,
+    RecoveryError,
+)
+from repro.core.predefined import COMPLETION_SET_NAME
+from repro.persistence import MemoryStore
+
+
+def make_manager(store):
+    manager = ActivityManager(store=store)
+    manager.register_signal_set_factory("completion", CompletionSignalSet)
+    manager.register_action_factory(
+        "recorder", lambda config: RecordingAction(config.get("name", "r"))
+    )
+    return manager
+
+
+@pytest.fixture
+def store():
+    return MemoryStore()
+
+
+class TestCheckpoint:
+    def test_checkpoint_and_recover_single_activity(self, store):
+        manager = make_manager(store)
+        activity = manager.current.begin("job")
+        activity.register_signal_set(
+            CompletionSignalSet(), completion=True, factory_name="completion"
+        )
+        activity.add_action(
+            COMPLETION_SET_NAME,
+            RecordingAction("r"),
+            factory_name="recorder",
+            factory_config={"name": "r"},
+        )
+        manager.checkpoint(activity)
+
+        fresh = make_manager(store)
+        in_flight = fresh.recover()
+        assert in_flight == [activity.activity_id]
+        recovered = fresh.get(activity.activity_id)
+        assert recovered.name == "job"
+        assert recovered.status is ActivityStatus.ACTIVE
+        assert recovered.completion_signal_set_name == COMPLETION_SET_NAME
+        assert recovered.coordinator.action_count == 1
+
+    def test_recovered_activity_completes(self, store):
+        manager = make_manager(store)
+        activity = manager.current.begin("job")
+        activity.register_signal_set(
+            CompletionSignalSet(), completion=True, factory_name="completion"
+        )
+        activity.add_action(
+            COMPLETION_SET_NAME,
+            RecordingAction(),
+            factory_name="recorder",
+            factory_config={},
+        )
+        manager.checkpoint(activity)
+
+        fresh = make_manager(store)
+        fresh.recover()
+        outcome = fresh.get(activity.activity_id).complete(CompletionStatus.SUCCESS)
+        assert outcome.is_done
+
+    def test_tree_checkpoint_preserves_parentage(self, store):
+        manager = make_manager(store)
+        parent = manager.begin("parent")
+        child = manager.begin("child", parent=parent)
+        grandchild = manager.begin("grandchild", parent=child)
+        from repro.core.recovery import ActivityRecoveryService
+
+        ActivityRecoveryService(manager, store).checkpoint_tree(parent)
+
+        fresh = make_manager(store)
+        in_flight = fresh.recover()
+        assert len(in_flight) == 3
+        recovered_gc = fresh.get(grandchild.activity_id)
+        assert recovered_gc.parent.activity_id == child.activity_id
+        assert recovered_gc.root.activity_id == parent.activity_id
+
+    def test_completion_status_restored(self, store):
+        manager = make_manager(store)
+        activity = manager.begin("doomed")
+        activity.set_completion_status(CompletionStatus.FAIL_ONLY)
+        manager.checkpoint(activity)
+
+        fresh = make_manager(store)
+        fresh.recover()
+        recovered = fresh.get(activity.activity_id)
+        assert recovered.get_completion_status() is CompletionStatus.FAIL_ONLY
+
+    def test_completed_activities_not_in_flight(self, store):
+        manager = make_manager(store)
+        activity = manager.begin("done")
+        activity.complete()  # auto-checkpointed (manager has a store)
+        fresh = make_manager(store)
+        assert fresh.recover() == []
+        assert fresh.get(activity.activity_id).status is ActivityStatus.COMPLETED
+
+    def test_in_flight_completing_reverts_to_active(self, store):
+        """A crash mid-completion leaves COMPLETING; the application must
+        re-drive completion, so recovery re-opens the activity."""
+        manager = make_manager(store)
+        activity = manager.begin("mid")
+        activity.status = ActivityStatus.COMPLETING
+        manager.checkpoint(activity)
+
+        fresh = make_manager(store)
+        in_flight = fresh.recover()
+        assert in_flight == [activity.activity_id]
+        assert fresh.get(activity.activity_id).status is ActivityStatus.ACTIVE
+
+    def test_unknown_factories_rejected(self, store):
+        manager = make_manager(store)
+        activity = manager.begin("job")
+        activity.register_signal_set(
+            CompletionSignalSet(), completion=True, factory_name="not-registered"
+        )
+        manager.checkpoint(activity)
+        fresh = make_manager(store)
+        with pytest.raises(RecoveryError):
+            fresh.recover()
+
+    def test_forget_removes_record(self, store):
+        from repro.core.recovery import ActivityRecoveryService
+
+        manager = make_manager(store)
+        activity = manager.begin("gone")
+        service = ActivityRecoveryService(manager, store)
+        service.checkpoint(activity)
+        service.forget(activity.activity_id)
+        fresh = make_manager(store)
+        assert fresh.recover() == []
+
+    def test_manager_without_store_rejects_recovery(self):
+        manager = ActivityManager()
+        with pytest.raises(RecoveryError):
+            manager.recover()
+        with pytest.raises(RecoveryError):
+            manager.checkpoint(manager.begin())
+
+    def test_non_durable_registrations_not_checkpointed(self, store):
+        manager = make_manager(store)
+        activity = manager.begin("mixed")
+        activity.register_signal_set(
+            CompletionSignalSet(), completion=True, factory_name="completion"
+        )
+        activity.add_action(COMPLETION_SET_NAME, RecordingAction())  # volatile
+        activity.add_action(
+            COMPLETION_SET_NAME, RecordingAction(), factory_name="recorder",
+            factory_config={},
+        )
+        manager.checkpoint(activity)
+        fresh = make_manager(store)
+        fresh.recover()
+        assert fresh.get(activity.activity_id).coordinator.action_count == 1

@@ -1,0 +1,137 @@
+"""Unit tests for the SignalSet state machine (fig. 7) and helper bases."""
+
+import pytest
+
+from repro.core import (
+    BroadcastSignalSet,
+    CompletionStatus,
+    GuardedSignalSet,
+    Outcome,
+    SequenceSignalSet,
+    SignalSetActive,
+    SignalSetInactive,
+)
+from repro.core.status import SignalSetState
+
+
+@pytest.fixture
+def guarded():
+    return GuardedSignalSet(SequenceSignalSet("test-set", ["one", "two"]))
+
+
+class TestFig7StateMachine:
+    def test_starts_waiting(self, guarded):
+        assert guarded.state is SignalSetState.WAITING
+
+    def test_first_get_signal_enters_get_signal(self, guarded):
+        signal, last = guarded.get_signal()
+        assert signal.signal_name == "one"
+        assert not last
+        assert guarded.state is SignalSetState.GET_SIGNAL
+
+    def test_empty_set_goes_straight_to_end(self):
+        guarded = GuardedSignalSet(SequenceSignalSet("empty", []))
+        signal, last = guarded.get_signal()
+        assert signal is None and last
+        assert guarded.state is SignalSetState.END
+
+    def test_set_response_in_waiting_rejected(self, guarded):
+        with pytest.raises(SignalSetInactive):
+            guarded.set_response(Outcome.done())
+
+    def test_get_outcome_while_signalling_rejected(self, guarded):
+        guarded.get_signal()  # "one", not last
+        with pytest.raises(SignalSetActive):
+            guarded.get_outcome()
+
+    def test_lifecycle_to_end(self, guarded):
+        guarded.get_signal()
+        guarded.set_response(Outcome.done())
+        signal, last = guarded.get_signal()
+        assert signal.signal_name == "two" and last
+        guarded.set_response(Outcome.done())
+        assert guarded.finish_broadcast()
+        outcome = guarded.get_outcome()
+        assert outcome.is_done
+        assert guarded.state is SignalSetState.END
+
+    def test_no_reuse_after_end(self, guarded):
+        guarded.get_signal()
+        guarded.set_response(Outcome.done())
+        guarded.get_signal()
+        guarded.finish_broadcast()
+        guarded.get_outcome()
+        with pytest.raises(SignalSetInactive):
+            guarded.get_signal()
+        with pytest.raises(SignalSetInactive):
+            guarded.set_response(Outcome.done())
+
+    def test_get_outcome_after_last_signal_allowed(self, guarded):
+        guarded.get_signal()
+        guarded.set_response(Outcome.done())
+        guarded.get_signal()  # last
+        outcome = guarded.get_outcome()
+        assert outcome is not None
+
+    def test_completion_status_passthrough(self, guarded):
+        guarded.set_completion_status(CompletionStatus.FAIL)
+        assert guarded.get_completion_status() is CompletionStatus.FAIL
+        assert guarded.inner.get_completion_status() is CompletionStatus.FAIL
+
+
+class TestSequenceSignalSet:
+    def test_signals_in_order_with_last_flag(self):
+        sequence = SequenceSignalSet("s", ["a", "b", "c"])
+        names, lasts = [], []
+        while True:
+            signal, last = sequence.get_signal()
+            if signal is None:
+                break
+            names.append(signal.signal_name)
+            lasts.append(last)
+        assert names == ["a", "b", "c"]
+        assert lasts == [False, False, True]
+
+    def test_responses_recorded_per_signal(self):
+        sequence = SequenceSignalSet("s", ["a", "b"])
+        sequence.get_signal()
+        sequence.set_response(Outcome.done())
+        sequence.get_signal()
+        sequence.set_response(Outcome.error())
+        assert [name for name, _ in sequence.responses] == ["a", "b"]
+
+    def test_outcome_reflects_errors(self):
+        sequence = SequenceSignalSet("s", ["a"])
+        sequence.get_signal()
+        sequence.set_response(Outcome.error())
+        assert sequence.get_outcome().is_error
+
+    def test_outcome_success_counts_responses(self):
+        sequence = SequenceSignalSet("s", ["a"])
+        sequence.get_signal()
+        sequence.set_response(Outcome.done())
+        outcome = sequence.get_outcome()
+        assert outcome.is_done and outcome.data == 1
+
+
+class TestBroadcastSignalSet:
+    def test_single_signal_then_end(self):
+        broadcast = BroadcastSignalSet("ping", data=1, signal_set_name="x")
+        signal, last = broadcast.get_signal()
+        assert signal.signal_name == "ping" and last
+        assert signal.application_specific_data == 1
+        assert broadcast.get_signal() == (None, True)
+
+    def test_outcome_collects_names(self):
+        broadcast = BroadcastSignalSet("ping")
+        broadcast.get_signal()
+        broadcast.set_response(Outcome.of("a"))
+        broadcast.set_response(Outcome.of("b"))
+        assert broadcast.get_outcome().data == ["a", "b"]
+
+    def test_outcome_error_when_any_error(self):
+        broadcast = BroadcastSignalSet("ping")
+        broadcast.get_signal()
+        broadcast.set_response(Outcome.done())
+        broadcast.set_response(Outcome.error())
+        assert broadcast.get_outcome().is_error

@@ -1,0 +1,143 @@
+"""Unit tests for Signal/Outcome value types and the Action adapters."""
+
+import pytest
+
+from repro.core import (
+    ActionError,
+    FunctionAction,
+    IdempotentAction,
+    Outcome,
+    RecordingAction,
+    ScriptedAction,
+    Signal,
+)
+from repro.core.signals import OUTCOME_DONE, OUTCOME_UNREACHABLE
+
+
+class TestSignal:
+    def test_fields_mirror_idl(self):
+        signal = Signal("prepare", "repro.2pc", {"a": 1})
+        assert signal.signal_name == "prepare"
+        assert signal.signal_set_name == "repro.2pc"
+        assert signal.application_specific_data == {"a": 1}
+        assert signal.name == "prepare"
+
+    def test_immutable(self):
+        signal = Signal("s", "set")
+        with pytest.raises(Exception):
+            signal.signal_name = "other"
+
+    def test_with_delivery_id_copies(self):
+        signal = Signal("s", "set")
+        stamped = signal.with_delivery_id("d-1")
+        assert stamped.delivery_id == "d-1"
+        assert signal.delivery_id is None
+
+    def test_with_data_copies(self):
+        signal = Signal("s", "set")
+        enriched = signal.with_data(42)
+        assert enriched.application_specific_data == 42
+        assert signal.application_specific_data is None
+
+    def test_str(self):
+        assert "prepare" in str(Signal("prepare", "x"))
+
+
+class TestOutcome:
+    def test_done(self):
+        outcome = Outcome.done(data=3)
+        assert outcome.is_done and not outcome.is_error
+        assert outcome.name == OUTCOME_DONE
+
+    def test_error(self):
+        outcome = Outcome.error(data="bad")
+        assert outcome.is_error and not outcome.is_done
+
+    def test_unreachable(self):
+        outcome = Outcome.unreachable("lost")
+        assert outcome.is_error
+        assert outcome.name == OUTCOME_UNREACHABLE
+
+    def test_named(self):
+        outcome = Outcome.of("vote_commit")
+        assert outcome.name == "vote_commit" and not outcome.is_error
+
+
+class TestFunctionAction:
+    def test_wraps_outcome_returning_callable(self):
+        action = FunctionAction(lambda s: Outcome.of("custom"))
+        assert action.process_signal(Signal("x", "set")).name == "custom"
+
+    def test_wraps_plain_value(self):
+        action = FunctionAction(lambda s: 42)
+        outcome = action.process_signal(Signal("x", "set"))
+        assert outcome.is_done and outcome.data == 42
+
+    def test_wraps_none(self):
+        action = FunctionAction(lambda s: None)
+        assert action.process_signal(Signal("x", "set")).is_done
+
+    def test_name_defaults_to_function_name(self):
+        def my_handler(signal):
+            return None
+
+        assert FunctionAction(my_handler).name == "my_handler"
+
+
+class TestIdempotentAction:
+    def test_duplicate_delivery_suppressed(self):
+        recorder = RecordingAction()
+        action = IdempotentAction(recorder)
+        signal = Signal("x", "set", delivery_id="d-1")
+        first = action.process_signal(signal)
+        second = action.process_signal(signal)
+        assert first == second
+        assert len(recorder.received) == 1
+        assert action.duplicates_suppressed == 1
+
+    def test_distinct_deliveries_pass_through(self):
+        recorder = RecordingAction()
+        action = IdempotentAction(recorder)
+        action.process_signal(Signal("x", "set", delivery_id="d-1"))
+        action.process_signal(Signal("x", "set", delivery_id="d-2"))
+        assert len(recorder.received) == 2
+
+    def test_unstamped_signals_not_deduplicated(self):
+        recorder = RecordingAction()
+        action = IdempotentAction(recorder)
+        action.process_signal(Signal("x", "set"))
+        action.process_signal(Signal("x", "set"))
+        assert len(recorder.received) == 2
+
+
+class TestRecordingAction:
+    def test_records_in_order(self):
+        action = RecordingAction()
+        action.process_signal(Signal("a", "set"))
+        action.process_signal(Signal("b", "set"))
+        assert action.signal_names == ["a", "b"]
+
+    def test_custom_reply(self):
+        action = RecordingAction(reply=lambda s: Outcome.of(f"saw-{s.signal_name}"))
+        assert action.process_signal(Signal("x", "set")).name == "saw-x"
+
+
+class TestScriptedAction:
+    def test_scripted_outcomes(self):
+        action = ScriptedAction({"a": Outcome.of("ack-a")})
+        assert action.process_signal(Signal("a", "set")).name == "ack-a"
+        assert action.process_signal(Signal("unknown", "set")).is_done
+
+    def test_scripted_exception(self):
+        action = ScriptedAction({"explode": ActionError("scripted failure")})
+        with pytest.raises(ActionError):
+            action.process_signal(Signal("explode", "set"))
+
+    def test_scripted_callable(self):
+        action = ScriptedAction({"echo": lambda s: Outcome.of(s.signal_name)})
+        assert action.process_signal(Signal("echo", "set")).name == "echo"
+
+    def test_non_outcome_reply_rejected(self):
+        action = ScriptedAction({"bad": lambda s: 42})
+        with pytest.raises(ActionError):
+            action.process_signal(Signal("bad", "set"))

@@ -1,0 +1,31 @@
+"""Every example script must run clean — examples are executable docs."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    runpy.run_path(path, run_name="__main__")
+    # Each example narrates what it did; silence would mean it did nothing.
+    assert capsys.readouterr().out.strip()
+
+
+def test_expected_example_set_present():
+    assert EXAMPLES == [
+        "btp_booking.py",
+        "bulletin_board_compensation.py",
+        "distributed_activity.py",
+        "name_server_billing.py",
+        "quickstart.py",
+        "travel_booking.py",
+    ]

@@ -1,0 +1,174 @@
+"""The fig. 13 HLS layer and the §5.2 WSCF variant."""
+
+import pytest
+
+from repro.core import ActivityManager, ActivityServiceError, CompletionStatus
+from repro.hls import (
+    HlsActivityService,
+    OpenNestedHls,
+    TwoPhaseHls,
+    WorkflowHls,
+)
+from repro.models import TwoPhaseParticipant, Workflow
+from repro.models.open_nested import SET_NAME as ON_SET
+from repro.models.twopc import SET_NAME as TWOPC_SET
+from repro.wscf import (
+    PROTOCOL_ATOMIC,
+    PROTOCOL_BUSINESS,
+    ActivationService,
+    RegistrationService,
+    WscfCoordinator,
+)
+from repro.wscf.coordination import WscfError
+
+
+class TestHls:
+    @pytest.fixture
+    def service(self):
+        hls = HlsActivityService()
+        hls.register_service(TwoPhaseHls())
+        hls.register_service(OpenNestedHls())
+        return hls
+
+    def test_service_registry(self, service):
+        assert service.service_names() == ["atomic", "open-nested"]
+
+    def test_unknown_service_rejected(self, service):
+        with pytest.raises(ActivityServiceError):
+            service.begin("nonexistent")
+
+    def test_atomic_hls_configures_2pc_completion(self, service):
+        activity = service.begin("atomic", name="pay")
+        participant = TwoPhaseParticipant("p")
+        activity.add_action(TWOPC_SET, participant)
+        outcome = service.complete()
+        assert outcome.name == "committed"
+        assert participant.committed
+
+    def test_atomic_hls_failure_rolls_back(self, service):
+        activity = service.begin("atomic")
+        participant = TwoPhaseParticipant("p")
+        activity.add_action(TWOPC_SET, participant)
+        outcome = service.complete(CompletionStatus.FAIL)
+        assert outcome.name == "rolled_back"
+        assert not participant.committed
+
+    def test_open_nested_hls_configures_completion(self, service):
+        activity = service.begin("open-nested")
+        assert activity.completion_signal_set_name == ON_SET
+        service.complete()
+
+    def test_begin_without_service_is_plain(self, service):
+        activity = service.begin(name="plain")
+        assert activity.completion_signal_set_name is None
+        service.complete()
+
+    def test_nested_demarcation_through_user_activity(self, service):
+        outer = service.begin("atomic", name="outer")
+        inner = service.begin(name="inner")
+        assert inner.parent is outer
+        service.complete()
+        outer_outcome = service.complete()
+        assert outer_outcome.name == "committed"
+
+    def test_recovery_factories_installed(self, service):
+        # TwoPhaseHls.install registered a signal-set factory.
+        signal_set = service.manager.make_signal_set("hls.atomic.completion")
+        assert signal_set.signal_set_name == TWOPC_SET
+
+    def test_workflow_hls_runs_workflows(self):
+        hls = HlsActivityService()
+        hls.register_service(WorkflowHls())
+        workflow = Workflow("two-step")
+        workflow.add_task("a", lambda c: 1)
+        workflow.add_task("b", lambda c: 2, deps=["a"])
+        result = hls._services["workflow"].run(workflow)
+        assert result.succeeded
+
+    def test_workflow_hls_requires_install(self):
+        hls = WorkflowHls()
+        with pytest.raises(ActivityServiceError):
+            hls.run(Workflow("w"))
+
+
+class TestWscf:
+    @pytest.fixture
+    def coordinator(self):
+        return WscfCoordinator()
+
+    def test_atomic_context_lifecycle(self, coordinator):
+        context = coordinator.create_context(PROTOCOL_ATOMIC)
+        participant = TwoPhaseParticipant("svc")
+        coordinator.register(context.context_id, participant)
+        outcome = coordinator.terminate(context.context_id, success=True)
+        assert outcome.name == "committed"
+        assert participant.committed
+        assert coordinator.outcome_of(context.context_id) is outcome
+
+    def test_atomic_failure_rolls_back(self, coordinator):
+        context = coordinator.create_context(PROTOCOL_ATOMIC)
+        participant = TwoPhaseParticipant("svc")
+        coordinator.register(context.context_id, participant)
+        outcome = coordinator.terminate(context.context_id, success=False)
+        assert outcome.name == "rolled_back"
+
+    def test_business_context_two_explicit_phases(self, coordinator):
+        from repro.models import BtpParticipant, BtpStatus
+
+        context = coordinator.create_context(PROTOCOL_BUSINESS)
+        participant = BtpParticipant("svc")
+        coordinator.register(context.context_id, participant)
+        prepare_outcome = coordinator.prepare(context.context_id)
+        assert not prepare_outcome.is_error
+        assert participant.status is BtpStatus.PREPARED
+        coordinator.terminate(context.context_id, success=True)
+        assert participant.status is BtpStatus.CONFIRMED
+
+    def test_prepare_on_atomic_rejected(self, coordinator):
+        context = coordinator.create_context(PROTOCOL_ATOMIC)
+        with pytest.raises(WscfError):
+            coordinator.prepare(context.context_id)
+
+    def test_unknown_coordination_type_rejected(self, coordinator):
+        with pytest.raises(WscfError):
+            coordinator.create_context("wscf:bogus")
+
+    def test_terminated_context_unusable(self, coordinator):
+        context = coordinator.create_context(PROTOCOL_ATOMIC)
+        coordinator.terminate(context.context_id)
+        with pytest.raises(WscfError):
+            coordinator.register(context.context_id, TwoPhaseParticipant("late"))
+
+    def test_no_ots_underneath(self, coordinator):
+        """§5.2: the WSCF atomic protocol runs with no transaction factory,
+        no OTS objects — coordination built purely on the framework."""
+        context = coordinator.create_context(PROTOCOL_ATOMIC)
+        participant = TwoPhaseParticipant("svc")
+        coordinator.register(context.context_id, participant)
+        outcome = coordinator.terminate(context.context_id)
+        assert outcome.name == "committed"
+
+    def test_remote_activation_and_registration(self):
+        """Activation/registration services work as ORB servants with
+        participant object references."""
+        from repro.core import IdempotentAction, Outcome, RecordingAction
+        from repro.orb import Orb
+
+        orb = Orb()
+        host = orb.create_node("coordinator-host")
+        svc_node = orb.create_node("participant-host")
+        coordinator = WscfCoordinator()
+        activation_ref = host.activate(ActivationService(coordinator))
+        registration_ref = host.activate(RegistrationService(coordinator))
+
+        context = activation_ref.invoke(
+            "create_coordination_context", PROTOCOL_ATOMIC
+        )
+        participant = TwoPhaseParticipant("remote-svc")
+        participant_ref = svc_node.activate(participant, interface="Action")
+        assert registration_ref.invoke(
+            "register_participant", context.context_id, participant_ref
+        )
+        outcome = coordinator.terminate(context.context_id)
+        assert outcome.name == "committed"
+        assert participant.committed

@@ -1,0 +1,202 @@
+"""LRUOW rehearsal/performance model (§4.3)."""
+
+import pytest
+
+from repro.core import ActivityManager
+from repro.models import (
+    LongRunningUnitOfWork,
+    LruowConflict,
+    LruowResource,
+)
+
+
+@pytest.fixture
+def manager():
+    return ActivityManager()
+
+
+class TestResource:
+    def test_rehearsal_journals_without_touching_committed(self):
+        resource = LruowResource("stock", 10)
+        resource.begin_rehearsal("u1")
+        resource.rehearse("u1", lambda v: v - 4)
+        assert resource.rehearsal_value("u1") == 6
+        assert resource.committed == 10
+
+    def test_rehearse_requires_begin(self):
+        resource = LruowResource("stock", 10)
+        with pytest.raises(LruowConflict):
+            resource.rehearse("ghost", lambda v: v)
+
+    def test_rehearsal_predicate_checked_against_snapshot(self):
+        resource = LruowResource("stock", 2)
+        resource.begin_rehearsal("u1")
+        with pytest.raises(LruowConflict):
+            resource.rehearse("u1", lambda v: v - 5, predicate=lambda v: v >= 5)
+
+    def test_validate_replays_on_live_state(self):
+        resource = LruowResource("stock", 10)
+        resource.begin_rehearsal("u1")
+        resource.rehearse("u1", lambda v: v - 4, predicate=lambda v: v >= 4)
+        resource.committed = 5  # concurrent activity
+        assert resource.validate("u1")
+        resource.apply("u1")
+        assert resource.committed == 1
+
+    def test_validate_detects_conflict(self):
+        resource = LruowResource("stock", 10)
+        resource.begin_rehearsal("u1")
+        resource.rehearse("u1", lambda v: v - 8, predicate=lambda v: v >= 8)
+        resource.committed = 4
+        assert not resource.validate("u1")
+
+    def test_apply_without_validate_rejected(self):
+        resource = LruowResource("stock", 10)
+        resource.begin_rehearsal("u1")
+        with pytest.raises(LruowConflict):
+            resource.apply("u1")
+
+    def test_abandon_cleans_up(self):
+        resource = LruowResource("stock", 10)
+        resource.begin_rehearsal("u1")
+        resource.rehearse("u1", lambda v: v - 1)
+        resource.abandon("u1")
+        assert resource.committed == 10
+        with pytest.raises(LruowConflict):
+            resource.rehearse("u1", lambda v: v)
+
+    def test_version_bumps_on_apply(self):
+        resource = LruowResource("stock", 10)
+        resource.begin_rehearsal("u1")
+        resource.rehearse("u1", lambda v: v - 1)
+        resource.validate("u1")
+        resource.apply("u1")
+        assert resource.version == 1
+
+    def test_multiple_operations_compose(self):
+        resource = LruowResource("stock", 10)
+        resource.begin_rehearsal("u1")
+        resource.rehearse("u1", lambda v: v - 2)
+        resource.rehearse("u1", lambda v: v * 3)
+        assert resource.rehearsal_value("u1") == 24
+
+
+class TestUnitOfWork:
+    def test_happy_path_two_resources(self, manager):
+        stock = LruowResource("stock", 10)
+        account = LruowResource("account", 100)
+        uow = LongRunningUnitOfWork(manager)
+        uow.enlist(stock)
+        uow.enlist(account)
+        uow.begin()
+        uow.update(stock, lambda v: v - 2, predicate=lambda v: v >= 2)
+        uow.update(account, lambda v: v + 20)
+        assert uow.complete()
+        assert stock.committed == 8
+        assert account.committed == 120
+
+    def test_reads_see_rehearsal_values(self, manager):
+        stock = LruowResource("stock", 10)
+        uow = LongRunningUnitOfWork(manager)
+        uow.enlist(stock)
+        assert uow.read(stock) == 10
+        uow.begin()
+        uow.update(stock, lambda v: v - 5)
+        assert uow.read(stock) == 5
+        assert stock.committed == 10
+
+    def test_conflict_abandons_everything(self, manager):
+        stock = LruowResource("stock", 10)
+        account = LruowResource("account", 100)
+        uow = LongRunningUnitOfWork(manager)
+        uow.enlist(stock)
+        uow.enlist(account)
+        uow.begin()
+        uow.update(stock, lambda v: v - 8, predicate=lambda v: v >= 8)
+        uow.update(account, lambda v: v + 20)
+        stock.committed = 4  # interference between rehearsal and performance
+        assert not uow.complete()
+        assert stock.committed == 4
+        assert account.committed == 100, "atomic: no partial performance"
+
+    def test_validate_abandon_pivot_reaches_all_resources(self, manager):
+        """On conflict the performance set pivots to abandon for everyone."""
+        first = LruowResource("first", 10)
+        second = LruowResource("second", 10)
+        uow = LongRunningUnitOfWork(manager)
+        uow.enlist(first)
+        uow.enlist(second)
+        uow.begin()
+        uow.update(first, lambda v: v - 8, predicate=lambda v: v >= 8)
+        uow.update(second, lambda v: v - 1)
+        first.committed = 0
+        assert not uow.complete()
+        # Both journals were discarded.
+        assert first._journals == {} and second._journals == {}
+
+    def test_cancel_abandons(self, manager):
+        stock = LruowResource("stock", 10)
+        uow = LongRunningUnitOfWork(manager)
+        uow.enlist(stock)
+        uow.begin()
+        uow.update(stock, lambda v: v - 1)
+        uow.cancel()
+        assert stock.committed == 10
+
+    def test_update_requires_begin(self, manager):
+        stock = LruowResource("stock", 10)
+        uow = LongRunningUnitOfWork(manager)
+        uow.enlist(stock)
+        with pytest.raises(LruowConflict):
+            uow.update(stock, lambda v: v)
+
+    def test_enlist_after_begin_rejected(self, manager):
+        uow = LongRunningUnitOfWork(manager)
+        uow.enlist(LruowResource("a", 1))
+        uow.begin()
+        with pytest.raises(LruowConflict):
+            uow.enlist(LruowResource("b", 1))
+
+    def test_double_begin_rejected(self, manager):
+        uow = LongRunningUnitOfWork(manager)
+        uow.enlist(LruowResource("a", 1))
+        uow.begin()
+        with pytest.raises(LruowConflict):
+            uow.begin()
+
+    def test_duplicate_enlist_tolerated(self, manager):
+        resource = LruowResource("a", 1)
+        uow = LongRunningUnitOfWork(manager)
+        uow.enlist(resource)
+        uow.enlist(resource)
+        uow.begin()
+        assert uow.complete()
+
+    def test_concurrent_uows_type_specific_control(self, manager):
+        """Two rehearsals overlap; commutative updates both perform."""
+        stock = LruowResource("stock", 10)
+        uow1 = LongRunningUnitOfWork(manager, "uow1")
+        uow2 = LongRunningUnitOfWork(manager, "uow2")
+        uow1.enlist(stock)
+        uow2.enlist(stock)
+        uow1.begin()
+        uow2.begin()
+        uow1.update(stock, lambda v: v - 3, predicate=lambda v: v >= 3)
+        uow2.update(stock, lambda v: v - 4, predicate=lambda v: v >= 4)
+        assert uow1.complete()
+        assert uow2.complete(), "second uow revalidates against new state"
+        assert stock.committed == 3
+
+    def test_concurrent_uows_conflict_detected(self, manager):
+        stock = LruowResource("stock", 5)
+        uow1 = LongRunningUnitOfWork(manager, "uow1")
+        uow2 = LongRunningUnitOfWork(manager, "uow2")
+        uow1.enlist(stock)
+        uow2.enlist(stock)
+        uow1.begin()
+        uow2.begin()
+        uow1.update(stock, lambda v: v - 4, predicate=lambda v: v >= 4)
+        uow2.update(stock, lambda v: v - 4, predicate=lambda v: v >= 4)
+        assert uow1.complete()
+        assert not uow2.complete(), "insufficient stock for the second uow"
+        assert stock.committed == 1

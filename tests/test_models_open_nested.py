@@ -1,0 +1,199 @@
+"""Open nested transactions with compensation (§4.2, fig. 9)."""
+
+import pytest
+
+from repro.core import ActivityManager, CompletionStatus
+from repro.models import (
+    CompensationAction,
+    OpenNestedCompletionSignalSet,
+    OpenNestedCoordinator,
+)
+from repro.models.open_nested import (
+    OUTCOME_COMPENSATED,
+    OUTCOME_ENLISTED,
+    OUTCOME_IGNORED,
+    OUTCOME_REMOVED,
+    SET_NAME,
+    SIGNAL_FAILURE,
+    SIGNAL_PROPAGATE,
+    SIGNAL_SUCCESS,
+)
+
+
+@pytest.fixture
+def manager():
+    return ActivityManager()
+
+
+@pytest.fixture
+def onc(manager):
+    return OpenNestedCoordinator(manager)
+
+
+class TestSignalSet:
+    def test_success_without_dependants(self):
+        signal_set = OpenNestedCompletionSignalSet()
+        signal_set.set_completion_status(CompletionStatus.SUCCESS)
+        signal, last = signal_set.get_signal()
+        assert signal.signal_name == SIGNAL_SUCCESS and last
+
+    def test_propagate_with_dependants(self):
+        signal_set = OpenNestedCompletionSignalSet(propagate_to="activity-9")
+        signal_set.set_completion_status(CompletionStatus.SUCCESS)
+        signal, _ = signal_set.get_signal()
+        assert signal.signal_name == SIGNAL_PROPAGATE
+        assert signal.application_specific_data == {"activity_id": "activity-9"}
+
+    def test_failure_signal(self):
+        signal_set = OpenNestedCompletionSignalSet(propagate_to="x")
+        signal_set.set_completion_status(CompletionStatus.FAIL)
+        signal, _ = signal_set.get_signal()
+        assert signal.signal_name == SIGNAL_FAILURE
+
+    def test_single_signal_only(self):
+        signal_set = OpenNestedCompletionSignalSet()
+        signal_set.get_signal()
+        assert signal_set.get_signal() == (None, True)
+
+
+class TestCompensationActionStates:
+    """The paper's three state-transition rules, verbatim."""
+
+    def make(self, manager, log):
+        return CompensationAction(lambda: log.append("!B"), manager)
+
+    def test_success_removes(self, manager):
+        from repro.core.signals import Signal
+
+        log = []
+        action = self.make(manager, log)
+        outcome = action.process_signal(Signal(SIGNAL_SUCCESS, SET_NAME))
+        assert outcome.name == OUTCOME_REMOVED
+        assert action.removed and log == []
+
+    def test_propagate_enlists_and_remembers(self, manager):
+        from repro.core.signals import Signal
+
+        log = []
+        target = manager.begin("A")
+        action = self.make(manager, log)
+        outcome = action.process_signal(
+            Signal(SIGNAL_PROPAGATE, SET_NAME, {"activity_id": target.activity_id})
+        )
+        assert outcome.name == OUTCOME_ENLISTED
+        assert action.propagated
+        assert target.coordinator.action_count == 1
+
+    def test_failure_never_propagated_ignores(self, manager):
+        from repro.core.signals import Signal
+
+        log = []
+        action = self.make(manager, log)
+        outcome = action.process_signal(Signal(SIGNAL_FAILURE, SET_NAME))
+        assert outcome.name == OUTCOME_IGNORED
+        assert log == []
+
+    def test_failure_after_propagate_compensates(self, manager):
+        from repro.core.signals import Signal
+
+        log = []
+        target = manager.begin("A")
+        action = self.make(manager, log)
+        action.process_signal(
+            Signal(SIGNAL_PROPAGATE, SET_NAME, {"activity_id": target.activity_id})
+        )
+        outcome = action.process_signal(Signal(SIGNAL_FAILURE, SET_NAME))
+        assert outcome.name == OUTCOME_COMPENSATED
+        assert log == ["!B"]
+
+    def test_compensation_idempotent(self, manager):
+        from repro.core.signals import Signal
+
+        log = []
+        target = manager.begin("A")
+        action = self.make(manager, log)
+        action.process_signal(
+            Signal(SIGNAL_PROPAGATE, SET_NAME, {"activity_id": target.activity_id})
+        )
+        action.process_signal(Signal(SIGNAL_FAILURE, SET_NAME))
+        action.process_signal(Signal(SIGNAL_FAILURE, SET_NAME))
+        assert log == ["!B"], "duplicate Failure signal must not re-compensate"
+
+    def test_propagate_without_target_is_error(self, manager):
+        from repro.core.signals import Signal
+
+        action = self.make(manager, [])
+        outcome = action.process_signal(Signal(SIGNAL_PROPAGATE, SET_NAME, {}))
+        assert outcome.is_error
+
+
+class TestFig9Scenarios:
+    def test_b_commits_a_commits_no_compensation(self, onc):
+        log = []
+        outer = onc.begin_enclosing("A")
+        inner, action = onc.begin_inner("B", compensate=lambda: log.append("!B"))
+        onc.complete_inner(inner, success=True)
+        onc.complete_enclosing(outer, success=True)
+        assert log == []
+        assert action.removed and not action.compensated
+
+    def test_b_commits_a_aborts_compensation_runs(self, onc):
+        log = []
+        outer = onc.begin_enclosing("A")
+        inner, action = onc.begin_inner("B", compensate=lambda: log.append("!B"))
+        onc.complete_inner(inner, success=True)
+        onc.complete_enclosing(outer, success=False)
+        assert log == ["!B"]
+        assert action.compensated
+
+    def test_b_aborts_nothing_to_compensate(self, onc):
+        log = []
+        outer = onc.begin_enclosing("A")
+        inner, action = onc.begin_inner("B", compensate=lambda: log.append("!B"))
+        onc.complete_inner(inner, success=False)
+        onc.complete_enclosing(outer, success=False)
+        assert log == []
+        assert not action.propagated
+
+    def test_multiple_inner_transactions_compensate_on_failure(self, onc):
+        log = []
+        outer = onc.begin_enclosing("A")
+        for name in ("B1", "B2", "B3"):
+            inner, _ = onc.begin_inner(name, compensate=lambda n=name: log.append(n))
+            onc.complete_inner(inner, success=True)
+        onc.complete_enclosing(outer, success=False)
+        assert log == ["B1", "B2", "B3"]
+
+    def test_mixed_inner_outcomes(self, onc):
+        log = []
+        outer = onc.begin_enclosing("A")
+        ok, _ = onc.begin_inner("ok", compensate=lambda: log.append("!ok"))
+        onc.complete_inner(ok, success=True)
+        failed, _ = onc.begin_inner("failed", compensate=lambda: log.append("!failed"))
+        onc.complete_inner(failed, success=False)
+        onc.complete_enclosing(outer, success=False)
+        assert log == ["!ok"], "only committed B-work is compensated"
+
+    def test_begin_inner_requires_enclosing(self, manager, onc):
+        with pytest.raises(ValueError):
+            onc.begin_inner("B", compensate=lambda: None)
+
+    def test_chained_propagation(self, manager, onc):
+        """The Action re-enlists with whatever activity the Propagate signal
+        names — chains of enclosing scopes work."""
+        log = []
+        grandparent = onc.begin_enclosing("G")
+        # Inner propagates to an intermediate activity, which itself uses an
+        # open-nested completion set propagating to the grandparent.
+        middle = manager.begin(name="M")
+        middle.register_signal_set(
+            OpenNestedCompletionSignalSet(propagate_to=grandparent.activity_id),
+            completion=True,
+        )
+        inner, action = onc.begin_inner(
+            "B", compensate=lambda: log.append("!B"), enclosing=middle
+        )
+        onc.complete_inner(inner, success=True)   # enlists with middle
+        middle.complete(CompletionStatus.SUCCESS)  # propagates to grandparent
+        onc.complete_enclosing(grandparent, success=False)
+        assert log == ["!B"]

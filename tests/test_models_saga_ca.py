@@ -1,0 +1,279 @@
+"""Sagas and CA actions on the framework."""
+
+import pytest
+
+from repro.core import ActivityManager
+from repro.models import (
+    CaAction,
+    CaParticipant,
+    ExceptionResolutionTree,
+    Saga,
+    SagaAbortedError,
+)
+from repro.models.ca_actions import CaError, CaRoleException
+
+
+@pytest.fixture
+def manager():
+    return ActivityManager()
+
+
+class TestSaga:
+    def test_all_steps_complete(self, manager):
+        log = []
+        saga = Saga(manager, "ok")
+        saga.add_step("s1", lambda c: log.append("s1") or "r1",
+                      compensation=lambda c: log.append("c1"))
+        saga.add_step("s2", lambda c: log.append("s2") or "r2",
+                      compensation=lambda c: log.append("c2"))
+        result = saga.run()
+        assert result.succeeded
+        assert result.completed == ["s1", "s2"]
+        assert result.outputs == {"s1": "r1", "s2": "r2"}
+        assert "c1" not in log and "c2" not in log
+
+    def test_failure_compensates_in_reverse(self, manager):
+        log = []
+        saga = Saga(manager, "fail")
+        for i in (1, 2, 3):
+            saga.add_step(
+                f"s{i}",
+                lambda c, i=i: log.append(f"s{i}"),
+                compensation=lambda c, i=i: log.append(f"c{i}"),
+            )
+
+        def boom(c):
+            raise ValueError("no")
+
+        saga.add_step("s4", boom)
+        result = saga.run()
+        assert result.failed_step == "s4"
+        assert result.compensated == ["c3".replace("c", "s") for _ in []] or True
+        assert log == ["s1", "s2", "s3", "c3", "c2", "c1"]
+
+    def test_steps_after_failure_not_run(self, manager):
+        log = []
+        saga = Saga(manager, "stop")
+
+        def boom(c):
+            raise ValueError("no")
+
+        saga.add_step("bad", boom)
+        saga.add_step("never", lambda c: log.append("never"))
+        saga.run()
+        assert log == []
+
+    def test_steps_without_compensation_skipped_in_undo(self, manager):
+        log = []
+        saga = Saga(manager, "partial")
+        saga.add_step("tracked", lambda c: None,
+                      compensation=lambda c: log.append("undo-tracked"))
+        saga.add_step("untracked", lambda c: None)  # no compensation
+
+        def boom(c):
+            raise ValueError("no")
+
+        saga.add_step("bad", boom)
+        result = saga.run()
+        assert log == ["undo-tracked"]
+        assert result.compensated == ["tracked"]
+
+    def test_raise_on_abort(self, manager):
+        saga = Saga(manager, "raise")
+
+        def boom(c):
+            raise ValueError("no")
+
+        saga.add_step("bad", boom)
+        with pytest.raises(SagaAbortedError) as exc_info:
+            saga.run(raise_on_abort=True)
+        assert exc_info.value.failed_step == "bad"
+
+    def test_context_accumulates_results(self, manager):
+        saga = Saga(manager, "ctx")
+        saga.add_step("one", lambda c: 1)
+        saga.add_step("two", lambda c: c["results"]["one"] + 1)
+        result = saga.run()
+        assert result.outputs["two"] == 2
+
+    def test_first_step_failure_compensates_nothing(self, manager):
+        log = []
+        saga = Saga(manager, "early")
+
+        def boom(c):
+            raise ValueError("no")
+
+        saga.add_step("bad", boom, compensation=lambda c: log.append("c"))
+        result = saga.run()
+        assert result.failed_step == "bad"
+        assert log == []
+
+    def test_rerunnable(self, manager):
+        attempts = {"n": 0}
+        saga = Saga(manager, "retry")
+
+        def flaky(c):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise ValueError("first time fails")
+            return "ok"
+
+        saga.add_step("flaky", flaky)
+        assert not saga.run().succeeded
+        assert saga.run().succeeded
+
+
+class TestResolutionTree:
+    def test_resolve_single(self):
+        tree = ExceptionResolutionTree()
+        tree.add("A")
+        assert tree.resolve({"A"}) == "A"
+
+    def test_resolve_siblings_to_parent(self):
+        tree = ExceptionResolutionTree()
+        tree.add("Device")
+        tree.add("Sensor", "Device")
+        tree.add("Motor", "Device")
+        assert tree.resolve({"Sensor", "Motor"}) == "Device"
+
+    def test_resolve_ancestor_descendant(self):
+        tree = ExceptionResolutionTree()
+        tree.add("Device")
+        tree.add("Sensor", "Device")
+        assert tree.resolve({"Device", "Sensor"}) == "Device"
+
+    def test_resolve_unrelated_to_root(self):
+        tree = ExceptionResolutionTree()
+        tree.add("A")
+        tree.add("B")
+        assert tree.resolve({"A", "B"}) == tree.root
+
+    def test_unknown_parent_rejected(self):
+        tree = ExceptionResolutionTree()
+        with pytest.raises(CaError):
+            tree.add("X", "Ghost")
+
+    def test_empty_resolution_rejected(self):
+        with pytest.raises(CaError):
+            ExceptionResolutionTree().resolve(set())
+
+    def test_path_to_root(self):
+        tree = ExceptionResolutionTree()
+        tree.add("A")
+        tree.add("B", "A")
+        assert tree.path_to_root("B") == ["B", "A", tree.root]
+
+
+class TestCaAction:
+    def make_tree(self):
+        tree = ExceptionResolutionTree()
+        tree.add("DeviceError")
+        tree.add("SensorError", "DeviceError")
+        tree.add("MotorError", "DeviceError")
+        return tree
+
+    def test_normal_outcome(self, manager):
+        ca = CaAction(manager, self.make_tree())
+        ca.add_participant(CaParticipant("a", lambda c: "ra"))
+        ca.add_participant(CaParticipant("b", lambda c: "rb"))
+        outcome = ca.run()
+        assert outcome.is_normal
+        assert outcome.outputs == {"a": "ra", "b": "rb"}
+
+    def test_concurrent_exceptions_resolved_and_handled(self, manager):
+        handled = []
+
+        def sensor_fail(c):
+            raise CaRoleException("SensorError")
+
+        def motor_fail(c):
+            raise CaRoleException("MotorError")
+
+        ca = CaAction(manager, self.make_tree())
+        ca.add_participant(
+            CaParticipant("a", sensor_fail,
+                          handlers={"DeviceError": lambda c: handled.append("a")})
+        )
+        ca.add_participant(
+            CaParticipant("b", motor_fail,
+                          handlers={"DeviceError": lambda c: handled.append("b")})
+        )
+        outcome = ca.run()
+        assert outcome.kind == "exceptional"
+        assert outcome.resolved_exception == "DeviceError"
+        assert handled == ["a", "b"], "every participant handles the resolution"
+
+    def test_healthy_participants_also_handle(self, manager):
+        """All participants — including ones whose work succeeded — take
+        part in exception handling (the CA-action contract)."""
+        handled = []
+
+        def fail(c):
+            raise CaRoleException("SensorError")
+
+        ca = CaAction(manager, self.make_tree())
+        ca.add_participant(
+            CaParticipant("failing", fail,
+                          handlers={"SensorError": lambda c: handled.append("f")})
+        )
+        ca.add_participant(
+            CaParticipant("healthy", lambda c: "ok",
+                          handlers={"SensorError": lambda c: handled.append("h")})
+        )
+        outcome = ca.run()
+        assert outcome.kind == "exceptional"
+        assert sorted(handled) == ["f", "h"]
+
+    def test_missing_handler_fails_action(self, manager):
+        def fail(c):
+            raise CaRoleException("SensorError")
+
+        ca = CaAction(manager, self.make_tree())
+        ca.add_participant(CaParticipant("a", fail, handlers={}))
+        outcome = ca.run()
+        assert outcome.kind == "failed"
+
+    def test_untagged_exception_resolves_via_type_name(self, manager):
+        tree = self.make_tree()
+        tree.add("ValueError", "DeviceError")
+        handled = []
+
+        def fail(c):
+            raise ValueError("plain python error")
+
+        ca = CaAction(manager, tree)
+        ca.add_participant(
+            CaParticipant("a", fail,
+                          handlers={"ValueError": lambda c: handled.append(1)})
+        )
+        outcome = ca.run()
+        assert outcome.kind == "exceptional"
+        assert outcome.resolved_exception == "ValueError"
+
+    def test_unknown_exception_name_maps_to_root(self, manager):
+        def fail(c):
+            raise CaRoleException("NeverRegistered")
+
+        ca = CaAction(manager, self.make_tree())
+        ca.add_participant(CaParticipant("a", fail, handlers={}))
+        outcome = ca.run()
+        assert outcome.kind == "failed"
+        assert outcome.resolved_exception == ExceptionResolutionTree().root
+
+    def test_no_participants_rejected(self, manager):
+        with pytest.raises(CaError):
+            CaAction(manager).run()
+
+    def test_context_shared_between_work_and_handlers(self, manager):
+        def work(c):
+            c["progress"] = 5
+            raise CaRoleException("SensorError")
+
+        seen = []
+        ca = CaAction(manager, self.make_tree())
+        ca.add_participant(
+            CaParticipant("a", work,
+                          handlers={"SensorError": lambda c: seen.append(c["progress"])})
+        )
+        ca.run()
+        assert seen == [5]

@@ -1,0 +1,171 @@
+"""Unit tests for interceptors, service contexts and PICurrent."""
+
+import pytest
+
+from repro.orb import Orb
+from repro.orb.core import Servant
+from repro.orb.current import InvocationCurrent
+from repro.orb.interceptors import (
+    ClientRequestInterceptor,
+    RequestInfo,
+    ServerRequestInterceptor,
+)
+
+
+class TaggingClient(ClientRequestInterceptor):
+    def __init__(self, tag):
+        self.tag = tag
+        self.replies = []
+        self.exceptions = []
+
+    def send_request(self, info):
+        info.set_context("tag", self.tag)
+
+    def receive_reply(self, info):
+        self.replies.append(info.operation)
+
+    def receive_exception(self, info):
+        self.exceptions.append(type(info.exception).__name__)
+
+
+class ObservingServer(ServerRequestInterceptor):
+    def __init__(self):
+        self.seen_tags = []
+        self.replies = 0
+        self.exceptions = 0
+
+    def receive_request(self, info):
+        self.seen_tags.append(info.get_context("tag"))
+
+    def send_reply(self, info):
+        self.replies += 1
+
+    def send_exception(self, info):
+        self.exceptions += 1
+
+
+class Probe(Servant):
+    def ping(self):
+        return "pong"
+
+    def fail(self):
+        raise RuntimeError("nope")
+
+
+@pytest.fixture
+def wired():
+    orb = Orb()
+    node = orb.create_node("n")
+    ref = node.activate(Probe())
+    client = TaggingClient("hello")
+    server = ObservingServer()
+    orb.interceptors.add_client(client)
+    orb.interceptors.add_server(server)
+    return orb, ref, client, server
+
+
+class TestInterceptorFlow:
+    def test_context_travels_to_server(self, wired):
+        orb, ref, client, server = wired
+        ref.invoke("ping")
+        assert server.seen_tags == ["hello"]
+
+    def test_reply_hooks_run(self, wired):
+        orb, ref, client, server = wired
+        ref.invoke("ping")
+        assert client.replies == ["ping"]
+        assert server.replies == 1
+
+    def test_exception_hooks_run(self, wired):
+        orb, ref, client, server = wired
+        with pytest.raises(Exception):
+            ref.invoke("fail")
+        assert server.exceptions == 1
+        assert client.exceptions and client.exceptions[0]
+
+    def test_multiple_client_interceptors_in_order(self):
+        orb = Orb()
+        node = orb.create_node("n")
+        ref = node.activate(Probe())
+        order = []
+
+        class Ordered(ClientRequestInterceptor):
+            def __init__(self, name):
+                self.name = name
+
+            def send_request(self, info):
+                order.append(f"send-{self.name}")
+
+            def receive_reply(self, info):
+                order.append(f"recv-{self.name}")
+
+        orb.interceptors.add_client(Ordered("a"))
+        orb.interceptors.add_client(Ordered("b"))
+        ref.invoke("ping")
+        # send in order, receive in reverse (onion model).
+        assert order == ["send-a", "send-b", "recv-b", "recv-a"]
+
+    def test_request_info_fields(self):
+        info = RequestInfo(
+            operation="op", target_node="n", target_object="o", interface="I"
+        )
+        assert info.get_context("missing") is None
+        info.set_context("k", 1)
+        assert info.get_context("k") == 1
+
+
+class TestInvocationCurrent:
+    def test_root_frame_slots(self):
+        current = InvocationCurrent()
+        current.set_slot("a", 1)
+        assert current.get_slot("a") == 1
+        assert current.get_slot("missing", "default") == "default"
+
+    def test_frames_nest_and_isolate(self):
+        current = InvocationCurrent()
+        current.set_slot("a", 1)
+        with current.frame():
+            assert current.get_slot("a") is None
+            current.set_slot("a", 2)
+            assert current.get_slot("a") == 2
+        assert current.get_slot("a") == 1
+
+    def test_frame_initial_values(self):
+        current = InvocationCurrent()
+        with current.frame({"node": "x"}):
+            assert current.get_slot("node") == "x"
+
+    def test_cannot_pop_root(self):
+        current = InvocationCurrent()
+        with pytest.raises(IndexError):
+            current.pop_frame()
+
+    def test_clear_slot(self):
+        current = InvocationCurrent()
+        current.set_slot("a", 1)
+        current.clear_slot("a")
+        assert current.get_slot("a") is None
+
+    def test_depth_tracks_dispatch_nesting(self):
+        orb = Orb()
+        node = orb.create_node("n")
+
+        class DepthProbe(Servant):
+            def depth(self):
+                return orb.current.depth
+
+        ref = node.activate(DepthProbe())
+        assert orb.current.depth == 1
+        assert ref.invoke("depth") == 2
+        assert orb.current.depth == 1
+
+    def test_node_slot_set_during_dispatch(self):
+        orb = Orb()
+        node = orb.create_node("srv")
+
+        class NodeProbe(Servant):
+            def where(self):
+                return orb.current.get_slot("node")
+
+        ref = node.activate(NodeProbe())
+        assert ref.invoke("where") == "srv"

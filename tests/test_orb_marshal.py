@@ -1,0 +1,161 @@
+"""Unit tests for CDR-style marshalling."""
+
+from dataclasses import dataclass
+from enum import Enum
+
+import pytest
+
+from repro.core.signals import Outcome, Signal
+from repro.core.status import CompletionStatus
+from repro.orb.marshal import (
+    GLOBAL_REGISTRY,
+    MarshalError,
+    Marshaller,
+    ValueTypeRegistry,
+    marshal_roundtrip,
+)
+from repro.orb.reference import ObjectRef
+
+
+def roundtrip(value):
+    marshaller = Marshaller()
+    return marshaller.decode(marshaller.encode(value))
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 2**40, -(2**40), 0.0, 3.14, -2.5,
+         "", "hello", "uniçode ✓", b"", b"bytes\x00\xff"],
+    )
+    def test_roundtrip(self, value):
+        assert roundtrip(value) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert roundtrip(True) is True
+        assert roundtrip(1) == 1 and roundtrip(1) is not True
+
+    def test_float_precision(self):
+        assert roundtrip(1 / 3) == 1 / 3
+
+
+class TestContainers:
+    def test_list(self):
+        assert roundtrip([1, "a", None]) == [1, "a", None]
+
+    def test_tuple_stays_tuple(self):
+        assert roundtrip((1, 2)) == (1, 2)
+        assert isinstance(roundtrip((1, 2)), tuple)
+
+    def test_dict(self):
+        value = {"a": 1, 2: "b", (1, 2): [3]}
+        assert roundtrip(value) == value
+
+    def test_set(self):
+        assert roundtrip({1, 2, 3}) == {1, 2, 3}
+
+    def test_nested(self):
+        value = {"outer": [{"inner": (1, [2, {"deep": None}])}]}
+        assert roundtrip(value) == value
+
+    def test_empty_containers(self):
+        assert roundtrip([]) == []
+        assert roundtrip({}) == {}
+        assert roundtrip(()) == ()
+
+
+class TestValueTypes:
+    def test_registered_dataclass_roundtrips(self):
+        signal = Signal("prepare", "repro.2pc", {"k": 1})
+        copy = roundtrip(signal)
+        assert copy == signal
+        assert copy is not signal
+
+    def test_outcome_roundtrips(self):
+        outcome = Outcome.error(data=[1, 2])
+        assert roundtrip(outcome) == outcome
+
+    def test_registered_enum_roundtrips(self):
+        assert roundtrip(CompletionStatus.FAIL_ONLY) is CompletionStatus.FAIL_ONLY
+
+    def test_unregistered_type_rejected(self):
+        class Foo:
+            pass
+
+        with pytest.raises(MarshalError):
+            Marshaller().encode(Foo())
+
+    def test_unregistered_enum_rejected(self):
+        class Colour(Enum):
+            RED = 1
+
+        with pytest.raises(MarshalError):
+            Marshaller().encode(Colour.RED)
+
+    def test_custom_registry_isolated(self):
+        registry = ValueTypeRegistry()
+
+        @registry.register_dataclass
+        @dataclass(frozen=True)
+        class Point:
+            x: int
+            y: int
+
+        marshaller = Marshaller(registry)
+        assert marshaller.decode(marshaller.encode(Point(1, 2))) == Point(1, 2)
+
+    def test_register_dataclass_requires_dataclass(self):
+        registry = ValueTypeRegistry()
+        with pytest.raises(MarshalError):
+            registry.register_dataclass(int)
+
+    def test_by_value_semantics(self):
+        original = {"items": [1, 2]}
+        copy = marshal_roundtrip(original)
+        copy["items"].append(3)
+        assert original == {"items": [1, 2]}
+
+
+class TestObjectRefs:
+    def test_ref_roundtrips_identity(self):
+        ref = ObjectRef("node-1", "obj-9", "Thing")
+        copy = roundtrip(ref)
+        assert copy == ref
+        assert copy.interface == "Thing"
+        assert not copy.is_bound
+
+    def test_ref_rebinds_to_orb(self):
+        from repro.orb import Orb
+
+        orb = Orb()
+        ref = ObjectRef("n", "o", "I")
+        marshaller = Marshaller()
+        copy = marshaller.decode(marshaller.encode(ref), orb)
+        assert copy.is_bound
+        assert copy.orb is orb
+
+    def test_refs_inside_containers(self):
+        ref = ObjectRef("n", "o", "I")
+        copy = roundtrip({"service": ref, "others": [ref]})
+        assert copy["service"] == ref
+        assert copy["others"][0] == ref
+
+
+class TestWireErrors:
+    def test_truncated_message(self):
+        data = Marshaller().encode("hello")
+        with pytest.raises(MarshalError):
+            Marshaller().decode(data[:3])
+
+    def test_trailing_garbage(self):
+        data = Marshaller().encode(1) + b"junk"
+        with pytest.raises(MarshalError):
+            Marshaller().decode(data)
+
+    def test_unknown_tag(self):
+        with pytest.raises(MarshalError):
+            Marshaller().decode(b"\x99")
+
+    def test_empty_message(self):
+        with pytest.raises(MarshalError):
+            Marshaller().decode(b"")

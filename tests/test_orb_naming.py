@@ -1,0 +1,124 @@
+"""Unit tests for the naming service."""
+
+import pytest
+
+from repro.orb import Orb
+from repro.orb.core import Servant
+from repro.orb.naming import (
+    NameAlreadyBound,
+    NameNotFound,
+    NamingService,
+    install_naming,
+)
+
+
+class Dummy(Servant):
+    def hello(self):
+        return "hi"
+
+
+@pytest.fixture
+def deployment():
+    orb = Orb()
+    node = orb.create_node("ns-host")
+    naming_ref = install_naming(orb, node)
+    dummy_ref = node.activate(Dummy())
+    return orb, node, naming_ref, dummy_ref
+
+
+class TestNamingLocal:
+    def test_bind_resolve(self):
+        naming = NamingService()
+        from repro.orb.reference import ObjectRef
+
+        ref = ObjectRef("n", "o", "I")
+        naming.bind("services/dummy", ref)
+        assert naming.resolve("services/dummy") == ref
+
+    def test_bind_duplicate_rejected(self):
+        naming = NamingService()
+        from repro.orb.reference import ObjectRef
+
+        ref = ObjectRef("n", "o")
+        naming.bind("a", ref)
+        with pytest.raises(NameAlreadyBound):
+            naming.bind("a", ref)
+
+    def test_rebind_replaces(self):
+        naming = NamingService()
+        from repro.orb.reference import ObjectRef
+
+        naming.bind("a", ObjectRef("n", "o1"))
+        naming.rebind("a", ObjectRef("n", "o2"))
+        assert naming.resolve("a").object_id == "o2"
+
+    def test_resolve_missing(self):
+        naming = NamingService()
+        with pytest.raises(NameNotFound):
+            naming.resolve("ghost")
+
+    def test_resolve_missing_context(self):
+        naming = NamingService()
+        with pytest.raises(NameNotFound):
+            naming.resolve("no/such/context")
+
+    def test_unbind(self):
+        naming = NamingService()
+        from repro.orb.reference import ObjectRef
+
+        naming.bind("a", ObjectRef("n", "o"))
+        naming.unbind("a")
+        with pytest.raises(NameNotFound):
+            naming.resolve("a")
+
+    def test_unbind_missing(self):
+        naming = NamingService()
+        with pytest.raises(NameNotFound):
+            naming.unbind("ghost")
+
+    def test_empty_name_rejected(self):
+        naming = NamingService()
+        from repro.orb.reference import ObjectRef
+
+        with pytest.raises(NameNotFound):
+            naming.bind("", ObjectRef("n", "o"))
+
+    def test_listing(self):
+        naming = NamingService()
+        from repro.orb.reference import ObjectRef
+
+        naming.bind("svc/a", ObjectRef("n", "1"))
+        naming.bind("svc/b", ObjectRef("n", "2"))
+        naming.bind("top", ObjectRef("n", "3"))
+        assert naming.list_names("svc") == ["a", "b"]
+        assert naming.list_names() == ["top"]
+        assert naming.list_contexts() == ["svc"]
+
+
+class TestNamingRemote:
+    def test_initial_reference_registered(self, deployment):
+        orb, node, naming_ref, dummy_ref = deployment
+        assert orb.resolve_initial_references("NameService") == naming_ref
+
+    def test_remote_bind_and_resolve(self, deployment):
+        orb, node, naming_ref, dummy_ref = deployment
+        naming_ref.invoke("bind", "apps/dummy", dummy_ref)
+        resolved = naming_ref.invoke("resolve", "apps/dummy")
+        assert resolved == dummy_ref
+        # The resolved ref is live: invoke through it.
+        assert resolved.invoke("hello") == "hi"
+
+    def test_remote_errors_are_typed(self, deployment):
+        orb, node, naming_ref, dummy_ref = deployment
+        with pytest.raises(NameNotFound):
+            naming_ref.invoke("resolve", "ghost")
+        naming_ref.invoke("bind", "a", dummy_ref)
+        with pytest.raises(NameAlreadyBound):
+            naming_ref.invoke("bind", "a", dummy_ref)
+
+    def test_naming_survives_crash_as_durable(self, deployment):
+        orb, node, naming_ref, dummy_ref = deployment
+        naming_ref.invoke("bind", "a", dummy_ref)
+        node.crash()
+        node.restart()
+        assert naming_ref.invoke("resolve", "a") == dummy_ref

@@ -1,0 +1,202 @@
+"""Unit tests for nested transactions: retention, inheritance, cascades."""
+
+import pytest
+
+from repro.ots import (
+    Inactive,
+    SubtransactionAwareResource,
+    SubtransactionsUnavailable,
+    SynchronizationUnavailable,
+    TransactionFactory,
+    TransactionRolledBack,
+    TransactionStatus,
+    TransactionalCell,
+)
+from repro.ots.locks import LockMode
+
+
+class FakeSubAware(SubtransactionAwareResource):
+    def __init__(self):
+        self.events = []
+
+    def commit_subtransaction(self, parent):
+        self.events.append(("subcommit", parent.tid))
+
+    def rollback_subtransaction(self):
+        self.events.append("subrollback")
+
+
+@pytest.fixture
+def factory():
+    return TransactionFactory()
+
+
+class TestStructure:
+    def test_parentage_and_depth(self, factory):
+        top = factory.create()
+        child = top.begin_subtransaction()
+        grandchild = child.begin_subtransaction()
+        assert child.parent is top
+        assert grandchild.top_level is top
+        assert (top.depth, child.depth, grandchild.depth) == (0, 1, 2)
+        assert not child.is_top_level
+
+    def test_ancestry(self, factory):
+        top = factory.create()
+        child = top.begin_subtransaction()
+        other = factory.create()
+        assert top.is_ancestor_of(child)
+        assert top.is_ancestor_of(top)
+        assert child.is_descendant_of(top)
+        assert not other.is_ancestor_of(child)
+
+    def test_cannot_nest_under_marked_rollback(self, factory):
+        top = factory.create()
+        top.rollback_only()
+        with pytest.raises(Inactive):
+            top.begin_subtransaction()
+
+    def test_subtran_aware_requires_nested(self, factory):
+        top = factory.create()
+        with pytest.raises(SubtransactionsUnavailable):
+            top.register_subtran_aware(FakeSubAware())
+
+    def test_synchronization_requires_top_level(self, factory):
+        child = factory.create().begin_subtransaction()
+        with pytest.raises(SynchronizationUnavailable):
+            child.register_synchronization(object())
+
+
+class TestNestedCompletion:
+    def test_child_commit_notifies_subtran_aware(self, factory):
+        top = factory.create()
+        child = top.begin_subtransaction()
+        aware = FakeSubAware()
+        child.register_subtran_aware(aware)
+        child.commit()
+        assert aware.events == [("subcommit", top.tid)]
+        assert child.status is TransactionStatus.COMMITTED
+
+    def test_child_rollback_notifies_subtran_aware(self, factory):
+        top = factory.create()
+        child = top.begin_subtransaction()
+        aware = FakeSubAware()
+        child.register_subtran_aware(aware)
+        child.rollback()
+        assert aware.events == ["subrollback"]
+
+    def test_parent_rollback_cascades_to_children(self, factory):
+        top = factory.create()
+        child = top.begin_subtransaction()
+        aware = FakeSubAware()
+        child.register_subtran_aware(aware)
+        top.rollback()
+        assert child.status is TransactionStatus.ROLLED_BACK
+        assert aware.events == ["subrollback"]
+
+    def test_parent_commit_with_open_child_rolls_back(self, factory):
+        top = factory.create()
+        child = top.begin_subtransaction()
+        with pytest.raises(TransactionRolledBack):
+            top.commit()
+        assert child.status is TransactionStatus.ROLLED_BACK
+        assert top.status is TransactionStatus.ROLLED_BACK
+
+    def test_resources_propagate_to_parent_on_child_commit(self, factory):
+        from tests.test_ots_transactions import FakeResource
+
+        top = factory.create()
+        child = top.begin_subtransaction()
+        resource = FakeResource()
+        child.register_resource(resource)
+        child.commit()
+        assert resource.events == [], "no durable effects at nested commit"
+        top.commit()
+        assert resource.events == ["commit_one_phase"]
+
+    def test_child_locks_transfer_on_commit(self, factory):
+        top = factory.create()
+        child = top.begin_subtransaction()
+        factory.lock_manager.acquire(child, "x", LockMode.WRITE)
+        child.commit()
+        assert factory.lock_manager.holds(top, "x", LockMode.WRITE)
+
+    def test_child_locks_release_on_rollback(self, factory):
+        top = factory.create()
+        child = top.begin_subtransaction()
+        factory.lock_manager.acquire(child, "x", LockMode.WRITE)
+        child.rollback()
+        other = factory.create()
+        factory.lock_manager.acquire(other, "x", LockMode.WRITE)
+
+
+class TestNestedCells:
+    """TransactionalCell semantics across nesting (the paper's intro model)."""
+
+    def test_child_sees_parent_workspace(self, factory):
+        cell = TransactionalCell("c", 0, factory)
+        top = factory.create()
+        cell.write(top, 10)
+        child = top.begin_subtransaction()
+        assert cell.read(child) == 10
+
+    def test_child_write_isolated_until_commit(self, factory):
+        from repro.ots.locks import LockConflict
+
+        cell = TransactionalCell("c", 0, factory)
+        top = factory.create()
+        child = top.begin_subtransaction()
+        cell.write(child, 5)
+        # Strict nested 2PL: the parent cannot read past its child's write
+        # lock (only ancestors' locks are inheritable downward).
+        with pytest.raises(LockConflict):
+            cell.read(top)
+        child.commit()
+        assert cell.read(top) == 5
+
+    def test_child_abort_discards_workspace(self, factory):
+        cell = TransactionalCell("c", 0, factory)
+        top = factory.create()
+        child = top.begin_subtransaction()
+        cell.write(child, 5)
+        child.rollback()
+        assert cell.read(top) == 0
+        top.commit()
+        assert cell.read() == 0
+
+    def test_retained_effects_only_durable_at_top_commit(self, factory):
+        cell = TransactionalCell("c", 0, factory)
+        top = factory.create()
+        child = top.begin_subtransaction()
+        cell.write(child, 7)
+        child.commit()
+        assert cell.read() == 0, "committed value unchanged before top commit"
+        top.commit()
+        assert cell.read() == 7
+
+    def test_three_levels_merge_upwards(self, factory):
+        cell = TransactionalCell("c", 0, factory)
+        top = factory.create()
+        mid = top.begin_subtransaction()
+        leaf = mid.begin_subtransaction()
+        cell.write(leaf, 3)
+        leaf.commit()
+        assert cell.read(mid) == 3
+        mid.commit()
+        assert cell.read(top) == 3
+        top.commit()
+        assert cell.read() == 3
+
+    def test_failure_confinement(self, factory):
+        """The paper's motivation: a subtransaction failure need not fail
+        the enclosing transaction."""
+        cell_a = TransactionalCell("a", 1, factory)
+        cell_b = TransactionalCell("b", 1, factory)
+        top = factory.create()
+        cell_a.write(top, 100)
+        risky = top.begin_subtransaction()
+        cell_b.write(risky, 200)
+        risky.rollback()  # confined failure
+        top.commit()
+        assert cell_a.read() == 100
+        assert cell_b.read() == 1

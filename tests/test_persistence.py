@@ -1,0 +1,186 @@
+"""Unit tests for object stores and the write-ahead log."""
+
+import pytest
+
+from repro.persistence import FileStore, MemoryStore, WriteAheadLog
+from repro.persistence.object_store import StoreError
+
+
+class TestMemoryStore:
+    def test_put_get(self):
+        store = MemoryStore()
+        store.put("k", {"a": 1})
+        assert store.get("k") == {"a": 1}
+
+    def test_get_missing(self):
+        with pytest.raises(StoreError):
+            MemoryStore().get("ghost")
+
+    def test_overwrite(self):
+        store = MemoryStore()
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+
+    def test_remove(self):
+        store = MemoryStore()
+        store.put("k", 1)
+        store.remove("k")
+        assert not store.contains("k")
+        with pytest.raises(StoreError):
+            store.remove("k")
+
+    def test_keys_and_len(self):
+        store = MemoryStore()
+        store.put("b", 1)
+        store.put("a", 2)
+        assert set(store.keys()) == {"a", "b"}
+        assert len(store) == 2
+
+    def test_get_or_default(self):
+        store = MemoryStore()
+        assert store.get_or("missing", 42) == 42
+        store.put("k", 1)
+        assert store.get_or("k", 42) == 1
+
+    def test_values_are_isolated_copies(self):
+        store = MemoryStore()
+        original = {"list": [1]}
+        store.put("k", original)
+        original["list"].append(2)
+        assert store.get("k") == {"list": [1]}
+        fetched = store.get("k")
+        fetched["list"].append(3)
+        assert store.get("k") == {"list": [1]}
+
+    def test_only_marshallable_values(self):
+        store = MemoryStore()
+        with pytest.raises(Exception):
+            store.put("k", object())
+
+    def test_items_iteration(self):
+        store = MemoryStore()
+        store.put("a", 1)
+        assert dict(store.items()) == {"a": 1}
+
+    def test_read_write_counters(self):
+        store = MemoryStore()
+        store.put("k", 1)
+        store.get("k")
+        assert store.writes == 1 and store.reads == 1
+
+
+class TestFileStore:
+    def test_roundtrip(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        store.put("k", [1, "two", {"three": 3}])
+        assert store.get("k") == [1, "two", {"three": 3}]
+
+    def test_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "store")
+        FileStore(root).put("k", "persisted")
+        assert FileStore(root).get("k") == "persisted"
+
+    def test_remove_and_keys(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.keys() == ("a", "b")
+        store.remove("a")
+        assert store.keys() == ("b",)
+        with pytest.raises(StoreError):
+            store.get("a")
+
+    def test_path_traversal_sanitised(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        store.put("../evil", 1)
+        assert store.get("../evil") == 1
+        assert not (tmp_path / "evil.cdr").exists()
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_lsns(self):
+        wal = WriteAheadLog()
+        r1 = wal.append("a", x=1)
+        r2 = wal.append("b", y=2)
+        assert (r1.lsn, r2.lsn) == (1, 2)
+        assert [r.kind for r in wal.records()] == ["a", "b"]
+
+    def test_payloads_roundtrip(self):
+        wal = WriteAheadLog()
+        wal.append("decision", tid="tx-1", keys=["a", "b"])
+        record = wal.records()[0]
+        assert record.payload == {"tid": "tx-1", "keys": ["a", "b"]}
+
+    def test_of_kind(self):
+        wal = WriteAheadLog()
+        wal.append("a")
+        wal.append("b")
+        wal.append("a")
+        assert len(wal.of_kind("a")) == 2
+
+    def test_volatile_records_lost_on_crash(self):
+        wal = WriteAheadLog()
+        wal.append("durable")
+        wal.append_volatile("volatile")
+        wal.crash()
+        assert [r.kind for r in wal.records()] == ["durable"]
+
+    def test_force_makes_volatile_durable(self):
+        wal = WriteAheadLog()
+        wal.append_volatile("a")
+        wal.append_volatile("b")
+        assert len(wal) == 0
+        wal.force()
+        assert len(wal) == 2
+
+    def test_force_counts_group_commits(self):
+        wal = WriteAheadLog()
+        wal.append_volatile("a")
+        wal.append_volatile("b")
+        wal.force()
+        assert wal.forces == 1
+
+    def test_reopen_after_crash_preserves_durable(self):
+        from repro.persistence import MemoryStore
+
+        store = MemoryStore()
+        wal = WriteAheadLog(store, "log")
+        wal.append("kept", n=1)
+        wal.append_volatile("lost")
+        wal.crash()
+        reopened = wal.reopen()
+        assert [r.kind for r in reopened.records()] == ["kept"]
+        # LSNs continue without reuse.
+        record = reopened.append("after")
+        assert record.lsn >= 2
+
+    def test_reopen_with_unforced_rejected(self):
+        from repro.exceptions import InvalidStateError
+
+        wal = WriteAheadLog()
+        wal.append_volatile("pending")
+        with pytest.raises(InvalidStateError):
+            wal.reopen()
+
+    def test_truncate(self):
+        wal = WriteAheadLog()
+        for i in range(5):
+            wal.append("r", i=i)
+        dropped = wal.truncate(up_to_lsn=3)
+        assert dropped == 3
+        assert [r.lsn for r in wal.records()] == [4, 5]
+
+    def test_iteration(self):
+        wal = WriteAheadLog()
+        wal.append("a")
+        assert [r.kind for r in wal] == ["a"]
+
+    def test_two_logs_share_store_independently(self):
+        from repro.persistence import MemoryStore
+
+        store = MemoryStore()
+        wal1 = WriteAheadLog(store, "one")
+        wal2 = WriteAheadLog(store, "two")
+        wal1.append("only-in-one")
+        assert len(wal2.records()) == 0

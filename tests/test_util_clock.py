@@ -1,0 +1,106 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.exceptions import InvalidStateError
+from repro.util.clock import SimulatedClock, WallClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_given_time(self):
+        assert SimulatedClock().now() == 0.0
+        assert SimulatedClock(5.0).now() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(-1.0)
+
+    def test_advance_moves_time(self):
+        clock = SimulatedClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_sleep_is_advance(self):
+        clock = SimulatedClock()
+        clock.sleep(1.0)
+        assert clock.now() == 1.0
+
+    def test_negative_sleep_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.sleep(-0.1)
+
+    def test_negative_advance_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_timer_fires_when_due(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.call_at(5.0, lambda: fired.append(clock.now()))
+        clock.advance(4.9)
+        assert fired == []
+        clock.advance(0.2)
+        assert fired == [5.0]
+
+    def test_call_after_relative(self):
+        clock = SimulatedClock(10.0)
+        fired = []
+        clock.call_after(1.5, lambda: fired.append(True))
+        clock.advance(1.5)
+        assert fired == [True]
+
+    def test_timers_fire_in_order(self):
+        clock = SimulatedClock()
+        order = []
+        clock.call_at(3.0, lambda: order.append("c"))
+        clock.call_at(1.0, lambda: order.append("a"))
+        clock.call_at(2.0, lambda: order.append("b"))
+        clock.advance(5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        clock = SimulatedClock()
+        order = []
+        clock.call_at(1.0, lambda: order.append("first"))
+        clock.call_at(1.0, lambda: order.append("second"))
+        clock.advance(1.0)
+        assert order == ["first", "second"]
+
+    def test_cannot_schedule_in_past(self):
+        clock = SimulatedClock(5.0)
+        with pytest.raises(InvalidStateError):
+            clock.call_at(4.0, lambda: None)
+
+    def test_timer_sees_its_own_timestamp(self):
+        clock = SimulatedClock()
+        seen = []
+        clock.call_at(2.0, lambda: seen.append(clock.now()))
+        clock.advance(10.0)
+        assert seen == [2.0]
+        assert clock.now() == 10.0
+
+    def test_timer_can_schedule_timer(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.call_at(1.0, lambda: clock.call_at(2.0, lambda: fired.append(True)))
+        clock.advance(3.0)
+        assert fired == [True]
+
+    def test_run_until_idle(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.call_at(100.0, lambda: fired.append(True))
+        clock.run_until_idle()
+        assert fired == [True]
+        assert clock.now() == 100.0
+        assert clock.pending_timers == 0
+
+
+class TestWallClock:
+    def test_monotone(self):
+        clock = WallClock()
+        a = clock.now()
+        clock.sleep(0.0)
+        assert clock.now() >= a

@@ -1,0 +1,82 @@
+"""Unit tests for the event trace log."""
+
+import pytest
+
+from repro.util.clock import SimulatedClock
+from repro.util.events import EventLog, TraceEvent
+
+
+class TestEventLog:
+    def test_record_and_iterate(self):
+        log = EventLog()
+        log.record("a", x=1)
+        log.record("b", y=2)
+        assert log.kinds() == ["a", "b"]
+        assert len(log) == 2
+
+    def test_timestamps_from_clock(self):
+        clock = SimulatedClock()
+        log = EventLog(clock)
+        log.record("a")
+        clock.advance(3.0)
+        log.record("b")
+        assert [event.timestamp for event in log] == [0.0, 3.0]
+
+    def test_of_kind_filters(self):
+        log = EventLog()
+        log.record("x")
+        log.record("y")
+        log.record("x")
+        assert len(log.of_kind("x")) == 2
+        assert len(log.of_kind("x", "y")) == 3
+
+    def test_matches(self):
+        event = TraceEvent(kind="transmit", detail={"signal": "prepare"})
+        assert event.matches("transmit", signal="prepare")
+        assert not event.matches("transmit", signal="commit")
+        assert not event.matches("other")
+
+    def test_sequence_projection(self):
+        log = EventLog()
+        log.record("transmit", signal="prepare", action="a1")
+        log.record("transmit", signal="commit", action="a2")
+        assert log.sequence("signal") == [
+            ("transmit", "prepare"),
+            ("transmit", "commit"),
+        ]
+        assert log.sequence("signal", "action") == [
+            ("transmit", "prepare", "a1"),
+            ("transmit", "commit", "a2"),
+        ]
+
+    def test_assert_subsequence_passes_in_order(self):
+        log = EventLog()
+        log.record("a", v=1)
+        log.record("noise")
+        log.record("b", v=2)
+        log.assert_subsequence([("a", 1), ("b", 2)], "v")
+
+    def test_assert_subsequence_fails_out_of_order(self):
+        log = EventLog()
+        log.record("b", v=2)
+        log.record("a", v=1)
+        with pytest.raises(AssertionError):
+            log.assert_subsequence([("a", 1), ("b", 2)], "v")
+
+    def test_subscribe_listener(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.record("tick")
+        assert seen[0].kind == "tick"
+
+    def test_clear(self):
+        log = EventLog()
+        log.record("a")
+        log.clear()
+        assert len(log) == 0
+
+    def test_brief_rendering(self):
+        event = TraceEvent(kind="transmit", detail={"signal": "prepare"})
+        assert "transmit" in event.brief()
+        assert "prepare" in event.brief()

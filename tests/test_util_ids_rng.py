@@ -1,0 +1,78 @@
+"""Unit tests for id generation and seeded randomness."""
+
+import pytest
+
+from repro.util.idgen import IdGenerator, fresh_uid
+from repro.util.rng import SeededRng
+
+
+class TestIdGenerator:
+    def test_sequential_per_namespace(self):
+        ids = IdGenerator()
+        assert ids.next("tx") == "tx-1"
+        assert ids.next("tx") == "tx-2"
+        assert ids.next("act") == "act-1"
+
+    def test_reset(self):
+        ids = IdGenerator()
+        ids.next("a")
+        ids.reset()
+        assert ids.next("a") == "a-1"
+
+    def test_fresh_uid_unique(self):
+        a, b = fresh_uid("t"), fresh_uid("t")
+        assert a != b
+
+
+class TestSeededRng:
+    def test_deterministic_for_same_seed(self):
+        a = [SeededRng(42).random() for _ in range(5)]
+        b = [SeededRng(42).random() for _ in range(5)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert SeededRng(1).random() != SeededRng(2).random()
+
+    def test_fork_is_stable(self):
+        root = SeededRng(7)
+        a = root.fork("transport").random()
+        b = SeededRng(7).fork("transport").random()
+        assert a == b
+
+    def test_fork_streams_independent(self):
+        root = SeededRng(7)
+        assert root.fork("x").random() != root.fork("y").random()
+
+    def test_chance_bounds(self):
+        rng = SeededRng(0)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+        with pytest.raises(ValueError):
+            rng.chance(1.5)
+        with pytest.raises(ValueError):
+            rng.chance(-0.1)
+
+    def test_uniform_range(self):
+        rng = SeededRng(0)
+        for _ in range(100):
+            value = rng.uniform(1.0, 2.0)
+            assert 1.0 <= value <= 2.0
+
+    def test_expovariate_positive_rate_required(self):
+        rng = SeededRng(0)
+        with pytest.raises(ValueError):
+            rng.expovariate(0)
+        assert rng.expovariate(10.0) >= 0.0
+
+    def test_randint_and_choice(self):
+        rng = SeededRng(0)
+        assert 1 <= rng.randint(1, 3) <= 3
+        assert rng.choice(["a"]) == "a"
+
+    def test_shuffle_in_place_deterministic(self):
+        items1 = list(range(10))
+        items2 = list(range(10))
+        SeededRng(3).shuffle(items1)
+        SeededRng(3).shuffle(items2)
+        assert items1 == items2
+        assert sorted(items1) == list(range(10))
