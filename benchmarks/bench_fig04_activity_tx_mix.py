@@ -7,7 +7,6 @@ transactions, nesting), verified against the figure, plus the timing of
 the mixed structure.
 """
 
-import pytest
 
 from repro.core import ActivityManager, CompletionStatus
 from repro.ots import TransactionCurrent, TransactionFactory, TransactionalCell

@@ -5,7 +5,6 @@ activity; the application only touches UserActivity), plus the overhead
 of HLS-mediated demarcation vs using the framework directly.
 """
 
-import pytest
 
 from repro.core import ActivityManager, CompletionStatus
 from repro.hls import HlsActivityService, OpenNestedHls, TwoPhaseHls, WorkflowHls

@@ -9,7 +9,7 @@ the transactional credit does not.
 """
 
 from repro.apps import BillingMeter, ReplicatedNameServer
-from repro.ots import TransactionCurrent, TransactionFactory, TransactionRolledBack
+from repro.ots import TransactionCurrent, TransactionFactory
 
 
 def main() -> None:

@@ -12,7 +12,6 @@ from repro.core import (
     BroadcastSignalSet,
     CompletionStatus,
     FunctionAction,
-    Outcome,
 )
 from repro.models import TwoPhaseCommitSignalSet, TwoPhaseParticipant
 from repro.models.twopc import SET_NAME as TWOPC_SET

@@ -13,13 +13,12 @@ transactional balance cell is also kept: refunds/credits applied through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.exceptions import ReproError
 from repro.orb.core import Servant
 from repro.orb.marshal import GLOBAL_REGISTRY
-from repro.ots.coordinator import Transaction
 from repro.ots.current import TransactionCurrent
 from repro.ots.factory import TransactionFactory
 from repro.ots.recoverable import RecoverableRegistry, TransactionalCell

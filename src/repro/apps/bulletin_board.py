@@ -12,7 +12,7 @@ compensating ``unpost`` in case the application transaction aborts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import ReproError

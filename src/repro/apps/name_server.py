@@ -14,8 +14,8 @@ degenerate case the paper notes needs no undo at all).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.exceptions import ReproError
 from repro.orb.core import Servant

@@ -24,7 +24,6 @@ from repro.exceptions import ReproError
 from repro.orb.core import Servant
 from repro.ots.coordinator import Transaction
 from repro.ots.current import TransactionCurrent
-from repro.ots.exceptions import TransactionRolledBack
 from repro.ots.factory import TransactionFactory
 from repro.ots.locks import LockConflict
 from repro.ots.recoverable import RecoverableRegistry, TransactionalCell

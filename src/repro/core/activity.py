@@ -20,7 +20,7 @@ another across nodes (as in the paper's workflow and BTP examples).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional
 
 from repro.core.coordinator import ActionRecord, ActivityCoordinator, ActionLike
 from repro.core.exceptions import (
@@ -32,7 +32,7 @@ from repro.core.exceptions import (
     NoSuchSignalSet,
 )
 from repro.core.property_group import PropertyGroup
-from repro.core.signal_set import GuardedSignalSet, SignalSet
+from repro.core.signal_set import SignalSet
 from repro.core.signals import Outcome, Signal
 from repro.core.status import ActivityStatus, CompletionStatus
 from repro.util.events import EventLog

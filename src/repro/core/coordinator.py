@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.core.action import Action
 from repro.core.delivery import AtLeastOnceDelivery, DeliveryPolicy
-from repro.core.exceptions import ActionError, NoSuchSignalSet
+from repro.core.exceptions import ActionError
 from repro.core.signal_set import GuardedSignalSet, SignalSet
 from repro.core.signals import Outcome, Signal
 from repro.core.status import CompletionStatus

@@ -27,7 +27,7 @@ The cost difference between these is measured by
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.core.signals import Outcome, Signal
 from repro.exceptions import CommunicationError
@@ -46,11 +46,19 @@ class DeliveryPolicy(abc.ABC):
 
 
 class AtMostOnceDelivery(DeliveryPolicy):
-    """Single attempt; losses surface immediately."""
+    """Single attempt; losses surface immediately.
+
+    All policies expose the same counter quartet (``attempts``,
+    ``retries``, ``failures``, ``exhausted``) so benchmarks and tests can
+    assert on any policy uniformly; here ``retries`` and ``exhausted``
+    are always zero by construction.
+    """
 
     def __init__(self) -> None:
         self.attempts = 0
         self.failures = 0
+        self.retries = 0
+        self.exhausted = 0
 
     def deliver(self, send: SendFn, signal: Signal) -> Outcome:
         self.attempts += 1
@@ -70,6 +78,7 @@ class AtLeastOnceDelivery(DeliveryPolicy):
         self.max_attempts = max_attempts
         self.attempts = 0
         self.retries = 0
+        self.failures = 0
         self.exhausted = 0
 
     def deliver(self, send: SendFn, signal: Signal) -> Outcome:
@@ -82,9 +91,11 @@ class AtLeastOnceDelivery(DeliveryPolicy):
                 return send(signal)
             except CommunicationError as exc:
                 if not exc.transient:
+                    self.failures += 1
                     return Outcome.unreachable(str(exc))
                 last_error = exc
         self.exhausted += 1
+        self.failures += 1
         return Outcome.unreachable(str(last_error))
 
 
@@ -122,3 +133,11 @@ class ExactlyOnceDelivery(DeliveryPolicy):
     @property
     def retries(self) -> int:
         return self._inner.retries
+
+    @property
+    def failures(self) -> int:
+        return self._inner.failures
+
+    @property
+    def exhausted(self) -> int:
+        return self._inner.exhausted

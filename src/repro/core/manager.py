@@ -20,7 +20,7 @@ from repro.core.delivery import AtLeastOnceDelivery, DeliveryPolicy
 from repro.core.exceptions import ActivityServiceError, RecoveryError
 from repro.core.property_group import PropertyGroupManager
 from repro.core.signal_set import SignalSet
-from repro.core.status import ActivityStatus, CompletionStatus
+from repro.core.status import CompletionStatus
 from repro.orb.core import Node, Orb
 from repro.orb.reference import ObjectRef
 from repro.persistence.object_store import ObjectStore

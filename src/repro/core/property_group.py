@@ -23,7 +23,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.exceptions import NoSuchPropertyGroup, PropertyGroupError
+from repro.core.exceptions import PropertyGroupError
 from repro.orb.reference import ObjectRef
 
 

@@ -19,7 +19,7 @@ The division of labour here:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.core.activity import Activity
 from repro.core.exceptions import RecoveryError
@@ -40,6 +40,12 @@ class ActivityRecoveryService:
 
     def checkpoint(self, activity: Activity) -> None:
         """Persist one activity's structure record."""
+        self.store.put(
+            _RECORD_PREFIX + activity.activity_id, self._structure_record(activity)
+        )
+
+    def _structure_record(self, activity: Activity) -> Dict[str, Any]:
+        """Build the durable structure record for one activity."""
         durable_actions = []
         coordinator = activity.coordinator
         for set_name in list(coordinator._actions):
@@ -63,7 +69,7 @@ class ActivityRecoveryService:
                         "completion": activity.completion_signal_set_name == set_name,
                     }
                 )
-        record = {
+        return {
             "id": activity.activity_id,
             "name": activity.name,
             "parent": activity.parent.activity_id if activity.parent else None,
@@ -72,18 +78,20 @@ class ActivityRecoveryService:
             "signal_sets": durable_sets,
             "actions": durable_actions,
         }
-        self.store.put(_RECORD_PREFIX + activity.activity_id, record)
 
     def checkpoint_tree(self, root: Activity) -> int:
-        """Checkpoint ``root`` and every descendant; return count."""
-        count = 0
+        """Checkpoint ``root`` and every descendant in one batched store
+        write (one flush however deep the tree); return count."""
+        batch: Dict[str, Dict[str, Any]] = {}
         stack = [root]
         while stack:
             activity = stack.pop()
-            self.checkpoint(activity)
-            count += 1
+            batch[_RECORD_PREFIX + activity.activity_id] = self._structure_record(
+                activity
+            )
             stack.extend(activity.children)
-        return count
+        self.store.put_many(batch)
+        return len(batch)
 
     def forget(self, activity_id: str) -> None:
         key = _RECORD_PREFIX + activity_id

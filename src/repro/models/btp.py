@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.action import Action
 from repro.core.activity import Activity
-from repro.core.exceptions import ActionError, InvalidActivityState
+from repro.core.exceptions import ActionError
 from repro.core.signal_set import SignalSet
 from repro.core.signals import Outcome, Signal
 from repro.core.status import CompletionStatus

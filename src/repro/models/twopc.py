@@ -21,7 +21,7 @@ framework back to the transaction service.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.action import Action
 from repro.core.exceptions import ActionError

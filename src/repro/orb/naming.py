@@ -8,7 +8,7 @@ any other — which is what lets the replicated-name-server application of
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.exceptions import ReproError
 from repro.orb.core import Node, Orb, Servant

@@ -37,7 +37,6 @@ from repro.ots.exceptions import (
     HeuristicMixed,
     HeuristicRollback,
     Inactive,
-    InvalidTransaction,
     SimulatedCrash,
     SubtransactionsUnavailable,
     SynchronizationUnavailable,
@@ -255,18 +254,18 @@ class Transaction:
             # Everyone was read-only: committed with no phase two, no log.
             self._finish(TransactionStatus.COMMITTED)
             return
-        # Force the commit decision before telling anyone to commit.
+        # Force the commit decision before telling anyone to commit.  Under
+        # group commit this blocks on a force shared with every concurrent
+        # committer in the window, not a private one.
         self.factory.failpoints.hit("before_commit_log")
-        self.factory.wal.append(
-            "tx_commit_decision",
-            tid=self.tid,
-            recovery_keys=[r.recovery_key for r in committers if r.recovery_key],
+        self.factory.log_commit_decision(
+            self.tid, [r.recovery_key for r in committers if r.recovery_key]
         )
         self.factory.failpoints.hit("after_commit_log")
         # Phase two.
         self.status = TransactionStatus.COMMITTING
         self._commit_resources(committers)
-        self.factory.wal.append("tx_completed", tid=self.tid)
+        self.factory.log_completion(self.tid)
         self._finish(TransactionStatus.COMMITTED)
         self._report_heuristics(report_heuristics, committed=True)
 

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set
+import threading
+from typing import Dict, List, Optional, Set
 
 from repro.ots.coordinator import Control, Transaction
 from repro.ots.exceptions import InvalidTransaction, SimulatedCrash
 from repro.ots.locks import LockManager
 from repro.ots.status import TransactionStatus
-from repro.persistence.wal import WriteAheadLog
+from repro.persistence.wal import GroupCommitWAL, WriteAheadLog
 from repro.util.clock import Clock, SimulatedClock
 from repro.util.events import EventLog
 from repro.util.idgen import IdGenerator
@@ -50,6 +51,13 @@ class TransactionFactory:
     transactions by tid, which is what lets the propagation interceptors
     re-associate an incoming request with its transaction — the moral
     equivalent of OTS interposition.
+
+    ``group_commit_window`` selects the logging engine: ``None`` keeps
+    the classic immediate-force WAL; a float (seconds, 0 allowed) builds
+    a :class:`~repro.persistence.wal.GroupCommitWAL` so concurrent
+    commits share durable forces.  Coordinators log decisions through
+    :meth:`log_commit_decision` / :meth:`log_completion`, which is where
+    the batching takes effect.
     """
 
     def __init__(
@@ -58,9 +66,23 @@ class TransactionFactory:
         wal: Optional[WriteAheadLog] = None,
         event_log: Optional[EventLog] = None,
         retry_attempts: int = 3,
+        group_commit_window: Optional[float] = None,
     ) -> None:
         self.clock = clock if clock is not None else SimulatedClock()
-        self.wal = wal if wal is not None else WriteAheadLog()
+        if wal is None:
+            if group_commit_window is not None:
+                wal = GroupCommitWAL(window=group_commit_window)
+            else:
+                wal = WriteAheadLog()
+        elif group_commit_window is not None:
+            if not isinstance(wal, GroupCommitWAL):
+                raise ValueError(
+                    "group_commit_window requires a GroupCommitWAL; the"
+                    " supplied log forces every append privately"
+                )
+            wal.window = group_commit_window
+        self.wal = wal
+        self.group_commit_window = getattr(wal, "window", None)
         self.event_log = event_log if event_log is not None else EventLog(self.clock)
         self.lock_manager = LockManager()
         self.failpoints = Failpoints()
@@ -68,9 +90,23 @@ class TransactionFactory:
         self.ids = IdGenerator()
         self._transactions: Dict[str, Transaction] = {}
         self._active: Set[str] = set()
+        self._registry_lock = threading.Lock()
         self.created = 0
         self.committed = 0
         self.rolled_back = 0
+
+    # -- durable logging ----------------------------------------------------
+
+    def log_commit_decision(self, tid: str, recovery_keys: List[str]):
+        """Force the commit decision; under group commit the force is shared
+        with every other transaction inside the batching window."""
+        return self.wal.append(
+            "tx_commit_decision", tid=tid, recovery_keys=recovery_keys
+        )
+
+    def log_completion(self, tid: str):
+        """Log the end of phase two (marks the transaction resolved)."""
+        return self.wal.append("tx_completed", tid=tid)
 
     # -- creation ---------------------------------------------------------
 
@@ -78,9 +114,10 @@ class TransactionFactory:
         """Begin a new top-level transaction."""
         tid = self.ids.next("tx")
         tx = Transaction(self, tid, parent=None, timeout=timeout, name=name)
-        self._transactions[tid] = tx
-        self._active.add(tid)
-        self.created += 1
+        with self._registry_lock:
+            self._transactions[tid] = tx
+            self._active.add(tid)
+            self.created += 1
         self.event_log.record("tx_begin", tid=tid, top_level=True)
         if timeout > 0 and isinstance(self.clock, SimulatedClock):
             self.clock.call_after(timeout, lambda: self._expire(tid))
@@ -95,9 +132,10 @@ class TransactionFactory:
     ) -> Transaction:
         tid = self.ids.next("tx")
         tx = Transaction(self, tid, parent=parent, timeout=0.0, name=name)
-        self._transactions[tid] = tx
-        self._active.add(tid)
-        self.created += 1
+        with self._registry_lock:
+            self._transactions[tid] = tx
+            self._active.add(tid)
+            self.created += 1
         self.event_log.record("tx_begin", tid=tid, top_level=False, parent=parent.tid)
         return tx
 
@@ -117,11 +155,12 @@ class TransactionFactory:
 
     def on_transaction_finished(self, tx: Transaction) -> None:
         """Called by transactions when they reach a terminal state."""
-        self._active.discard(tx.tid)
-        if tx.status is TransactionStatus.COMMITTED:
-            self.committed += 1
-        elif tx.status is TransactionStatus.ROLLED_BACK:
-            self.rolled_back += 1
+        with self._registry_lock:
+            self._active.discard(tx.tid)
+            if tx.status is TransactionStatus.COMMITTED:
+                self.committed += 1
+            elif tx.status is TransactionStatus.ROLLED_BACK:
+                self.rolled_back += 1
 
     # -- timeouts ---------------------------------------------------------------
 

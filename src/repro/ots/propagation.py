@@ -12,7 +12,7 @@ caller's transaction as its own current transaction).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.orb.core import Orb
 from repro.orb.interceptors import (

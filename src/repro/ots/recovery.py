@@ -15,10 +15,10 @@ phase one.  Recovery:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.ots.recoverable import RecoverableRegistry
-from repro.persistence.wal import WriteAheadLog
+from repro.persistence.wal import GroupCommitWAL, WriteAheadLog
 
 
 @dataclass
@@ -35,11 +35,32 @@ class RecoveryReport:
 
 
 class RecoveryManager:
-    """Drives post-crash resolution of in-doubt transactions."""
+    """Drives post-crash resolution of in-doubt transactions.
 
-    def __init__(self, wal: WriteAheadLog, registry: RecoverableRegistry) -> None:
+    Completion records written during recovery are batched: each
+    recommitted transaction's ``tx_completed`` is appended volatile and a
+    single shared force makes the whole pass durable.  A crash mid-pass
+    just means the next pass replays the same idempotent work.
+    ``group_commit_window`` tunes the batching window when the supplied
+    log is a :class:`~repro.persistence.wal.GroupCommitWAL`.
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        registry: RecoverableRegistry,
+        group_commit_window: Optional[float] = None,
+    ) -> None:
         self.wal = wal
         self.registry = registry
+        if group_commit_window is not None:
+            if not isinstance(wal, GroupCommitWAL):
+                raise ValueError(
+                    "group_commit_window requires a GroupCommitWAL; the"
+                    " supplied log forces every append privately"
+                )
+            wal.window = group_commit_window
+        self.group_commit_window = getattr(wal, "window", None)
 
     def recover(self) -> RecoveryReport:
         """Resolve every in-doubt transaction recorded in the log."""
@@ -54,7 +75,10 @@ class RecoveryManager:
             elif record.kind == "tx_completed":
                 completed.add(record.payload["tid"])
 
-        # Finish phase two for decided-but-incomplete transactions.
+        # Finish phase two for decided-but-incomplete transactions.  The
+        # tx_completed records ride one batched force at the end of the
+        # loop instead of one private force each.
+        flushed = False
         for tid, keys in decisions.items():
             if tid in completed:
                 continue
@@ -66,8 +90,11 @@ class RecoveryManager:
                     continue
                 if recoverable.recover_commit(tid):
                     applied.append(key)
-            self.wal.append("tx_completed", tid=tid, recovered=True)
+            self.wal.append_volatile("tx_completed", tid=tid, recovered=True)
+            flushed = True
             report.recommitted[tid] = applied
+        if flushed:
+            self.wal.force()
 
         # Presume abort for prepared state with no commit decision.
         for key in self.registry.keys():

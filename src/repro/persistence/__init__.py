@@ -13,13 +13,20 @@ crash loses volatile servants but never the store contents — the same
 failure model as a machine whose disks survive a reboot.
 """
 
-from repro.persistence.object_store import FileStore, MemoryStore, ObjectStore
-from repro.persistence.wal import LogRecord, WriteAheadLog
+from repro.persistence.object_store import (
+    FileStore,
+    MemoryStore,
+    ObjectStore,
+    SegmentedFileStore,
+)
+from repro.persistence.wal import GroupCommitWAL, LogRecord, WriteAheadLog
 
 __all__ = [
     "ObjectStore",
     "MemoryStore",
     "FileStore",
+    "SegmentedFileStore",
     "WriteAheadLog",
+    "GroupCommitWAL",
     "LogRecord",
 ]

@@ -3,16 +3,22 @@
 A store maps string uids to marshallable values.  ``FileStore`` writes each
 entry through the CDR marshaller to its own file, so stored values obey
 exactly the same typing discipline as values on the wire.
+``SegmentedFileStore`` is the append-oriented fast path: a batch of puts
+becomes one appending write plus one fsync, which is what lets the
+write-ahead log's group commit map to a single OS-level flush.
 """
 
 from __future__ import annotations
 
 import abc
 import os
-from typing import Any, Dict, Iterator, Optional, Tuple
+import struct
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import ReproError
 from repro.orb.marshal import Marshaller, ValueTypeRegistry
+
+BatchItems = Union[Mapping[str, Any], Iterable[Tuple[str, Any]]]
 
 
 class StoreError(ReproError):
@@ -39,6 +45,17 @@ class ObjectStore(abc.ABC):
 
     @abc.abstractmethod
     def keys(self) -> Tuple[str, ...]: ...
+
+    def put_many(self, items: BatchItems) -> None:
+        """Durably record a batch of ``uid -> state`` pairs.
+
+        The base implementation loops over :meth:`put`; append-oriented
+        stores override it to land the whole batch in one OS-level flush.
+        A batch should be atomic where the medium allows: either every
+        pair is visible after a crash or none is.
+        """
+        for uid, state in dict(items).items():
+            self.put(uid, state)
 
     def get_or(self, uid: str, default: Any = None) -> Any:
         return self.get(uid) if self.contains(uid) else default
@@ -67,6 +84,13 @@ class MemoryStore(ObjectStore):
 
     def put(self, uid: str, state: Any) -> None:
         self._data[uid] = self._marshaller.encode(state)
+        self.writes += 1
+
+    def put_many(self, items: BatchItems) -> None:
+        # Encode everything first so a marshalling error leaves the store
+        # untouched — the batch is all-or-nothing, like one flush.
+        encoded = {uid: self._marshaller.encode(state) for uid, state in dict(items).items()}
+        self._data.update(encoded)
         self.writes += 1
 
     def get(self, uid: str) -> Any:
@@ -111,6 +135,26 @@ class FileStore(ObjectStore):
             os.fsync(handle.fileno())
         os.replace(tmp, path)
 
+    def put_many(self, items: BatchItems) -> None:
+        """Stage every entry, then publish all of them.
+
+        All tmp files are written and fsynced before the first rename, so
+        a crash during the staging phase publishes nothing; the rename
+        loop is the only window where a prefix of the batch can be seen.
+        """
+        staged: List[Tuple[str, str]] = []
+        for uid, state in dict(items).items():
+            data = self._marshaller.encode(state)
+            path = self._path(uid)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            staged.append((tmp, path))
+        for tmp, path in staged:
+            os.replace(tmp, path)
+
     def get(self, uid: str) -> Any:
         path = self._path(uid)
         if not os.path.exists(path):
@@ -133,3 +177,155 @@ class FileStore(ObjectStore):
             if entry.endswith(".cdr"):
                 names.append(entry[: -len(".cdr")])
         return tuple(sorted(names))
+
+
+class SegmentedFileStore(ObjectStore):
+    """Log-structured keyed store: one appending write + fsync per batch.
+
+    Every mutation is a frame appended to the active segment file — a put
+    carries the marshalled value, a remove carries a tombstone — and
+    :meth:`put_many` writes the whole batch with a *single* flush+fsync,
+    which is what makes a WAL group commit cost one disk flush no matter
+    how many transactions joined it.  An in-memory index maps each key to
+    its latest encoded value and is rebuilt by replaying the segments on
+    open; a torn trailing frame (crash mid-append) is detected by its
+    length prefix and ignored, so a partially-written batch is invisible
+    after reopen.
+
+    Segments roll over once the active file passes ``segment_bytes``;
+    superseded frames accumulate until :meth:`compact` rewrites the live
+    set into a fresh segment and deletes the old files.
+    """
+
+    _LEN = struct.Struct(">II")
+
+    def __init__(
+        self,
+        root: str,
+        registry: Optional[ValueTypeRegistry] = None,
+        segment_bytes: int = 1 << 20,
+    ) -> None:
+        self._root = root
+        self._marshaller = Marshaller(registry)
+        self._segment_bytes = segment_bytes
+        self._index: Dict[str, bytes] = {}
+        self.flushes = 0
+        self.torn_frames_dropped = 0
+        os.makedirs(root, exist_ok=True)
+        self._segment_ids = self._scan_segment_ids()
+        self._active_id = self._segment_ids[-1] if self._segment_ids else 1
+        if not self._segment_ids:
+            self._segment_ids = [self._active_id]
+        for seg_id in self._segment_ids:
+            self._replay(self._segment_path(seg_id))
+        self._active_size = os.path.getsize(self._segment_path(self._active_id)) if os.path.exists(
+            self._segment_path(self._active_id)
+        ) else 0
+
+    # -- layout ---------------------------------------------------------------
+
+    def _segment_path(self, seg_id: int) -> str:
+        return os.path.join(self._root, f"seg-{seg_id:08d}.log")
+
+    def _scan_segment_ids(self) -> List[int]:
+        ids = []
+        for entry in os.listdir(self._root):
+            if entry.startswith("seg-") and entry.endswith(".log"):
+                ids.append(int(entry[len("seg-") : -len(".log")]))
+        return sorted(ids)
+
+    def _frame(self, uid: str, tombstone: bool, value: bytes) -> bytes:
+        header = self._marshaller.encode([uid, tombstone])
+        return self._LEN.pack(len(header), len(value)) + header + value
+
+    def _replay(self, path: str) -> None:
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset < len(data):
+            if offset + self._LEN.size > len(data):
+                self.torn_frames_dropped += 1
+                break
+            header_len, value_len = self._LEN.unpack_from(data, offset)
+            end = offset + self._LEN.size + header_len + value_len
+            if end > len(data):
+                self.torn_frames_dropped += 1
+                break
+            header_start = offset + self._LEN.size
+            uid, tombstone = self._marshaller.decode(
+                data[header_start : header_start + header_len]
+            )
+            if tombstone:
+                self._index.pop(uid, None)
+            else:
+                self._index[uid] = data[header_start + header_len : end]
+            offset = end
+
+    def _append_frames(self, frames: List[bytes]) -> None:
+        path = self._segment_path(self._active_id)
+        with open(path, "ab") as handle:
+            for frame in frames:
+                handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.flushes += 1
+        self._active_size = os.path.getsize(path)
+        if self._active_size >= self._segment_bytes:
+            self._active_id += 1
+            self._segment_ids.append(self._active_id)
+            self._active_size = 0
+
+    # -- ObjectStore interface ------------------------------------------------
+
+    def put(self, uid: str, state: Any) -> None:
+        self.put_many([(uid, state)])
+
+    def put_many(self, items: BatchItems) -> None:
+        batch = dict(items)
+        if not batch:
+            return
+        encoded = {uid: self._marshaller.encode(state) for uid, state in batch.items()}
+        frames = [self._frame(uid, False, value) for uid, value in encoded.items()]
+        self._append_frames(frames)
+        self._index.update(encoded)
+
+    def get(self, uid: str) -> Any:
+        try:
+            raw = self._index[uid]
+        except KeyError:
+            raise StoreError(f"no state stored under {uid!r}") from None
+        return self._marshaller.decode(raw)
+
+    def remove(self, uid: str) -> None:
+        if uid not in self._index:
+            raise StoreError(f"no state stored under {uid!r}")
+        self._append_frames([self._frame(uid, True, b"")])
+        del self._index[uid]
+
+    def contains(self, uid: str) -> bool:
+        return uid in self._index
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._index))
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite live entries into a fresh segment; return files removed."""
+        old_ids = list(self._segment_ids)
+        new_id = (old_ids[-1] if old_ids else 0) + 1
+        self._active_id = new_id
+        self._segment_ids = [new_id]
+        self._active_size = 0
+        frames = [self._frame(uid, False, value) for uid, value in sorted(self._index.items())]
+        if frames:
+            self._append_frames(frames)
+        removed = 0
+        for seg_id in old_ids:
+            path = self._segment_path(seg_id)
+            if os.path.exists(path):
+                os.remove(path)
+                removed += 1
+        return removed

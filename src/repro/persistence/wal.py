@@ -1,4 +1,4 @@
-"""Write-ahead log.
+"""Write-ahead log: segmented layout plus group commit.
 
 The OTS coordinator logs its commit decision here before telling resources
 to commit (presumed-abort protocol), and the activity recovery manager
@@ -9,15 +9,39 @@ library's stable-storage model.
 Records are append-only with monotonically increasing LSNs.  A log can be
 reopened over the same store after a simulated crash; everything appended
 (and forced) before the crash is still there.
+
+Two durability engines share one on-store layout:
+
+- :class:`WriteAheadLog` — ``append`` forces immediately (privately),
+  ``append_volatile`` + ``force`` batch by hand; safe for concurrent
+  appenders but each pays for its own flush;
+- :class:`GroupCommitWAL` — concurrent appenders enqueue records and
+  block on a *shared* force, so one durable write covers a whole batch
+  of transactions (classic group commit).
+
+Layout (format 2, segmented): records live in bounded segments
+(``<name>:seg:<n>`` → list of record dicts) plus a small head pointer
+(``<name>:head``).  A force rewrites only the active segment — one durable
+store write per batch — so force cost is O(batch + segment capacity),
+never O(history).  The head is rewritten only when a segment opens or the
+log truncates, and carries just the segment roster and an LSN watermark.
+Logs written by the retired format 1 (one store key per record plus a meta
+record listing every LSN) are migrated on open; ``records``, ``truncate``
+and ``reopen`` behave identically over either origin.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.exceptions import InvalidStateError
 from repro.persistence.object_store import MemoryStore, ObjectStore
+
+DEFAULT_SEGMENT_SIZE = 64
+DEFAULT_GROUP_COMMIT_WINDOW = 0.002
 
 
 @dataclass(frozen=True)
@@ -35,109 +59,335 @@ class WriteAheadLog:
     Writes are forced (durable) by default.  ``append_volatile`` +
     ``force`` exist so benchmarks can measure the cost of group forcing,
     and so crash tests can demonstrate loss of unforced records.
+
+    A batch forced together is atomic: it lands in a single store write,
+    so a crash mid-force leaves either the whole batch durable or none of
+    it — never a torn prefix interleaved with later records.
+
+    The log is safe for concurrent appenders, but each ``append`` here
+    forces privately (the caller holds the log for its own flush);
+    :class:`GroupCommitWAL` is the engine that makes concurrent appends
+    share forces.
     """
 
-    _META_KEY = "wal:meta"
+    _META_KEY = "wal:meta"  # format-1 meta key; read only to migrate
+    _HEAD_KEY = "head"
 
-    def __init__(self, store: Optional[ObjectStore] = None, name: str = "wal") -> None:
+    def __init__(
+        self,
+        store: Optional[ObjectStore] = None,
+        name: str = "wal",
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ) -> None:
+        if segment_size < 1:
+            raise ValueError("segment_size must be at least 1")
         self._store = store if store is not None else MemoryStore()
         self._name = name
+        self._segment_size = segment_size
+        # Reentrant so GroupCommitWAL's condition can share it while its
+        # methods call back into the base operations.
+        self._lock = threading.RLock()
         self._volatile: List[LogRecord] = []
         self.forces = 0
-        meta = self._store.get_or(self._meta_key(), {"next_lsn": 1, "lsns": []})
-        self._next_lsn: int = meta["next_lsn"]
-        self._durable_lsns: List[int] = list(meta["lsns"])
+        self.records_forced = 0
+        self._roster: List[int] = []  # segment ids, oldest first
+        self._segments: Dict[int, List[Dict[str, Any]]] = {}
+        self._next_seg = 1
+        self._next_lsn = 1
+        self._durable_upto = 0  # highest LSN known durable
+        self._open()
 
-    def _meta_key(self) -> str:
+    # -- keys ----------------------------------------------------------------
+
+    def _head_key(self) -> str:
+        return f"{self._name}:{self._HEAD_KEY}"
+
+    def _seg_key(self, seg_id: int) -> str:
+        return f"{self._name}:seg:{seg_id:08d}"
+
+    def _format1_meta_key(self) -> str:
         return f"{self._name}:{self._META_KEY}"
 
-    def _record_key(self, lsn: int) -> str:
+    def _format1_record_key(self, lsn: int) -> str:
         return f"{self._name}:rec:{lsn:012d}"
+
+    # -- opening -------------------------------------------------------------
+
+    def _open(self) -> None:
+        head = self._store.get_or(self._head_key())
+        if head is None and self._store.contains(self._format1_meta_key()):
+            self._migrate_format1()
+            head = self._store.get_or(self._head_key())
+        if head is None:
+            return  # brand-new log
+        watermark = head["next_lsn"]
+        for seg_id in head["segments"]:
+            # A segment listed in the head but never written (crash between
+            # the head write and the first batch landing in it) is empty.
+            records = self._store.get_or(self._seg_key(seg_id), [])
+            if records:
+                self._roster.append(seg_id)
+                self._segments[seg_id] = list(records)
+        self._next_seg = head["next_seg"]
+        max_lsn = 0
+        for seg_id in self._roster:
+            for raw in self._segments[seg_id]:
+                max_lsn = max(max_lsn, raw["lsn"])
+        self._next_lsn = max(watermark, max_lsn + 1)
+        self._durable_upto = max_lsn
+
+    def _migrate_format1(self) -> None:
+        """Rewrite a format-1 log (per-record keys) into segments."""
+        meta = self._store.get(self._format1_meta_key())
+        raws = []
+        for lsn in meta["lsns"]:
+            key = self._format1_record_key(lsn)
+            if self._store.contains(key):
+                raws.append(self._store.get(key))
+        seg_id = 0
+        batch: Dict[str, Any] = {}
+        roster: List[int] = []
+        for start in range(0, len(raws), self._segment_size):
+            seg_id += 1
+            roster.append(seg_id)
+            batch[self._seg_key(seg_id)] = raws[start : start + self._segment_size]
+        max_lsn = max((raw["lsn"] for raw in raws), default=0)
+        batch[self._head_key()] = {
+            "format": 2,
+            "next_lsn": max(meta["next_lsn"], max_lsn + 1),
+            "segments": roster,
+            "next_seg": seg_id + 1,
+        }
+        self._store.put_many(batch)
+        for lsn in meta["lsns"]:
+            key = self._format1_record_key(lsn)
+            if self._store.contains(key):
+                self._store.remove(key)
+        self._store.remove(self._format1_meta_key())
+
+    def _write_head(self) -> None:
+        self._store.put(
+            self._head_key(),
+            {
+                "format": 2,
+                "next_lsn": self._next_lsn,
+                "segments": list(self._roster),
+                "next_seg": self._next_seg,
+            },
+        )
 
     # -- appending ----------------------------------------------------------
 
     def append(self, kind: str, **payload: Any) -> LogRecord:
         """Append and immediately force a record."""
-        record = self.append_volatile(kind, **payload)
-        self.force()
+        with self._lock:
+            record = self.append_volatile(kind, **payload)
+            self.force()
         return record
 
     def append_volatile(self, kind: str, **payload: Any) -> LogRecord:
         """Append a record that is lost on crash until :meth:`force` runs."""
-        record = LogRecord(lsn=self._next_lsn, kind=kind, payload=payload)
-        self._next_lsn += 1
-        self._volatile.append(record)
-        return record
+        with self._lock:
+            record = LogRecord(lsn=self._next_lsn, kind=kind, payload=payload)
+            self._next_lsn += 1
+            self._volatile.append(record)
+            return record
 
     def force(self) -> None:
-        """Flush all volatile records to stable storage."""
+        """Flush all volatile records to stable storage in one batch write."""
+        with self._lock:
+            self._force_locked()
+
+    def _force_locked(self) -> None:
         if not self._volatile:
             return
-        for record in self._volatile:
-            self._store.put(
-                self._record_key(record.lsn),
-                {"lsn": record.lsn, "kind": record.kind, "payload": record.payload},
-            )
-            self._durable_lsns.append(record.lsn)
+        batch = [
+            {"lsn": record.lsn, "kind": record.kind, "payload": record.payload}
+            for record in self._volatile
+        ]
+        if not self._roster or len(self._segments[self._roster[-1]]) >= self._segment_size:
+            seg_id = self._next_seg
+            self._next_seg += 1
+            self._roster.append(seg_id)
+            self._segments[seg_id] = []
+            # Head first: if we crash before the segment lands, reopen sees
+            # a listed-but-empty segment, not a torn batch.
+            self._write_head()
+        seg_id = self._roster[-1]
+        self._segments[seg_id].extend(batch)
+        self._store.put(self._seg_key(seg_id), self._segments[seg_id])
+        self._durable_upto = batch[-1]["lsn"]
         self._volatile.clear()
-        self._write_meta()
         self.forces += 1
-
-    def _write_meta(self) -> None:
-        self._store.put(
-            self._meta_key(), {"next_lsn": self._next_lsn, "lsns": self._durable_lsns}
-        )
+        self.records_forced += len(batch)
 
     # -- reading ------------------------------------------------------------
 
     def records(self) -> List[LogRecord]:
         """All durable records in LSN order (volatile tail excluded)."""
+        with self._lock:
+            return self._records_locked()
+
+    def _records_locked(self) -> List[LogRecord]:
         result = []
-        for lsn in self._durable_lsns:
-            raw = self._store.get(self._record_key(lsn))
-            result.append(
-                LogRecord(lsn=raw["lsn"], kind=raw["kind"], payload=raw["payload"])
-            )
+        for seg_id in self._roster:
+            for raw in self._segments[seg_id]:
+                result.append(
+                    LogRecord(lsn=raw["lsn"], kind=raw["kind"], payload=raw["payload"])
+                )
         return result
 
-    def __iter__(self) -> Iterator[LogRecord]:
+    def __iter__(self):
         return iter(self.records())
 
     def __len__(self) -> int:
-        return len(self._durable_lsns)
+        return sum(len(self._segments[seg_id]) for seg_id in self._roster)
 
     def of_kind(self, *kinds: str) -> List[LogRecord]:
         wanted = set(kinds)
         return [record for record in self.records() if record.kind in wanted]
 
+    @property
+    def durable_upto(self) -> int:
+        """Highest LSN known to be durable (0 when the log is empty)."""
+        return self._durable_upto
+
     # -- truncation ----------------------------------------------------------
 
     def truncate(self, up_to_lsn: int) -> int:
         """Discard durable records with ``lsn <= up_to_lsn``; return count."""
-        kept: List[int] = []
+        with self._lock:
+            return self._truncate_locked(up_to_lsn)
+
+    def _truncate_locked(self, up_to_lsn: int) -> int:
         dropped = 0
-        for lsn in self._durable_lsns:
-            if lsn <= up_to_lsn:
-                self._store.remove(self._record_key(lsn))
-                dropped += 1
+        kept_roster: List[int] = []
+        for seg_id in self._roster:
+            records = self._segments[seg_id]
+            kept = [raw for raw in records if raw["lsn"] > up_to_lsn]
+            dropped += len(records) - len(kept)
+            if not kept:
+                self._store.remove(self._seg_key(seg_id))
+                del self._segments[seg_id]
             else:
-                kept.append(lsn)
-        self._durable_lsns = kept
-        self._write_meta()
+                if len(kept) != len(records):
+                    self._segments[seg_id] = kept
+                    self._store.put(self._seg_key(seg_id), kept)
+                kept_roster.append(seg_id)
+        self._roster = kept_roster
+        self._write_head()
         return dropped
 
     # -- crash simulation ------------------------------------------------------
 
     def crash(self) -> None:
         """Drop the volatile tail, as a machine crash would."""
-        self._volatile.clear()
+        with self._lock:
+            self._volatile.clear()
+
+    def _reopen_kwargs(self) -> Dict[str, Any]:
+        return {"segment_size": self._segment_size}
 
     def reopen(self) -> "WriteAheadLog":
         """Return a fresh log handle over the same store (post-restart)."""
-        if self._volatile:
-            raise InvalidStateError("reopen with unforced records; crash() first")
-        return WriteAheadLog(self._store, self._name)
+        with self._lock:
+            if self._volatile:
+                raise InvalidStateError(
+                    "reopen with unforced records; crash() first"
+                )
+            return type(self)(self._store, self._name, **self._reopen_kwargs())
 
     @property
     def store(self) -> ObjectStore:
         return self._store
+
+
+class GroupCommitWAL(WriteAheadLog):
+    """Thread-safe WAL whose ``append`` rides a shared group force.
+
+    Concurrent appenders enqueue records; the first one needing
+    durability becomes the *flush leader*, waits up to ``window`` seconds
+    for other transactions to join the batch, then forces everything
+    enqueued with one durable write.  Followers block until the shared
+    force covers their record, then return — each caller still gets the
+    ``append``-means-durable contract, but N concurrent commits cost one
+    force instead of N.
+
+    ``window=0`` replaces the deliberate wait with a single yield to
+    other threads, so batching then only happens under contention heavy
+    enough for appenders to enqueue before the leader flushes; a real
+    (fsync-speed) store or a nonzero window is what makes sharing
+    reliable.
+
+    :meth:`crash` discards the volatile tail; an ``append`` caught
+    mid-window by a concurrent crash raises
+    :class:`~repro.exceptions.InvalidStateError` rather than return a
+    record that was never made durable.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ObjectStore] = None,
+        name: str = "wal",
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+        window: float = DEFAULT_GROUP_COMMIT_WINDOW,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__(store, name, segment_size)
+        self.window = float(window)
+        self._sleep = sleep
+        # Shares the base lock so waiting on the shared force and the
+        # base operations serialize against each other.
+        self._flushed = threading.Condition(self._lock)
+        self._leader_active = False
+
+    def _reopen_kwargs(self) -> Dict[str, Any]:
+        kwargs = super()._reopen_kwargs()
+        kwargs["window"] = self.window
+        kwargs["sleep"] = self._sleep
+        return kwargs
+
+    # -- thread-safe overrides ------------------------------------------------
+
+    def append(self, kind: str, **payload: Any) -> LogRecord:
+        """Append durably, sharing one force across concurrent appenders."""
+        with self._flushed:
+            record = super().append_volatile(kind, **payload)
+            while self._durable_upto < record.lsn:
+                if record not in self._volatile:
+                    # A concurrent crash() discarded the volatile tail
+                    # (including this record) while we waited; spinning
+                    # would livelock and returning would break the
+                    # append-means-durable contract.
+                    raise InvalidStateError(
+                        "record lost to a crash during group commit"
+                    )
+                if self._leader_active:
+                    self._flushed.wait()
+                    continue
+                self._leader_active = True
+                # Let other appenders join the batch: drop the lock while
+                # we wait (window=0 still yields once).
+                self._flushed.release()
+                try:
+                    self._sleep(max(0.0, self.window))
+                finally:
+                    self._flushed.acquire()
+                try:
+                    super().force()
+                finally:
+                    self._leader_active = False
+                    self._flushed.notify_all()
+        return record
+
+    def force(self) -> None:
+        with self._flushed:
+            super().force()
+            self._flushed.notify_all()
+
+    def crash(self) -> None:
+        with self._flushed:
+            super().crash()
+            # Wake any appender parked on the shared force so it can
+            # observe its record is gone instead of sleeping forever.
+            self._flushed.notify_all()

@@ -16,11 +16,10 @@ framework, per §5.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.core.action import Action
 from repro.core.activity import Activity
-from repro.core.exceptions import ActivityServiceError
 from repro.core.manager import ActivityManager
 from repro.core.signals import Outcome
 from repro.core.status import CompletionStatus

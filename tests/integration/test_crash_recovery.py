@@ -21,7 +21,6 @@ from repro.ots import (
     RecoverableRegistry,
     RecoveryManager,
     SimulatedCrash,
-    TransactionCurrent,
     TransactionFactory,
     TransactionalCell,
 )

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ots import TransactionFactory, TransactionalCell
-from repro.ots.locks import LockConflict, LockManager, LockMode
+from repro.ots.locks import LockConflict, LockMode
 
 
 class TestLockInvariants:

@@ -9,9 +9,9 @@ from repro.apps import (
     ReplicatedNameServer,
     TravelScenario,
 )
+from repro.apps.billing import BillingError
 from repro.apps.bulletin_board import BulletinBoardError
 from repro.apps.name_server import NameServerError
-from repro.apps.billing import BillingError
 from repro.core import ActivityManager
 from repro.models import OpenNestedCoordinator
 from repro.ots import TransactionCurrent, TransactionFactory

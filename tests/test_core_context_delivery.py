@@ -188,6 +188,30 @@ class TestDeliveryPolicies:
         policy.deliver(sender, Signal("s", "set", delivery_id="d2"))
         assert sender.calls == 2
 
+    def test_uniform_counters_across_policies(self):
+        """Every policy exposes attempts/retries/failures/exhausted, so
+        harnesses can assert on any of them interchangeably."""
+        policies = [
+            AtMostOnceDelivery(),
+            AtLeastOnceDelivery(max_attempts=2),
+            ExactlyOnceDelivery(max_attempts=2),
+        ]
+        for policy in policies:
+            for counter in ("attempts", "retries", "failures", "exhausted"):
+                assert getattr(policy, counter) == 0, (policy, counter)
+            sender = FlakySender(failures=100)
+            outcome = policy.deliver(sender, Signal("s", "set", delivery_id="d1"))
+            assert outcome.is_error
+            assert policy.failures == 1, policy
+
+    def test_exactly_once_forwards_exhaustion(self):
+        sender = FlakySender(failures=100)
+        policy = ExactlyOnceDelivery(max_attempts=3)
+        assert policy.deliver(sender, Signal("s", "set", delivery_id="d1")).is_error
+        assert policy.exhausted == 1
+        assert policy.attempts == 3
+        assert policy.retries == 2
+
     def test_exactly_once_errors_not_ledgered(self):
         sender = FlakySender(failures=100)
         policy = ExactlyOnceDelivery(max_attempts=2)

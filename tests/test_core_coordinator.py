@@ -12,7 +12,6 @@ from repro.core import (
     RecordingAction,
     SequenceSignalSet,
 )
-from repro.core.signals import Signal
 
 
 @pytest.fixture

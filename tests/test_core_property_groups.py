@@ -5,7 +5,6 @@ import pytest
 from repro.core import (
     ActivityManager,
     NestedVisibility,
-    Propagation,
     PropertyGroup,
     PropertyGroupError,
     PropertyGroupManager,

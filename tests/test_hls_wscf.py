@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ActivityManager, ActivityServiceError, CompletionStatus
+from repro.core import ActivityServiceError, CompletionStatus
 from repro.hls import (
     HlsActivityService,
     OpenNestedHls,
@@ -151,7 +151,6 @@ class TestWscf:
     def test_remote_activation_and_registration(self):
         """Activation/registration services work as ORB servants with
         participant object references."""
-        from repro.core import IdempotentAction, Outcome, RecordingAction
         from repro.orb import Orb
 
         orb = Orb()

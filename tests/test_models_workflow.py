@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import ActivityManager
-from repro.models import Task, TaskState, Workflow, WorkflowEngine
+from repro.models import TaskState, Workflow, WorkflowEngine
 from repro.models.workflow import WorkflowError
 from repro.ots import TransactionFactory, TransactionalCell
 

@@ -8,7 +8,6 @@ import pytest
 from repro.core.signals import Outcome, Signal
 from repro.core.status import CompletionStatus
 from repro.orb.marshal import (
-    GLOBAL_REGISTRY,
     MarshalError,
     Marshaller,
     ValueTypeRegistry,

@@ -5,7 +5,6 @@ import pytest
 from repro.orb import Orb
 from repro.orb.core import Servant
 from repro.ots import (
-    Inactive,
     InvalidTransaction,
     NoTransaction,
     TransactionCurrent,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ots import TransactionFactory
-from repro.ots.locks import DeadlockError, LockConflict, LockManager, LockMode
+from repro.ots.locks import DeadlockError, LockConflict, LockMode
 
 
 @pytest.fixture
