@@ -19,6 +19,12 @@ from repro.core.action import (
     ScriptedAction,
 )
 from repro.core.activity import Activity
+from repro.core.broadcast import (
+    BroadcastExecutor,
+    SerialBroadcastExecutor,
+    ThreadPoolBroadcastExecutor,
+    Transmission,
+)
 from repro.core.context import (
     ActivityClientInterceptor,
     ActivityContext,
@@ -79,6 +85,10 @@ __all__ = [
     "UserActivity",
     "ActivityCoordinator",
     "ActionRecord",
+    "BroadcastExecutor",
+    "SerialBroadcastExecutor",
+    "ThreadPoolBroadcastExecutor",
+    "Transmission",
     "Action",
     "FunctionAction",
     "IdempotentAction",

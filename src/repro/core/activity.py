@@ -56,6 +56,8 @@ class Activity:
         delivery: Optional[Any] = None,
         timeout: float = 0.0,
         clock: Optional[Any] = None,
+        executor: Optional[Any] = None,
+        action_timeout: Optional[float] = None,
     ) -> None:
         self.activity_id = activity_id
         self.name = name if name is not None else activity_id
@@ -71,7 +73,11 @@ class Activity:
         )
         self.event_log = event_log if event_log is not None else EventLog()
         self.coordinator = ActivityCoordinator(
-            activity_id, event_log=self.event_log, delivery=delivery
+            activity_id,
+            event_log=self.event_log,
+            delivery=delivery,
+            executor=executor,
+            action_timeout=action_timeout,
         )
         self._signal_sets: Dict[str, SignalSet] = {}
         self._completion_signal_set: Optional[str] = None

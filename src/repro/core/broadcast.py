@@ -1,0 +1,264 @@
+"""Broadcast executors — how one signal reaches many actions.
+
+The paper's coordinator "transmits the signal to all registered Actions"
+(§3.2.2) but says nothing about *how concurrently*.  The executors here
+make that a pluggable policy of the :class:`~repro.core.coordinator.
+ActivityCoordinator`:
+
+- :class:`SerialBroadcastExecutor` — today's behaviour and still the
+  default: one action at a time, in registration order, producing event
+  traces byte-identical to the pre-executor coordinator;
+- :class:`ThreadPoolBroadcastExecutor` — fans the stamped signal out to
+  every action concurrently and *digests* the outcomes in registration
+  order on the calling thread, so a 2PC prepare round or a saga
+  compensation sweep costs one hop latency instead of O(participants).
+
+Both executors preserve the SignalSet contract:
+
+- delivery ids are stamped in registration order (the stamping callable
+  is only ever invoked from the calling thread);
+- ``digest`` — which is where the coordinator calls the guarded set's
+  ``set_response`` — runs *only* on the calling thread, in registration
+  order, so SignalSets never need to be thread-safe;
+- a True reply from ``digest`` abandons the broadcast: outcomes that were
+  collected but not yet digested are discarded, and sends that have not
+  been dispatched yet are skipped (in-flight sends are drained before
+  returning so an action never sees two signals concurrently).
+
+Worker threads cross the *delivery policy* (thread-safe, see
+:mod:`repro.core.delivery`) and — for actions registered as remote
+ObjectRefs — the ORB transport, whose counters and rng stream are also
+lock-protected.  Two caveats there: which delivery draws which seeded
+fault decision becomes schedule-dependent under concurrency, so
+seeded-fault *trace* determinism is only guaranteed with the serial
+executor; and a ``SimulatedClock`` is a single-threaded construct
+(``sleep`` advances shared time and fires timer callbacks on the calling
+thread), so transports that inject latency must run on a ``WallClock``
+under a parallel executor — as ``bench_fig15_parallel_broadcast.py``
+does.  SignalSets and the coordinator's event log are never touched
+off-thread.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from concurrent.futures import Future, TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.signals import Outcome, Signal
+from repro.util.workers import ReentrantWorkerPool
+
+# Sentinel a worker returns when the broadcast was abandoned before its
+# send was dispatched.
+_SKIPPED = object()
+
+
+@dataclass
+class Transmission:
+    """One planned logical transmission: a registered action awaiting a signal.
+
+    ``stamp`` assigns the fresh delivery id (called once per transmission,
+    always from the broadcast's calling thread, in registration order);
+    ``send`` pushes the stamped signal through the delivery policy and by
+    that policy's contract never raises ``CommunicationError``.
+    """
+
+    index: int
+    label: str
+    stamp: Callable[[], Signal]
+    send: Callable[[Signal], Outcome]
+
+
+# digest(transmission, stamped_signal, outcome) -> True to abandon the
+# broadcast (the SignalSet wants a fresh signal immediately).
+DigestFn = Callable[[Transmission, Signal, Outcome], bool]
+# on_transmit(transmission, stamped_signal): record the logical
+# transmission (event-log hook); called just before the outcome digests.
+TransmitFn = Callable[[Transmission, Signal], None]
+
+
+class BroadcastExecutor(abc.ABC):
+    """Strategy for fanning one signal out to all registered actions."""
+
+    @abc.abstractmethod
+    def broadcast(
+        self,
+        transmissions: Sequence[Transmission],
+        on_transmit: TransmitFn,
+        digest: DigestFn,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Deliver to every transmission, feeding outcomes to ``digest``
+        in registration order; return True if the broadcast was abandoned
+        (``digest`` returned True).  ``timeout`` bounds the wait for any
+        single action's outcome where the executor can enforce it.
+        """
+
+
+class SerialBroadcastExecutor(BroadcastExecutor):
+    """One action at a time, in registration order (the default).
+
+    This is exactly the pre-executor coordinator loop: stamp, transmit,
+    send, digest, next — so event traces are byte-identical to the
+    historical ones the figure benches assert on.  ``timeout`` is not
+    enforceable for a synchronous in-thread send; bounding slow actions
+    serially is the delivery policy's job (attempt limits).
+    """
+
+    def broadcast(
+        self,
+        transmissions: Sequence[Transmission],
+        on_transmit: TransmitFn,
+        digest: DigestFn,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        for transmission in transmissions:
+            stamped = transmission.stamp()
+            on_transmit(transmission, stamped)
+            outcome = transmission.send(stamped)
+            if digest(transmission, stamped, outcome):
+                return True
+        return False
+
+
+class ThreadPoolBroadcastExecutor(BroadcastExecutor):
+    """Concurrent fan-out over a shared worker pool.
+
+    Sends are submitted in registration order and run concurrently;
+    outcomes are digested in registration order on the calling thread, so
+    the SignalSet observes the same deterministic ``set_response``
+    sequence the serial executor produces (and the same final outcome).
+
+    Early abandonment: when ``digest`` returns True the remaining
+    collected outcomes are discarded, pending (undispatched) sends are
+    skipped, and in-flight sends are drained before returning so the next
+    signal of the set never races an old one into the same action.
+
+    ``timeout`` bounds the wait for each action's outcome; an action that
+    exceeds it yields ``Outcome.unreachable``.  A timed-out send cannot
+    be preempted: it keeps running on its worker, its eventual result is
+    discarded, and — as with a genuinely partitioned participant in a
+    real network — it may still be executing when a later signal of the
+    set arrives.  This is the one exception to the no-concurrent-signals
+    drain and is exactly the §3.4 situation (late duplicate effects)
+    that the at-least-once/idempotent-Action requirement exists for.
+
+    Broadcasts are re-entrant: an action that drives another broadcast
+    through the same executor (nested activity completion) runs that
+    inner broadcast serially on its worker thread instead of submitting
+    to the pool — a nested fan-out blocking on its own pool's slots
+    would deadlock.
+    """
+
+    def __init__(self, max_workers: int = 8) -> None:
+        self.max_workers = max_workers
+        self._pool = ReentrantWorkerPool(max_workers, thread_name_prefix="broadcast")
+        # The executor is designed to be shared across coordinators and
+        # calling threads, so its own counters update under a lock too.
+        self._stats_lock = threading.Lock()
+        self.broadcasts = 0
+        self.abandoned = 0
+        self.skipped_sends = 0
+        self.discarded_outcomes = 0
+        self.nested_serial = 0
+        self.timeouts = 0
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def shutdown(self) -> None:
+        """Release the worker threads (idempotent)."""
+        self._pool.shutdown()
+
+    def __enter__(self) -> "ThreadPoolBroadcastExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def broadcast(
+        self,
+        transmissions: Sequence[Transmission],
+        on_transmit: TransmitFn,
+        digest: DigestFn,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        self._count("broadcasts")
+        if self._pool.in_worker():
+            # Re-entrant broadcast from one of our own workers (an action
+            # completing a nested activity): run it serially — waiting on
+            # this pool from inside it can exhaust the slots and deadlock.
+            self._count("nested_serial")
+            return SerialBroadcastExecutor().broadcast(
+                transmissions, on_transmit, digest, timeout
+            )
+        if len(transmissions) <= 1:
+            # Nothing to overlap; take the serial path (no pool hop).
+            return SerialBroadcastExecutor().broadcast(
+                transmissions, on_transmit, digest, timeout
+            )
+        abandon = threading.Event()
+
+        def run(transmission: Transmission, stamped: Signal) -> object:
+            if abandon.is_set():
+                return _SKIPPED
+            return transmission.send(stamped)
+
+        # Stamp serially (deterministic ids in registration order), then
+        # submit everything; workers begin as pool slots free up.
+        stamped_signals = [t.stamp() for t in transmissions]
+        futures: List[Future] = [
+            self._pool.submit(run, t, s)
+            for t, s in zip(transmissions, stamped_signals)
+        ]
+        timed_out: List[Future] = []
+        abandoned_at: Optional[int] = None
+        for index, (transmission, stamped, future) in enumerate(
+            zip(transmissions, stamped_signals, futures)
+        ):
+            try:
+                result = future.result(timeout)
+            except FutureTimeoutError:
+                self._count("timeouts")
+                timed_out.append(future)
+                result = Outcome.unreachable(
+                    f"action {transmission.label!r} did not answer "
+                    f"{stamped.signal_name!r} within {timeout}s"
+                )
+            if result is _SKIPPED:  # pragma: no cover - abandon always breaks first
+                continue
+            on_transmit(transmission, stamped)
+            if digest(transmission, stamped, result):
+                abandoned_at = index
+                break
+        # A send digested as timed-out may still be *queued* (pool slots
+        # exhausted by its siblings): cancel it so it cannot fire a stale
+        # signal after the broadcast resolved without it.  Already-running
+        # sends cannot be preempted (the documented timeout caveat).
+        for future in timed_out:
+            if future.cancel():
+                self._count("skipped_sends")
+        if abandoned_at is None:
+            return False
+        # Abandoned: skip undispatched sends, discard collected outcomes,
+        # and drain in-flight ones so no action handles two signals at once.
+        self._count("abandoned")
+        abandon.set()
+        in_flight: List[Future] = []
+        for future in futures[abandoned_at + 1 :]:
+            if future.cancel():
+                self._count("skipped_sends")
+            else:
+                in_flight.append(future)
+        for future in in_flight:
+            try:
+                if future.result(timeout) is not _SKIPPED:
+                    self._count("discarded_outcomes")
+                else:
+                    self._count("skipped_sends")
+            except FutureTimeoutError:
+                self._count("timeouts")
+        return True

@@ -6,16 +6,21 @@ produce may not be known in advance).  When the activity triggers a
 SignalSet, the coordinator:
 
 1. asks the set for a signal (``get_signal``);
-2. transmits it to every action registered for that set, in registration
-   order, stamping a fresh ``delivery_id`` per logical transmission and
-   pushing it through the configured delivery policy;
-3. reports each action's outcome back to the set (``set_response``);
+2. transmits it to every action registered for that set, stamping a fresh
+   ``delivery_id`` per logical transmission and pushing it through the
+   configured delivery policy — *how* concurrently is the pluggable
+   :class:`~repro.core.broadcast.BroadcastExecutor`'s choice;
+3. reports each action's outcome back to the set (``set_response``),
+   always from the coordinator's own thread and in registration order;
    a True reply abandons the current broadcast and fetches a new signal
    immediately;
 4. repeats until the set is done, then collates via ``get_outcome``.
 
 Every step is recorded in the event log; the figure-8/11/12 benches
-compare these traces with the paper's sequence charts.
+compare these traces with the paper's sequence charts.  The default
+(serial) executor records traces byte-identical to the pre-executor
+coordinator; the thread-pool executor records the same deterministic
+logical sequence while the physical sends overlap.
 """
 
 from __future__ import annotations
@@ -24,6 +29,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from repro.core.action import Action
+from repro.core.broadcast import (
+    BroadcastExecutor,
+    SerialBroadcastExecutor,
+    Transmission,
+)
 from repro.core.delivery import AtLeastOnceDelivery, DeliveryPolicy
 from repro.core.exceptions import ActionError
 from repro.core.signal_set import GuardedSignalSet, SignalSet
@@ -64,10 +74,16 @@ class ActivityCoordinator:
         activity_id: str,
         event_log: Optional[EventLog] = None,
         delivery: Optional[DeliveryPolicy] = None,
+        executor: Optional[BroadcastExecutor] = None,
+        action_timeout: Optional[float] = None,
     ) -> None:
         self.activity_id = activity_id
         self.event_log = event_log if event_log is not None else EventLog()
         self.delivery = delivery if delivery is not None else AtLeastOnceDelivery()
+        self.executor = executor if executor is not None else SerialBroadcastExecutor()
+        # Per-action outcome wait bound, enforced where the executor can
+        # preempt (the thread-pool executor); None waits indefinitely.
+        self.action_timeout = action_timeout
         self._ids = IdGenerator()
         self._actions: Dict[str, List[ActionRecord]] = {}
 
@@ -134,31 +150,37 @@ class ActivityCoordinator:
         log.record("get_signal", activity=self.activity_id, signal_set=name)
         signal, last = guard.get_signal()
         while signal is not None:
-            interrupted = False
-            for record in self.actions_for(name):
-                stamped = signal.with_delivery_id(self._ids.next("delivery"))
+            transmissions = [
+                self._transmission(index, record, signal)
+                for index, record in enumerate(self.actions_for(name))
+            ]
+
+            def on_transmit(transmission: Transmission, stamped: Signal) -> None:
                 log.record(
                     "transmit",
                     activity=self.activity_id,
                     signal_set=name,
                     signal=stamped.signal_name,
-                    action=record.label,
+                    action=transmission.label,
                 )
-                outcome = self.delivery.deliver(
-                    lambda s, r=record: self._invoke(r, s), stamped
-                )
+
+            def digest(
+                transmission: Transmission, stamped: Signal, outcome: Outcome
+            ) -> bool:
                 log.record(
                     "set_response",
                     activity=self.activity_id,
                     signal_set=name,
                     signal=stamped.signal_name,
-                    action=record.label,
+                    action=transmission.label,
                     outcome=outcome.name,
                     error=outcome.is_error,
                 )
-                if guard.set_response(outcome):
-                    interrupted = True
-                    break
+                return guard.set_response(outcome)
+
+            interrupted = self.executor.broadcast(
+                transmissions, on_transmit, digest, timeout=self.action_timeout
+            )
             if not interrupted and guard.finish_broadcast():
                 break
             log.record("get_signal", activity=self.activity_id, signal_set=name)
@@ -172,6 +194,30 @@ class ActivityCoordinator:
             error=outcome.is_error,
         )
         return outcome
+
+    def _transmission(
+        self, index: int, record: ActionRecord, signal: Signal
+    ) -> Transmission:
+        """Plan one logical transmission of ``signal`` to ``record``.
+
+        Executors call ``stamp`` from the coordinator's thread in
+        registration order, so ids are deterministic per executor.  The
+        serial executor stamps lazily (an abandoned broadcast consumes no
+        ids for its skipped tail — byte-identical to the historical
+        loop); the pool executor stamps every transmission at submission,
+        so after an abandonment the two executors' id *sequences* may
+        diverge, while ids within one run stay unique and ordered.
+        """
+
+        def stamp() -> Signal:
+            return signal.with_delivery_id(self._ids.next("delivery"))
+
+        def send(stamped: Signal) -> Outcome:
+            return self.delivery.deliver(
+                lambda s, r=record: self._invoke(r, s), stamped
+            )
+
+        return Transmission(index=index, label=record.label, stamp=stamp, send=send)
 
     def _invoke(self, record: ActionRecord, signal: Signal) -> Outcome:
         """One attempt at sending ``signal`` to one action.

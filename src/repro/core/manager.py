@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.action import Action
 from repro.core.activity import Activity
+from repro.core.broadcast import BroadcastExecutor
 from repro.core.current import ActivityCurrent
 from repro.core.delivery import AtLeastOnceDelivery, DeliveryPolicy
 from repro.core.exceptions import ActivityServiceError, RecoveryError
@@ -42,10 +43,16 @@ class ActivityManager:
         delivery: Optional[DeliveryPolicy] = None,
         store: Optional[ObjectStore] = None,
         property_groups: Optional[PropertyGroupManager] = None,
+        executor: Optional[BroadcastExecutor] = None,
+        action_timeout: Optional[float] = None,
     ) -> None:
         self.clock = clock if clock is not None else SimulatedClock()
         self.event_log = event_log if event_log is not None else EventLog(self.clock)
         self.delivery = delivery if delivery is not None else AtLeastOnceDelivery()
+        # Broadcast executor shared by every activity this manager begins
+        # (None → each coordinator defaults to the serial executor).
+        self.executor = executor
+        self.action_timeout = action_timeout
         self.store = store
         self.property_groups = (
             property_groups if property_groups is not None else PropertyGroupManager()
@@ -78,6 +85,8 @@ class ActivityManager:
             delivery=self.delivery,
             timeout=timeout,
             clock=self.clock,
+            executor=self.executor,
+            action_timeout=self.action_timeout,
         )
         self._attach_property_groups(activity, parent)
         self._activities[activity_id] = activity

@@ -132,6 +132,8 @@ class ActivityRecoveryService:
                 event_log=self.manager.event_log,
                 delivery=self.manager.delivery,
                 clock=self.manager.clock,
+                executor=self.manager.executor,
+                action_timeout=self.manager.action_timeout,
             )
             activity.status = record["status"]
             if record["status"] is ActivityStatus.COMPLETING:

@@ -73,6 +73,11 @@ class GuardedSignalSet:
     - any driving call in END raises :class:`SignalSetInactive`;
     - ``get_outcome`` in WAITING/GET_SIGNAL with unfinished signalling
       raises :class:`SignalSetActive`.
+
+    The guard (and the set it wraps) is deliberately single-threaded:
+    even under a parallel broadcast executor, only the coordinator's
+    collector thread calls ``set_response``/``get_signal``/``get_outcome``
+    (see :mod:`repro.core.broadcast`), so no locking is needed here.
     """
 
     def __init__(self, inner: SignalSet) -> None:
@@ -120,6 +125,12 @@ class GuardedSignalSet:
         return self.state is SignalSetState.END
 
     def get_outcome(self) -> Outcome:
+        if self.state is SignalSetState.WAITING:
+            # Fig. 7: a set that was never driven has not finished
+            # signalling — collating it would silently skip the protocol.
+            raise SignalSetActive(
+                f"SignalSet {self.signal_set_name!r} has not been driven yet"
+            )
         if self.state is SignalSetState.GET_SIGNAL and not self._last_delivered:
             raise SignalSetActive(
                 f"SignalSet {self.signal_set_name!r} is still signalling"

@@ -48,8 +48,18 @@ class HlsActivityService:
     chosen HLS.
     """
 
-    def __init__(self, manager: Optional[ActivityManager] = None) -> None:
-        self.manager = manager if manager is not None else ActivityManager()
+    def __init__(
+        self,
+        manager: Optional[ActivityManager] = None,
+        executor: Optional[Any] = None,
+        action_timeout: Optional[float] = None,
+    ) -> None:
+        if manager is None:
+            # The executor is inherited by every activity the stack begins,
+            # so HLS completion protocols (2PC, open-nested compensation)
+            # fan out over participants concurrently when a pool is given.
+            manager = ActivityManager(executor=executor, action_timeout=action_timeout)
+        self.manager = manager
         self.user_activity = UserActivity(self.manager)
         self._services: Dict[str, HighLevelService] = {}
 

@@ -13,6 +13,7 @@ collected in :class:`TransportStats` for the benchmarks.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -66,6 +67,7 @@ class TransportStats:
     requests_dropped: int = 0
     replies_dropped: int = 0
     duplicates_delivered: int = 0
+    duplicate_dispatch_failures: int = 0
     bytes_sent: int = 0
     simulated_latency_total: float = 0.0
 
@@ -75,6 +77,7 @@ class TransportStats:
         self.requests_dropped = 0
         self.replies_dropped = 0
         self.duplicates_delivered = 0
+        self.duplicate_dispatch_failures = 0
         self.bytes_sent = 0
         self.simulated_latency_total = 0.0
 
@@ -97,10 +100,17 @@ class Transport:
         self.rng = rng if rng is not None else SeededRng(0)
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self.stats = TransportStats()
+        # Parallel broadcast executors may drive deliveries from worker
+        # threads; the lock keeps the stats counters exact and the rng's
+        # internal stream consistent.  Note: *which* delivery draws which
+        # fault decision becomes schedule-dependent under concurrency —
+        # seeded-trace determinism is only guaranteed for serial drivers.
+        self._lock = threading.Lock()
 
     # -- latency -----------------------------------------------------------
 
     def _hop_delay(self) -> float:
+        """Draw one hop's delay (callers hold the lock: rng draw)."""
         plan = self.fault_plan
         delay = plan.latency
         if plan.jitter > 0:
@@ -108,8 +118,11 @@ class Transport:
         return delay
 
     def _advance(self, delay: float) -> None:
+        """Sleep out ``delay``; never called holding the lock — a shared
+        transport must not serialise concurrent hops on their latency."""
         if delay > 0:
-            self.stats.simulated_latency_total += delay
+            with self._lock:
+                self.stats.simulated_latency_total += delay
             self.clock.sleep(delay)
 
     # -- delivery ----------------------------------------------------------
@@ -135,28 +148,47 @@ class Transport:
                 f"network partition between {source_node} and {target_node}"
             )
 
-        self.stats.requests_sent += 1
-        self.stats.bytes_sent += len(request_bytes)
-        self._advance(self._hop_delay())
-        if self.rng.chance(plan.drop_probability):
-            self.stats.requests_dropped += 1
+        with self._lock:
+            self.stats.requests_sent += 1
+            self.stats.bytes_sent += len(request_bytes)
+            request_delay = self._hop_delay()
+        self._advance(request_delay)
+        with self._lock:
+            request_dropped = self.rng.chance(plan.drop_probability)
+            if request_dropped:
+                self.stats.requests_dropped += 1
+        if request_dropped:
             raise CommunicationError(
                 f"request from {source_node} to {target_node} lost"
             )
 
         reply = dispatch(request_bytes)
 
-        if self.rng.chance(plan.duplicate_probability):
-            self.stats.duplicates_delivered += 1
+        with self._lock:
+            duplicated = self.rng.chance(plan.duplicate_probability)
+            if duplicated:
+                self.stats.duplicates_delivered += 1
+        if duplicated:
             # The network re-delivered the request; the servant runs again.
-            # The duplicate's reply is discarded by the runtime.
-            dispatch(request_bytes)
+            # The duplicate's reply is discarded by the runtime, so a
+            # failure of the duplicate dispatch must not destroy the
+            # original reply — the caller never learns of the duplicate.
+            try:
+                dispatch(request_bytes)
+            except Exception:
+                with self._lock:
+                    self.stats.duplicate_dispatch_failures += 1
 
-        self.stats.replies_sent += 1
-        self.stats.bytes_sent += len(reply)
-        self._advance(self._hop_delay())
-        if self.rng.chance(plan.drop_probability):
-            self.stats.replies_dropped += 1
+        with self._lock:
+            self.stats.replies_sent += 1
+            self.stats.bytes_sent += len(reply)
+            reply_delay = self._hop_delay()
+        self._advance(reply_delay)
+        with self._lock:
+            reply_dropped = self.rng.chance(plan.drop_probability)
+            if reply_dropped:
+                self.stats.replies_dropped += 1
+        if reply_dropped:
             raise CommunicationError(
                 f"reply from {target_node} to {source_node} lost"
             )

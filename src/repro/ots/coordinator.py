@@ -26,6 +26,7 @@ between any two protocol steps to reproduce coordinator failures.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, List, Optional, Set
 
@@ -44,6 +45,12 @@ from repro.ots.exceptions import (
 )
 from repro.ots.resource import call_participant
 from repro.ots.status import TransactionStatus, Vote
+
+# Sentinel a prepare worker returns when the round was abandoned before
+# its participant was asked (distinct from a participant's own return
+# value — a buggy prepare() returning None must fail as loudly as it
+# does in the serial sweep, not be mistaken for "never asked").
+_NOT_ASKED = object()
 
 
 @dataclass
@@ -227,19 +234,10 @@ class Transaction:
             return
         # Phase one.
         self.status = TransactionStatus.PREPARING
-        rollback_voter = None
-        for record in live:
-            self.factory.failpoints.hit("before_prepare")
-            try:
-                record.vote = call_participant(record.participant, "prepare")
-            except (CommunicationError, Exception) as exc:
-                if isinstance(exc, SimulatedCrash):
-                    raise
-                record.vote = Vote.ROLLBACK
-            log.record("tx_vote", tid=self.tid, vote=record.vote.name)
-            if record.vote is Vote.ROLLBACK:
-                rollback_voter = record
-                break
+        if self._participant_workers(len(live)) > 1:
+            rollback_voter = self._gather_votes_parallel(live)
+        else:
+            rollback_voter = self._gather_votes_serial(live)
         if rollback_voter is not None:
             self.status = TransactionStatus.ROLLING_BACK
             to_undo = [r for r in live if r.vote is Vote.COMMIT]
@@ -292,7 +290,101 @@ class Transaction:
         record.completed = True
         self._finish(TransactionStatus.COMMITTED)
 
+    # -- parallel participant fan-out -----------------------------------------
+
+    def _participant_workers(self, participant_count: int) -> int:
+        """Worker-thread budget for one protocol phase of this transaction.
+
+        Returns 1 (serial) on a participant-pool worker thread: a nested
+        commit driven from inside a participant call must not wait on
+        the very pool it is running in.
+        """
+        if self.factory.in_participant_worker():
+            return 1
+        return min(self.factory.parallel_participants, participant_count)
+
+    def _gather_votes_serial(
+        self, live: List[ResourceRecord]
+    ) -> Optional[ResourceRecord]:
+        """Classic phase one: one prepare at a time, stop at the first no."""
+        log = self.factory.event_log
+        for record in live:
+            self.factory.failpoints.hit("before_prepare")
+            try:
+                record.vote = call_participant(record.participant, "prepare")
+            except (CommunicationError, Exception) as exc:
+                if isinstance(exc, SimulatedCrash):
+                    raise
+                record.vote = Vote.ROLLBACK
+            log.record("tx_vote", tid=self.tid, vote=record.vote.name)
+            if record.vote is Vote.ROLLBACK:
+                return record
+        return None
+
+    def _gather_votes_parallel(
+        self, live: List[ResourceRecord]
+    ) -> Optional[ResourceRecord]:
+        """Phase one with concurrent prepares.
+
+        Votes are digested in registration order on this thread, so the
+        ``tx_vote`` trace and the rollback pivot stay deterministic.  A
+        no-vote abandons the round: prepares not yet dispatched are
+        skipped (their vote stays None, exactly like the serial sweep's
+        post-break tail), while prepares already in flight finish and
+        have their votes recorded — a concurrently-prepared participant
+        must still be told to roll back.
+        """
+        log = self.factory.event_log
+        abandon = threading.Event()
+        factory = self.factory
+
+        def do_prepare(record: ResourceRecord) -> Any:
+            if abandon.is_set():
+                return _NOT_ASKED
+            try:
+                return call_participant(record.participant, "prepare")
+            except BaseException as exc:  # digested on the driving thread
+                return exc
+
+        # Fail-points fire on the driving thread, interleaved with the
+        # submissions exactly as the serial sweep interleaves them with
+        # the prepares (``before_prepare`` disarms on its first firing,
+        # so a crash here always lands before any prepare is submitted).
+        pool = factory.participant_pool()
+        futures = []
+        for record in live:
+            factory.failpoints.hit("before_prepare")
+            futures.append(pool.submit(do_prepare, record))
+        rollback_voter: Optional[ResourceRecord] = None
+        for index, (record, future) in enumerate(zip(live, futures)):
+            result = future.result()
+            if result is _NOT_ASKED:
+                continue  # skipped after abandonment: never voted
+            if isinstance(result, SimulatedCrash):
+                # Crash: drain in-flight prepares before propagating so
+                # the caller (and any recovery run it starts) observes a
+                # quiescent store, not one still mutating under workers.
+                abandon.set()
+                for later in futures[index + 1 :]:
+                    later.result()
+                raise result
+            if isinstance(result, BaseException):
+                record.vote = Vote.ROLLBACK
+            else:
+                record.vote = result
+            log.record("tx_vote", tid=self.tid, vote=record.vote.name)
+            if record.vote is Vote.ROLLBACK and rollback_voter is None:
+                rollback_voter = record
+                abandon.set()
+        return rollback_voter
+
     def _commit_resources(self, committers: List[ResourceRecord]) -> None:
+        if self._participant_workers(len(committers)) > 1:
+            self._commit_resources_parallel(committers)
+        else:
+            self._commit_resources_serial(committers)
+
+    def _commit_resources_serial(self, committers: List[ResourceRecord]) -> None:
         for index, record in enumerate(committers):
             self.factory.failpoints.hit(f"before_commit_resource_{index}")
             try:
@@ -310,6 +402,66 @@ class Transaction:
                         f"resource unreachable during commit of {self.tid}: {exc}"
                     )
                 )
+
+    def _commit_resources_parallel(self, committers: List[ResourceRecord]) -> None:
+        """Phase two with concurrent commits.
+
+        The decision is already forced, so every participant must be
+        driven to completion — there is no abandonment here.  Outcomes
+        (including heuristics) are digested in registration order on
+        this thread so ``_heuristics`` ordering matches the serial path.
+
+        The ``before_commit_resource_{i}`` fail-points interleave with
+        the submissions, as in the serial loop: when one fires, commits
+        already submitted are awaited and digested before the crash
+        propagates, so the prefix-committed crash states the recovery
+        tests reproduce stay reachable with the knob on.
+        """
+        factory = self.factory
+
+        def do_commit(record: ResourceRecord) -> Optional[BaseException]:
+            try:
+                self._call_with_retry(record.participant, "commit")
+                return None
+            except BaseException as exc:  # digested on the driving thread
+                return exc
+
+        pool = factory.participant_pool()
+        futures = []
+        crash: Optional[SimulatedCrash] = None
+        try:
+            for index, record in enumerate(committers):
+                factory.failpoints.hit(f"before_commit_resource_{index}")
+                futures.append((record, pool.submit(do_commit, record)))
+        except SimulatedCrash as exc:
+            crash = exc
+        # Digest every submitted commit (the loop below is also the
+        # drain: nothing is left running when an exception propagates).
+        fatal: Optional[BaseException] = None
+        for record, future in futures:
+            exc = future.result()
+            if exc is None:
+                record.completed = True
+            elif isinstance(
+                exc, (HeuristicRollback, HeuristicMixed, HeuristicHazard)
+            ):
+                self._heuristics.append(exc)
+                self._safe_forget(record)
+            elif isinstance(exc, CommunicationError):
+                self._heuristics.append(
+                    HeuristicHazard(
+                        f"resource unreachable during commit of {self.tid}: {exc}"
+                    )
+                )
+            elif fatal is None:
+                # Unknown failure: remember the earliest (registration
+                # order, as the serial loop would have raised it) but
+                # keep digesting so no future is abandoned mid-flight.
+                fatal = exc
+        if fatal is not None:
+            raise fatal
+        if crash is not None:
+            raise crash
 
     def _rollback_resources(self, records: List[ResourceRecord]) -> None:
         for record in records:

@@ -13,6 +13,7 @@ from repro.persistence.wal import GroupCommitWAL, WriteAheadLog
 from repro.util.clock import Clock, SimulatedClock
 from repro.util.events import EventLog
 from repro.util.idgen import IdGenerator
+from repro.util.workers import ReentrantWorkerPool
 
 
 class Failpoints:
@@ -58,6 +59,19 @@ class TransactionFactory:
     commits share durable forces.  Coordinators log decisions through
     :meth:`log_commit_decision` / :meth:`log_completion`, which is where
     the batching takes effect.
+
+    ``parallel_participants`` bounds how many participants a transaction
+    contacts *concurrently* during phase one (votes) and phase two
+    (commits): 1 (the default) keeps the classic serial sweep; N > 1
+    fans out over worker threads while results are digested in
+    registration order, so heuristics, votes and log records stay
+    deterministic on the non-abandoned path.  After a no-vote the
+    *count* of trailing ``tx_vote`` records is schedule-dependent
+    (whether a sibling prepare dispatched before the abandonment decides
+    whether it voted at all) — behaviour stays correct either way: only
+    participants that actually prepared are rolled back.  It composes
+    with ``group_commit_window`` — parallel phases shorten each
+    transaction, group commit shares the forces across transactions.
     """
 
     def __init__(
@@ -67,6 +81,7 @@ class TransactionFactory:
         event_log: Optional[EventLog] = None,
         retry_attempts: int = 3,
         group_commit_window: Optional[float] = None,
+        parallel_participants: int = 1,
     ) -> None:
         self.clock = clock if clock is not None else SimulatedClock()
         if wal is None:
@@ -87,6 +102,12 @@ class TransactionFactory:
         self.lock_manager = LockManager()
         self.failpoints = Failpoints()
         self.retry_attempts = retry_attempts
+        if parallel_participants < 1:
+            raise ValueError("parallel_participants must be at least 1")
+        self.parallel_participants = parallel_participants
+        self._participant_pool = ReentrantWorkerPool(
+            parallel_participants, thread_name_prefix="participants"
+        )
         self.ids = IdGenerator()
         self._transactions: Dict[str, Transaction] = {}
         self._active: Set[str] = set()
@@ -107,6 +128,33 @@ class TransactionFactory:
     def log_completion(self, tid: str):
         """Log the end of phase two (marks the transaction resolved)."""
         return self.wal.append("tx_completed", tid=tid)
+
+    # -- parallel participant calls -----------------------------------------
+
+    def participant_pool(self) -> ReentrantWorkerPool:
+        """The shared worker pool for parallel participant calls.
+
+        Threads are created lazily on first submission (a factory with
+        ``parallel_participants=1`` never fans out) and reused by every
+        transaction of this factory, so a high-throughput workload does
+        not pay thread churn per phase; ``parallel_participants`` is the
+        factory-wide budget of concurrent participant calls.
+        """
+        return self._participant_pool
+
+    def in_participant_worker(self) -> bool:
+        """True on threads running a participant call for this factory.
+
+        A participant that itself commits another transaction through
+        the same factory must not fan out again — waiting on the shared
+        pool from inside it can exhaust the slots and deadlock, so such
+        nested phases run serially.
+        """
+        return self._participant_pool.in_worker()
+
+    def shutdown_participant_pool(self) -> None:
+        """Release the shared pool's threads (idempotent; tests/teardown)."""
+        self._participant_pool.shutdown()
 
     # -- creation ---------------------------------------------------------
 

@@ -22,6 +22,7 @@ when the declared wait would close a cycle.
 
 from __future__ import annotations
 
+import threading
 from enum import Enum
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -59,6 +60,10 @@ class LockManager:
         self._held: Dict[Any, Set[str]] = {}
         # waiter transaction -> set of holder transactions (wait-for graph)
         self._waits: Dict[Any, Set[Any]] = {}
+        # Nested transactions committed from parallel participant workers
+        # reach this manager from several threads; every compound
+        # read-modify-write over the three maps runs under one lock.
+        self._mutex = threading.RLock()
         self.acquisitions = 0
         self.conflicts = 0
         self.upgrades = 0
@@ -71,6 +76,10 @@ class LockManager:
         ``wait=True`` records the conflict in the wait-for graph before
         raising, enabling deadlock detection across repeated attempts.
         """
+        with self._mutex:
+            self._acquire_locked(tx, key, mode, wait)
+
+    def _acquire_locked(self, tx: Any, key: str, mode: LockMode, wait: bool) -> None:
         holders = self._locks.setdefault(key, {})
         blockers = self._conflicting_holders(tx, key, mode)
         if blockers:
@@ -121,21 +130,33 @@ class LockManager:
     # -- queries ------------------------------------------------------------
 
     def holds(self, tx: Any, key: str, mode: Optional[LockMode] = None) -> bool:
-        held_mode = self._locks.get(key, {}).get(tx)
-        if held_mode is None:
-            return False
-        return mode is None or held_mode is mode or held_mode is LockMode.WRITE
+        with self._mutex:
+            held_mode = self._locks.get(key, {}).get(tx)
+            if held_mode is None:
+                return False
+            return mode is None or held_mode is mode or held_mode is LockMode.WRITE
 
     def holders(self, key: str) -> List[Tuple[Any, LockMode]]:
-        return list(self._locks.get(key, {}).items())
+        with self._mutex:
+            return list(self._locks.get(key, {}).items())
 
     def keys_held_by(self, tx: Any) -> Set[str]:
-        return set(self._held.get(tx, set()))
+        with self._mutex:
+            return set(self._held.get(tx, set()))
+
+    def wait_graph(self) -> Dict[Any, Set[Any]]:
+        """Snapshot of the wait-for graph (waiter -> blocking holders)."""
+        with self._mutex:
+            return {waiter: set(holders) for waiter, holders in self._waits.items()}
 
     # -- release and inheritance ---------------------------------------------
 
     def release_all(self, tx: Any) -> int:
         """Drop every lock held by ``tx`` (top-level completion)."""
+        with self._mutex:
+            return self._release_all_locked(tx)
+
+    def _release_all_locked(self, tx: Any) -> int:
         released = 0
         for key in self._held.pop(tx, set()):
             holders = self._locks.get(key, {})
@@ -145,9 +166,13 @@ class LockManager:
             if not holders:
                 self._locks.pop(key, None)
         self._waits.pop(tx, None)
+        # Rebuild the wait-for graph without tx; a waiter whose only
+        # blocker was tx drops out entirely (an empty waiter entry would
+        # otherwise accumulate as a phantom node across transactions).
         self._waits = {
-            waiter: {h for h in holders if h is not tx}
+            waiter: remaining
             for waiter, holders in self._waits.items()
+            if (remaining := {h for h in holders if h is not tx})
         }
         return released
 
@@ -156,6 +181,10 @@ class LockManager:
 
         A parent's existing lock is upgraded if the child held WRITE.
         """
+        with self._mutex:
+            return self._transfer_locked(child, parent)
+
+    def _transfer_locked(self, child: Any, parent: Any) -> int:
         moved = 0
         for key in self._held.pop(child, set()):
             holders = self._locks.get(key, {})
@@ -188,4 +217,5 @@ class LockManager:
 
     def clear_wait(self, tx: Any) -> None:
         """Withdraw any declared wait by ``tx`` (caller gave up)."""
-        self._waits.pop(tx, None)
+        with self._mutex:
+            self._waits.pop(tx, None)

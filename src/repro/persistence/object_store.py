@@ -6,6 +6,14 @@ exactly the same typing discipline as values on the wire.
 ``SegmentedFileStore`` is the append-oriented fast path: a batch of puts
 becomes one appending write plus one fsync, which is what lets the
 write-ahead log's group commit map to a single OS-level flush.
+
+Mutators (``put`` / ``put_many`` / ``remove``, and ``compact`` on the
+segmented store) are serialised by an internal lock: the parallel
+broadcast executor and the OTS ``parallel_participants`` fan-out drive
+participant state writes from worker threads, and the segmented store's
+rollover bookkeeping is a read-modify-write sequence that must not
+interleave.  Reads stay lockless — the index maps to immutable encoded
+values and single dict lookups are atomic.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 import abc
 import os
 import struct
+import threading
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import ReproError
@@ -79,19 +88,23 @@ class MemoryStore(ObjectStore):
     def __init__(self, registry: Optional[ValueTypeRegistry] = None) -> None:
         self._marshaller = Marshaller(registry)
         self._data: Dict[str, bytes] = {}
+        self._write_lock = threading.Lock()
         self.writes = 0
         self.reads = 0
 
     def put(self, uid: str, state: Any) -> None:
-        self._data[uid] = self._marshaller.encode(state)
-        self.writes += 1
+        encoded = self._marshaller.encode(state)
+        with self._write_lock:
+            self._data[uid] = encoded
+            self.writes += 1
 
     def put_many(self, items: BatchItems) -> None:
         # Encode everything first so a marshalling error leaves the store
         # untouched — the batch is all-or-nothing, like one flush.
         encoded = {uid: self._marshaller.encode(state) for uid, state in dict(items).items()}
-        self._data.update(encoded)
-        self.writes += 1
+        with self._write_lock:
+            self._data.update(encoded)
+            self.writes += 1
 
     def get(self, uid: str) -> Any:
         try:
@@ -102,9 +115,10 @@ class MemoryStore(ObjectStore):
         return self._marshaller.decode(raw)
 
     def remove(self, uid: str) -> None:
-        if uid not in self._data:
-            raise StoreError(f"no state stored under {uid!r}")
-        del self._data[uid]
+        with self._write_lock:
+            if uid not in self._data:
+                raise StoreError(f"no state stored under {uid!r}")
+            del self._data[uid]
 
     def contains(self, uid: str) -> bool:
         return uid in self._data
@@ -119,6 +133,7 @@ class FileStore(ObjectStore):
     def __init__(self, root: str, registry: Optional[ValueTypeRegistry] = None) -> None:
         self._root = root
         self._marshaller = Marshaller(registry)
+        self._write_lock = threading.Lock()
         os.makedirs(root, exist_ok=True)
 
     def _path(self, uid: str) -> str:
@@ -129,11 +144,12 @@ class FileStore(ObjectStore):
         data = self._marshaller.encode(state)
         path = self._path(uid)
         tmp = path + ".tmp"
-        with open(tmp, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        with self._write_lock:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
 
     def put_many(self, items: BatchItems) -> None:
         """Stage every entry, then publish all of them.
@@ -142,18 +158,19 @@ class FileStore(ObjectStore):
         a crash during the staging phase publishes nothing; the rename
         loop is the only window where a prefix of the batch can be seen.
         """
-        staged: List[Tuple[str, str]] = []
-        for uid, state in dict(items).items():
-            data = self._marshaller.encode(state)
-            path = self._path(uid)
-            tmp = path + ".tmp"
-            with open(tmp, "wb") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-            staged.append((tmp, path))
-        for tmp, path in staged:
-            os.replace(tmp, path)
+        encoded = {uid: self._marshaller.encode(state) for uid, state in dict(items).items()}
+        with self._write_lock:
+            staged: List[Tuple[str, str]] = []
+            for uid, data in encoded.items():
+                path = self._path(uid)
+                tmp = path + ".tmp"
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                staged.append((tmp, path))
+            for tmp, path in staged:
+                os.replace(tmp, path)
 
     def get(self, uid: str) -> Any:
         path = self._path(uid)
@@ -164,9 +181,10 @@ class FileStore(ObjectStore):
 
     def remove(self, uid: str) -> None:
         path = self._path(uid)
-        if not os.path.exists(path):
-            raise StoreError(f"no state stored under {uid!r}")
-        os.remove(path)
+        with self._write_lock:
+            if not os.path.exists(path):
+                raise StoreError(f"no state stored under {uid!r}")
+            os.remove(path)
 
     def contains(self, uid: str) -> bool:
         return os.path.exists(self._path(uid))
@@ -209,6 +227,10 @@ class SegmentedFileStore(ObjectStore):
         self._marshaller = Marshaller(registry)
         self._segment_bytes = segment_bytes
         self._index: Dict[str, bytes] = {}
+        # Serialises appends/rollover/compaction: the active-segment
+        # bookkeeping is a read-modify-write sequence (size check, id
+        # bump, size reset) that concurrent writers must not interleave.
+        self._write_lock = threading.RLock()
         self.flushes = 0
         self.torn_frames_dropped = 0
         os.makedirs(root, exist_ok=True)
@@ -288,8 +310,9 @@ class SegmentedFileStore(ObjectStore):
             return
         encoded = {uid: self._marshaller.encode(state) for uid, state in batch.items()}
         frames = [self._frame(uid, False, value) for uid, value in encoded.items()]
-        self._append_frames(frames)
-        self._index.update(encoded)
+        with self._write_lock:
+            self._append_frames(frames)
+            self._index.update(encoded)
 
     def get(self, uid: str) -> Any:
         try:
@@ -299,10 +322,11 @@ class SegmentedFileStore(ObjectStore):
         return self._marshaller.decode(raw)
 
     def remove(self, uid: str) -> None:
-        if uid not in self._index:
-            raise StoreError(f"no state stored under {uid!r}")
-        self._append_frames([self._frame(uid, True, b"")])
-        del self._index[uid]
+        with self._write_lock:
+            if uid not in self._index:
+                raise StoreError(f"no state stored under {uid!r}")
+            self._append_frames([self._frame(uid, True, b"")])
+            del self._index[uid]
 
     def contains(self, uid: str) -> bool:
         return uid in self._index
@@ -314,6 +338,10 @@ class SegmentedFileStore(ObjectStore):
 
     def compact(self) -> int:
         """Rewrite live entries into a fresh segment; return files removed."""
+        with self._write_lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
         old_ids = list(self._segment_ids)
         new_id = (old_ids[-1] if old_ids else 0) + 1
         self._active_id = new_id

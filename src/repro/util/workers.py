@@ -1,0 +1,62 @@
+"""Shared worker-pool plumbing for the parallel fan-out layers.
+
+Both the activity-service broadcast executor
+(:class:`~repro.core.broadcast.ThreadPoolBroadcastExecutor`) and the OTS
+parallel participant phases (``TransactionFactory(parallel_participants=N)``)
+need the same three things from a thread pool: lazy creation (a config
+knob must not spawn threads until first use), detection of re-entrant use
+(work submitted *from* a worker must not block on its own pool's slots —
+that deadlocks), and idempotent shutdown.  This helper is that shared
+core; the fan-out semantics (digestion order, abandonment, timeouts)
+stay with the callers.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Optional
+
+
+class ReentrantWorkerPool:
+    """A lazily-created shared :class:`ThreadPoolExecutor` whose worker
+    threads are tagged, so callers can detect nested submissions and
+    degrade to serial execution instead of deadlocking."""
+
+    def __init__(self, max_workers: int, thread_name_prefix: str = "workers") -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        self.thread_name_prefix = thread_name_prefix
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._worker_state = threading.local()
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix=self.thread_name_prefix,
+                )
+            return self._pool
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        """Submit ``fn(*args)``; the executing thread is tagged as ours."""
+
+        def marked(*call_args: Any) -> Any:
+            self._worker_state.active = True
+            return fn(*call_args)
+
+        return self._ensure().submit(marked, *args)
+
+    def in_worker(self) -> bool:
+        """True when called from one of this pool's worker threads."""
+        return getattr(self._worker_state, "active", False)
+
+    def shutdown(self) -> None:
+        """Release the worker threads (idempotent); next submit recreates."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)

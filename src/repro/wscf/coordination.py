@@ -20,6 +20,7 @@ from typing import Dict, Optional, Union
 
 from repro.core.action import Action
 from repro.core.activity import Activity
+from repro.core.broadcast import BroadcastExecutor
 from repro.core.manager import ActivityManager
 from repro.core.signals import Outcome
 from repro.core.status import CompletionStatus
@@ -54,10 +55,28 @@ class CoordinationContext:
 
 
 class WscfCoordinator:
-    """Owns the activities and signal sets behind issued contexts."""
+    """Owns the activities and signal sets behind issued contexts.
 
-    def __init__(self, manager: Optional[ActivityManager] = None) -> None:
-        self.manager = manager if manager is not None else ActivityManager()
+    ``executor`` selects the broadcast engine used when a context is
+    terminated (or prepared): the default drives registered participants
+    serially; a :class:`~repro.core.broadcast.ThreadPoolBroadcastExecutor`
+    contacts them concurrently, which is what makes an atomic-outcome
+    context with many participants terminate in one hop latency instead
+    of N.  When a ``manager`` is supplied it wins — its own executor
+    configuration governs every activity it begins.
+    """
+
+    def __init__(
+        self,
+        manager: Optional[ActivityManager] = None,
+        executor: Optional[BroadcastExecutor] = None,
+        action_timeout: Optional[float] = None,
+    ) -> None:
+        if manager is None:
+            manager = ActivityManager(
+                executor=executor, action_timeout=action_timeout
+            )
+        self.manager = manager
         self._contexts: Dict[str, CoordinationContext] = {}
         self._activities: Dict[str, Activity] = {}
         self._terminated: Dict[str, Outcome] = {}

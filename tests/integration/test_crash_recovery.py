@@ -24,22 +24,28 @@ from repro.ots import (
     TransactionFactory,
     TransactionalCell,
 )
-from repro.persistence import MemoryStore, WriteAheadLog
+from repro.persistence import MemoryStore, SegmentedFileStore, WriteAheadLog
 
 
 class TestOtsThroughActivityService:
-    """2PC driven by the *activity service* over real recoverable cells."""
+    """2PC driven by the *activity service* over real recoverable cells.
 
-    @pytest.fixture
-    def env(self):
+    Parametrised over the stable-storage backend: the in-memory model
+    and the log-structured :class:`SegmentedFileStore` (real files, one
+    append+fsync per batch) must recover identically.
+    """
+
+    @pytest.fixture(params=["memory", "segmented"])
+    def env(self, request, tmp_path):
         class Env:
-            def __init__(self):
-                self.stable = MemoryStore()
+            def __init__(self, stable, cell_store, reopen):
+                self.stable = stable
                 self.wal = WriteAheadLog(self.stable, "txlog")
                 self.factory = TransactionFactory(wal=self.wal)
                 self.registry = RecoverableRegistry()
-                self.cell_store = MemoryStore()
+                self.cell_store = cell_store
                 self.manager = ActivityManager()
+                self._reopen = reopen
 
             def cell(self, key, initial=0):
                 return TransactionalCell(
@@ -47,7 +53,23 @@ class TestOtsThroughActivityService:
                     store=self.cell_store, registry=self.registry,
                 )
 
-        return Env()
+            def restart_cell_store(self):
+                """Node restart: rebuild stable storage from the medium.
+
+                For the file-backed store this replays the segment files
+                from disk; the in-memory model just keeps its instance
+                (it *is* the simulated stable medium).
+                """
+                self.cell_store = self._reopen(self.cell_store)
+                return self.cell_store
+
+        if request.param == "memory":
+            return Env(MemoryStore(), MemoryStore(), lambda store: store)
+        return Env(
+            SegmentedFileStore(str(tmp_path / "stable")),
+            SegmentedFileStore(str(tmp_path / "cells")),
+            lambda store: SegmentedFileStore(str(tmp_path / "cells")),
+        )
 
     def test_activity_driven_commit_of_recoverable_cells(self, env):
         a, b = env.cell("a"), env.cell("b")
@@ -73,10 +95,11 @@ class TestOtsThroughActivityService:
         env.factory.failpoints.arm("after_commit_log")
         with pytest.raises(SimulatedCrash):
             tx.commit()
-        # "Restart": fresh cells over the same stores, fresh registry.
+        # "Restart": fresh cells over the reopened stores, fresh registry.
+        store = env.restart_cell_store()
         registry = RecoverableRegistry()
-        TransactionalCell("a", 0, env.factory, store=env.cell_store, registry=registry)
-        TransactionalCell("b", 0, env.factory, store=env.cell_store, registry=registry)
+        TransactionalCell("a", 0, env.factory, store=store, registry=registry)
+        TransactionalCell("b", 0, env.factory, store=store, registry=registry)
         report = RecoveryManager(env.wal.reopen(), registry).recover()
         assert report.recommitted
         assert registry.resolve("a").committed_value == 1
@@ -90,12 +113,13 @@ class TestOtsThroughActivityService:
         env.factory.failpoints.arm("before_commit_log")
         with pytest.raises(SimulatedCrash):
             tx.commit()
+        store = env.restart_cell_store()
         registry = RecoverableRegistry()
         cell_a = TransactionalCell(
-            "a", 0, env.factory, store=env.cell_store, registry=registry
+            "a", 0, env.factory, store=store, registry=registry
         )
         cell_b = TransactionalCell(
-            "b", 0, env.factory, store=env.cell_store, registry=registry
+            "b", 0, env.factory, store=store, registry=registry
         )
         RecoveryManager(env.wal.reopen(), registry).recover()
         assert cell_a.read() == 0 and cell_b.read() == 0
@@ -170,3 +194,59 @@ class TestActivityStructureRecovery:
         )
         ref.invoke("signal", "events")
         assert recorder.signal_names == ["after-restart"]
+
+
+class TestSegmentedStoreCompactionUnderLoad:
+    """Compaction as a background maintenance step between commit waves.
+
+    The store must stay correct while transactions keep writing across
+    segment rollovers and repeated compactions, and a reopen from disk
+    (crash) at any point must replay to the same committed state.
+    """
+
+    def test_compaction_between_commit_waves_preserves_state(self, tmp_path):
+        root = str(tmp_path / "cells")
+        # Tiny segments so the workload rolls over constantly.
+        store = SegmentedFileStore(root, segment_bytes=256)
+        stable = SegmentedFileStore(str(tmp_path / "stable"), segment_bytes=256)
+        factory = TransactionFactory(wal=WriteAheadLog(stable, "txlog"))
+        registry = RecoverableRegistry()
+        cells = [
+            TransactionalCell(f"c{i}", 0, factory, store=store, registry=registry)
+            for i in range(4)
+        ]
+        compactions = 0
+        for wave in range(12):
+            tx = factory.create()
+            for index, cell in enumerate(cells):
+                cell.write(tx, wave * 10 + index)
+            tx.commit()
+            if wave % 3 == 2:
+                store.compact()
+                compactions += 1
+        assert compactions == 4
+        expected = {f"c{i}": 110 + i for i in range(4)}
+        for cell in cells:
+            assert cell.committed_value == expected[cell.key]
+        # Crash + reopen: the compacted log replays to the same state.
+        reopened = SegmentedFileStore(root, segment_bytes=256)
+        registry2 = RecoverableRegistry()
+        for key, value in expected.items():
+            recovered = TransactionalCell(
+                key, 0, factory, store=reopened, registry=registry2
+            )
+            assert recovered.committed_value == value
+        assert reopened.torn_frames_dropped == 0
+
+    def test_compaction_bounds_segment_files(self, tmp_path):
+        import os
+
+        root = str(tmp_path / "cells")
+        store = SegmentedFileStore(root, segment_bytes=256)
+        for wave in range(20):
+            store.put_many({f"k{i}": wave for i in range(8)})
+        files_before = len(os.listdir(root))
+        store.compact()
+        files_after = len(os.listdir(root))
+        assert files_after < files_before
+        assert store.keys() == tuple(sorted(f"k{i}" for i in range(8)))

@@ -135,3 +135,19 @@ class TestBroadcastSignalSet:
         broadcast.set_response(Outcome.done())
         broadcast.set_response(Outcome.error())
         assert broadcast.get_outcome().is_error
+
+
+class TestWaitingGetOutcome:
+    """Fig. 7 / the IDL: get_outcome raises SignalSetActive until the
+    set has finished signalling — including a set never driven at all."""
+
+    def test_get_outcome_on_never_driven_set_rejected(self, guarded):
+        with pytest.raises(SignalSetActive):
+            guarded.get_outcome()
+
+    def test_rejection_leaves_set_drivable(self, guarded):
+        with pytest.raises(SignalSetActive):
+            guarded.get_outcome()
+        assert guarded.state is SignalSetState.WAITING
+        signal, last = guarded.get_signal()
+        assert signal.signal_name == "one" and not last

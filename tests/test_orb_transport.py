@@ -152,3 +152,39 @@ class TestStats:
         description = orb.transport.describe()
         assert description["drop_probability"] == 0.1
         assert description["partitions"] == [("a", "b")]
+
+
+class TestDuplicateDispatchFailures:
+    """A failing duplicate dispatch must not destroy the original reply.
+
+    The runtime discards a duplicate's reply anyway, so a servant whose
+    node died between the original and the re-delivered request (or any
+    other duplicate-side failure) is invisible to the caller.
+    """
+
+    def test_duplicate_dispatch_failure_keeps_original_reply(self, orb):
+        node = orb.create_node("server")
+
+        class CrashAfterReply(Servant):
+            def __init__(self):
+                self.calls = 0
+
+            def poke(self, value):
+                self.calls += 1
+                # Simulate the node dying right after handling the first
+                # request: the re-delivered duplicate hits a dead node.
+                self._node.crashed = True
+                return value
+
+        servant = CrashAfterReply()
+        ref = node.activate(servant)
+        orb.transport.set_fault_plan(FaultPlan(duplicate_probability=1.0))
+        assert ref.invoke("poke", 41) == 41
+        assert servant.calls == 1  # the duplicate never reached the servant
+        assert orb.transport.stats.duplicates_delivered == 1
+        assert orb.transport.stats.duplicate_dispatch_failures == 1
+
+    def test_duplicate_dispatch_failure_counter_resets(self, orb):
+        orb.transport.stats.duplicate_dispatch_failures = 3
+        orb.transport.stats.reset()
+        assert orb.transport.stats.duplicate_dispatch_failures == 0

@@ -202,3 +202,36 @@ class TestDeadlockDetection:
         with pytest.raises(LockConflict) as exc_info:
             locks.acquire(t1, "y", LockMode.WRITE, wait=True)
         assert not isinstance(exc_info.value, DeadlockError)
+
+
+class TestWaitGraphHygiene:
+    """release_all must not leave phantom (empty) waiter entries behind."""
+
+    def test_wait_graph_empty_after_all_transactions_complete(self, locks, factory):
+        t1, t2, t3 = factory.create(), factory.create(), factory.create()
+        locks.acquire(t1, "x", LockMode.WRITE)
+        with pytest.raises(LockConflict):
+            locks.acquire(t2, "x", LockMode.WRITE, wait=True)
+        with pytest.raises(LockConflict):
+            locks.acquire(t3, "x", LockMode.READ, wait=True)
+        locks.release_all(t1)
+        # t2/t3's only blocker is gone: their entries must be pruned, not
+        # kept as empty phantom nodes.
+        assert locks.wait_graph() == {}
+        locks.acquire(t2, "x", LockMode.WRITE)
+        locks.release_all(t2)
+        locks.acquire(t3, "x", LockMode.READ)
+        locks.release_all(t3)
+        assert locks.wait_graph() == {}
+
+    def test_release_keeps_waits_on_other_holders(self, locks, factory):
+        t1, t2, t3 = factory.create(), factory.create(), factory.create()
+        locks.acquire(t1, "x", LockMode.READ)
+        locks.acquire(t2, "x", LockMode.READ)
+        with pytest.raises(LockConflict):
+            locks.acquire(t3, "x", LockMode.WRITE, wait=True)
+        locks.release_all(t1)
+        # t3 still genuinely waits on t2 — only t1 is pruned.
+        assert locks.wait_graph() == {t3: {t2}}
+        locks.release_all(t2)
+        assert locks.wait_graph() == {}

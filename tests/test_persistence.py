@@ -184,3 +184,41 @@ class TestWriteAheadLog:
         wal2 = WriteAheadLog(store, "two")
         wal1.append("only-in-one")
         assert len(wal2.records()) == 0
+
+
+class TestSegmentedStoreConcurrency:
+    def test_concurrent_batches_across_rollovers(self, tmp_path):
+        """Parallel participant phases write through shared stores from
+        worker threads; rollover bookkeeping must not corrupt."""
+        import threading
+
+        from repro.persistence import SegmentedFileStore
+
+        store = SegmentedFileStore(str(tmp_path / "seg"), segment_bytes=256)
+        errors = []
+
+        def writer(worker):
+            try:
+                for wave in range(20):
+                    store.put_many(
+                        {f"w{worker}-k{i}": [worker, wave, i] for i in range(4)}
+                    )
+            except Exception as exc:  # pragma: no cover - surfaced via assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(store.keys()) == 16
+        # Segment ids must be strictly increasing (no duplicate rollovers).
+        ids = store._segment_ids
+        assert ids == sorted(set(ids))
+        # A reopen replays everything each writer last wrote.
+        reopened = SegmentedFileStore(str(tmp_path / "seg"), segment_bytes=256)
+        for worker in range(4):
+            for i in range(4):
+                assert reopened.get(f"w{worker}-k{i}") == [worker, 19, i]
+        assert reopened.torn_frames_dropped == 0
