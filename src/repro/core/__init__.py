@@ -30,7 +30,9 @@ from repro.core.context import (
     ActivityContext,
     ActivityServerInterceptor,
     build_context,
+    context_version,
     received_context,
+    snapshot_context,
 )
 from repro.core.coordinator import ActionRecord, ActivityCoordinator
 from repro.core.current import ActivityCurrent
@@ -121,6 +123,8 @@ __all__ = [
     "ActivityClientInterceptor",
     "ActivityServerInterceptor",
     "build_context",
+    "context_version",
+    "snapshot_context",
     "received_context",
     "ActivityRecoveryService",
     "ActivityServiceError",

@@ -58,6 +58,7 @@ class Activity:
         clock: Optional[Any] = None,
         executor: Optional[Any] = None,
         action_timeout: Optional[float] = None,
+        marshal_once: bool = True,
     ) -> None:
         self.activity_id = activity_id
         self.name = name if name is not None else activity_id
@@ -78,11 +79,15 @@ class Activity:
             delivery=delivery,
             executor=executor,
             action_timeout=action_timeout,
+            marshal_once=marshal_once,
         )
         self._signal_sets: Dict[str, SignalSet] = {}
         self._completion_signal_set: Optional[str] = None
         self._used_signal_sets: List[SignalSet] = []
         self._property_groups: Dict[str, PropertyGroup] = {}
+        # Invocation fast path: last (version vector, wire context) pair
+        # built for this activity (see repro.core.context.snapshot_context).
+        self._context_snapshot: Optional[Any] = None
         if parent is not None:
             parent.children.append(self)
 

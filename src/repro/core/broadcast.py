@@ -25,6 +25,15 @@ Both executors preserve the SignalSet contract:
   been dispatched yet are skipped (in-flight sends are drained before
   returning so an action never sees two signals concurrently).
 
+Both executors ride the coordinator's *marshal-once* fast path: the
+request body of one broadcast round is pre-encoded per target ORB on
+the calling thread (see ``ActivityCoordinator._prepare_broadcast``) and
+each ``send`` — serial or on a worker — only patches the stamped
+delivery id and the target object into the shared template, so the
+per-participant CPU cost of a fan-out no longer re-marshals the signal
+and context tree N times.  Templates are immutable once built, which is
+what makes the sharing safe across this module's worker threads.
+
 Worker threads cross the *delivery policy* (thread-safe, see
 :mod:`repro.core.delivery`) and — for actions registered as remote
 ObjectRefs — the ORB transport, whose counters and rng stream are also

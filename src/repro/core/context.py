@@ -8,12 +8,25 @@ by reference).  A client request interceptor builds the
 activity (when the receiving deployment knows it) and exposes the
 received property groups to the servant through the invocation-current
 slot ``activity_context``.
+
+Invocation fast path: the built :class:`ActivityContext` is cached per
+activity, keyed by the *version vector* of its propagable property
+groups (see :func:`context_version`), and the context type is interned
+in the marshal registry so an unchanged context's encoded bytes are
+reused by every hop instead of being re-marshalled.  Any mutation of a
+by-value group (version bump), attach/detach of a group, or export of a
+by-reference group changes the vector and invalidates the snapshot;
+remote-proxy groups make the vector untrackable and disable caching for
+that activity.  Disable the whole path with
+``ActivityManager(fast_path=False)`` or per-call via
+``build_context(activity, cache=False)``.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.property_group import (
     Propagation,
@@ -55,8 +68,49 @@ class ActivityContext:
         return groups
 
 
-def build_context(activity: Any) -> ActivityContext:
-    """Snapshot an activity into its wire context."""
+# A context instance is immutable and identity-stable per activity
+# version (the snapshot cache below reuses the same object until the
+# version vector changes), so its encoded bytes are safely interned.
+GLOBAL_REGISTRY.intern_encoded(ActivityContext)
+
+
+def context_version(activity: Any) -> Optional[Tuple[Any, ...]]:
+    """Version vector of the activity's propagable state.
+
+    One entry per propagating group: by-value groups contribute their
+    mutation counter (``version_token``); exported by-reference groups
+    contribute the exported ref's key (their content never crosses the
+    wire).  Returns ``None`` when any group's content is untrackable
+    (remote proxies, by-reference groups degrading to remote-read
+    by-value) — such activities never serve cached snapshots.
+    """
+    parts: List[Tuple[Any, ...]] = []
+    for group in activity.property_groups():
+        if group.propagation is Propagation.NONE:
+            continue
+        if group.propagation is Propagation.REFERENCE:
+            exported = getattr(group, "exported_ref", None)
+            if exported is not None:
+                parts.append((group.name, "ref", exported.key()))
+                continue
+            if isinstance(group, RemotePropertyGroup):
+                return None
+        token = group.version_token()
+        if token is None:
+            return None
+        parts.append((group.name, "val", token))
+    return tuple(parts)
+
+
+@dataclass
+class _ContextSnapshot:
+    """One cached (version vector, built context) pair for an activity."""
+
+    version: Tuple[Any, ...]
+    context: ActivityContext
+
+
+def _build_context(activity: Any) -> ActivityContext:
     values: Dict[str, Dict[str, Any]] = {}
     refs: Dict[str, ObjectRef] = {}
     for group in activity.property_groups():
@@ -77,18 +131,66 @@ def build_context(activity: Any) -> ActivityContext:
     )
 
 
+def snapshot_context(
+    activity: Any, cache: bool = True
+) -> Tuple[ActivityContext, bool, Optional[ActivityContext]]:
+    """Build (or reuse) the activity's wire context.
+
+    Returns ``(context, cache_hit, stale)`` where ``stale`` is the
+    previously cached context this call replaced (callers use it to
+    invalidate interned encode-cache bytes).  Concurrent builds for the
+    same activity are benign: both produce equal frozen contexts and
+    the last snapshot wins.
+    """
+    if not cache:
+        return _build_context(activity), False, None
+    version = context_version(activity)
+    if version is None:
+        return _build_context(activity), False, None
+    snapshot: Optional[_ContextSnapshot] = getattr(
+        activity, "_context_snapshot", None
+    )
+    if snapshot is not None and snapshot.version == version:
+        return snapshot.context, True, None
+    context = _build_context(activity)
+    activity._context_snapshot = _ContextSnapshot(version, context)
+    return context, False, snapshot.context if snapshot is not None else None
+
+
+def build_context(activity: Any, cache: bool = True) -> ActivityContext:
+    """Snapshot an activity into its wire context (cached per version)."""
+    context, _, _ = snapshot_context(activity, cache=cache)
+    return context
+
+
 class ActivityClientInterceptor(ClientRequestInterceptor):
-    """Attaches the current activity's context to outgoing requests."""
+    """Attaches the current activity's context to outgoing requests.
+
+    With ``orb`` supplied (the normal ``ActivityManager.install`` path)
+    the interceptor counts snapshot hits/misses in the transport's
+    marshal stats and invalidates the marshaller's interned bytes when
+    a version bump replaces a cached context.  ``cache=False`` restores
+    the rebuild-every-hop behaviour.
+    """
 
     name = "activity-client"
 
-    def __init__(self, current: Any) -> None:
+    def __init__(
+        self, current: Any, orb: Optional[Orb] = None, cache: bool = True
+    ) -> None:
         self.current = current
+        self.orb = orb
+        self.cache = cache
 
     def send_request(self, info: RequestInfo) -> None:
         activity = self.current.current_activity()
         if activity is not None and not activity.status.is_terminal:
-            info.set_context(ACTIVITY_CONTEXT_ID, build_context(activity))
+            context, hit, stale = snapshot_context(activity, cache=self.cache)
+            if self.orb is not None:
+                if stale is not None:
+                    self.orb.marshaller.invalidate_cached(stale)
+                self.orb.transport.stats.marshal.note_context(hit)
+            info.set_context(ACTIVITY_CONTEXT_ID, context)
 
 
 class ActivityServerInterceptor(ServerRequestInterceptor):
@@ -99,7 +201,16 @@ class ActivityServerInterceptor(ServerRequestInterceptor):
     def __init__(self, orb: Orb, manager: Any) -> None:
         self.orb = orb
         self.manager = manager
-        self._resumed: List[bool] = []
+        # Resume flags are per dispatching thread: parallel broadcast
+        # executors drive concurrent dispatches through one ORB, and a
+        # shared LIFO would let one request pop another's flag.
+        self._state = threading.local()
+
+    def _resumed(self) -> List[bool]:
+        flags = getattr(self._state, "flags", None)
+        if flags is None:
+            flags = self._state.flags = []
+        return flags
 
     def receive_request(self, info: RequestInfo) -> None:
         context = info.get_context(ACTIVITY_CONTEXT_ID)
@@ -108,12 +219,13 @@ class ActivityServerInterceptor(ServerRequestInterceptor):
             self.orb.current.set_slot("activity_context", context)
             if self.manager.knows(context.activity_id):
                 self.manager.current.resume(self.manager.get(context.activity_id))
-                self._resumed.append(True)
+                self._resumed().append(True)
                 return
-        self._resumed.append(False)
+        self._resumed().append(False)
 
     def _detach(self) -> None:
-        if self._resumed and self._resumed.pop():
+        flags = self._resumed()
+        if flags and flags.pop():
             self.manager.current.suspend()
 
     def send_reply(self, info: RequestInfo) -> None:

@@ -40,9 +40,14 @@ from repro.core.signal_set import GuardedSignalSet, SignalSet
 from repro.core.signals import Outcome, Signal
 from repro.core.status import CompletionStatus
 from repro.exceptions import CommunicationError
+from repro.orb.marshal import PayloadSlot
 from repro.orb.reference import ObjectRef
 from repro.util.events import EventLog
 from repro.util.idgen import IdGenerator
+
+# Per-send hole in a broadcast's marshal-once template: the stamped
+# delivery id is the only part of the signal that differs per action.
+_DELIVERY_ID_SLOT = "delivery_id"
 
 ActionLike = Union[Action, ObjectRef]
 
@@ -76,6 +81,7 @@ class ActivityCoordinator:
         delivery: Optional[DeliveryPolicy] = None,
         executor: Optional[BroadcastExecutor] = None,
         action_timeout: Optional[float] = None,
+        marshal_once: bool = True,
     ) -> None:
         self.activity_id = activity_id
         self.event_log = event_log if event_log is not None else EventLog()
@@ -84,6 +90,9 @@ class ActivityCoordinator:
         # Per-action outcome wait bound, enforced where the executor can
         # preempt (the thread-pool executor); None waits indefinitely.
         self.action_timeout = action_timeout
+        # Invocation fast path: encode each broadcast's request body once
+        # per ORB and patch only the delivery id / target per send.
+        self.marshal_once = marshal_once
         self._ids = IdGenerator()
         self._actions: Dict[str, List[ActionRecord]] = {}
 
@@ -150,9 +159,11 @@ class ActivityCoordinator:
         log.record("get_signal", activity=self.activity_id, signal_set=name)
         signal, last = guard.get_signal()
         while signal is not None:
+            records = self.actions_for(name)
+            prepared_map = self._prepare_broadcast(records, signal)
             transmissions = [
-                self._transmission(index, record, signal)
-                for index, record in enumerate(self.actions_for(name))
+                self._transmission(index, record, signal, prepared_map)
+                for index, record in enumerate(records)
             ]
 
             def on_transmit(transmission: Transmission, stamped: Signal) -> None:
@@ -195,8 +206,47 @@ class ActivityCoordinator:
         )
         return outcome
 
+    def _prepare_broadcast(
+        self, records: List[ActionRecord], signal: Signal
+    ) -> Optional[Dict[int, Any]]:
+        """Marshal-once: pre-encode this round's request per target ORB.
+
+        All stamped transmissions of one broadcast differ only in their
+        delivery id (and target object), so remote sends share one
+        :class:`~repro.orb.core.PreparedInvocation` per ORB, built here
+        on the calling thread — broadcast workers only read the map.  A
+        template that fails to build (unmarshallable payload) maps to
+        ``None`` so the send falls back to the plain path and keeps its
+        historical error semantics.
+        """
+        if not self.marshal_once:
+            return None
+        prepared: Dict[int, Any] = {}
+        for record in records:
+            action = record.action
+            if not isinstance(action, ObjectRef) or not action.is_bound:
+                continue
+            orb = action.orb
+            key = id(orb)
+            if key in prepared:
+                continue
+            try:
+                template_signal = signal.with_delivery_id(
+                    PayloadSlot(_DELIVERY_ID_SLOT)
+                )
+                prepared[key] = orb.prepare_invocation(
+                    "process_signal", (template_signal,)
+                )
+            except Exception:  # noqa: BLE001 - fall back to plain marshalling
+                prepared[key] = None
+        return prepared or None
+
     def _transmission(
-        self, index: int, record: ActionRecord, signal: Signal
+        self,
+        index: int,
+        record: ActionRecord,
+        signal: Signal,
+        prepared_map: Optional[Dict[int, Any]] = None,
     ) -> Transmission:
         """Plan one logical transmission of ``signal`` to ``record``.
 
@@ -214,21 +264,44 @@ class ActivityCoordinator:
 
         def send(stamped: Signal) -> Outcome:
             return self.delivery.deliver(
-                lambda s, r=record: self._invoke(r, s), stamped
+                lambda s, r=record: self._invoke(r, s, prepared_map), stamped
             )
 
         return Transmission(index=index, label=record.label, stamp=stamp, send=send)
 
-    def _invoke(self, record: ActionRecord, signal: Signal) -> Outcome:
+    def _invoke(
+        self,
+        record: ActionRecord,
+        signal: Signal,
+        prepared_map: Optional[Dict[int, Any]] = None,
+    ) -> Outcome:
         """One attempt at sending ``signal`` to one action.
 
         ActionError (and unexpected application failures) become error
         outcomes for the SignalSet to digest; CommunicationError escapes
-        so the delivery policy can retry.
+        so the delivery policy can retry.  Remote sends reuse the
+        broadcast's prepared request body when one was built (patching
+        the stamped delivery id into the template) — the wire bytes are
+        identical to a plain invoke.
         """
         try:
             if isinstance(record.action, ObjectRef):
-                result = record.action.invoke("process_signal", signal)
+                prepared = (
+                    prepared_map.get(id(record.action.orb))
+                    if prepared_map is not None and record.action.is_bound
+                    else None
+                )
+                if prepared is not None:
+                    result = record.action.orb.invoke(
+                        record.action,
+                        "process_signal",
+                        (signal,),
+                        {},
+                        prepared=prepared,
+                        slots={_DELIVERY_ID_SLOT: signal.delivery_id},
+                    )
+                else:
+                    result = record.action.invoke("process_signal", signal)
             else:
                 result = record.action.process_signal(signal)
         except CommunicationError:

@@ -45,6 +45,7 @@ class ActivityManager:
         property_groups: Optional[PropertyGroupManager] = None,
         executor: Optional[BroadcastExecutor] = None,
         action_timeout: Optional[float] = None,
+        fast_path: bool = True,
     ) -> None:
         self.clock = clock if clock is not None else SimulatedClock()
         self.event_log = event_log if event_log is not None else EventLog(self.clock)
@@ -53,6 +54,10 @@ class ActivityManager:
         # (None → each coordinator defaults to the serial executor).
         self.executor = executor
         self.action_timeout = action_timeout
+        # Invocation fast path: versioned context snapshots on the client
+        # interceptor + marshal-once broadcast bodies in coordinators.
+        # False restores build-and-marshal-per-hop everywhere.
+        self.fast_path = fast_path
         self.store = store
         self.property_groups = (
             property_groups if property_groups is not None else PropertyGroupManager()
@@ -73,8 +78,14 @@ class ActivityManager:
         name: Optional[str] = None,
         parent: Optional[Activity] = None,
         timeout: float = 0.0,
+        executor: Optional[BroadcastExecutor] = None,
     ) -> Activity:
-        """Create (and start) a new activity."""
+        """Create (and start) a new activity.
+
+        ``executor`` overrides the manager-wide broadcast executor for
+        this one activity (models like sagas route their compensation
+        fan-out through a dedicated executor this way).
+        """
         activity_id = self.ids.next("activity")
         activity = Activity(
             activity_id=activity_id,
@@ -85,8 +96,9 @@ class ActivityManager:
             delivery=self.delivery,
             timeout=timeout,
             clock=self.clock,
-            executor=self.executor,
+            executor=executor if executor is not None else self.executor,
             action_timeout=self.action_timeout,
+            marshal_once=self.fast_path,
         )
         self._attach_property_groups(activity, parent)
         self._activities[activity_id] = activity
@@ -156,7 +168,9 @@ class ActivityManager:
         from repro.core.context import ActivityClientInterceptor, ActivityServerInterceptor
 
         self.orb = orb
-        orb.interceptors.add_client(ActivityClientInterceptor(self.current))
+        orb.interceptors.add_client(
+            ActivityClientInterceptor(self.current, orb=orb, cache=self.fast_path)
+        )
         orb.interceptors.add_server(ActivityServerInterceptor(orb, self))
         for name in (
             "ActionError",

@@ -52,6 +52,29 @@ class PropertyGroup:
         self.visibility = visibility
         self.propagation = propagation
         self._values: Dict[str, Any] = dict(initial) if initial else {}
+        self._version = 0
+
+    # -- versioning (invocation fast path) -------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped on every write/delete.
+
+        The context snapshot cache keys an activity's wire context on
+        the version vector of its groups, so an unchanged group stops
+        being re-snapshotted and re-marshalled on every hop.  In-place
+        mutation of a *value* obtained from the group bypasses the
+        counter — always write through :meth:`set_property`.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
+
+    def version_token(self) -> Optional[Any]:
+        """Hashable token identifying this group's current content, or
+        ``None`` when the content cannot be tracked (remote proxies)."""
+        return self._version
 
     # -- tuple space operations (dispatchable as a servant) --------------------
 
@@ -60,11 +83,13 @@ class PropertyGroup:
 
     def set_property(self, key: str, value: Any) -> None:
         self._values[key] = value
+        self._bump_version()
 
     def delete_property(self, key: str) -> None:
         if key not in self._values:
             raise PropertyGroupError(f"no property {key!r} in group {self.name!r}")
         del self._values[key]
+        self._bump_version()
 
     def has_property(self, key: str) -> bool:
         return key in self._values
@@ -77,6 +102,7 @@ class PropertyGroup:
 
     def update_from(self, values: Dict[str, Any]) -> None:
         self._values.update(values)
+        self._bump_version()
 
     # -- nesting ------------------------------------------------------------------
 
@@ -119,10 +145,20 @@ class ScopedPropertyGroup(PropertyGroup):
             return self._values[key] is not self._TOMBSTONE
         return self._parent.has_property(key)
 
+    def version_token(self) -> Optional[Any]:
+        """Combines the overlay's counter with the parent's token: a
+        parent write after the child view was taken must invalidate any
+        context snapshot built from this view."""
+        parent_token = self._parent.version_token()
+        if parent_token is None:
+            return None
+        return (self._version, parent_token)
+
     def delete_property(self, key: str) -> None:
         if not self.has_property(key):
             raise PropertyGroupError(f"no property {key!r} in group {self.name!r}")
         self._values[key] = self._TOMBSTONE
+        self._bump_version()
 
     def property_names(self) -> List[str]:
         names = set(self._parent.property_names())
@@ -154,6 +190,11 @@ class RemotePropertyGroup(PropertyGroup):
     def __init__(self, name: str, ref: ObjectRef) -> None:
         super().__init__(name, propagation=Propagation.REFERENCE)
         self._ref = ref
+
+    def version_token(self) -> Optional[Any]:
+        """Unknowable: the origin group mutates without local visibility,
+        so contexts embedding this group's content are never cached."""
+        return None
 
     def get_property(self, key: str, default: Any = None) -> Any:
         return self._ref.invoke("get_property", key, default)

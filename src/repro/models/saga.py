@@ -151,11 +151,23 @@ class _StepCompensationAction(Action):
 
 
 class Saga:
-    """Sequential saga executor over the Activity Service."""
+    """Sequential saga executor over the Activity Service.
 
-    def __init__(self, manager: Any, name: str = "saga") -> None:
+    ``executor`` (optional) routes the compensation sweep's per-signal
+    fan-out through a specific
+    :class:`~repro.core.broadcast.BroadcastExecutor` instead of the
+    manager-wide default — a thread-pool executor overlaps the
+    not-mine/compensated replies of all registered step actions while
+    preserving the serial sweep's logical trace and reverse ordering
+    (the per-step signals themselves stay sequential by construction).
+    """
+
+    def __init__(
+        self, manager: Any, name: str = "saga", executor: Optional[Any] = None
+    ) -> None:
         self.manager = manager
         self.name = name
+        self.executor = executor
         self.steps: List[SagaStep] = []
         self.context: Dict[str, Any] = {"results": {}}
         self.result = SagaResult()
@@ -173,7 +185,8 @@ class Saga:
     def run(self, raise_on_abort: bool = False) -> SagaResult:
         """Execute steps; compensate the completed prefix on failure."""
         self.result = SagaResult()
-        self.activity = self.manager.begin(name=f"saga:{self.name}")
+        begin_kwargs = {"executor": self.executor} if self.executor is not None else {}
+        self.activity = self.manager.begin(name=f"saga:{self.name}", **begin_kwargs)
         failed: Optional[str] = None
         for step in self.steps:
             try:

@@ -20,13 +20,21 @@ runs are deterministic, but the code paths (marshalling boundaries, context
 propagation, unreliable delivery) mirror a real distributed deployment.
 """
 
-from repro.orb.core import Node, Orb, Servant
+from repro.orb.core import Node, Orb, PreparedInvocation, Servant
 from repro.orb.interceptors import (
     ClientRequestInterceptor,
     RequestInfo,
     ServerRequestInterceptor,
 )
-from repro.orb.marshal import Marshaller, ValueTypeRegistry, marshal_roundtrip
+from repro.orb.marshal import (
+    EncodeCache,
+    Marshaller,
+    MarshalStats,
+    PayloadSlot,
+    PayloadTemplate,
+    ValueTypeRegistry,
+    marshal_roundtrip,
+)
 from repro.orb.naming import NamingService
 from repro.orb.reference import ObjectRef
 from repro.orb.transport import FaultPlan, Transport, TransportStats
@@ -37,6 +45,11 @@ __all__ = [
     "Servant",
     "ObjectRef",
     "Marshaller",
+    "MarshalStats",
+    "EncodeCache",
+    "PayloadSlot",
+    "PayloadTemplate",
+    "PreparedInvocation",
     "ValueTypeRegistry",
     "marshal_roundtrip",
     "Transport",

@@ -32,7 +32,14 @@ from repro.exceptions import (
 )
 from repro.orb.current import InvocationCurrent
 from repro.orb.interceptors import InterceptorChain, RequestInfo
-from repro.orb.marshal import MarshalError, Marshaller, ValueTypeRegistry
+from repro.orb.marshal import (
+    EncodeCache,
+    MarshalError,
+    Marshaller,
+    PayloadSlot,
+    PayloadTemplate,
+    ValueTypeRegistry,
+)
 from repro.orb.reference import ObjectRef
 from repro.orb.transport import FaultPlan, Transport
 from repro.util.clock import Clock, SimulatedClock
@@ -161,8 +168,50 @@ class Node:
         return f"Node({self.node_id}, {state}, {len(self._servants)} objects)"
 
 
+class PreparedInvocation:
+    """One operation's request payload, marshalled once for many targets.
+
+    Built by :meth:`Orb.prepare_invocation`; the target object id and
+    the service contexts are always per-send holes, and the caller may
+    plant further :class:`~repro.orb.marshal.PayloadSlot` markers inside
+    ``args``/``kwargs`` (e.g. a signal's ``delivery_id``) whose values
+    are supplied per invocation.  Filling produces bytes byte-identical
+    to the plain ``invoke`` encoding of the same request.
+    """
+
+    SLOT_OBJECT_ID = "__object_id__"
+    SLOT_CONTEXTS = "__contexts__"
+
+    def __init__(
+        self, orb: "Orb", operation: str, args: tuple, kwargs: dict
+    ) -> None:
+        self.orb = orb
+        self.operation = operation
+        self.template: PayloadTemplate = orb.marshaller.prepare(
+            [
+                PayloadSlot(self.SLOT_OBJECT_ID),
+                operation,
+                list(args),
+                kwargs,
+                PayloadSlot(self.SLOT_CONTEXTS),
+            ]
+        )
+
+    def fill(self, object_id: str, contexts: dict, slots: Optional[dict]) -> bytes:
+        values = dict(slots) if slots else {}
+        values[self.SLOT_OBJECT_ID] = object_id
+        values[self.SLOT_CONTEXTS] = contexts
+        return self.template.fill(**values)
+
+
 class Orb:
-    """The distribution substrate shared by a simulated deployment."""
+    """The distribution substrate shared by a simulated deployment.
+
+    ``marshal_cache_entries`` bounds the marshaller's encode cache for
+    interned value types (activity/transaction contexts); 0 disables the
+    cache entirely (every message re-encodes its full tree — the
+    pre-fast-path behaviour).
+    """
 
     def __init__(
         self,
@@ -171,12 +220,21 @@ class Orb:
         registry: Optional[ValueTypeRegistry] = None,
         fault_plan: Optional[FaultPlan] = None,
         event_log: Optional[EventLog] = None,
+        marshal_cache_entries: int = 256,
     ) -> None:
         self.clock = clock if clock is not None else SimulatedClock()
         self.rng = rng if rng is not None else SeededRng(0)
         self.ids = IdGenerator()
-        self.marshaller = Marshaller(registry)
         self.transport = Transport(self.clock, self.rng.fork("transport"), fault_plan)
+        self.marshaller = Marshaller(
+            registry,
+            stats=self.transport.stats.marshal,
+            encode_cache=(
+                EncodeCache(marshal_cache_entries)
+                if marshal_cache_entries > 0
+                else None
+            ),
+        )
         self.interceptors = InterceptorChain()
         self.current = InvocationCurrent()
         self.event_log = event_log if event_log is not None else EventLog(self.clock)
@@ -228,8 +286,38 @@ class Orb:
 
     # -- invocation --------------------------------------------------------------
 
-    def invoke(self, ref: ObjectRef, operation: str, args: tuple, kwargs: dict) -> Any:
-        """The full client-side invocation path for one request."""
+    def prepare_invocation(
+        self, operation: str, args: tuple = (), kwargs: Optional[dict] = None
+    ) -> PreparedInvocation:
+        """Marshal-once: pre-encode one operation's request for N targets.
+
+        The returned :class:`PreparedInvocation` is handed back to
+        :meth:`invoke` via ``prepared=``; only the target object id, the
+        service contexts and any caller-declared slots are encoded per
+        send.  ``args`` may contain :class:`PayloadSlot` markers.
+        """
+        if operation.startswith("_"):
+            raise ConfigurationError(f"operation {operation!r} is not dispatchable")
+        return PreparedInvocation(self, operation, args, kwargs or {})
+
+    def invoke(
+        self,
+        ref: ObjectRef,
+        operation: str,
+        args: tuple,
+        kwargs: dict,
+        prepared: Optional[PreparedInvocation] = None,
+        slots: Optional[dict] = None,
+    ) -> Any:
+        """The full client-side invocation path for one request.
+
+        With ``prepared`` (a template from :meth:`prepare_invocation`
+        for the same operation), the request bytes come from patching
+        the per-send fields into the pre-encoded body instead of
+        re-marshalling the tree; ``args``/``kwargs`` are then already
+        baked into the template and ``slots`` supplies the per-send
+        hole values.  The wire bytes are identical either way.
+        """
         if operation.startswith("_"):
             raise ConfigurationError(f"operation {operation!r} is not dispatchable")
         source_node = self.current.get_slot("node", "client")
@@ -240,9 +328,14 @@ class Orb:
             interface=ref.interface,
         )
         self.interceptors.run_send_request(info)
-        request_bytes = self.marshaller.encode(
-            [ref.object_id, operation, list(args), kwargs, info.service_contexts]
-        )
+        if prepared is not None:
+            request_bytes = prepared.fill(
+                ref.object_id, info.service_contexts, slots
+            )
+        else:
+            request_bytes = self.marshaller.encode(
+                [ref.object_id, operation, list(args), kwargs, info.service_contexts]
+            )
         try:
             reply_bytes = self.transport.deliver(
                 source_node,

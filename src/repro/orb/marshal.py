@@ -12,14 +12,35 @@ We reproduce the *semantics* that matter to the Activity Service:
 
 The encoding itself is a compact tagged binary format so transports can
 account for message sizes realistically.
+
+Invocation fast path (README "Invocation fast path"):
+
+- value types marked with :meth:`ValueTypeRegistry.intern_encoded` hit a
+  bounded identity-keyed :class:`EncodeCache` — the same object instance
+  encodes once and its bytes are spliced into every later message that
+  carries it (activity/transaction contexts are identity-stable per
+  version, so an unchanged context stops being re-marshalled per hop);
+- :class:`PayloadTemplate` (built via :meth:`Marshaller.prepare`) is the
+  *marshal-once* seam: a value tree containing :class:`PayloadSlot`
+  holes is encoded once, and ``fill`` patches only the per-send fields
+  (request/delivery id, target object) between the pre-encoded chunks.
+  A filled template is byte-identical to a full ``encode`` of the tree
+  with the holes substituted, which is what lets broadcasts assert
+  unchanged wire traces with the fast path on.
+
+Both paths account their work in :class:`MarshalStats` (hits, misses,
+bytes encoded vs bytes reused), which the ORB threads through its
+transport stats for the benchmarks.
 """
 
 from __future__ import annotations
 
 import struct
+import threading
+from collections import OrderedDict
 from dataclasses import fields, is_dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, Optional, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Type, Union
 
 from repro.exceptions import ReproError
 
@@ -57,6 +78,7 @@ class ValueTypeRegistry:
         self._by_name: Dict[str, Tuple[Type, Callable, Callable]] = {}
         self._by_type: Dict[Type, str] = {}
         self._enums: Dict[str, Type[Enum]] = {}
+        self._interned: Set[Type] = set()
 
     @staticmethod
     def repository_id(cls: Type) -> str:
@@ -110,24 +132,293 @@ class ValueTypeRegistry:
     def is_enum_registered(self, cls: Type) -> bool:
         return self.repository_id(cls) in self._enums
 
+    def intern_encoded(self, cls: Type) -> Type:
+        """Mark a registered value type as encode-cacheable.
+
+        Instances of an interned type are encoded at most once per
+        identity: marshallers with an :class:`EncodeCache` reuse the
+        bytes for every later occurrence of the *same object*.  Only
+        types whose instances are immutable and identity-stable per
+        logical version (contexts, snapshots) should be interned.
+        """
+        if self.lookup_type(cls) is None:
+            raise MarshalError(f"{cls!r} must be registered before interning")
+        self._interned.add(cls)
+        return cls
+
+    def is_interned(self, cls: Type) -> bool:
+        return cls in self._interned
+
 
 GLOBAL_REGISTRY = ValueTypeRegistry()
 
 
-class Marshaller:
-    """Encodes/decodes values to bytes using a :class:`ValueTypeRegistry`."""
+class MarshalStats:
+    """Thread-safe fast-path counters for one marshaller.
 
-    def __init__(self, registry: Optional[ValueTypeRegistry] = None) -> None:
+    ``bytes_encoded`` counts bytes produced by real tree walks;
+    ``bytes_saved`` counts bytes spliced from the encode cache or a
+    payload template's static chunks instead of being re-encoded.
+    ``context_hits``/``context_misses`` are fed by the activity client
+    interceptor's snapshot cache (same fast path, one stats block).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.bytes_encoded = 0
+            self.bytes_saved = 0
+            self.templates_prepared = 0
+            self.template_fills = 0
+            self.context_hits = 0
+            self.context_misses = 0
+
+    def note_encode(self, fresh: int, reused: int, hits: int, misses: int) -> None:
+        with self._lock:
+            self.bytes_encoded += fresh
+            self.bytes_saved += reused
+            self.cache_hits += hits
+            self.cache_misses += misses
+
+    def note_prepare(self) -> None:
+        with self._lock:
+            self.templates_prepared += 1
+
+    def note_fill(self, fresh: int, reused: int, hits: int, misses: int) -> None:
+        with self._lock:
+            self.template_fills += 1
+            self.bytes_encoded += fresh
+            self.bytes_saved += reused
+            self.cache_hits += hits
+            self.cache_misses += misses
+
+    def note_context(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.context_hits += 1
+            else:
+                self.context_misses += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "bytes_encoded": self.bytes_encoded,
+                "bytes_saved": self.bytes_saved,
+                "templates_prepared": self.templates_prepared,
+                "template_fills": self.template_fills,
+                "context_hits": self.context_hits,
+                "context_misses": self.context_misses,
+            }
+
+
+class EncodeCache:
+    """Bounded identity-keyed cache of encoded interned values.
+
+    Keys are object identities (the entry pins the value, so the id
+    cannot be recycled while the entry lives); eviction is LRU under a
+    hard ``max_entries`` bound, and :meth:`invalidate` drops a stale
+    value explicitly (the context snapshot machinery calls it when a
+    version bump replaces a cached context).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[int, Tuple[Any, bytes]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, value: Any) -> Optional[bytes]:
+        key = id(value)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] is not value:
+                return None
+            self._entries.move_to_end(key)
+            return entry[1]
+
+    def put(self, value: Any, encoded: bytes) -> None:
+        key = id(value)
+        with self._lock:
+            self._entries[key] = (value, encoded)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, value: Any) -> bool:
+        key = id(value)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] is not value:
+                return False
+            del self._entries[key]
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class PayloadSlot:
+    """Named hole in a marshal-once template (see :meth:`Marshaller.prepare`)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"PayloadSlot({self.name!r})"
+
+
+class _EncodeRun:
+    """Per-top-level-encode accounting (not shared across threads)."""
+
+    __slots__ = ("reused", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.reused = 0
+        self.hits = 0
+        self.misses = 0
+
+
+class PayloadTemplate:
+    """A value tree encoded once, with per-send holes patched on ``fill``.
+
+    ``fill(**values)`` returns bytes byte-identical to ``encode()`` of
+    the template tree with every :class:`PayloadSlot` replaced by its
+    value — the encoding is purely compositional, so splicing encoded
+    holes between the static chunks reproduces the full walk exactly.
+    Templates are immutable after construction; ``fill`` is safe to call
+    from broadcast worker threads concurrently.
+    """
+
+    def __init__(self, marshaller: "Marshaller", chunks: List[Any]) -> None:
+        self._marshaller = marshaller
+        parts: List[Union[bytes, PayloadSlot]] = []
+        pending: List[bytes] = []
+        for chunk in chunks:
+            if isinstance(chunk, PayloadSlot):
+                if pending:
+                    parts.append(b"".join(pending))
+                    pending = []
+                parts.append(chunk)
+            else:
+                pending.append(chunk)
+        if pending:
+            parts.append(b"".join(pending))
+        self._parts: Tuple[Union[bytes, PayloadSlot], ...] = tuple(parts)
+        self.static_bytes = sum(
+            len(part) for part in self._parts if isinstance(part, bytes)
+        )
+        self.slot_names: Tuple[str, ...] = tuple(
+            part.name for part in self._parts if isinstance(part, PayloadSlot)
+        )
+
+    def fill(self, **values: Any) -> bytes:
+        missing = [name for name in self.slot_names if name not in values]
+        if missing:
+            raise MarshalError(f"template fill missing slot values: {missing}")
+        marshaller = self._marshaller
+        run = _EncodeRun()
+        out: List[bytes] = []
+        fresh = 0
+        for part in self._parts:
+            if isinstance(part, PayloadSlot):
+                hole: List[bytes] = []
+                marshaller._encode(values[part.name], hole, run)
+                for chunk in hole:
+                    if isinstance(chunk, PayloadSlot):
+                        raise MarshalError(
+                            "PayloadSlot values cannot contain further slots"
+                        )
+                    fresh += len(chunk)
+                out.extend(hole)
+            else:
+                out.append(part)
+        if marshaller.stats is not None:
+            marshaller.stats.note_fill(
+                fresh - run.reused,
+                self.static_bytes + run.reused,
+                run.hits,
+                run.misses,
+            )
+        return b"".join(out)
+
+
+class Marshaller:
+    """Encodes/decodes values to bytes using a :class:`ValueTypeRegistry`.
+
+    ``encode_cache`` (optional) enables byte reuse for interned value
+    types; ``stats`` (optional, any object with the
+    :class:`MarshalStats` interface) accounts encoded vs reused bytes —
+    the ORB shares its transport stats' marshal block here.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ValueTypeRegistry] = None,
+        stats: Optional[MarshalStats] = None,
+        encode_cache: Optional[EncodeCache] = None,
+    ) -> None:
         self.registry = registry if registry is not None else GLOBAL_REGISTRY
+        self.stats = stats
+        self.encode_cache = encode_cache
 
     # -- encoding ---------------------------------------------------------
 
     def encode(self, value: Any) -> bytes:
-        chunks: list[bytes] = []
-        self._encode(value, chunks)
-        return b"".join(chunks)
+        chunks: list = []
+        run = _EncodeRun()
+        self._encode(value, chunks, run)
+        try:
+            result = b"".join(chunks)
+        except TypeError:
+            raise MarshalError(
+                "PayloadSlot encountered outside a template; use prepare()"
+            ) from None
+        if self.stats is not None:
+            self.stats.note_encode(
+                len(result) - run.reused, run.reused, run.hits, run.misses
+            )
+        return result
 
-    def _encode(self, value: Any, out: list) -> None:
+    def prepare(self, value: Any) -> PayloadTemplate:
+        """Marshal-once: encode ``value`` into a reusable template.
+
+        ``value`` may contain :class:`PayloadSlot` markers anywhere a
+        value may appear (including inside registered dataclass fields);
+        everything else is encoded now, exactly once.
+        """
+        chunks: list = []
+        run = _EncodeRun()
+        self._encode(value, chunks, run)
+        if self.stats is not None:
+            fresh = sum(len(c) for c in chunks if not isinstance(c, PayloadSlot))
+            self.stats.note_encode(
+                fresh - run.reused, run.reused, run.hits, run.misses
+            )
+            self.stats.note_prepare()
+        return PayloadTemplate(self, chunks)
+
+    def invalidate_cached(self, value: Any) -> bool:
+        """Drop ``value``'s interned bytes (stale version replaced)."""
+        if self.encode_cache is None:
+            return False
+        return self.encode_cache.invalidate(value)
+
+    def _encode(self, value: Any, out: list, run: Optional[_EncodeRun] = None) -> None:
         # Order matters: bool is a subclass of int.
         if value is None:
             out.append(_TAG_NONE)
@@ -159,24 +450,24 @@ class Marshaller:
             out.append(_TAG_LIST)
             out.append(struct.pack("<I", len(value)))
             for item in value:
-                self._encode(item, out)
+                self._encode(item, out, run)
         elif isinstance(value, tuple):
             out.append(_TAG_TUPLE)
             out.append(struct.pack("<I", len(value)))
             for item in value:
-                self._encode(item, out)
+                self._encode(item, out, run)
         elif isinstance(value, (set, frozenset)):
             out.append(_TAG_SET)
             items = sorted(value, key=repr)
             out.append(struct.pack("<I", len(items)))
             for item in items:
-                self._encode(item, out)
+                self._encode(item, out, run)
         elif isinstance(value, dict):
             out.append(_TAG_DICT)
             out.append(struct.pack("<I", len(value)))
             for key, item in value.items():
-                self._encode(key, out)
-                self._encode(item, out)
+                self._encode(key, out, run)
+                self._encode(item, out, run)
         elif isinstance(value, Enum) and self.registry.is_enum_registered(type(value)):
             out.append(_TAG_ENUM)
             self._encode_str(self.registry.repository_id(type(value)), out)
@@ -187,15 +478,46 @@ class Marshaller:
             self._encode_str(value.object_id, out)
             self._encode_str(value.interface, out)
         else:
+            if isinstance(value, PayloadSlot):
+                # Template hole: recorded as-is, spliced at fill time.
+                # Checked here (not up front) so the common scalar and
+                # container branches pay nothing for the template seam.
+                out.append(value)
+                return
             name = self.registry.lookup_type(type(value))
             if name is None:
                 raise MarshalError(
                     f"cannot marshal value of unregistered type {type(value).__qualname__}"
                 )
+            cache = self.encode_cache
+            interned = cache is not None and self.registry.is_interned(type(value))
+            if interned:
+                cached = cache.get(value)
+                if cached is not None:
+                    out.append(cached)
+                    if run is not None:
+                        run.reused += len(cached)
+                        run.hits += 1
+                    return
             _, to_parts, _ = self.registry.lookup_name(name)
-            out.append(_TAG_VALUE)
-            self._encode_str(name, out)
-            self._encode(to_parts(value), out)
+            if not interned:
+                out.append(_TAG_VALUE)
+                self._encode_str(name, out)
+                self._encode(to_parts(value), out, run)
+                return
+            # Interned miss: encode the subtree standalone so the bytes
+            # can be cached as one blob (slots inside forbid caching).
+            sub: list = [_TAG_VALUE]
+            self._encode_str(name, sub)
+            self._encode(to_parts(value), sub, run)
+            if any(isinstance(chunk, PayloadSlot) for chunk in sub):
+                out.extend(sub)
+                return
+            blob = b"".join(sub)
+            cache.put(value, blob)
+            if run is not None:
+                run.misses += 1
+            out.append(blob)
 
     def _encode_str(self, value: str, out: list) -> None:
         raw = value.encode("utf-8")

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set
 
 from repro.exceptions import CommunicationError
+from repro.orb.marshal import MarshalStats
 from repro.util.clock import Clock
 from repro.util.rng import SeededRng
 
@@ -43,7 +44,7 @@ class FaultPlan:
     duplicate_probability: float = 0.0
     latency: float = 0.0
     jitter: float = 0.0
-    partitioned: set = field(default_factory=set)
+    partitioned: Set[FrozenSet[str]] = field(default_factory=set)
 
     def partition(self, node_a: str, node_b: str) -> None:
         self.partitioned.add(frozenset((node_a, node_b)))
@@ -60,7 +61,13 @@ class FaultPlan:
 
 @dataclass
 class TransportStats:
-    """Counters accumulated across the life of a transport."""
+    """Counters accumulated across the life of a transport.
+
+    ``marshal`` is the invocation-fast-path block (encode cache
+    hits/misses, bytes encoded vs reused, context snapshot hits): the
+    owning ORB shares it with its marshaller, so one stats object tells
+    the whole per-message cost story for the benchmarks.
+    """
 
     requests_sent: int = 0
     replies_sent: int = 0
@@ -70,6 +77,7 @@ class TransportStats:
     duplicate_dispatch_failures: int = 0
     bytes_sent: int = 0
     simulated_latency_total: float = 0.0
+    marshal: MarshalStats = field(default_factory=MarshalStats)
 
     def reset(self) -> None:
         self.requests_sent = 0
@@ -80,6 +88,7 @@ class TransportStats:
         self.duplicate_dispatch_failures = 0
         self.bytes_sent = 0
         self.simulated_latency_total = 0.0
+        self.marshal.reset()
 
 
 class Transport:

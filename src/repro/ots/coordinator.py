@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Set
 
 from repro.exceptions import CommunicationError
+from repro.orb.reference import ObjectRef
 from repro.ots.exceptions import (
     HeuristicCommit,
     HeuristicException,
@@ -61,6 +62,52 @@ class ResourceRecord:
     recovery_key: Optional[str] = None
     vote: Optional[Vote] = None
     completed: bool = False
+
+
+class _ParticipantRound:
+    """Marshal-once dispatcher for one protocol round over N participants.
+
+    A prepare/commit/rollback round sends the *same* zero-argument
+    request to every participant; for remote (ObjectRef) participants
+    the request body is pre-encoded once per target ORB and only the
+    target object id plus the per-send service contexts are patched.
+    Templates are primed on the driving thread (:meth:`prime`) before
+    any worker may :meth:`call`, so the map is read-only under
+    concurrency; local participants and unbound refs take the plain
+    :func:`call_participant` path unchanged.
+    """
+
+    __slots__ = ("operation", "enabled", "_templates")
+
+    def __init__(self, operation: str, enabled: bool) -> None:
+        self.operation = operation
+        self.enabled = enabled
+        self._templates: dict = {}
+
+    def prime(self, participant: Any) -> None:
+        if (
+            not self.enabled
+            or not isinstance(participant, ObjectRef)
+            or not participant.is_bound
+        ):
+            return
+        orb = participant.orb
+        key = id(orb)
+        if key in self._templates:
+            return
+        try:
+            self._templates[key] = orb.prepare_invocation(self.operation)
+        except Exception:  # noqa: BLE001 - fall back to plain marshalling
+            self._templates[key] = None
+
+    def call(self, participant: Any) -> Any:
+        if isinstance(participant, ObjectRef) and participant.is_bound:
+            prepared = self._templates.get(id(participant.orb))
+            if prepared is not None:
+                return participant.orb.invoke(
+                    participant, self.operation, (), {}, prepared=prepared
+                )
+        return call_participant(participant, self.operation)
 
 
 class Transaction:
@@ -303,15 +350,23 @@ class Transaction:
             return 1
         return min(self.factory.parallel_participants, participant_count)
 
+    def _round(self, operation: str) -> _ParticipantRound:
+        """One protocol round's marshal-once call helper."""
+        return _ParticipantRound(
+            operation, getattr(self.factory, "marshal_once", True)
+        )
+
     def _gather_votes_serial(
         self, live: List[ResourceRecord]
     ) -> Optional[ResourceRecord]:
         """Classic phase one: one prepare at a time, stop at the first no."""
         log = self.factory.event_log
+        round_ = self._round("prepare")
         for record in live:
             self.factory.failpoints.hit("before_prepare")
             try:
-                record.vote = call_participant(record.participant, "prepare")
+                round_.prime(record.participant)
+                record.vote = round_.call(record.participant)
             except (CommunicationError, Exception) as exc:
                 if isinstance(exc, SimulatedCrash):
                     raise
@@ -337,12 +392,13 @@ class Transaction:
         log = self.factory.event_log
         abandon = threading.Event()
         factory = self.factory
+        round_ = self._round("prepare")
 
         def do_prepare(record: ResourceRecord) -> Any:
             if abandon.is_set():
                 return _NOT_ASKED
             try:
-                return call_participant(record.participant, "prepare")
+                return round_.call(record.participant)
             except BaseException as exc:  # digested on the driving thread
                 return exc
 
@@ -350,10 +406,12 @@ class Transaction:
         # submissions exactly as the serial sweep interleaves them with
         # the prepares (``before_prepare`` disarms on its first firing,
         # so a crash here always lands before any prepare is submitted).
+        # Templates are primed here too: workers only read the round.
         pool = factory.participant_pool()
         futures = []
         for record in live:
             factory.failpoints.hit("before_prepare")
+            round_.prime(record.participant)
             futures.append(pool.submit(do_prepare, record))
         rollback_voter: Optional[ResourceRecord] = None
         for index, (record, future) in enumerate(zip(live, futures)):
@@ -385,10 +443,12 @@ class Transaction:
             self._commit_resources_serial(committers)
 
     def _commit_resources_serial(self, committers: List[ResourceRecord]) -> None:
+        round_ = self._round("commit")
         for index, record in enumerate(committers):
             self.factory.failpoints.hit(f"before_commit_resource_{index}")
             try:
-                self._call_with_retry(record.participant, "commit")
+                round_.prime(record.participant)
+                self._call_with_retry(record.participant, "commit", round_)
                 record.completed = True
             except HeuristicRollback as exc:
                 self._heuristics.append(exc)
@@ -418,10 +478,11 @@ class Transaction:
         tests reproduce stay reachable with the knob on.
         """
         factory = self.factory
+        round_ = self._round("commit")
 
         def do_commit(record: ResourceRecord) -> Optional[BaseException]:
             try:
-                self._call_with_retry(record.participant, "commit")
+                self._call_with_retry(record.participant, "commit", round_)
                 return None
             except BaseException as exc:  # digested on the driving thread
                 return exc
@@ -432,6 +493,7 @@ class Transaction:
         try:
             for index, record in enumerate(committers):
                 factory.failpoints.hit(f"before_commit_resource_{index}")
+                round_.prime(record.participant)
                 futures.append((record, pool.submit(do_commit, record)))
         except SimulatedCrash as exc:
             crash = exc
@@ -464,29 +526,98 @@ class Transaction:
             raise crash
 
     def _rollback_resources(self, records: List[ResourceRecord]) -> None:
-        for record in records:
-            try:
-                self._call_with_retry(record.participant, "rollback")
-                record.completed = True
-            except HeuristicCommit as exc:
-                self._heuristics.append(exc)
-                self._safe_forget(record)
-            except (HeuristicMixed, HeuristicHazard) as exc:
-                self._heuristics.append(exc)
-                self._safe_forget(record)
-            except CommunicationError as exc:
-                self._heuristics.append(
-                    HeuristicHazard(
-                        f"resource unreachable during rollback of {self.tid}: {exc}"
-                    )
-                )
+        """Tell every (non-completed) participant to roll back.
 
-    def _call_with_retry(self, participant: Any, operation: str) -> None:
+        Like phase two, the sweep fans out over the factory's shared
+        participant pool when ``parallel_participants`` allows — every
+        participant must be driven to completion either way, and
+        outcomes (incl. heuristics) are digested in registration order
+        so the serial and parallel sweeps leave identical state.
+        """
+        if self._participant_workers(len(records)) > 1:
+            self._rollback_resources_parallel(records)
+        else:
+            self._rollback_resources_serial(records)
+
+    def _digest_rollback(
+        self, record: ResourceRecord, exc: Optional[BaseException]
+    ) -> Optional[BaseException]:
+        """Fold one rollback outcome into the transaction's bookkeeping;
+        returns an exception the caller must propagate (unknown failure)."""
+        if exc is None:
+            record.completed = True
+            return None
+        if isinstance(exc, (HeuristicCommit, HeuristicMixed, HeuristicHazard)):
+            self._heuristics.append(exc)
+            self._safe_forget(record)
+            return None
+        if isinstance(exc, CommunicationError):
+            self._heuristics.append(
+                HeuristicHazard(
+                    f"resource unreachable during rollback of {self.tid}: {exc}"
+                )
+            )
+            return None
+        return exc
+
+    def _rollback_resources_serial(self, records: List[ResourceRecord]) -> None:
+        round_ = self._round("rollback")
+        for record in records:
+            round_.prime(record.participant)
+            try:
+                self._call_with_retry(record.participant, "rollback", round_)
+                exc: Optional[BaseException] = None
+            except BaseException as caught:  # noqa: BLE001 - digested uniformly
+                exc = caught
+            fatal = self._digest_rollback(record, exc)
+            if fatal is not None:
+                raise fatal
+
+    def _rollback_resources_parallel(self, records: List[ResourceRecord]) -> None:
+        """Rollback sweep with concurrent participant calls.
+
+        No abandonment: the outcome is already decided, so every
+        participant is driven to completion; the digest loop below is
+        also the drain (nothing is left running when an exception
+        propagates), and the first unknown failure in registration
+        order is re-raised exactly as the serial sweep would have.
+        """
+        round_ = self._round("rollback")
+
+        def do_rollback(record: ResourceRecord) -> Optional[BaseException]:
+            try:
+                self._call_with_retry(record.participant, "rollback", round_)
+                return None
+            except BaseException as exc:  # digested on the driving thread
+                return exc
+
+        pool = self.factory.participant_pool()
+        futures = []
+        for record in records:
+            round_.prime(record.participant)
+            futures.append((record, pool.submit(do_rollback, record)))
+        fatal: Optional[BaseException] = None
+        for record, future in futures:
+            exc = self._digest_rollback(record, future.result())
+            if exc is not None and fatal is None:
+                fatal = exc
+        if fatal is not None:
+            raise fatal
+
+    def _call_with_retry(
+        self,
+        participant: Any,
+        operation: str,
+        round_: Optional[_ParticipantRound] = None,
+    ) -> None:
         attempts = self.factory.retry_attempts
         last_error: Optional[CommunicationError] = None
         for _ in range(attempts):
             try:
-                call_participant(participant, operation)
+                if round_ is not None:
+                    round_.call(participant)
+                else:
+                    call_participant(participant, operation)
                 return
             except CommunicationError as exc:
                 if not exc.transient:

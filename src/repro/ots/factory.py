@@ -82,6 +82,7 @@ class TransactionFactory:
         retry_attempts: int = 3,
         group_commit_window: Optional[float] = None,
         parallel_participants: int = 1,
+        marshal_once: bool = True,
     ) -> None:
         self.clock = clock if clock is not None else SimulatedClock()
         if wal is None:
@@ -105,6 +106,10 @@ class TransactionFactory:
         if parallel_participants < 1:
             raise ValueError("parallel_participants must be at least 1")
         self.parallel_participants = parallel_participants
+        # Invocation fast path: each protocol round (prepare / commit /
+        # rollback) over remote participants encodes its request body
+        # once per ORB and patches only the target per call.
+        self.marshal_once = marshal_once
         self._participant_pool = ReentrantWorkerPool(
             parallel_participants, thread_name_prefix="participants"
         )

@@ -11,8 +11,9 @@ caller's transaction as its own current transaction).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import List
+from typing import Any, List
 
 from repro.orb.core import Orb
 from repro.orb.interceptors import (
@@ -33,6 +34,21 @@ class TransactionContext:
     tid: str
 
 
+# A transaction's context never changes (the tid is its identity), so
+# one instance per transaction is cached below and its encoded bytes
+# are interned — N participant calls of a 2PC round marshal it once.
+GLOBAL_REGISTRY.intern_encoded(TransactionContext)
+
+
+def wire_context(tx: Any) -> TransactionContext:
+    """The identity-stable wire context of ``tx`` (cached on the tx)."""
+    context = getattr(tx, "_wire_context", None)
+    if context is None or context.tid != tx.tid:
+        context = TransactionContext(tid=tx.tid)
+        tx._wire_context = context
+    return context
+
+
 class TransactionClientInterceptor(ClientRequestInterceptor):
     """Attaches the caller's transaction id to outgoing requests."""
 
@@ -44,7 +60,7 @@ class TransactionClientInterceptor(ClientRequestInterceptor):
     def send_request(self, info: RequestInfo) -> None:
         tx = self.current.get_transaction()
         if tx is not None and not tx.status.is_terminal:
-            info.set_context(TRANSACTION_CONTEXT_ID, TransactionContext(tid=tx.tid))
+            info.set_context(TRANSACTION_CONTEXT_ID, wire_context(tx))
 
 
 class TransactionServerInterceptor(ServerRequestInterceptor):
@@ -54,7 +70,16 @@ class TransactionServerInterceptor(ServerRequestInterceptor):
 
     def __init__(self, current: TransactionCurrent) -> None:
         self.current = current
-        self._resumed: List[bool] = []
+        # Per dispatching thread (see ActivityServerInterceptor): one
+        # ORB dispatches concurrently under the parallel fan-outs, and
+        # a shared LIFO would let requests pop each other's flags.
+        self._state = threading.local()
+
+    def _resumed(self) -> List[bool]:
+        flags = getattr(self._state, "flags", None)
+        if flags is None:
+            flags = self._state.flags = []
+        return flags
 
     def receive_request(self, info: RequestInfo) -> None:
         context = info.get_context(TRANSACTION_CONTEXT_ID)
@@ -62,12 +87,13 @@ class TransactionServerInterceptor(ServerRequestInterceptor):
             context.tid
         ):
             self.current.resume(self.current.factory.get(context.tid))
-            self._resumed.append(True)
+            self._resumed().append(True)
         else:
-            self._resumed.append(False)
+            self._resumed().append(False)
 
     def _detach(self) -> None:
-        if self._resumed and self._resumed.pop():
+        flags = self._resumed()
+        if flags and flags.pop():
             self.current.suspend()
 
     def send_reply(self, info: RequestInfo) -> None:

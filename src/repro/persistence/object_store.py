@@ -212,7 +212,13 @@ class SegmentedFileStore(ObjectStore):
 
     Segments roll over once the active file passes ``segment_bytes``;
     superseded frames accumulate until :meth:`compact` rewrites the live
-    set into a fresh segment and deletes the old files.
+    set into a fresh segment and deletes the old files.  With
+    ``auto_compact_ratio`` set, :meth:`put`/:meth:`put_many` trigger
+    that compaction automatically once the dead-record ratio (frames
+    written minus live keys, over frames written) crosses the
+    threshold — bounded by ``auto_compact_min_records`` so tiny stores
+    never churn, and reentrancy-safe (compaction's own rewrite never
+    re-triggers itself).
     """
 
     _LEN = struct.Struct(">II")
@@ -222,6 +228,8 @@ class SegmentedFileStore(ObjectStore):
         root: str,
         registry: Optional[ValueTypeRegistry] = None,
         segment_bytes: int = 1 << 20,
+        auto_compact_ratio: Optional[float] = None,
+        auto_compact_min_records: int = 64,
     ) -> None:
         self._root = root
         self._marshaller = Marshaller(registry)
@@ -233,6 +241,13 @@ class SegmentedFileStore(ObjectStore):
         self._write_lock = threading.RLock()
         self.flushes = 0
         self.torn_frames_dropped = 0
+        if auto_compact_ratio is not None and not (0.0 < auto_compact_ratio <= 1.0):
+            raise ValueError("auto_compact_ratio must be in (0, 1]")
+        self._auto_compact_ratio = auto_compact_ratio
+        self._auto_compact_min_records = max(1, auto_compact_min_records)
+        self._records_written = 0
+        self._compacting = False
+        self.auto_compactions = 0
         os.makedirs(root, exist_ok=True)
         self._segment_ids = self._scan_segment_ids()
         self._active_id = self._segment_ids[-1] if self._segment_ids else 1
@@ -283,6 +298,7 @@ class SegmentedFileStore(ObjectStore):
                 self._index.pop(uid, None)
             else:
                 self._index[uid] = data[header_start + header_len : end]
+            self._records_written += 1
             offset = end
 
     def _append_frames(self, frames: List[bytes]) -> None:
@@ -293,11 +309,43 @@ class SegmentedFileStore(ObjectStore):
             handle.flush()
             os.fsync(handle.fileno())
         self.flushes += 1
+        self._records_written += len(frames)
         self._active_size = os.path.getsize(path)
         if self._active_size >= self._segment_bytes:
             self._active_id += 1
             self._segment_ids.append(self._active_id)
             self._active_size = 0
+
+    # -- auto compaction -------------------------------------------------------
+
+    def dead_record_ratio(self) -> float:
+        """Fraction of written frames that no longer back a live key."""
+        with self._write_lock:
+            if self._records_written == 0:
+                return 0.0
+            dead = self._records_written - len(self._index)
+            return dead / self._records_written
+
+    def _maybe_auto_compact(self) -> None:
+        """Compact when the dead-record ratio crosses the threshold.
+
+        Called (lock held) from the mutating fast paths; the reentrancy
+        guard keeps compaction's own rewrite — and any future mutator
+        nested under it — from recursing.
+        """
+        if self._auto_compact_ratio is None or self._compacting:
+            return
+        if self._records_written < self._auto_compact_min_records:
+            return
+        dead = self._records_written - len(self._index)
+        if dead / self._records_written < self._auto_compact_ratio:
+            return
+        self._compacting = True
+        try:
+            self._compact_locked()
+            self.auto_compactions += 1
+        finally:
+            self._compacting = False
 
     # -- ObjectStore interface ------------------------------------------------
 
@@ -313,6 +361,7 @@ class SegmentedFileStore(ObjectStore):
         with self._write_lock:
             self._append_frames(frames)
             self._index.update(encoded)
+            self._maybe_auto_compact()
 
     def get(self, uid: str) -> Any:
         try:
@@ -327,6 +376,9 @@ class SegmentedFileStore(ObjectStore):
                 raise StoreError(f"no state stored under {uid!r}")
             self._append_frames([self._frame(uid, True, b"")])
             del self._index[uid]
+            # A tombstone both adds a frame and kills a live key, so
+            # delete-heavy workloads must re-check the dead ratio too.
+            self._maybe_auto_compact()
 
     def contains(self, uid: str) -> bool:
         return uid in self._index
@@ -347,6 +399,7 @@ class SegmentedFileStore(ObjectStore):
         self._active_id = new_id
         self._segment_ids = [new_id]
         self._active_size = 0
+        self._records_written = 0
         frames = [self._frame(uid, False, value) for uid, value in sorted(self._index.items())]
         if frames:
             self._append_frames(frames)

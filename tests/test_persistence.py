@@ -222,3 +222,79 @@ class TestSegmentedStoreConcurrency:
             for i in range(4):
                 assert reopened.get(f"w{worker}-k{i}") == [worker, 19, i]
         assert reopened.torn_frames_dropped == 0
+
+
+class TestAutoCompaction:
+    """Threshold-triggered compaction on the segmented store's write path."""
+
+    def make(self, tmp_path, **kwargs):
+        from repro.persistence import SegmentedFileStore
+
+        kwargs.setdefault("segment_bytes", 256)
+        kwargs.setdefault("auto_compact_ratio", 0.5)
+        kwargs.setdefault("auto_compact_min_records", 16)
+        return SegmentedFileStore(str(tmp_path / "seg"), **kwargs)
+
+    def test_overwrites_trigger_compaction(self, tmp_path):
+        import os
+
+        store = self.make(tmp_path)
+        for wave in range(20):
+            store.put_many({f"k{i}": wave for i in range(4)})
+        assert store.auto_compactions >= 1
+        # Dead weight stays bounded by the threshold after each trigger.
+        assert store.dead_record_ratio() < 0.5 + 0.25
+        # The live set is intact and a reopen replays the same state.
+        assert store.keys() == tuple(sorted(f"k{i}" for i in range(4)))
+        from repro.persistence import SegmentedFileStore
+
+        reopened = SegmentedFileStore(str(tmp_path / "seg"), segment_bytes=256)
+        for i in range(4):
+            assert reopened.get(f"k{i}") == 19
+        # Old segments were actually deleted, not just superseded.
+        assert len(os.listdir(str(tmp_path / "seg"))) <= 3
+
+    def test_disabled_by_default(self, tmp_path):
+        from repro.persistence import SegmentedFileStore
+
+        store = SegmentedFileStore(str(tmp_path / "seg"), segment_bytes=256)
+        for wave in range(20):
+            store.put_many({f"k{i}": wave for i in range(4)})
+        assert store.auto_compactions == 0
+        assert store.dead_record_ratio() > 0.9
+
+    def test_min_records_floor(self, tmp_path):
+        store = self.make(tmp_path, auto_compact_min_records=1000)
+        for wave in range(20):
+            store.put("k", wave)
+        assert store.auto_compactions == 0
+
+    def test_invalid_ratio_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            self.make(tmp_path, auto_compact_ratio=0.0)
+        with pytest.raises(ValueError):
+            self.make(tmp_path, auto_compact_ratio=1.5)
+
+    def test_fresh_inserts_do_not_compact(self, tmp_path):
+        store = self.make(tmp_path)
+        store.put_many({f"k{i}": i for i in range(64)})
+        assert store.auto_compactions == 0  # nothing is dead
+
+    def test_ratio_survives_reopen(self, tmp_path):
+        from repro.persistence import SegmentedFileStore
+
+        store = SegmentedFileStore(str(tmp_path / "seg"), segment_bytes=4096)
+        for wave in range(4):
+            store.put_many({f"k{i}": wave for i in range(4)})
+        ratio = store.dead_record_ratio()
+        assert ratio == pytest.approx(0.75)
+        reopened = SegmentedFileStore(str(tmp_path / "seg"), segment_bytes=4096)
+        assert reopened.dead_record_ratio() == pytest.approx(ratio)
+
+    def test_delete_heavy_workload_triggers_compaction(self, tmp_path):
+        store = self.make(tmp_path)
+        store.put_many({f"k{i}": i for i in range(32)})
+        for i in range(28):
+            store.remove(f"k{i}")
+        assert store.auto_compactions >= 1
+        assert store.keys() == tuple(sorted(f"k{i}" for i in range(28, 32)))
