@@ -88,6 +88,11 @@ class Activity:
         # Invocation fast path: last (version vector, wire context) pair
         # built for this activity (see repro.core.context.snapshot_context).
         self._context_snapshot: Optional[Any] = None
+        # Registry bookkeeping: position in the manager's begin order
+        # (stable iteration under the sharded registry) and the armed
+        # expiry timer when the manager polices deadlines via a wheel.
+        self.begin_seq: int = 0
+        self._expiry_timer: Optional[Any] = None
         if parent is not None:
             parent.children.append(self)
 

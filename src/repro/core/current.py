@@ -26,10 +26,21 @@ class ActivityCurrent:
 
     # -- demarcation ---------------------------------------------------------
 
-    def begin(self, name: Optional[str] = None, timeout: float = 0.0) -> Activity:
-        """Begin a new activity nested in the current one (if any)."""
+    def begin(
+        self,
+        name: Optional[str] = None,
+        timeout: float = 0.0,
+        executor: Optional[Any] = None,
+    ) -> Activity:
+        """Begin a new activity nested in the current one (if any).
+
+        ``executor`` overrides the manager-wide broadcast executor for
+        this one activity, as on :meth:`ActivityManager.begin`.
+        """
         parent = self._stack[-1] if self._stack else None
-        activity = self.manager.begin(name=name, parent=parent, timeout=timeout)
+        activity = self.manager.begin(
+            name=name, parent=parent, timeout=timeout, executor=executor
+        )
         self._stack.append(activity)
         return activity
 

@@ -11,7 +11,10 @@ checkpoint store used for activity-structure recovery (§3.4).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import itertools
+import math
+import threading
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.action import Action
 from repro.core.activity import Activity
@@ -28,13 +31,38 @@ from repro.persistence.object_store import ObjectStore
 from repro.util.clock import Clock, SimulatedClock
 from repro.util.events import EventLog
 from repro.util.idgen import IdGenerator
+from repro.util.sharding import StripedMap
+from repro.util.timer_wheel import HierarchicalTimerWheel, RecurringTimer
 
 SignalSetFactory = Callable[..., SignalSet]
 ActionFactory = Callable[[Dict[str, Any]], Action]
 
 
 class ActivityManager:
-    """Creates, tracks, recovers and distributes activities."""
+    """Creates, tracks, recovers and distributes activities.
+
+    Control-plane scaling knobs:
+
+    - ``registry_shards`` stripes the live-activity registry into
+      independently locked segments, so concurrent ``begin`` /
+      ``complete`` / ``get`` from broadcast worker threads don't
+      serialise on one dict;
+    - ``timer_wheel`` (off by default, keeping the historical sweep and
+      its exact traces) arms one hashed-hierarchical-wheel timer per
+      deadline instead of scanning every live activity:
+      ``expire_timeouts`` then costs O(expiring), not O(live).  Pass
+      ``True`` for a private wheel (``wheel_tick`` seconds per slot) or
+      a pre-built :class:`~repro.util.timer_wheel.HierarchicalTimerWheel`
+      to share one.  With a private wheel (the ``True`` form) expiry
+      semantics are unchanged — timers only fire inside
+      ``expire_timeouts`` (strictly past their deadline), latching the
+      same FAIL_ONLY status, recording the same events in the same
+      begin order and returning the same ids.  A shared wheel that is
+      *clock-attached* instead fires expiry during clock ``advance``
+      (still strictly past the deadline); such expirations are not
+      re-reported by a later sweep, mirroring the OTS factory's
+      historical advance-time behaviour.
+    """
 
     def __init__(
         self,
@@ -46,6 +74,9 @@ class ActivityManager:
         executor: Optional[BroadcastExecutor] = None,
         action_timeout: Optional[float] = None,
         fast_path: bool = True,
+        registry_shards: int = 8,
+        timer_wheel: Union[None, bool, HierarchicalTimerWheel] = None,
+        wheel_tick: float = 1.0,
     ) -> None:
         self.clock = clock if clock is not None else SimulatedClock()
         self.event_log = event_log if event_log is not None else EventLog(self.clock)
@@ -65,11 +96,29 @@ class ActivityManager:
         self.current = ActivityCurrent(self)
         self.ids = IdGenerator()
         self.orb: Optional[Orb] = None
-        self._activities: Dict[str, Activity] = {}
+        self._activities = StripedMap(shards=registry_shards)
         self._signal_set_factories: Dict[str, SignalSetFactory] = {}
         self._action_factories: Dict[str, ActionFactory] = {}
         self.begun = 0
         self.completed = 0
+        self._counter_lock = threading.Lock()
+        self._begin_order = itertools.count()
+        if timer_wheel is None or timer_wheel is False:
+            self._wheel: Optional[HierarchicalTimerWheel] = None
+        elif timer_wheel is True:
+            self._wheel = HierarchicalTimerWheel(tick=wheel_tick)
+        else:
+            self._wheel = timer_wheel
+        if self._wheel is not None and self._wheel.now < self.clock.now():
+            self._wheel.advance_to(self.clock.now())
+        self._expired_batch: List[str] = []
+        self._collecting_expired = False
+        self._rearm_queue: List[str] = []
+        self._maintenance: List[RecurringTimer] = []
+
+    @property
+    def timer_wheel(self) -> Optional[HierarchicalTimerWheel]:
+        return self._wheel
 
     # -- creation ------------------------------------------------------------
 
@@ -101,8 +150,11 @@ class ActivityManager:
             marshal_once=self.fast_path,
         )
         self._attach_property_groups(activity, parent)
-        self._activities[activity_id] = activity
-        self.begun += 1
+        activity.begin_seq = next(self._begin_order)
+        self._activities.put(activity_id, activity)
+        with self._counter_lock:
+            self.begun += 1
+        self._arm_expiry_timer(activity)
         self.event_log.record(
             "activity_begin",
             activity=activity_id,
@@ -110,6 +162,22 @@ class ActivityManager:
             parent=parent.activity_id if parent is not None else None,
         )
         return activity
+
+    def _arm_expiry_timer(self, activity: Activity) -> None:
+        if self._wheel is None or activity.deadline is None:
+            return
+        # Arm at the first instant *strictly past* the deadline: the
+        # historical sweep only latches when now > deadline, and this
+        # keeps that true even when the wheel is shared with a clock
+        # whose `advance` fires timers inclusively.  A recovered
+        # activity's deadline may already lie in the past; clamp so the
+        # timer fires on the very next sweep.
+        when = max(math.nextafter(activity.deadline, math.inf), self._wheel.now)
+        activity._expiry_timer = self._wheel.schedule_at(
+            when,
+            callback=lambda aid=activity.activity_id: self._expire_one(aid),
+            payload=activity.activity_id,
+        )
 
     def _attach_property_groups(
         self, activity: Activity, parent: Optional[Activity]
@@ -124,41 +192,175 @@ class ActivityManager:
     # -- registry ----------------------------------------------------------------
 
     def get(self, activity_id: str) -> Activity:
-        try:
-            return self._activities[activity_id]
-        except KeyError:
-            raise ActivityServiceError(f"unknown activity {activity_id!r}") from None
+        activity = self._activities.get(activity_id)
+        if activity is None:
+            raise ActivityServiceError(f"unknown activity {activity_id!r}")
+        return activity
 
     def knows(self, activity_id: str) -> bool:
         return activity_id in self._activities
 
     def active_activities(self) -> List[Activity]:
-        return [
+        """Live activities in begin order (stable across shard layouts)."""
+        active = [
             activity
             for activity in self._activities.values()
             if not activity.status.is_terminal
         ]
+        active.sort(key=lambda activity: activity.begin_seq)
+        return active
 
     def on_activity_completed(self, activity: Activity) -> None:
-        self.completed += 1
+        with self._counter_lock:
+            self.completed += 1
+        handle = activity._expiry_timer
+        if handle is not None:
+            handle.cancel()
+            activity._expiry_timer = None
         if self.store is not None:
             self.checkpoint(activity)
 
     # -- timeouts ------------------------------------------------------------------
 
     def expire_timeouts(self) -> List[str]:
-        """Latch FAIL_ONLY onto every active activity past its deadline."""
-        expired = []
+        """Latch FAIL_ONLY onto every active activity past its deadline.
+
+        With a timer wheel this costs O(expiring): only armed timers that
+        are strictly past deadline fire (same ``now > deadline``
+        comparison, same FAIL_ONLY latch, same event records as the
+        sweep).  Without one it remains the historical full scan.
+        """
         now = self.clock.now()
-        for activity in self.active_activities():
+        if self._wheel is not None:
+            self._rearm_deferred()
+            self._expired_batch = []
+            self._collecting_expired = True
+            try:
+                self._wheel.advance_to(now, strict=True)
+            finally:
+                self._collecting_expired = False
+            candidates, self._expired_batch = self._expired_batch, []
+            # Latch in begin order, exactly like the naive sweep below,
+            # so events and return values are identical either way.
+            ordered = []
+            for activity_id in candidates:
+                activity = self._activities.get(activity_id)
+                if activity is not None:
+                    ordered.append((activity.begin_seq, activity_id))
+            ordered.sort()
+            return [aid for _, aid in ordered if self._try_latch(aid)]
+        overdue = [
+            activity
+            for activity in self._activities.values()
             if (
-                activity.deadline is not None
+                not activity.status.is_terminal
+                and activity.deadline is not None
                 and now > activity.deadline
                 and activity.get_completion_status() is not CompletionStatus.FAIL_ONLY
-            ):
-                activity.set_completion_status(CompletionStatus.FAIL_ONLY)
-                expired.append(activity.activity_id)
+            )
+        ]
+        # Latch in begin order so events and return values stay
+        # deterministic regardless of shard layout.
+        overdue.sort(key=lambda activity: activity.begin_seq)
+        expired = []
+        for activity in overdue:
+            activity.set_completion_status(CompletionStatus.FAIL_ONLY)
+            expired.append(activity.activity_id)
         return expired
+
+    def _expire_one(self, activity_id: str) -> None:
+        """Wheel-timer callback for one due expiry timer."""
+        if self._collecting_expired:
+            # Sweep-driven firing: defer the latch so expire_timeouts
+            # can process the whole batch in begin order.
+            self._expired_batch.append(activity_id)
+            return
+        # Clock-attached shared wheel: latch at fire time (such
+        # expirations are not re-reported by a later sweep, mirroring
+        # the OTS factory's historical advance-time behaviour).
+        self._try_latch(activity_id)
+
+    def _try_latch(self, activity_id: str) -> bool:
+        activity = self._activities.get(activity_id)
+        if activity is None or activity.status.is_terminal:
+            return False
+        if activity.get_completion_status() is CompletionStatus.FAIL_ONLY:
+            return False
+        if activity.deadline is not None and self.clock.now() <= activity.deadline:
+            # Fired ahead of the deadline (a shared wheel advanced by a
+            # foreign owner): queue a re-arm for the next sweep.  Never
+            # re-arm from inside the wheel's advance — a re-armed timer
+            # can land back inside the in-progress window and livelock.
+            self._rearm_queue.append(activity_id)
+            return False
+        activity.set_completion_status(CompletionStatus.FAIL_ONLY)
+        return True
+
+    def _rearm_deferred(self) -> None:
+        if not self._rearm_queue:
+            return
+        queue, self._rearm_queue = self._rearm_queue, []
+        for activity_id in queue:
+            activity = self._activities.get(activity_id)
+            if (
+                activity is not None
+                and not activity.status.is_terminal
+                and activity.get_completion_status()
+                is not CompletionStatus.FAIL_ONLY
+            ):
+                self._arm_expiry_timer(activity)
+
+    # -- background maintenance ----------------------------------------------------
+
+    def schedule_maintenance(
+        self, interval: float, task: Callable[[], None]
+    ) -> RecurringTimer:
+        """Run ``task`` every ``interval`` seconds on the timer wheel.
+
+        Requires ``timer_wheel``; the task fires whenever the wheel
+        advances — during ``expire_timeouts`` sweeps for a private wheel,
+        or on clock ``advance``/``now()`` when the wheel is attached to
+        the clock.
+        """
+        if self._wheel is None:
+            raise ActivityServiceError(
+                "background maintenance needs ActivityManager(timer_wheel=...)"
+            )
+        timer = RecurringTimer(self._wheel, interval, task)
+        self._maintenance.append(timer)
+        return timer
+
+    def schedule_store_maintenance(
+        self,
+        interval: float,
+        store: Optional[Any] = None,
+        min_dead_ratio: float = 0.25,
+    ) -> RecurringTimer:
+        """Periodically compact a segmented store once its dead-record
+        ratio crosses ``min_dead_ratio`` (defaults to this manager's
+        checkpoint store) — the time-based companion to the store's own
+        write-triggered ``auto_compact_ratio``."""
+        target = store if store is not None else self.store
+        if target is None:
+            raise ActivityServiceError("no store to maintain")
+        compact_if_needed = getattr(target, "compact_if_needed", None)
+        if compact_if_needed is None:
+            raise ActivityServiceError(
+                f"store {type(target).__name__} does not support compaction"
+            )
+        return self.schedule_maintenance(
+            interval, lambda: compact_if_needed(min_dead_ratio)
+        )
+
+    def cancel_maintenance(self) -> int:
+        """Stop every scheduled maintenance cycle; return how many."""
+        stopped = 0
+        for timer in self._maintenance:
+            if timer.active:
+                timer.cancel()
+                stopped += 1
+        self._maintenance.clear()
+        return stopped
 
     # -- distribution -----------------------------------------------------------------
 
@@ -243,4 +445,7 @@ class ActivityManager:
 
     def adopt(self, activity: Activity) -> None:
         """Install a recovered activity into the registry (recovery only)."""
-        self._activities[activity.activity_id] = activity
+        activity.begin_seq = next(self._begin_order)
+        self._activities.put(activity.activity_id, activity)
+        if not activity.status.is_terminal:
+            self._arm_expiry_timer(activity)

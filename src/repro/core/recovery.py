@@ -77,6 +77,10 @@ class ActivityRecoveryService:
             "completion_status": activity.get_completion_status(),
             "signal_sets": durable_sets,
             "actions": durable_actions,
+            # Deadlines survive recovery: a timed activity that crashes
+            # mid-flight is still policed after restart (the manager
+            # re-arms its wheel timer on adopt).
+            "deadline": activity.deadline,
         }
 
     def checkpoint_tree(self, root: Activity) -> int:
@@ -139,6 +143,8 @@ class ActivityRecoveryService:
             if record["status"] is ActivityStatus.COMPLETING:
                 # In-flight completion must be re-driven by the application.
                 activity.status = ActivityStatus.ACTIVE
+            # Pre-deadline checkpoints lack the key; .get keeps them readable.
+            activity.deadline = record.get("deadline")
             if record["completion_status"] is not CompletionStatus.SUCCESS:
                 activity.set_completion_status(record["completion_status"])
             for set_record in record["signal_sets"]:

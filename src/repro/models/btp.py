@@ -168,12 +168,25 @@ class BtpParticipant(Action):
 
 
 class BtpAtom:
-    """A BTP atom: explicit user-driven prepare then confirm/cancel."""
+    """A BTP atom: explicit user-driven prepare then confirm/cancel.
 
-    def __init__(self, manager: Any, name: str = "atom") -> None:
+    ``executor`` (optional) routes this atom's prepare/confirm/cancel
+    broadcasts through a specific
+    :class:`~repro.core.broadcast.BroadcastExecutor` instead of the
+    manager-wide default, mirroring ``Saga(executor=...)`` — a
+    thread-pool executor overlaps participant replies while keeping the
+    fig. 11/12 logical traces identical to the serial sweep.
+    """
+
+    def __init__(
+        self, manager: Any, name: str = "atom", executor: Optional[Any] = None
+    ) -> None:
         self.manager = manager
         self.name = name
-        self.activity: Activity = manager.begin(name=f"btp:{name}")
+        self.executor = executor
+        self.activity: Activity = manager.begin(
+            name=f"btp:{name}", executor=executor
+        )
         self.participants: List[BtpParticipant] = []
         self.status = BtpStatus.ACTIVE
         self._prepare_set = BtpPrepareSignalSet()
@@ -241,12 +254,22 @@ class BtpCohesion:
     rest — "the cohesion collapses down to being an atom".
     """
 
-    def __init__(self, manager: Any, name: str = "cohesion") -> None:
+    def __init__(
+        self, manager: Any, name: str = "cohesion", executor: Optional[Any] = None
+    ) -> None:
         self.manager = manager
         self.name = name
+        # Default broadcast executor for atoms spawned via new_atom().
+        self.executor = executor
         self.members: Dict[str, BtpAtom] = {}
         self.status = BtpStatus.ACTIVE
         self.outcomes: Dict[str, BtpStatus] = {}
+
+    def new_atom(self, name: str) -> BtpAtom:
+        """Create and enroll a member atom sharing this cohesion's executor."""
+        atom = BtpAtom(self.manager, name=name, executor=self.executor)
+        self.enroll(atom)
+        return atom
 
     def enroll(self, atom: BtpAtom) -> None:
         if self.status is not BtpStatus.ACTIVE:

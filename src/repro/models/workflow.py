@@ -196,7 +196,9 @@ class _TaskController:
     def execute(self, parent_activity: Activity, as_compensation: bool = False) -> None:
         """Run the task in its own child activity (+ optional transaction)."""
         engine = self.engine
-        child = engine.manager.begin(name=self.task.name, parent=parent_activity)
+        child = engine.manager.begin(
+            name=self.task.name, parent=parent_activity, executor=engine.executor
+        )
         outcome_action = _OutcomeAction(engine, self.task)
         completed_set = BroadcastSignalSet(
             SIGNAL_OUTCOME, signal_set_name=COMPLETED_SET
@@ -248,11 +250,25 @@ class _TaskController:
 
 
 class WorkflowEngine:
-    """Runs workflows over the Activity Service."""
+    """Runs workflows over the Activity Service.
 
-    def __init__(self, manager: Any, tx_factory: Optional[Any] = None) -> None:
+    ``executor`` (optional) routes every activity this engine begins —
+    the parent coordinating activity and each task's child activity —
+    through a specific :class:`~repro.core.broadcast.BroadcastExecutor`
+    instead of the manager-wide default (mirroring ``Saga(executor=...)``).
+    The fig. 10 start/start_ack/outcome/outcome_ack choreography is
+    executor-independent: traces stay identical to the serial sweep.
+    """
+
+    def __init__(
+        self,
+        manager: Any,
+        tx_factory: Optional[Any] = None,
+        executor: Optional[Any] = None,
+    ) -> None:
         self.manager = manager
         self.tx_factory = tx_factory
+        self.executor = executor
         self.result = WorkflowResult()
         self._workflow: Optional[Workflow] = None
         self._activated: Set[str] = set()
@@ -284,7 +300,9 @@ class WorkflowEngine:
             self.result.states[name] = (
                 TaskState.PENDING if name in self._activated else TaskState.SKIPPED
             )
-        parent = self.manager.begin(name=f"wf:{workflow.name}")
+        parent = self.manager.begin(
+            name=f"wf:{workflow.name}", executor=self.executor
+        )
         failed_handled: Set[str] = set()
         while True:
             wave = self._ready_tasks()

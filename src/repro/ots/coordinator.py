@@ -134,6 +134,9 @@ class Transaction:
         self._subtran_aware: List[Any] = []
         self._synchronizations: List[Any] = []
         self._heuristics: List[HeuristicException] = []
+        # Armed wheel timer for this transaction's deadline (factory
+        # timer-wheel mode); cancelled when the transaction finishes.
+        self._expiry_timer: Optional[Any] = None
         if parent is not None:
             parent.children.append(self)
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set, Union
 
 from repro.ots.coordinator import Control, Transaction
 from repro.ots.exceptions import InvalidTransaction, SimulatedCrash
@@ -13,6 +13,8 @@ from repro.persistence.wal import GroupCommitWAL, WriteAheadLog
 from repro.util.clock import Clock, SimulatedClock
 from repro.util.events import EventLog
 from repro.util.idgen import IdGenerator
+from repro.util.sharding import StripedMap
+from repro.util.timer_wheel import HierarchicalTimerWheel
 from repro.util.workers import ReentrantWorkerPool
 
 
@@ -83,6 +85,9 @@ class TransactionFactory:
         group_commit_window: Optional[float] = None,
         parallel_participants: int = 1,
         marshal_once: bool = True,
+        registry_shards: int = 8,
+        timer_wheel: Union[None, bool, HierarchicalTimerWheel] = None,
+        wheel_tick: float = 1.0,
     ) -> None:
         self.clock = clock if clock is not None else SimulatedClock()
         if wal is None:
@@ -114,12 +119,54 @@ class TransactionFactory:
             parallel_participants, thread_name_prefix="participants"
         )
         self.ids = IdGenerator()
-        self._transactions: Dict[str, Transaction] = {}
-        self._active: Set[str] = set()
-        self._registry_lock = threading.Lock()
+        # Striped registries: begin/get/finish from parallel participant
+        # workers touch only the owning segment, not one global lock.
+        self._transactions = StripedMap(shards=registry_shards)
+        self._active = StripedMap(shards=registry_shards)
+        self._counter_lock = threading.Lock()
         self.created = 0
         self.committed = 0
         self.rolled_back = 0
+        # Deadline policing: with a wheel, each timed transaction arms
+        # one O(1) timer (cancelled on finish) instead of relying on a
+        # full registry sweep.  On a SimulatedClock the wheel is attached
+        # so `advance` keeps auto-firing expiry exactly like the old
+        # heapq path did.  NOTE: this deliberately differs from
+        # ActivityManager's wheel protocol — OTS expiry is inclusive
+        # (now >= deadline, firing during clock advance, recording
+        # tx_timeout), while activity expiry is strictly-past and
+        # poll-only; keep the two in mind before unifying them.
+        if timer_wheel is None or timer_wheel is False:
+            self._wheel: Optional[HierarchicalTimerWheel] = None
+        elif timer_wheel is True:
+            if isinstance(self.clock, SimulatedClock) and self.clock.wheel is not None:
+                self._wheel = self.clock.wheel
+            else:
+                self._wheel = HierarchicalTimerWheel(tick=wheel_tick)
+        else:
+            self._wheel = timer_wheel
+        if self._wheel is not None:
+            if isinstance(self.clock, SimulatedClock):
+                self.clock.attach_wheel(self._wheel)
+            elif self._wheel.now < self.clock.now():
+                self._wheel.advance_to(self.clock.now())
+        self._expired_batch: List[str] = []
+        self._collecting_expired = False
+        self._rearm_queue: List[str] = []
+
+    @property
+    def timer_wheel(self) -> Optional[HierarchicalTimerWheel]:
+        return self._wheel
+
+    def _arm_expiry_timer(self, tx: Transaction, clamp: bool = False) -> None:
+        when = tx.deadline
+        if clamp:
+            when = max(when, self._wheel.now)
+        tx._expiry_timer = self._wheel.schedule_at(
+            when,
+            callback=lambda t=tx.tid: self._expire(t),
+            payload=tx.tid,
+        )
 
     # -- durable logging ----------------------------------------------------
 
@@ -167,13 +214,16 @@ class TransactionFactory:
         """Begin a new top-level transaction."""
         tid = self.ids.next("tx")
         tx = Transaction(self, tid, parent=None, timeout=timeout, name=name)
-        with self._registry_lock:
-            self._transactions[tid] = tx
-            self._active.add(tid)
+        self._transactions.put(tid, tx)
+        self._active.put(tid, True)
+        with self._counter_lock:
             self.created += 1
         self.event_log.record("tx_begin", tid=tid, top_level=True)
-        if timeout > 0 and isinstance(self.clock, SimulatedClock):
-            self.clock.call_after(timeout, lambda: self._expire(tid))
+        if timeout > 0:
+            if self._wheel is not None:
+                self._arm_expiry_timer(tx)
+            elif isinstance(self.clock, SimulatedClock):
+                self.clock.call_after(timeout, lambda: self._expire(tid))
         return tx
 
     def create_control(self, timeout: float = 0.0, name: Optional[str] = None) -> Control:
@@ -185,9 +235,9 @@ class TransactionFactory:
     ) -> Transaction:
         tid = self.ids.next("tx")
         tx = Transaction(self, tid, parent=parent, timeout=0.0, name=name)
-        with self._registry_lock:
-            self._transactions[tid] = tx
-            self._active.add(tid)
+        self._transactions.put(tid, tx)
+        self._active.put(tid, True)
+        with self._counter_lock:
             self.created += 1
         self.event_log.record("tx_begin", tid=tid, top_level=False, parent=parent.tid)
         return tx
@@ -195,21 +245,30 @@ class TransactionFactory:
     # -- registry ------------------------------------------------------------
 
     def get(self, tid: str) -> Transaction:
-        try:
-            return self._transactions[tid]
-        except KeyError:
-            raise InvalidTransaction(f"unknown transaction {tid!r}") from None
+        tx = self._transactions.get(tid)
+        if tx is None:
+            raise InvalidTransaction(f"unknown transaction {tid!r}")
+        return tx
 
     def knows(self, tid: str) -> bool:
         return tid in self._transactions
 
     def active_transactions(self) -> List[Transaction]:
-        return [self._transactions[tid] for tid in sorted(self._active)]
+        listed = []
+        for tid in sorted(self._active.keys()):
+            tx = self._transactions.get(tid)
+            if tx is not None:
+                listed.append(tx)
+        return listed
 
     def on_transaction_finished(self, tx: Transaction) -> None:
         """Called by transactions when they reach a terminal state."""
-        with self._registry_lock:
-            self._active.discard(tx.tid)
+        self._active.pop(tx.tid, None)
+        handle = tx._expiry_timer
+        if handle is not None:
+            handle.cancel()
+            tx._expiry_timer = None
+        with self._counter_lock:
             if tx.status is TransactionStatus.COMMITTED:
                 self.committed += 1
             elif tx.status is TransactionStatus.ROLLED_BACK:
@@ -219,19 +278,59 @@ class TransactionFactory:
 
     def _expire(self, tid: str) -> None:
         tx = self._transactions.get(tid)
-        if tx is None or tx.status.is_terminal:
+        if tx is None or tx.status.is_terminal or tx.deadline is None:
             return
-        if tx.deadline is not None and self.clock.now() >= tx.deadline:
+        if self.clock.now() >= tx.deadline:
             self.event_log.record("tx_timeout", tid=tid)
             tx.rollback()
+            if self._collecting_expired:
+                self._expired_batch.append(tid)
+        elif self._wheel is not None:
+            # The one-shot wheel timer fired ahead of the deadline (a
+            # shared wheel advanced by a foreign owner): queue a re-arm
+            # so the timeout is not silently disarmed.  Re-arming from
+            # inside the advance itself could livelock, so it waits for
+            # the next expire_timeouts sweep.
+            self._rearm_queue.append(tid)
 
     def expire_timeouts(self) -> List[str]:
-        """Roll back every active transaction whose deadline has passed."""
-        expired = []
+        """Roll back every active transaction whose deadline has passed.
+
+        With a timer wheel only the armed, strictly-overdue timers fire
+        (O(expiring)); transactions already rolled back by clock-driven
+        wheel firings are not re-reported, matching the historical
+        SimulatedClock behaviour.  Without a wheel this remains the full
+        registry sweep.
+        """
         now = self.clock.now()
-        for tid in sorted(self._active):
-            tx = self._transactions[tid]
-            if tx.deadline is not None and now > tx.deadline and not tx.status.is_terminal:
+        if self._wheel is not None:
+            if self._rearm_queue:
+                queue, self._rearm_queue = self._rearm_queue, []
+                for tid in queue:
+                    tx = self._transactions.get(tid)
+                    if (
+                        tx is not None
+                        and not tx.status.is_terminal
+                        and tx.deadline is not None
+                    ):
+                        self._arm_expiry_timer(tx, clamp=True)
+            self._expired_batch = []
+            self._collecting_expired = True
+            try:
+                self._wheel.advance_to(now, strict=True)
+            finally:
+                self._collecting_expired = False
+            expired, self._expired_batch = self._expired_batch, []
+            return sorted(expired)
+        expired = []
+        for tid in sorted(self._active.keys()):
+            tx = self._transactions.get(tid)
+            if (
+                tx is not None
+                and tx.deadline is not None
+                and now > tx.deadline
+                and not tx.status.is_terminal
+            ):
                 tx.rollback()
                 expired.append(tid)
         return expired
@@ -246,5 +345,5 @@ class TransactionFactory:
             if tx.status.is_terminal and tid not in self._active
         ]
         for tid in done:
-            del self._transactions[tid]
+            self._transactions.pop(tid, None)
         return len(done)

@@ -235,6 +235,10 @@ class SegmentedFileStore(ObjectStore):
         self._marshaller = Marshaller(registry)
         self._segment_bytes = segment_bytes
         self._index: Dict[str, bytes] = {}
+        # keys() returns a sorted tuple; recomputing the sort on every
+        # call made recovery scans O(n log n) per lookup pass.  The
+        # cache lives until a mutation changes the key *set*.
+        self._keys_cache: Optional[Tuple[str, ...]] = None
         # Serialises appends/rollover/compaction: the active-segment
         # bookkeeping is a read-modify-write sequence (size check, id
         # bump, size reset) that concurrent writers must not interleave.
@@ -361,6 +365,7 @@ class SegmentedFileStore(ObjectStore):
         with self._write_lock:
             self._append_frames(frames)
             self._index.update(encoded)
+            self._keys_cache = None
             self._maybe_auto_compact()
 
     def get(self, uid: str) -> Any:
@@ -376,6 +381,7 @@ class SegmentedFileStore(ObjectStore):
                 raise StoreError(f"no state stored under {uid!r}")
             self._append_frames([self._frame(uid, True, b"")])
             del self._index[uid]
+            self._keys_cache = None
             # A tombstone both adds a frame and kills a live key, so
             # delete-heavy workloads must re-check the dead ratio too.
             self._maybe_auto_compact()
@@ -384,7 +390,14 @@ class SegmentedFileStore(ObjectStore):
         return uid in self._index
 
     def keys(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._index))
+        cache = self._keys_cache
+        if cache is None:
+            with self._write_lock:
+                cache = self._keys_cache
+                if cache is None:
+                    cache = tuple(sorted(self._index))
+                    self._keys_cache = cache
+        return cache
 
     # -- maintenance ----------------------------------------------------------
 
@@ -392,6 +405,25 @@ class SegmentedFileStore(ObjectStore):
         """Rewrite live entries into a fresh segment; return files removed."""
         with self._write_lock:
             return self._compact_locked()
+
+    def compact_if_needed(self, min_dead_ratio: float = 0.25) -> bool:
+        """Compact when the dead-record ratio has crossed ``min_dead_ratio``.
+
+        This is the entry point for time-based background maintenance
+        (e.g. :meth:`repro.core.manager.ActivityManager.schedule_store_maintenance`):
+        cheap to call on a cadence, rewrites only when enough garbage has
+        accumulated.  Returns True when a compaction actually ran.
+        """
+        if not (0.0 < min_dead_ratio <= 1.0):
+            raise ValueError("min_dead_ratio must be in (0, 1]")
+        with self._write_lock:
+            if self._records_written == 0:
+                return False
+            dead = self._records_written - len(self._index)
+            if dead / self._records_written < min_dead_ratio:
+                return False
+            self._compact_locked()
+            return True
 
     def _compact_locked(self) -> int:
         old_ids = list(self._segment_ids)

@@ -1,9 +1,12 @@
-"""Utility substrate: simulated time, deterministic ids, event tracing."""
+"""Utility substrate: simulated time, deterministic ids, event tracing,
+timer wheels and striped registries."""
 
 from repro.util.clock import Clock, SimulatedClock, WallClock
 from repro.util.events import EventLog, TraceEvent
 from repro.util.idgen import IdGenerator, fresh_uid
 from repro.util.rng import SeededRng
+from repro.util.sharding import StripedMap
+from repro.util.timer_wheel import HierarchicalTimerWheel, RecurringTimer, TimerHandle
 
 __all__ = [
     "Clock",
@@ -14,4 +17,8 @@ __all__ = [
     "IdGenerator",
     "fresh_uid",
     "SeededRng",
+    "StripedMap",
+    "HierarchicalTimerWheel",
+    "RecurringTimer",
+    "TimerHandle",
 ]

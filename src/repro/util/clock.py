@@ -5,6 +5,13 @@ times, timeouts and latency distributions are reproducible.  Production-style
 code paths accept any :class:`Clock`; the test/bench harnesses pass a
 :class:`SimulatedClock` and advance it explicitly, while interactive use can
 fall back to :class:`WallClock`.
+
+Both clocks can drive a
+:class:`~repro.util.timer_wheel.HierarchicalTimerWheel`: attaching one to a
+``SimulatedClock`` replaces the heapq timer path (``call_at`` routes into
+the wheel and ``advance`` fires wheel timers in timestamp order), while a
+``WallClock`` with a wheel ticks it lazily on ``now()`` or an explicit
+``tick()`` — no background thread required.
 """
 
 from __future__ import annotations
@@ -13,9 +20,12 @@ import abc
 import heapq
 import itertools
 import time
-from typing import Callable, List, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.exceptions import InvalidStateError
+
+if TYPE_CHECKING:
+    from repro.util.timer_wheel import HierarchicalTimerWheel, TimerHandle
 
 
 class Clock(abc.ABC):
@@ -31,14 +41,71 @@ class Clock(abc.ABC):
 
 
 class WallClock(Clock):
-    """Real time, for interactive use."""
+    """Real time, for interactive use.
+
+    With a timer wheel attached the clock gains a lazy timer service:
+    every ``now()`` (and every explicit :meth:`tick`) advances the wheel
+    to the current monotonic time, firing due callbacks on the calling
+    thread.  Re-entrant ticks (a firing callback reading ``now()``) are
+    suppressed so callbacks never recurse into the wheel.
+    """
+
+    def __init__(self, wheel: Optional["HierarchicalTimerWheel"] = None) -> None:
+        self._wheel: Optional["HierarchicalTimerWheel"] = None
+        self._ticking = False
+        if wheel is not None:
+            self.attach_wheel(wheel)
+
+    @property
+    def wheel(self) -> Optional["HierarchicalTimerWheel"]:
+        return self._wheel
+
+    def attach_wheel(self, wheel: "HierarchicalTimerWheel") -> None:
+        if self._wheel is not None and self._wheel is not wheel:
+            raise InvalidStateError("clock already drives a timer wheel")
+        wheel.advance_to(time.monotonic())  # sync cursor; nothing can be due yet
+        self._wheel = wheel
 
     def now(self) -> float:
-        return time.monotonic()
+        current = time.monotonic()
+        if self._wheel is not None and not self._ticking:
+            self._tick_to(current)
+        return current
+
+    def tick(self) -> List["TimerHandle"]:
+        """Fire every wheel timer due by the current wall time."""
+        if self._wheel is None:
+            return []
+        return self._tick_to(time.monotonic())
+
+    def _tick_to(self, target: float) -> List["TimerHandle"]:
+        self._ticking = True
+        try:
+            return self._wheel.advance_to(target)
+        finally:
+            self._ticking = False
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> "TimerHandle":
+        """Schedule ``callback`` on the attached wheel (requires one)."""
+        if self._wheel is None:
+            raise InvalidStateError("WallClock has no timer wheel attached")
+        return self._wheel.schedule_at(when, callback)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> "TimerHandle":
+        if self._wheel is None:
+            raise InvalidStateError("WallClock has no timer wheel attached")
+        if delay < 0:
+            raise ValueError("cannot schedule a negative delay")
+        # Anchor to the current wall time, not the wheel's internal
+        # time: the lazily ticked wheel lags behind between now() calls
+        # and a wheel-relative delay would fire early by that lag.
+        return self._wheel.schedule_at(time.monotonic() + delay, callback)
 
     def sleep(self, seconds: float) -> None:
         if seconds > 0:
             time.sleep(seconds)
+        if self._wheel is not None and not self._ticking:
+            self._tick_to(time.monotonic())
 
 
 class SimulatedClock(Clock):
@@ -48,6 +115,13 @@ class SimulatedClock(Clock):
     the whole library is single-threaded by design so that runs are
     deterministic).  Timers scheduled with :meth:`call_at` fire during
     :meth:`advance` in timestamp order; ties break by scheduling order.
+
+    With a :class:`~repro.util.timer_wheel.HierarchicalTimerWheel` attached
+    (:meth:`attach_wheel`), ``call_at``/``call_after`` route into the wheel
+    instead of the heap and ``advance`` drives the wheel, so arming and
+    cancelling timers is O(1) amortized while the firing order contract is
+    preserved.  Timers already in the heap at attach time keep firing,
+    interleaved with wheel timers in timestamp order.
     """
 
     def __init__(self, start: float = 0.0) -> None:
@@ -56,6 +130,36 @@ class SimulatedClock(Clock):
         self._now = float(start)
         self._timers: List[Tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
+        self._wheel: Optional["HierarchicalTimerWheel"] = None
+
+    @property
+    def wheel(self) -> Optional["HierarchicalTimerWheel"]:
+        return self._wheel
+
+    def attach_wheel(self, wheel: "HierarchicalTimerWheel") -> None:
+        """Make ``wheel`` this clock's timer backend (idempotent for the
+        same wheel; a second, different wheel is refused)."""
+        if self._wheel is not None:
+            if self._wheel is wheel:
+                return
+            raise InvalidStateError("clock already drives a timer wheel")
+        if wheel.on_fire_time is not None:
+            # Silently stealing the binding would leave the other
+            # clock's now() out of step with its own firing timers.
+            raise InvalidStateError("wheel is already attached to another clock")
+        if wheel.now > self._now:
+            raise InvalidStateError(
+                f"wheel time {wheel.now} is ahead of clock time {self._now}"
+            )
+        wheel.advance_to(self._now)  # sync cursor up to simulated now
+        wheel.on_fire_time = self._on_wheel_fire
+        self._wheel = wheel
+
+    def _on_wheel_fire(self, when: float) -> None:
+        # Keep now() in step with the timer being fired so callbacks
+        # observe the same time the heap path would have shown them.
+        if when > self._now:
+            self._now = when
 
     def now(self) -> float:
         return self._now
@@ -65,17 +169,29 @@ class SimulatedClock(Clock):
             raise ValueError("cannot sleep a negative duration")
         self.advance(seconds)
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run when simulated time reaches ``when``."""
+    def call_at(
+        self, when: float, callback: Callable[[], None]
+    ) -> Optional["TimerHandle"]:
+        """Schedule ``callback`` to run when simulated time reaches ``when``.
+
+        With a wheel attached, returns the wheel's cancellable
+        :class:`~repro.util.timer_wheel.TimerHandle` (heap timers return
+        None and cannot be cancelled).
+        """
         if when < self._now:
             raise InvalidStateError(
                 f"cannot schedule timer in the past ({when} < {self._now})"
             )
+        if self._wheel is not None:
+            return self._wheel.schedule_at(when, callback)
         heapq.heappush(self._timers, (when, next(self._counter), callback))
+        return None
 
-    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+    def call_after(
+        self, delay: float, callback: Callable[[], None]
+    ) -> Optional["TimerHandle"]:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
-        self.call_at(self._now + delay, callback)
+        return self.call_at(self._now + delay, callback)
 
     def advance(self, seconds: float) -> None:
         """Move time forward, firing any timers that become due."""
@@ -84,17 +200,50 @@ class SimulatedClock(Clock):
         deadline = self._now + seconds
         while self._timers and self._timers[0][0] <= deadline:
             when, _, callback = heapq.heappop(self._timers)
+            if self._wheel is not None:
+                # Wheel timers due strictly before this heap timer fire
+                # first; on an exact tie the heap timer wins, because
+                # every heap timer predates the wheel (heap scheduling
+                # ends at attach_wheel) and ties break by scheduling
+                # order.
+                self._wheel.advance_to(when, strict=True)
             self._now = max(self._now, when)
             callback()
+        if self._wheel is not None:
+            self._wheel.advance_to(deadline)
         self._now = deadline
 
     def run_until_idle(self) -> None:
-        """Fire every outstanding timer, advancing time as needed."""
-        while self._timers:
-            when, _, callback = heapq.heappop(self._timers)
-            self._now = max(self._now, when)
-            callback()
+        """Fire every outstanding timer, advancing time as needed.
+
+        Self-re-arming timers (a :class:`~repro.util.timer_wheel.RecurringTimer`
+        on an attached wheel) make "every outstanding timer" unbounded —
+        cancel those first or this will not return.
+        """
+        while True:
+            if self._timers:
+                # Drain the heap first; wheel timers due strictly before
+                # each heap timer fire in one batched advance (no
+                # per-timer wheel scans), and exact ties go to the heap
+                # timer, which was scheduled first.
+                when, _, callback = heapq.heappop(self._timers)
+                if self._wheel is not None:
+                    self._wheel.advance_to(when, strict=True)
+                self._now = max(self._now, when)
+                callback()
+                continue
+            if self._wheel is not None and self._wheel.pending:
+                wheel_next = self._wheel.next_deadline()
+                if wheel_next is None:
+                    return
+                self._now = max(self._now, wheel_next)
+                self._wheel.advance_to(wheel_next)
+                continue
+            return
 
     @property
     def pending_timers(self) -> int:
-        return len(self._timers)
+        count = len(self._timers)
+        if self._wheel is not None:
+            count += self._wheel.pending
+        return count

@@ -9,6 +9,8 @@ The log doubles as a debugging aid and is cheap enough to leave enabled.
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -37,17 +39,45 @@ class EventLog:
 
     The log can be shared by many components; a simulated clock may be
     attached so events carry simulated timestamps.
+
+    By default the log is unbounded (figure benches assert complete,
+    byte-identical traces).  ``max_events=N`` turns it into a ring
+    buffer keeping the *latest* N events — always-on tracing in a
+    long-lived control plane must not grow with uptime — and counts
+    every displaced event in :attr:`dropped`.
     """
 
-    def __init__(self, clock: Optional[Any] = None) -> None:
-        self._events: List[TraceEvent] = []
+    def __init__(
+        self, clock: Optional[Any] = None, max_events: Optional[int] = None
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be at least 1")
+        self._max_events = max_events
+        if max_events is None:
+            self._events: Any = []
+        else:
+            self._events = deque(maxlen=max_events)
         self._clock = clock
         self._listeners: List[Callable[[TraceEvent], None]] = []
+        self._ring_lock = threading.Lock()
+        self.dropped = 0
+
+    @property
+    def max_events(self) -> Optional[int]:
+        return self._max_events
 
     def record(self, kind: str, **detail: Any) -> TraceEvent:
         timestamp = self._clock.now() if self._clock is not None else 0.0
         event = TraceEvent(kind=kind, detail=detail, timestamp=timestamp)
-        self._events.append(event)
+        if self._max_events is None:
+            self._events.append(event)
+        else:
+            # The deque displaces the oldest event itself; the lock only
+            # keeps the dropped counter honest under concurrent writers.
+            with self._ring_lock:
+                if len(self._events) == self._max_events:
+                    self.dropped += 1
+                self._events.append(event)
         for listener in self._listeners:
             listener(event)
         return event
@@ -57,6 +87,7 @@ class EventLog:
 
     def clear(self) -> None:
         self._events.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._events)

@@ -1,0 +1,116 @@
+"""Striped, lock-guarded maps for hot shared registries.
+
+The activity manager's live-activity registry and the OTS factory's
+transaction registry are touched on every ``begin``/``complete``/``get``;
+under the parallel broadcast executor and ``parallel_participants`` those
+calls arrive from many worker threads at once.  A single dict behind a
+single lock makes every one of them a rendezvous point.  A
+:class:`StripedMap` splits the key space across N independently-locked
+segments so unrelated keys never contend.
+
+Striping uses ``zlib.crc32`` of the key rather than ``hash()``:
+``PYTHONHASHSEED`` randomises string hashes per process, and a
+reproduction repo lives and dies by cross-run determinism (shard
+assignment — and therefore any shard-ordered iteration — must be stable
+run to run).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Any, Dict, Iterator, List, Tuple
+
+
+class StripedMap:
+    """A str-keyed map sharded into independently locked segments.
+
+    Single-key operations lock only the owning segment.  Whole-map reads
+    (``keys``/``values``/``items``/``__len__``) take per-segment
+    snapshots in shard order — they are consistent per segment, not
+    globally atomic, which is all the registries need (their callers
+    tolerate an activity beginning or completing mid-listing).
+    """
+
+    def __init__(self, shards: int = 8) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.shards = shards
+        self._segments: List[Dict[str, Any]] = [{} for _ in range(shards)]
+        self._locks: List[threading.Lock] = [threading.Lock() for _ in range(shards)]
+
+    def _segment(self, key: str) -> Tuple[threading.Lock, Dict[str, Any]]:
+        index = zlib.crc32(key.encode("utf-8")) % self.shards
+        return self._locks[index], self._segments[index]
+
+    # -- single-key operations (one segment lock) -----------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        lock, segment = self._segment(key)
+        with lock:
+            segment[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        lock, segment = self._segment(key)
+        with lock:
+            return segment.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        lock, segment = self._segment(key)
+        with lock:
+            return segment[key]
+
+    def pop(self, key: str, default: Any = None) -> Any:
+        lock, segment = self._segment(key)
+        with lock:
+            return segment.pop(key, default)
+
+    def setdefault(self, key: str, value: Any) -> Any:
+        lock, segment = self._segment(key)
+        with lock:
+            return segment.setdefault(key, value)
+
+    def __contains__(self, key: object) -> bool:
+        if not isinstance(key, str):
+            return False
+        lock, segment = self._segment(key)
+        with lock:
+            return key in segment
+
+    # -- whole-map snapshots (shard order, per-segment consistency) -----------
+
+    def __len__(self) -> int:
+        return sum(len(segment) for segment in self._segments)
+
+    def keys(self) -> List[str]:
+        collected: List[str] = []
+        for lock, segment in zip(self._locks, self._segments):
+            with lock:
+                collected.extend(segment.keys())
+        return collected
+
+    def values(self) -> List[Any]:
+        collected: List[Any] = []
+        for lock, segment in zip(self._locks, self._segments):
+            with lock:
+                collected.extend(segment.values())
+        return collected
+
+    def items(self) -> List[Tuple[str, Any]]:
+        collected: List[Tuple[str, Any]] = []
+        for lock, segment in zip(self._locks, self._segments):
+            with lock:
+                collected.extend(segment.items())
+        return collected
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def clear(self) -> None:
+        for lock, segment in zip(self._locks, self._segments):
+            with lock:
+                segment.clear()
+
+    def segment_sizes(self) -> List[int]:
+        """Per-shard population (diagnostics / balance checks)."""
+        return [len(segment) for segment in self._segments]

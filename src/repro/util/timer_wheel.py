@@ -1,0 +1,395 @@
+"""Hashed hierarchical timer wheel (control-plane deadline engine).
+
+The Activity Service polices activity and transaction timeouts (§3.4).
+The naive implementation sweeps *every* live activity on each
+``expire_timeouts`` call, so policing cost grows with the live
+population.  This module provides the classic alternative from the
+Varghese & Lauck timer-facility design: a **hashed hierarchical timer
+wheel** where arming, cancelling and re-arming a timer are O(1)
+amortized and an expiry sweep touches only the timers that are actually
+due (plus a bounded amount of per-tick cursor work), so expiry cost is
+proportional to *expiring* timers, not live ones.
+
+Layout: ``levels`` wheels of ``wheel_size`` slots each.  Level 0 slots
+span one ``tick`` of simulated/real seconds, level 1 slots span
+``wheel_size`` ticks, level *i* slots span ``wheel_size**i`` ticks;
+timers beyond the last level wait in an overflow list.  As the cursor
+crosses a higher-level slot boundary that slot's timers *cascade* down
+into finer wheels, so every timer is in a level-0 slot by the time it is
+due.  Bucketing never costs precision: the current slot is filtered by
+exact deadline, so a sub-tick deadline still fires (or is held back, in
+``strict`` mode) at exactly the right comparison.
+
+Integration points (see :mod:`repro.util.clock`):
+
+- ``SimulatedClock.attach_wheel(wheel)`` replaces the clock's heapq
+  timer path: ``call_at`` routes into the wheel and ``advance`` drives
+  ``advance_to`` so timers fire in ``(deadline, schedule order)`` order
+  during time travel, exactly like the heap did;
+- ``WallClock(wheel=...)`` ticks the wheel lazily on ``now()`` (and on
+  an explicit ``tick()``), which is how a wall-clock deployment gets
+  timer service without a background thread;
+- poll-style owners (:class:`~repro.core.manager.ActivityManager`) keep
+  a private wheel and call ``advance_to(now, strict=True)`` from their
+  existing sweep entry point, preserving sweep-time semantics.
+
+Timers scheduled *by a firing callback* inside the same advance window
+fire within that same ``advance_to`` call, after the already-due timers
+of the tick being processed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.exceptions import InvalidStateError
+
+_SCHEDULED = 0
+_READY = 1
+_FIRED = 2
+_CANCELLED = 3
+
+
+class TimerHandle:
+    """One armed timer.  Cancel through :meth:`cancel`; re-arm by
+    scheduling a fresh handle (or :meth:`HierarchicalTimerWheel.reschedule`)."""
+
+    __slots__ = ("deadline", "seq", "callback", "payload", "_state", "_wheel")
+
+    def __init__(
+        self,
+        deadline: float,
+        seq: int,
+        callback: Optional[Callable[[], None]],
+        payload: Any,
+        wheel: "HierarchicalTimerWheel",
+    ) -> None:
+        self.deadline = deadline
+        self.seq = seq
+        self.callback = callback
+        self.payload = payload
+        self._state = _SCHEDULED
+        self._wheel = wheel
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        return self._state == _FIRED
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is armed and has neither fired nor been
+        cancelled."""
+        return self._state in (_SCHEDULED, _READY)
+
+    def cancel(self) -> bool:
+        """Disarm this timer; True if it was still pending."""
+        return self._wheel._cancel(self)
+
+    def __repr__(self) -> str:
+        state = {0: "scheduled", 1: "ready", 2: "fired", 3: "cancelled"}[self._state]
+        return f"TimerHandle(deadline={self.deadline}, seq={self.seq}, {state})"
+
+
+class HierarchicalTimerWheel:
+    """O(1)-amortized timer facility with hierarchical cascading.
+
+    Thread-safe: arming and cancelling may race an ``advance_to`` from
+    another thread (the sharded begin/complete paths do exactly that).
+    Callbacks are invoked *outside* the wheel's lock, one at a time, in
+    ``(deadline, seq)`` order.
+    """
+
+    def __init__(
+        self,
+        tick: float = 1.0,
+        wheel_size: int = 64,
+        levels: int = 3,
+        start: float = 0.0,
+    ) -> None:
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        if wheel_size < 2:
+            raise ValueError("wheel_size must be at least 2")
+        if levels < 1:
+            raise ValueError("levels must be at least 1")
+        if start < 0:
+            raise ValueError("wheel cannot start before time zero")
+        self._tick = tick
+        self._size = wheel_size
+        self._levels = levels
+        self._slots: List[List[List[TimerHandle]]] = [
+            [[] for _ in range(wheel_size)] for _ in range(levels)
+        ]
+        self._overflow: List[TimerHandle] = []
+        self._cursor = int(start // tick)
+        self._now = float(start)
+        self._count = 0
+        self._seq = itertools.count()
+        self._ready: Deque[TimerHandle] = deque()
+        self._lock = threading.RLock()
+        # Invoked (fire time) just before each callback runs; a
+        # SimulatedClock binds this to keep `now()` in step with the
+        # timer being fired.
+        self.on_fire_time: Optional[Callable[[float], None]] = None
+        self.scheduled = 0
+        self.fired = 0
+        self.cancelled = 0
+        self.cascades = 0
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def tick(self) -> float:
+        return self._tick
+
+    @property
+    def pending(self) -> int:
+        """Number of armed (neither fired nor cancelled) timers."""
+        return self._count
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest pending deadline (O(pending) scan; None when idle)."""
+        with self._lock:
+            best: Optional[float] = None
+            for handle in self._iter_pending():
+                if best is None or handle.deadline < best:
+                    best = handle.deadline
+            return best
+
+    def _iter_pending(self):
+        for handle in self._ready:
+            if handle._state == _READY:
+                yield handle
+        for level in self._slots:
+            for slot in level:
+                for handle in slot:
+                    if handle._state == _SCHEDULED:
+                        yield handle
+        for handle in self._overflow:
+            if handle._state == _SCHEDULED:
+                yield handle
+
+    # -- arming ---------------------------------------------------------------
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Optional[Callable[[], None]] = None,
+        payload: Any = None,
+    ) -> TimerHandle:
+        """Arm a timer for absolute time ``when`` (>= the wheel's now)."""
+        with self._lock:
+            if when < self._now:
+                raise InvalidStateError(
+                    f"cannot schedule timer in the past ({when} < {self._now})"
+                )
+            handle = TimerHandle(when, next(self._seq), callback, payload, self)
+            self._place(handle)
+            self._count += 1
+            self.scheduled += 1
+            return handle
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Optional[Callable[[], None]] = None,
+        payload: Any = None,
+    ) -> TimerHandle:
+        if delay < 0:
+            raise ValueError("cannot schedule a negative delay")
+        with self._lock:
+            return self.schedule_at(self._now + delay, callback, payload)
+
+    def reschedule(self, handle: TimerHandle, when: float) -> TimerHandle:
+        """Cancel ``handle`` and arm a fresh timer with the same callback
+        and payload at ``when`` (the re-arm half of cancel/re-arm)."""
+        with self._lock:
+            handle.cancel()
+            return self.schedule_at(when, handle.callback, handle.payload)
+
+    def _cancel(self, handle: TimerHandle) -> bool:
+        with self._lock:
+            if handle._state not in (_SCHEDULED, _READY):
+                return False
+            handle._state = _CANCELLED
+            self._count -= 1
+            self.cancelled += 1
+            return True
+
+    def _place(self, handle: TimerHandle) -> None:
+        """Slot ``handle`` by distance-to-due; lock held by caller."""
+        tick_index = int(handle.deadline // self._tick)
+        if tick_index < self._cursor:
+            tick_index = self._cursor
+        delta = tick_index - self._cursor
+        granularity = 1
+        for level in range(self._levels):
+            if delta < granularity * self._size:
+                slot = (tick_index // granularity) % self._size
+                self._slots[level][slot].append(handle)
+                return
+            granularity *= self._size
+        self._overflow.append(handle)
+
+    # -- expiry ---------------------------------------------------------------
+
+    def advance_to(self, target: float, strict: bool = False) -> List[TimerHandle]:
+        """Move wheel time to ``target``, firing due timers in
+        ``(deadline, seq)`` order; return the fired handles.
+
+        ``strict=False`` fires deadlines ``<= target`` (the simulated
+        clock's ``call_at`` contract); ``strict=True`` fires only
+        deadlines ``< target``, matching the registry sweeps' historical
+        ``now > deadline`` comparison — a timer landing exactly on the
+        sweep time stays armed for the next sweep.
+
+        Callbacks run outside the lock; a callback that schedules
+        another timer due within ``target`` gets it fired in this same
+        call, after the already-due timers of the tick being processed.
+        """
+        fired: List[TimerHandle] = []
+        while True:
+            with self._lock:
+                handle = self._pop_next_due(target, strict)
+                if handle is None:
+                    if target > self._now:
+                        self._now = target
+                    break
+                handle._state = _FIRED
+                self._count -= 1
+                self.fired += 1
+                if handle.deadline > self._now:
+                    self._now = handle.deadline
+            if self.on_fire_time is not None:
+                self.on_fire_time(handle.deadline)
+            if handle.callback is not None:
+                handle.callback()
+            fired.append(handle)
+        return fired
+
+    def _pop_next_due(self, target: float, strict: bool) -> Optional[TimerHandle]:
+        target_tick = int(target // self._tick)
+        while True:
+            while self._ready:
+                handle = self._ready.popleft()
+                if handle._state == _READY:
+                    return handle
+            if self._count == 0:
+                # Nothing armed anywhere: jump the cursor without
+                # walking (and cascading through) the empty ticks.
+                if target_tick > self._cursor:
+                    self._cursor = target_tick
+                return None
+            slot = self._slots[0][self._cursor % self._size]
+            if slot:
+                if self._cursor < target_tick:
+                    # Every resident of a passed tick is due, strict or not.
+                    due = [h for h in slot if h._state == _SCHEDULED]
+                    del slot[:]
+                else:
+                    due = []
+                    keep = []
+                    for handle in slot:
+                        if handle._state != _SCHEDULED:
+                            continue  # drop cancelled residents
+                        is_due = (
+                            handle.deadline < target
+                            if strict
+                            else handle.deadline <= target
+                        )
+                        (due if is_due else keep).append(handle)
+                    slot[:] = keep
+                if due:
+                    due.sort(key=lambda h: (h.deadline, h.seq))
+                    for handle in due:
+                        handle._state = _READY
+                    self._ready.extend(due)
+                    continue
+            if self._cursor >= target_tick:
+                return None
+            self._step_cursor()
+
+    def _step_cursor(self) -> None:
+        """Advance one tick, cascading higher wheels at their boundaries."""
+        self._cursor += 1
+        granularity = self._size
+        for level in range(1, self._levels):
+            if self._cursor % granularity != 0:
+                return
+            slot_index = (self._cursor // granularity) % self._size
+            residents = self._slots[level][slot_index]
+            if residents:
+                self._slots[level][slot_index] = []
+                for handle in residents:
+                    if handle._state == _SCHEDULED:
+                        self._place(handle)
+                        self.cascades += 1
+            granularity *= self._size
+        if self._overflow and self._cursor % granularity == 0:
+            residents = self._overflow
+            self._overflow = []
+            for handle in residents:
+                if handle._state == _SCHEDULED:
+                    self._place(handle)
+                    self.cascades += 1
+
+
+class RecurringTimer:
+    """A wheel timer that re-arms itself after every firing.
+
+    This is the background-maintenance hook: pass a callback (e.g. a
+    :meth:`~repro.persistence.object_store.SegmentedFileStore.compact_if_needed`
+    closure) and it runs every ``interval`` wheel-seconds until
+    :meth:`cancel`.  Firing happens whenever the owning wheel advances —
+    on ``SimulatedClock.advance`` when the wheel is clock-attached, on
+    ``WallClock.now()``/``tick()`` lazily, or during a manager's
+    ``expire_timeouts`` sweep for poll-style wheels.
+    """
+
+    def __init__(
+        self,
+        wheel: HierarchicalTimerWheel,
+        interval: float,
+        callback: Callable[[], None],
+        start_after: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.wheel = wheel
+        self.interval = interval
+        self.callback = callback
+        self.fires = 0
+        self._cancelled = False
+        self._handle = wheel.schedule_after(
+            interval if start_after is None else start_after, self._fire
+        )
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fires += 1
+        try:
+            self.callback()
+        finally:
+            if not self._cancelled:
+                self._handle = self.wheel.schedule_after(self.interval, self._fire)
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the cycle (idempotent)."""
+        self._cancelled = True
+        self._handle.cancel()

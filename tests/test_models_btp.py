@@ -279,3 +279,67 @@ class TestCohesion:
         assert cohesion.prepare_member("taxi")
         outcomes = cohesion.confirm(["taxi"])
         assert outcomes["taxi"] is BtpStatus.CONFIRMED
+
+
+class TestPerModelExecutor:
+    """BTP atoms accept ``executor=`` (ROADMAP: mirror Saga from PR 3)."""
+
+    def run_atom_flow(self, executor=None):
+        manager = ActivityManager()
+        atom = BtpAtom(manager, "pay", executor=executor)
+        participants = [BtpParticipant(f"p{i}") for i in range(4)]
+        for participant in participants:
+            atom.enroll(participant)
+        assert atom.prepare()
+        atom.confirm()
+        trace = [
+            (event.kind, event.detail.get("signal"), event.detail.get("outcome"))
+            for event in manager.event_log
+            if event.kind in ("get_signal", "transmit", "set_response", "get_outcome")
+        ]
+        return atom, participants, trace
+
+    def test_thread_pool_executor_matches_serial_trace(self):
+        from repro.core import ThreadPoolBroadcastExecutor
+
+        serial_atom, serial_parts, serial_trace = self.run_atom_flow()
+        with ThreadPoolBroadcastExecutor(max_workers=4) as executor:
+            pool_atom, pool_parts, pool_trace = self.run_atom_flow(executor)
+        assert pool_atom.status is serial_atom.status is BtpStatus.CONFIRMED
+        assert [p.status for p in pool_parts] == [p.status for p in serial_parts]
+        assert pool_trace == serial_trace
+
+    def test_refusal_path_parity(self):
+        from repro.core import ThreadPoolBroadcastExecutor
+
+        def run(executor=None):
+            manager = ActivityManager()
+            atom = BtpAtom(manager, "mixed", executor=executor)
+            statuses = []
+            for i in range(4):
+                participant = BtpParticipant(
+                    f"p{i}", on_prepare=(lambda: False) if i == 2 else None
+                )
+                atom.enroll(participant)
+                statuses.append(participant)
+            prepared = atom.prepare()
+            return prepared, atom.status, [p.status for p in statuses]
+
+        serial = run()
+        with ThreadPoolBroadcastExecutor(max_workers=4) as executor:
+            pooled = run(executor)
+        assert serial == pooled
+        assert serial[0] is False and serial[1] is BtpStatus.CANCELLED
+
+    def test_cohesion_new_atom_shares_executor(self):
+        from repro.core import SerialBroadcastExecutor
+
+        manager = ActivityManager()
+        executor = SerialBroadcastExecutor()
+        cohesion = BtpCohesion(manager, "trip", executor=executor)
+        atom = cohesion.new_atom("hotel")
+        assert atom.executor is executor
+        assert "hotel" in cohesion.members
+        atom.enroll(BtpParticipant("h"))
+        outcomes = cohesion.confirm(["hotel"])
+        assert outcomes["hotel"] is BtpStatus.CONFIRMED

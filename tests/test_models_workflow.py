@@ -236,3 +236,67 @@ class TestTransactionalTasks:
         assert result.state("bad") is TaskState.FAILED
         assert cell.read() == 10, "the task's transaction rolled back"
         assert factory.rolled_back == 1
+
+
+class TestPerModelExecutor:
+    """WorkflowEngine accepts ``executor=`` (ROADMAP: mirror Saga from PR 3)."""
+
+    def build(self):
+        workflow = Workflow("trip")
+        workflow.add_task("t1", lambda c: "r1")
+        workflow.add_task("t2", lambda c: c["results"]["t1"] + "+r2", deps=["t1"])
+        workflow.add_task("t3", lambda c: "r3", deps=["t1"])
+        return workflow
+
+    def fig10_trace(self, manager):
+        return [
+            (event.kind, event.detail.get("signal"), event.detail.get("outcome"))
+            for event in manager.event_log
+            if event.kind in ("get_signal", "transmit", "set_response", "get_outcome")
+        ]
+
+    def test_thread_pool_executor_matches_serial_run(self):
+        from repro.core import ThreadPoolBroadcastExecutor
+
+        serial_manager = ActivityManager()
+        serial = WorkflowEngine(serial_manager).run(self.build())
+        with ThreadPoolBroadcastExecutor(max_workers=4) as executor:
+            pool_manager = ActivityManager()
+            pooled = WorkflowEngine(pool_manager, executor=executor).run(self.build())
+        assert pooled.succeeded and serial.succeeded
+        assert pooled.states == serial.states
+        assert pooled.outputs == serial.outputs
+        assert pooled.waves == serial.waves
+        assert self.fig10_trace(pool_manager) == self.fig10_trace(serial_manager)
+
+    def test_recovery_plan_parity_under_pool_executor(self):
+        from repro.core import ThreadPoolBroadcastExecutor
+
+        def build():
+            log = []
+            workflow = Workflow("fig2")
+            workflow.add_task("t1", lambda c: log.append("t1") or "t1")
+            workflow.add_task(
+                "t2",
+                lambda c: log.append("t2") or "t2",
+                deps=["t1"],
+                compensation=lambda c: log.append("undo-t2"),
+            )
+            workflow.add_task(
+                "t4", lambda c: (_ for _ in ()).throw(RuntimeError("boom")),
+                deps=["t2"],
+            )
+            workflow.add_task("t5p", lambda c: log.append("t5p") or "t5p", fallback=True)
+            workflow.on_failure("t4", compensate=["t2"], continue_with=["t5p"])
+            return workflow, log
+
+        workflow, serial_log = build()
+        serial = WorkflowEngine(ActivityManager()).run(workflow)
+        workflow, pool_log = build()
+        with ThreadPoolBroadcastExecutor(max_workers=4) as executor:
+            pooled = WorkflowEngine(
+                ActivityManager(), executor=executor
+            ).run(workflow)
+        assert pooled.states == serial.states
+        assert pooled.compensated == serial.compensated == ["t2"]
+        assert pool_log == serial_log

@@ -298,3 +298,73 @@ class TestAutoCompaction:
             store.remove(f"k{i}")
         assert store.auto_compactions >= 1
         assert store.keys() == tuple(sorted(f"k{i}" for i in range(28, 32)))
+
+
+class TestSegmentedKeysCache:
+    """keys() caches its sorted tuple and invalidates on every mutation."""
+
+    def make(self, tmp_path):
+        from repro.persistence import SegmentedFileStore
+
+        return SegmentedFileStore(str(tmp_path / "seg"))
+
+    def test_repeated_keys_reuse_cached_tuple(self, tmp_path):
+        store = self.make(tmp_path)
+        store.put_many({"b": 1, "a": 2, "c": 3})
+        first = store.keys()
+        assert first == ("a", "b", "c")
+        assert store.keys() is first, "no re-sort without mutation"
+
+    def test_put_invalidates(self, tmp_path):
+        store = self.make(tmp_path)
+        store.put("b", 1)
+        before = store.keys()
+        store.put("a", 2)
+        after = store.keys()
+        assert after == ("a", "b")
+        assert after is not before
+
+    def test_put_many_and_remove_invalidate(self, tmp_path):
+        store = self.make(tmp_path)
+        store.put_many({"a": 1, "b": 2})
+        assert store.keys() == ("a", "b")
+        store.put_many({"c": 3})
+        assert store.keys() == ("a", "b", "c")
+        store.remove("b")
+        assert store.keys() == ("a", "c")
+
+    def test_overwrite_keeps_cache_correct(self, tmp_path):
+        store = self.make(tmp_path)
+        store.put("a", 1)
+        keys = store.keys()
+        store.put("a", 2)  # same key set; invalidation is still safe
+        assert store.keys() == keys == ("a",)
+        assert store.get("a") == 2
+
+    def test_compaction_and_reopen_keep_keys_correct(self, tmp_path):
+        from repro.persistence import SegmentedFileStore
+
+        store = self.make(tmp_path)
+        for wave in range(3):
+            store.put_many({f"k{i}": wave for i in range(4)})
+        store.remove("k0")
+        assert store.keys() == ("k1", "k2", "k3")
+        store.compact()
+        assert store.keys() == ("k1", "k2", "k3")
+        reopened = SegmentedFileStore(str(tmp_path / "seg"))
+        assert reopened.keys() == ("k1", "k2", "k3")
+
+    def test_auto_compaction_path_invalidates(self, tmp_path):
+        from repro.persistence import SegmentedFileStore
+
+        store = SegmentedFileStore(
+            str(tmp_path / "seg"),
+            auto_compact_ratio=0.5,
+            auto_compact_min_records=8,
+        )
+        store.put_many({f"k{i}": 0 for i in range(8)})
+        cached = store.keys()
+        for wave in range(4):  # drives auto-compaction via dead ratio
+            store.put_many({f"k{i}": wave for i in range(8)})
+        assert store.auto_compactions >= 1
+        assert store.keys() == cached == tuple(f"k{i}" for i in range(8))
