@@ -36,6 +36,11 @@ from repro.core.context import (
 )
 from repro.core.coordinator import ActionRecord, ActivityCoordinator
 from repro.core.current import ActivityCurrent
+from repro.core.interposition import (
+    ActivityInterposer,
+    SubordinateCoordinator,
+    recover_subordinates,
+)
 from repro.core.delivery import (
     AtLeastOnceDelivery,
     AtMostOnceDelivery,
@@ -84,6 +89,9 @@ __all__ = [
     "Activity",
     "ActivityManager",
     "ActivityCurrent",
+    "ActivityInterposer",
+    "SubordinateCoordinator",
+    "recover_subordinates",
     "UserActivity",
     "ActivityCoordinator",
     "ActionRecord",

@@ -59,6 +59,7 @@ class Activity:
         executor: Optional[Any] = None,
         action_timeout: Optional[float] = None,
         marshal_once: bool = True,
+        interposer: Optional[Any] = None,
     ) -> None:
         self.activity_id = activity_id
         self.name = name if name is not None else activity_id
@@ -80,6 +81,7 @@ class Activity:
             executor=executor,
             action_timeout=action_timeout,
             marshal_once=marshal_once,
+            interposer=interposer,
         )
         self._signal_sets: Dict[str, SignalSet] = {}
         self._completion_signal_set: Optional[str] = None

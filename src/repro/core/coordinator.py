@@ -82,6 +82,7 @@ class ActivityCoordinator:
         executor: Optional[BroadcastExecutor] = None,
         action_timeout: Optional[float] = None,
         marshal_once: bool = True,
+        interposer: Optional[Any] = None,
     ) -> None:
         self.activity_id = activity_id
         self.event_log = event_log if event_log is not None else EventLog()
@@ -93,6 +94,10 @@ class ActivityCoordinator:
         # Invocation fast path: encode each broadcast's request body once
         # per ORB and patch only the delivery id / target per send.
         self.marshal_once = marshal_once
+        # Federation: when set (ActivityManager(federation=...,
+        # interposition=True)), cross-domain registrations are rerouted
+        # through one interposed subordinate per remote domain.
+        self.interposer = interposer
         self._ids = IdGenerator()
         self._actions: Dict[str, List[ActionRecord]] = {}
 
@@ -105,7 +110,36 @@ class ActivityCoordinator:
         factory_name: Optional[str] = None,
         factory_config: Optional[Dict[str, Any]] = None,
     ) -> ActionRecord:
-        """Register ``action`` for every signal the named set will produce."""
+        """Register ``action`` for every signal the named set will produce.
+
+        Under a federation interposer, an action living in a foreign
+        domain is registered with that domain's subordinate coordinator
+        instead; the returned record is then the (shared) parent-side
+        registration of the subordinate itself.
+        """
+        if self.interposer is not None:
+            routed = self.interposer.route(
+                self, signal_set_name, action, factory_name, factory_config
+            )
+            if routed is not None:
+                return routed
+        return self.register_direct(
+            signal_set_name,
+            action,
+            factory_name=factory_name,
+            factory_config=factory_config,
+        )
+
+    def register_direct(
+        self,
+        signal_set_name: str,
+        action: ActionLike,
+        factory_name: Optional[str] = None,
+        factory_config: Optional[Dict[str, Any]] = None,
+    ) -> ActionRecord:
+        """Register ``action`` with *this* coordinator, bypassing any
+        interposition routing (used by the interposer itself to enlist
+        a remote domain's subordinate)."""
         record = ActionRecord(
             action_id=self._ids.next("action"),
             signal_set_name=signal_set_name,
@@ -126,6 +160,13 @@ class ActivityCoordinator:
         records = self._actions.get(record.signal_set_name, [])
         if record in records:
             records.remove(record)
+            if self.interposer is not None:
+                # An interposed record is shared by every action of its
+                # domain: removing it unenlists the whole domain, and
+                # the interposer must drop its cache so a later
+                # add_action re-enlists instead of returning the
+                # severed record.
+                self.interposer.forget_record(record)
 
     def remove_actions_for(self, signal_set_name: str) -> int:
         removed = len(self._actions.get(signal_set_name, []))

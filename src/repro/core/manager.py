@@ -22,6 +22,7 @@ from repro.core.broadcast import BroadcastExecutor
 from repro.core.current import ActivityCurrent
 from repro.core.delivery import AtLeastOnceDelivery, DeliveryPolicy
 from repro.core.exceptions import ActivityServiceError, RecoveryError
+from repro.core.interposition import ActivityInterposer
 from repro.core.property_group import PropertyGroupManager
 from repro.core.signal_set import SignalSet
 from repro.core.status import CompletionStatus
@@ -77,6 +78,9 @@ class ActivityManager:
         registry_shards: int = 8,
         timer_wheel: Union[None, bool, HierarchicalTimerWheel] = None,
         wheel_tick: float = 1.0,
+        attach_wheel_to_clock: bool = False,
+        federation: Optional[Any] = None,
+        interposition: bool = False,
     ) -> None:
         self.clock = clock if clock is not None else SimulatedClock()
         self.event_log = event_log if event_log is not None else EventLog(self.clock)
@@ -106,11 +110,42 @@ class ActivityManager:
         if timer_wheel is None or timer_wheel is False:
             self._wheel: Optional[HierarchicalTimerWheel] = None
         elif timer_wheel is True:
-            self._wheel = HierarchicalTimerWheel(tick=wheel_tick)
+            if (
+                attach_wheel_to_clock
+                and isinstance(self.clock, SimulatedClock)
+                and self.clock.wheel is not None
+            ):
+                self._wheel = self.clock.wheel
+            else:
+                self._wheel = HierarchicalTimerWheel(tick=wheel_tick)
         else:
             self._wheel = timer_wheel
         if self._wheel is not None and self._wheel.now < self.clock.now():
             self._wheel.advance_to(self.clock.now())
+        if attach_wheel_to_clock:
+            # Advance-time expiry (closes the ROADMAP open item): the
+            # wheel becomes the SimulatedClock's timer backend, so a
+            # timed activity expires during ``clock.advance`` — same
+            # strictly-past-deadline latch, same events — instead of
+            # waiting for the next ``expire_timeouts`` poll.  Such
+            # expirations are not re-reported by a later sweep,
+            # mirroring the OTS factory's historical behaviour.
+            if self._wheel is None:
+                raise ActivityServiceError(
+                    "attach_wheel_to_clock requires ActivityManager(timer_wheel=...)"
+                )
+            if not isinstance(self.clock, SimulatedClock):
+                raise ActivityServiceError(
+                    "attach_wheel_to_clock requires a SimulatedClock"
+                )
+            self.clock.attach_wheel(self._wheel)
+        # Federation: with a bridge and interposition enabled, every
+        # coordinator this manager creates reroutes cross-domain action
+        # registrations through one interposed subordinate per domain.
+        self.federation = federation
+        self.interposer: Optional[ActivityInterposer] = None
+        if federation is not None and interposition:
+            self.interposer = ActivityInterposer(federation, self)
         self._expired_batch: List[str] = []
         self._collecting_expired = False
         self._rearm_queue: List[str] = []
@@ -148,6 +183,7 @@ class ActivityManager:
             executor=executor if executor is not None else self.executor,
             action_timeout=self.action_timeout,
             marshal_once=self.fast_path,
+            interposer=self.interposer,
         )
         self._attach_property_groups(activity, parent)
         activity.begin_seq = next(self._begin_order)
@@ -370,6 +406,10 @@ class ActivityManager:
         from repro.core.context import ActivityClientInterceptor, ActivityServerInterceptor
 
         self.orb = orb
+        if orb.federation is not None and orb.domain_id is not None:
+            # Publish this manager so foreign interposers can build their
+            # subordinates with this domain's store/executor/factories.
+            orb.federation.register_service(orb.domain_id, "activity_manager", self)
         orb.interceptors.add_client(
             ActivityClientInterceptor(self.current, orb=orb, cache=self.fast_path)
         )

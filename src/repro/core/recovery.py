@@ -138,6 +138,7 @@ class ActivityRecoveryService:
                 clock=self.manager.clock,
                 executor=self.manager.executor,
                 action_timeout=self.manager.action_timeout,
+                interposer=getattr(self.manager, "interposer", None),
             )
             activity.status = record["status"]
             if record["status"] is ActivityStatus.COMPLETING:

@@ -21,6 +21,7 @@ propagation, unreliable delivery) mirror a real distributed deployment.
 """
 
 from repro.orb.core import Node, Orb, PreparedInvocation, Servant
+from repro.orb.federation import DomainLink, InterOrbBridge, coordination_node_id
 from repro.orb.interceptors import (
     ClientRequestInterceptor,
     RequestInfo,
@@ -43,6 +44,9 @@ __all__ = [
     "Orb",
     "Node",
     "Servant",
+    "InterOrbBridge",
+    "DomainLink",
+    "coordination_node_id",
     "ObjectRef",
     "Marshaller",
     "MarshalStats",

@@ -221,7 +221,13 @@ class Orb:
         fault_plan: Optional[FaultPlan] = None,
         event_log: Optional[EventLog] = None,
         marshal_cache_entries: int = 256,
+        domain_id: Optional[str] = None,
     ) -> None:
+        # Federation: the coordination domain this ORB belongs to and the
+        # bridge that routes to foreign domains (both set by
+        # InterOrbBridge.connect; a standalone ORB has neither).
+        self.domain_id = domain_id
+        self.federation: Optional[Any] = None
         self.clock = clock if clock is not None else SimulatedClock()
         self.rng = rng if rng is not None else SeededRng(0)
         self.ids = IdGenerator()
@@ -253,6 +259,15 @@ class Orb:
     def create_node(self, node_id: str) -> Node:
         if node_id in self._nodes:
             raise ConfigurationError(f"node {node_id!r} already exists")
+        if self.federation is not None:
+            # Cross-domain routing keys on the node id alone (an
+            # ObjectRef carries no domain id), so ids must be unique
+            # across the whole federation, not just this ORB.
+            owner = self.federation.domain_of_node(node_id)
+            if owner is not None and owner != self.domain_id:
+                raise ConfigurationError(
+                    f"node {node_id!r} already exists in federated domain {owner!r}"
+                )
         node = Node(self, node_id)
         self._nodes[node_id] = node
         return node
@@ -283,6 +298,18 @@ class Orb:
             return self._initial_references[name]
         except KeyError:
             raise ConfigurationError(f"no initial reference {name!r}") from None
+
+    # -- payload interning ---------------------------------------------------------
+
+    def intern_payload(self, value: Any) -> Any:
+        """Opt a large immutable application payload into encode-once
+        byte reuse (see :meth:`~repro.orb.marshal.Marshaller.intern_payload`
+        for the invalidation contract); returns ``value`` for chaining."""
+        return self.marshaller.intern_payload(value)
+
+    def release_payload(self, value: Any) -> bool:
+        """Withdraw an interned payload and invalidate its cached bytes."""
+        return self.marshaller.release_payload(value)
 
     # -- invocation --------------------------------------------------------------
 
@@ -337,12 +364,21 @@ class Orb:
                 [ref.object_id, operation, list(args), kwargs, info.service_contexts]
             )
         try:
-            reply_bytes = self.transport.deliver(
-                source_node,
-                ref.node_id,
-                request_bytes,
-                lambda payload: self._dispatch(ref.node_id, payload),
-            )
+            # Federation check first: the common (non-federated) case
+            # pays a single None test, not a dict probe per send.
+            if self.federation is not None and ref.node_id not in self._nodes:
+                # Foreign domain: the bridge carries the bytes across the
+                # inter-domain link (and both sides' transports).
+                reply_bytes = self.federation.route(
+                    self, source_node, ref, request_bytes
+                )
+            else:
+                reply_bytes = self.transport.deliver(
+                    source_node,
+                    ref.node_id,
+                    request_bytes,
+                    lambda payload: self._dispatch(ref.node_id, payload),
+                )
         except CommunicationError as exc:
             info.exception = exc
             self.interceptors.run_receive_exception(info)

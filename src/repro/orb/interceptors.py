@@ -22,6 +22,10 @@ from typing import Any, Dict, Optional, Tuple
 TRANSACTION_CONTEXT_ID = "CosTransactions"
 ACTIVITY_CONTEXT_ID = "CosActivity"
 PROPERTY_CONTEXT_ID = "CosActivityProperties"
+# Federation: rides alongside CosTransactions on requests crossing an
+# inter-ORB bridge.  Named here (not in ots.interposition) so the plain
+# propagation interceptor can yield to it without importing federation.
+FEDERATED_TRANSACTION_CONTEXT_ID = "CosTransactionsFederation"
 
 
 @dataclass

@@ -152,6 +152,9 @@ class ValueTypeRegistry:
 
 GLOBAL_REGISTRY = ValueTypeRegistry()
 
+# Default for the payload-interning gate's dict lookup: never any value.
+_NOT_INTERNED = object()
+
 
 class MarshalStats:
     """Thread-safe fast-path counters for one marshaller.
@@ -375,6 +378,57 @@ class Marshaller:
         self.registry = registry if registry is not None else GLOBAL_REGISTRY
         self.stats = stats
         self.encode_cache = encode_cache
+        # Opt-in instance interning for large immutable application
+        # payloads (e.g. Signal.application_specific_data).  The map
+        # pins each registered value (its id can never be recycled onto
+        # a different object while registered) and gates the per-node
+        # check, so the hot path pays one truthiness test when the
+        # feature is unused; the bytes live in the encode cache.  The
+        # thread-local tracks payloads being interned-encoded *on this
+        # thread* so the gate does not recurse — registrations are never
+        # mutated mid-encode, which keeps a concurrent release_payload
+        # from being silently undone.
+        self._interned_payload_refs: Dict[int, Any] = {}
+        self._interning_state = threading.local()
+
+    # -- payload interning --------------------------------------------------
+
+    def intern_payload(self, value: Any) -> Any:
+        """Register ``value`` for encode-once byte reuse (opt-in).
+
+        Meant for *large, immutable* application payloads — a broadcast
+        signal's ``application_specific_data`` that reaches N actions —
+        whose subtree would otherwise be re-encoded per send.  The first
+        encode caches the subtree's exact bytes in the marshaller's
+        :class:`EncodeCache` (identity-keyed, LRU-bounded); every later
+        occurrence of the *same object* splices them.  The spliced
+        message is byte-identical to a full re-encode.
+
+        Invalidation is the caller's contract: the payload must not be
+        mutated while registered — the cache cannot observe mutation, so
+        a mutated payload would keep shipping its stale bytes.  Replace
+        the object (and register the replacement), or call
+        :meth:`release_payload` first.  Registration requires an encode
+        cache (``Orb(marshal_cache_entries=0)`` disables interning too).
+        """
+        if self.encode_cache is None:
+            raise MarshalError(
+                "payload interning requires an encode cache"
+                " (marshal_cache_entries > 0)"
+            )
+        self._interned_payload_refs[id(value)] = value
+        return value
+
+    def release_payload(self, value: Any) -> bool:
+        """Withdraw ``value`` from payload interning and drop its bytes."""
+        self._interned_payload_refs.pop(id(value), None)
+        if self.encode_cache is None:
+            return False
+        return self.encode_cache.invalidate(value)
+
+    @property
+    def interned_payloads(self) -> int:
+        return len(self._interned_payload_refs)
 
     # -- encoding ---------------------------------------------------------
 
@@ -419,6 +473,17 @@ class Marshaller:
         return self.encode_cache.invalidate(value)
 
     def _encode(self, value: Any, out: list, run: Optional[_EncodeRun] = None) -> None:
+        refs = self._interned_payload_refs
+        # The sentinel default keeps the identity test honest for values
+        # like None whose id can never be a registered key's *value* but
+        # where dict.get's None default would alias the value itself.
+        if (
+            refs
+            and refs.get(id(value), _NOT_INTERNED) is value
+            and id(value) not in getattr(self._interning_state, "active", ())
+        ):
+            self._encode_interned_payload(value, out, run)
+            return
         # Order matters: bool is a subclass of int.
         if value is None:
             out.append(_TAG_NONE)
@@ -518,6 +583,51 @@ class Marshaller:
             if run is not None:
                 run.misses += 1
             out.append(blob)
+
+    def _encode_interned_payload(
+        self, value: Any, out: list, run: Optional[_EncodeRun]
+    ) -> None:
+        """Splice (or build) the cached bytes of one interned payload.
+
+        The subtree is encoded standalone on a miss so its bytes cache
+        as one blob; a thread-local active set breaks the gate's
+        recursion without touching the shared registration map, so a
+        concurrent :meth:`release_payload` takes effect immediately and
+        can never be undone by an in-flight encode.
+        """
+        cache = self.encode_cache
+        cached = cache.get(value) if cache is not None else None
+        if cached is not None:
+            out.append(cached)
+            if run is not None:
+                run.reused += len(cached)
+                run.hits += 1
+            return
+        key = id(value)
+        state = self._interning_state
+        active = getattr(state, "active", None)
+        if active is None:
+            active = state.active = set()
+        active.add(key)
+        sub: list = []
+        try:
+            self._encode(value, sub, run)
+        finally:
+            active.discard(key)
+        if any(isinstance(chunk, PayloadSlot) for chunk in sub):
+            # Template holes inside the payload forbid caching the blob.
+            out.extend(sub)
+            return
+        blob = b"".join(sub)
+        if cache is not None:
+            cache.put(value, blob)
+            if self._interned_payload_refs.get(key, _NOT_INTERNED) is not value:
+                # Released while we were encoding: drop the bytes we
+                # just cached — nothing may serve them afterwards.
+                cache.invalidate(value)
+        if run is not None:
+            run.misses += 1
+        out.append(blob)
 
     def _encode_str(self, value: str, out: list) -> None:
         raw = value.encode("utf-8")

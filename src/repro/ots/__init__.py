@@ -30,6 +30,12 @@ from repro.ots.exceptions import (
     WrongTransaction,
 )
 from repro.ots.factory import Failpoints, TransactionFactory
+from repro.ots.interposition import (
+    FederatedTransactionContext,
+    FederatedTransactionService,
+    SubordinateTransactionResource,
+    install_federated_transaction_service,
+)
 from repro.ots.locks import DeadlockError, LockConflict, LockManager, LockMode
 from repro.ots.propagation import (
     TransactionClientInterceptor,
@@ -76,6 +82,10 @@ __all__ = [
     "RecoveryManager",
     "RecoveryReport",
     "install_transaction_service",
+    "install_federated_transaction_service",
+    "FederatedTransactionService",
+    "FederatedTransactionContext",
+    "SubordinateTransactionResource",
     "TransactionContext",
     "TransactionClientInterceptor",
     "TransactionServerInterceptor",

@@ -39,6 +39,7 @@ from repro.ots.exceptions import (
     HeuristicMixed,
     HeuristicRollback,
     Inactive,
+    NotPrepared,
     SimulatedCrash,
     SubtransactionsUnavailable,
     SynchronizationUnavailable,
@@ -284,10 +285,7 @@ class Transaction:
             return
         # Phase one.
         self.status = TransactionStatus.PREPARING
-        if self._participant_workers(len(live)) > 1:
-            rollback_voter = self._gather_votes_parallel(live)
-        else:
-            rollback_voter = self._gather_votes_serial(live)
+        rollback_voter = self._gather_votes(live)
         if rollback_voter is not None:
             self.status = TransactionStatus.ROLLING_BACK
             to_undo = [r for r in live if r.vote is Vote.COMMIT]
@@ -316,6 +314,109 @@ class Transaction:
         self.factory.log_completion(self.tid)
         self._finish(TransactionStatus.COMMITTED)
         self._report_heuristics(report_heuristics, committed=True)
+
+    # -- interposed completion (federated deployments) --------------------------
+
+    def prepare_interposed(self) -> Vote:
+        """Phase one of this transaction driven by a *superior* coordinator.
+
+        Used by the federated subordinate resource
+        (:mod:`repro.ots.interposition`): the superior sends one
+        ``prepare`` across the domain bridge and this local transaction
+        gathers its own resources' votes — serial or fanned out over the
+        factory's participant pool, with marshal-once templates, exactly
+        like a local phase one.  The collapsed vote travels upward:
+
+        - any local no-vote (or phase-one failure) rolls the local tree
+          back and returns ``Vote.ROLLBACK``;
+        - all read-only: the transaction completes now, ``Vote.READONLY``
+          (the superior will not call phase two);
+        - otherwise the transaction stays ``PREPARED`` awaiting
+          :meth:`commit_interposed` / :meth:`rollback_interposed`.
+        """
+        if not self.is_top_level:
+            raise Inactive(
+                f"subordinate {self.tid} must be a local top-level transaction"
+            )
+        if self.status.is_terminal:
+            raise Inactive(f"transaction {self.tid} already completed")
+        if self.deadline is not None and self.factory.clock.now() > self.deadline:
+            self.status = TransactionStatus.MARKED_ROLLBACK
+        if self.status is TransactionStatus.MARKED_ROLLBACK or any(
+            not child.status.is_terminal for child in self.children
+        ):
+            self.rollback()
+            return Vote.ROLLBACK
+        if self.status is not TransactionStatus.ACTIVE:
+            raise Inactive(f"transaction {self.tid} is {self.status.value}")
+        log = self.factory.event_log
+        log.record(
+            "subtx_phase_one", tid=self.tid, resources=len(self._resources)
+        )
+        if not self._run_before_completion():
+            self._rollback_resources(self._resources)
+            self._finish(TransactionStatus.ROLLED_BACK)
+            return Vote.ROLLBACK
+        live = list(self._resources)
+        if not live:
+            self._finish(TransactionStatus.COMMITTED)
+            return Vote.READONLY
+        self.status = TransactionStatus.PREPARING
+        rollback_voter = self._gather_votes(live)
+        if rollback_voter is not None:
+            self.status = TransactionStatus.ROLLING_BACK
+            self._rollback_resources([r for r in live if r.vote is Vote.COMMIT])
+            self._finish(TransactionStatus.ROLLED_BACK)
+            return Vote.ROLLBACK
+        if not any(r.vote is Vote.COMMIT for r in live):
+            self._finish(TransactionStatus.COMMITTED)
+            return Vote.READONLY
+        self.status = TransactionStatus.PREPARED
+        return Vote.COMMIT
+
+    def commit_interposed(self) -> None:
+        """Phase two (commit direction) driven by the superior.
+
+        The decision is logged in *this* domain's WAL before any local
+        resource commits, so a crash here is resolved by this domain's
+        own recovery manager; completion is logged afterwards (replayed
+        idempotently).  Heuristic outcomes raise exactly as a local
+        commit would — the superior digests them like any participant's.
+
+        Retryable: a COMMITTED transaction is a no-op, and a COMMITTING
+        one (a phase-two pass that failed part-way) is re-driven over
+        its not-yet-completed resources without logging the decision a
+        second time — which is how the superior's recovery replay
+        finishes a subordinate stuck mid-phase-two.
+        """
+        if self.status is TransactionStatus.COMMITTED:
+            return  # idempotent: the superior may retry phase two
+        if self.status is TransactionStatus.PREPARED:
+            committers = [r for r in self._resources if r.vote is Vote.COMMIT]
+            self.factory.log_commit_decision(
+                self.tid, [r.recovery_key for r in committers if r.recovery_key]
+            )
+            self.status = TransactionStatus.COMMITTING
+        elif self.status is TransactionStatus.COMMITTING:
+            # Decision already durable; finish the interrupted pass.
+            committers = [
+                r for r in self._resources if r.vote is Vote.COMMIT and not r.completed
+            ]
+        else:
+            raise NotPrepared(
+                f"transaction {self.tid} is {self.status.value}, not prepared"
+            )
+        self._commit_resources(committers)
+        self.factory.log_completion(self.tid)
+        self._finish(TransactionStatus.COMMITTED)
+        self._report_heuristics(True, committed=True)
+
+    def rollback_interposed(self) -> None:
+        """Phase two (rollback direction) driven by the superior; a
+        retried rollback of an already-finished transaction is a no-op."""
+        if self.status.is_terminal:
+            return
+        self.rollback()
 
     def _commit_one_phase(self, record: ResourceRecord, report_heuristics: bool) -> None:
         self.status = TransactionStatus.COMMITTING
@@ -358,6 +459,14 @@ class Transaction:
         return _ParticipantRound(
             operation, getattr(self.factory, "marshal_once", True)
         )
+
+    def _gather_votes(self, live: List[ResourceRecord]) -> Optional[ResourceRecord]:
+        """Phase one over ``live`` (serial or fanned out); returns the
+        pivoting no-voter, if any — shared by the top-level commit and
+        the interposed (subordinate) prepare."""
+        if self._participant_workers(len(live)) > 1:
+            return self._gather_votes_parallel(live)
+        return self._gather_votes_serial(live)
 
     def _gather_votes_serial(
         self, live: List[ResourceRecord]

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Set, Union
+from typing import Callable, List, Optional, Set, Union
 
+from repro.exceptions import ConfigurationError
 from repro.ots.coordinator import Control, Transaction
 from repro.ots.exceptions import InvalidTransaction, SimulatedCrash
 from repro.ots.locks import LockManager
@@ -14,7 +15,7 @@ from repro.util.clock import Clock, SimulatedClock
 from repro.util.events import EventLog
 from repro.util.idgen import IdGenerator
 from repro.util.sharding import StripedMap
-from repro.util.timer_wheel import HierarchicalTimerWheel
+from repro.util.timer_wheel import HierarchicalTimerWheel, RecurringTimer
 from repro.util.workers import ReentrantWorkerPool
 
 
@@ -153,6 +154,7 @@ class TransactionFactory:
         self._expired_batch: List[str] = []
         self._collecting_expired = False
         self._rearm_queue: List[str] = []
+        self._maintenance: List[RecurringTimer] = []
 
     @property
     def timer_wheel(self) -> Optional[HierarchicalTimerWheel]:
@@ -336,6 +338,41 @@ class TransactionFactory:
         return expired
 
     # -- maintenance ----------------------------------------------------------------
+
+    def schedule_maintenance(
+        self, interval: float, task: Callable[[], None]
+    ) -> RecurringTimer:
+        """Run ``task`` every ``interval`` seconds on the timer wheel.
+
+        Mirrors :meth:`ActivityManager.schedule_maintenance`: requires
+        ``timer_wheel``; the task fires whenever the wheel advances —
+        during ``expire_timeouts`` sweeps, or on clock ``advance`` when
+        the wheel is clock-attached (the default on a SimulatedClock).
+        """
+        if self._wheel is None:
+            raise ConfigurationError(
+                "background maintenance needs TransactionFactory(timer_wheel=...)"
+            )
+        timer = RecurringTimer(self._wheel, interval, task)
+        self._maintenance.append(timer)
+        return timer
+
+    def schedule_forget_completed(self, interval: float) -> RecurringTimer:
+        """Periodically drop completed transactions from the registry —
+        the wheel-scheduled companion to calling :meth:`forget_completed`
+        by hand, so a long-lived factory's registry stops growing with
+        its commit history."""
+        return self.schedule_maintenance(interval, self.forget_completed)
+
+    def cancel_maintenance(self) -> int:
+        """Stop every scheduled maintenance cycle; return how many."""
+        stopped = 0
+        for timer in self._maintenance:
+            if timer.active:
+                timer.cancel()
+                stopped += 1
+        self._maintenance.clear()
+        return stopped
 
     def forget_completed(self) -> int:
         """Drop completed transactions from the registry; return count."""

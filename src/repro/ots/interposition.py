@@ -1,0 +1,619 @@
+"""OTS coordinator interposition across ORB domains.
+
+Intra-domain transaction propagation (:mod:`repro.ots.propagation`)
+re-associates a request with its transaction through the shared factory
+registry — "re-association replaces full OTS interposition".  Across an
+:class:`~repro.orb.federation.InterOrbBridge` that shortcut does not
+exist: the receiving domain's factory has never heard of the caller's
+transaction.  This module supplies the real thing:
+
+- the first transactional request entering a domain *adopts* the foreign
+  transaction: a local **subordinate** transaction is created and an
+  interposed :class:`SubordinateTransactionResource` registers **once**
+  with the superior coordinator (via an exported
+  :class:`ParentCoordinatorServant` reference riding the new
+  ``CosTransactionsFederation`` service context);
+- local resources enlist with the subordinate exactly as they would with
+  any transaction, so a 2PC round from the superior costs one
+  inter-domain ``prepare`` and one ``commit`` per *domain*, each fanned
+  out locally with the domain's own ``parallel_participants``,
+  marshal-once templates and ``group_commit_window``;
+- the subordinate's prepared state is durably recorded in **its own
+  domain's** write-ahead log (``subtx_prepared`` records), and
+  :meth:`FederatedTransactionService.recover` re-adopts the interposition
+  tree after a per-domain crash: held in-doubt state is protected from
+  presumed abort, a :class:`RecoveredSubordinateResource` re-activates
+  under the original object id, and the superior's completion replays
+  downward through it;
+- on the superior's side each registered subordinate also gets a
+  recovery proxy in the parent domain's
+  :class:`~repro.ots.recoverable.RecoverableRegistry`, so the parent's
+  own crash recovery re-drives phase two across the bridge.
+
+Everything is opt-in via :func:`install_federated_transaction_service`;
+deployments without a bridge are untouched and their traces stay
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.orb.core import Orb, Servant
+from repro.orb.federation import InterOrbBridge, coordination_node_id
+from repro.orb.interceptors import (
+    FEDERATED_TRANSACTION_CONTEXT_ID as _FEDERATED_CONTEXT_ID,
+    ClientRequestInterceptor,
+    RequestInfo,
+    ServerRequestInterceptor,
+)
+from repro.orb.marshal import GLOBAL_REGISTRY
+from repro.orb.reference import ObjectRef
+from repro.ots.coordinator import Transaction
+from repro.ots.current import TransactionCurrent
+from repro.ots.exceptions import InvalidTransaction, TransactionRolledBack
+from repro.ots.propagation import install_transaction_service
+from repro.ots.recoverable import Recoverable, RecoverableRegistry
+from repro.ots.recovery import RecoveryManager, RecoveryReport
+from repro.ots.status import TransactionStatus, Vote
+
+FEDERATED_TX_CONTEXT_ID = _FEDERATED_CONTEXT_ID
+SERVICE_NAME = "ots_federation"
+SUBTX_PREPARED = "subtx_prepared"
+
+
+def subordinate_resource_id(root_tid: str) -> str:
+    """Object id of a domain's interposed resource for one root tid.
+
+    Deterministic so a recovered subordinate re-activates where the
+    superior's retained reference already points.
+    """
+    return f"fedres:{root_tid}"
+
+
+def parent_export_id(tid: str) -> str:
+    return f"fedtx:{tid}"
+
+
+def subordinate_recovery_key(domain_id: str, root_tid: str) -> str:
+    return f"fedsub-tx:{domain_id}:{root_tid}"
+
+
+@GLOBAL_REGISTRY.register_dataclass
+@dataclass(frozen=True)
+class FederatedTransactionContext:
+    """Service context a transactional request carries across a bridge."""
+
+    tid: str
+    root_domain: str
+    coordinator_ref: ObjectRef
+
+
+class ParentCoordinatorServant(Servant):
+    """Wire facade of an exported (superior) transaction.
+
+    Exposes exactly what a foreign subordinate needs: registration.  The
+    raw :class:`~repro.ots.coordinator.Transaction` is never exported —
+    its registration API returns live records that cannot cross the wire.
+    """
+
+    def __init__(self, service: "FederatedTransactionService", tx: Transaction) -> None:
+        self._service = service
+        self._tx = tx
+
+    def register_subordinate(
+        self, resource_ref: ObjectRef, recovery_key: str, domain_id: str
+    ) -> bool:
+        self._tx.register_resource(resource_ref, recovery_key=recovery_key)
+        self._service.note_subordinate_proxy(recovery_key, resource_ref)
+        self._service.factory.event_log.record(
+            "fed_register_subordinate",
+            tid=self._tx.tid,
+            domain=domain_id,
+            key=recovery_key,
+        )
+        return True
+
+    def get_status(self) -> TransactionStatus:
+        return self._tx.status
+
+
+class _SubordinateProxyRecoverable(Recoverable):
+    """Parent-side recovery stand-in for one remote subordinate.
+
+    Resolved through the parent domain's registry when the parent's
+    recovery manager replays a logged commit decision: the replay is
+    forwarded across the bridge to the (possibly itself recovered)
+    subordinate resource.
+    """
+
+    def __init__(self, key: str, resource_ref: ObjectRef) -> None:
+        self.key = key
+        self.resource_ref = resource_ref
+
+    def recover_commit(self, tid: str) -> bool:
+        return bool(self.resource_ref.invoke("recover_commit", tid))
+
+    def recover_abort(self, tid: str) -> bool:
+        return bool(self.resource_ref.invoke("recover_abort", tid))
+
+    def list_in_doubt(self) -> List[str]:
+        return []  # in-doubt state lives (durably) in the remote domain
+
+
+class SubordinateTransactionResource(Servant):
+    """The interposed per-domain participant, wrapping a live local tx."""
+
+    def __init__(
+        self,
+        service: "FederatedTransactionService",
+        root_tid: str,
+        tx: Transaction,
+    ) -> None:
+        self._service = service
+        self.root_tid = root_tid
+        self.transaction = tx
+        self._prepared_logged = False
+
+    # -- Resource protocol (dispatched by the superior) -----------------------
+
+    def prepare(self) -> Vote:
+        vote = self.transaction.prepare_interposed()
+        if vote is Vote.COMMIT:
+            # Durable in *this* domain: after a crash the subordinate is
+            # recovered from this record and the superior's decision
+            # replays downward.
+            self._service.log_prepared(self.root_tid, self.transaction)
+            self._prepared_logged = True
+        return vote
+
+    def commit(self) -> None:
+        self.transaction.commit_interposed()
+
+    def rollback(self) -> None:
+        self.transaction.rollback_interposed()
+        if self._prepared_logged:
+            # Supersede the subtx_prepared record, or every later
+            # recovery would resurrect this subordinate as held-in-doubt.
+            self._service.log_resolved(self.transaction.tid)
+            self._prepared_logged = False
+
+    def commit_one_phase(self) -> None:
+        vote = self.prepare()
+        if vote is Vote.ROLLBACK:
+            raise TransactionRolledBack(f"subordinate {self.transaction.tid} voted rollback")
+        if vote is Vote.COMMIT:
+            self.transaction.commit_interposed()
+
+    def forget(self) -> None:
+        pass
+
+    # -- recovery replay (idempotent) -------------------------------------------
+
+    def recover_commit(self, root_tid: str) -> bool:
+        status = self.transaction.status
+        if status is TransactionStatus.COMMITTED:
+            return True
+        if status in (TransactionStatus.PREPARED, TransactionStatus.COMMITTING):
+            self.transaction.commit_interposed()
+            return True
+        return False
+
+    def recover_abort(self, root_tid: str) -> bool:
+        if self.transaction.status.is_terminal:
+            return self.transaction.status is TransactionStatus.ROLLED_BACK
+        self.rollback()
+        return True
+
+    def get_status(self) -> TransactionStatus:
+        return self.transaction.status
+
+
+class RecoveredSubordinateResource(Servant):
+    """A subordinate rebuilt from durable state after its domain crashed.
+
+    The live transaction object is gone; what survives is the
+    ``subtx_prepared`` WAL record (local tid + recovery keys) and the
+    participants' own prepared state in the domain store.  Phase two
+    from the superior replays through the domain's recoverable registry.
+    """
+
+    def __init__(
+        self,
+        service: "FederatedTransactionService",
+        root_tid: str,
+        local_tid: str,
+        recovery_keys: List[str],
+    ) -> None:
+        self._service = service
+        self.root_tid = root_tid
+        self.local_tid = local_tid
+        self.recovery_keys = list(recovery_keys)
+
+    def prepare(self) -> Vote:
+        # Already durably prepared before the crash; re-prepare is a
+        # superior retrying phase one after a partial round.
+        return Vote.COMMIT
+
+    def commit(self) -> None:
+        self._service.replay_commit(self.local_tid, self.recovery_keys)
+
+    def rollback(self) -> None:
+        self._service.replay_abort(self.local_tid, self.recovery_keys)
+
+    def recover_commit(self, root_tid: str) -> bool:
+        self._service.replay_commit(self.local_tid, self.recovery_keys)
+        return True
+
+    def recover_abort(self, root_tid: str) -> bool:
+        self._service.replay_abort(self.local_tid, self.recovery_keys)
+        return True
+
+    def forget(self) -> None:
+        pass
+
+    def get_status(self) -> TransactionStatus:
+        return TransactionStatus.PREPARED
+
+
+class FederatedTransactionService:
+    """Per-domain hub for cross-bridge transaction interposition.
+
+    One instance per (factory, ORB, domain), playing both roles:
+
+    - *superior*: exports local transactions on demand (the federated
+      client interceptor attaches the context) and keeps a recovery
+      proxy per registered subordinate;
+    - *subordinate*: adopts foreign transactions on first contact,
+      interposing one local transaction + resource per root tid.
+    """
+
+    def __init__(
+        self,
+        factory: Any,
+        current: TransactionCurrent,
+        orb: Orb,
+        bridge: InterOrbBridge,
+        registry: Optional[RecoverableRegistry] = None,
+    ) -> None:
+        if orb.domain_id is None or orb.federation is not bridge:
+            raise ConfigurationError(
+                "connect the ORB to the bridge before installing the"
+                " federated transaction service"
+            )
+        self.factory = factory
+        self.current = current
+        self.orb = orb
+        self.bridge = bridge
+        self.domain_id: str = orb.domain_id
+        self.registry = registry if registry is not None else RecoverableRegistry()
+        self._exports: Dict[str, FederatedTransactionContext] = {}
+        self._adopted: Dict[str, SubordinateTransactionResource] = {}
+        self._recovered: Dict[str, RecoveredSubordinateResource] = {}
+        self._lock = threading.Lock()
+        self.adoptions = 0
+        bridge.register_service(self.domain_id, SERVICE_NAME, self)
+
+    # -- superior role ---------------------------------------------------------
+
+    def context_for(self, tx: Transaction) -> FederatedTransactionContext:
+        """The wire context exporting ``tx`` (coordination-node servant
+        activated on first use; the frozen context is reused after)."""
+        with self._lock:
+            context = self._exports.get(tx.tid)
+            if context is not None:
+                return context
+            node = self.bridge.coordination_node(self.domain_id)
+            object_id = parent_export_id(tx.tid)
+            if not node.has_object(object_id):
+                node.activate(
+                    ParentCoordinatorServant(self, tx),
+                    object_id=object_id,
+                    interface="ParentCoordinator",
+                )
+            context = FederatedTransactionContext(
+                tid=tx.tid,
+                root_domain=self.domain_id,
+                coordinator_ref=node.ref_for(object_id),
+            )
+            self._exports[tx.tid] = context
+            return context
+
+    def note_subordinate_proxy(self, recovery_key: str, resource_ref: ObjectRef) -> None:
+        self.registry.register(
+            recovery_key, _SubordinateProxyRecoverable(recovery_key, resource_ref)
+        )
+
+    # -- subordinate role ---------------------------------------------------------
+
+    def adopt(self, context: FederatedTransactionContext) -> Optional[Transaction]:
+        """Interpose under a foreign transaction on first contact.
+
+        Returns the local subordinate transaction to associate with the
+        dispatch (None when the subordinate already completed — a late
+        request after the tree resolved must not enlist new work).
+
+        The whole adoption — lookup, local transaction, servant
+        activation, registration with the superior — happens under the
+        service lock: concurrent first contacts for the same root (a
+        parallel fan-out's sibling requests) must converge on *one*
+        subordinate, never register twice.  The registration call back
+        to the superior does not re-enter this service, so holding the
+        lock across it cannot deadlock.
+        """
+        with self._lock:
+            entry = self._adopted.get(context.tid)
+            if entry is not None:
+                tx = entry.transaction
+                return None if tx.status.is_terminal else tx
+            tx = self.factory.create(name=f"sub:{context.tid}")
+            resource = SubordinateTransactionResource(self, context.tid, tx)
+            node = self.bridge.coordination_node(self.domain_id)
+            object_id = subordinate_resource_id(context.tid)
+            if node.has_object(object_id):
+                node.deactivate(object_id)
+            node.activate(resource, object_id=object_id, interface="SubordinateResource")
+            # One registration with the superior, ever, per (domain, root).
+            # A failed registration (e.g. the link partitioned mid-adoption)
+            # unwinds completely: the request that triggered adoption fails
+            # and a retry starts from a clean slate.
+            try:
+                context.coordinator_ref.invoke(
+                    "register_subordinate",
+                    node.ref_for(object_id),
+                    subordinate_recovery_key(self.domain_id, context.tid),
+                    self.domain_id,
+                )
+            except BaseException:
+                node.deactivate(object_id)
+                tx.rollback()
+                raise
+            self._adopted[context.tid] = resource
+            self.adoptions += 1
+        self.factory.event_log.record(
+            "fed_adopt",
+            root=context.tid,
+            root_domain=context.root_domain,
+            domain=self.domain_id,
+            local_tid=tx.tid,
+        )
+        return tx
+
+    def subordinate_for(self, root_tid: str) -> Optional[SubordinateTransactionResource]:
+        return self._adopted.get(root_tid)
+
+    # -- durable prepared state -----------------------------------------------------
+
+    def log_prepared(self, root_tid: str, tx: Transaction) -> None:
+        keys = [
+            record.recovery_key
+            for record in tx.resources
+            if record.vote is Vote.COMMIT and record.recovery_key
+        ]
+        self.factory.wal.append(SUBTX_PREPARED, root=root_tid, tid=tx.tid, recovery_keys=keys)
+
+    def log_resolved(self, local_tid: str) -> None:
+        """Durably mark a prepared subordinate resolved by rollback: the
+        completion record supersedes its ``subtx_prepared`` entry so a
+        later recovery never re-exports it as held in-doubt."""
+        self.factory.wal.append("tx_completed", tid=local_tid, rolled_back=True)
+
+    def _wal_index(
+        self, records: Optional[List[Any]] = None
+    ) -> Tuple[Dict[str, Tuple[str, List[str]]], Set[str], Set[str]]:
+        if records is None:
+            records = self.factory.wal.records()
+        prepared: Dict[str, Tuple[str, List[str]]] = {}
+        decided: Set[str] = set()
+        completed: Set[str] = set()
+        for record in records:
+            if record.kind == SUBTX_PREPARED:
+                prepared[record.payload["root"]] = (
+                    record.payload["tid"],
+                    list(record.payload.get("recovery_keys", [])),
+                )
+            elif record.kind == "tx_commit_decision":
+                decided.add(record.payload["tid"])
+            elif record.kind == "tx_completed":
+                completed.add(record.payload["tid"])
+        return prepared, decided, completed
+
+    # -- per-domain crash recovery ----------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Re-adopt this domain's interposition tree after a crash.
+
+        Subordinate role: prepared-but-undecided subordinates are *held*
+        (never presumed aborted — their outcome belongs to the superior)
+        and re-exported under their original object ids so the
+        superior's phase two (or its recovery manager's replay) lands on
+        them; everything decided locally is finished by the ordinary
+        recovery pass.
+
+        Superior role: commit decisions logged here name remote
+        subordinates by their durable recovery keys
+        (``fedsub-tx:<domain>:<tid>``), which encode everything needed
+        to rebuild the proxy a crash destroyed — the key's domain plus
+        the deterministic ``fedres:`` object id — so the recovery pass
+        below replays completion downward across the bridge without any
+        re-registration from the remote side.
+        """
+        node = self.bridge.coordination_node(self.domain_id)
+        if node.crashed:
+            node.restart()
+        records = self.factory.wal.records()  # one scan for the whole pass
+        prepared, decided, completed = self._wal_index(records)
+        held: List[str] = []
+        for root_tid, (local_tid, keys) in sorted(prepared.items()):
+            if local_tid in completed:
+                continue
+            if local_tid not in decided:
+                held.append(local_tid)
+            resource = RecoveredSubordinateResource(self, root_tid, local_tid, keys)
+            object_id = subordinate_resource_id(root_tid)
+            if node.has_object(object_id):
+                node.deactivate(object_id)
+            node.activate(resource, object_id=object_id, interface="SubordinateResource")
+            self._recovered[root_tid] = resource
+            self.factory.event_log.record(
+                "fed_readopt",
+                root=root_tid,
+                domain=self.domain_id,
+                local_tid=local_tid,
+                held=local_tid not in decided,
+            )
+        self._rebuild_subordinate_proxies(records)
+        return RecoveryManager(self.factory.wal, self.registry).recover(hold=held)
+
+    def _rebuild_subordinate_proxies(self, records: List[Any]) -> None:
+        for record in records:
+            if record.kind != "tx_commit_decision":
+                continue
+            for key in record.payload.get("recovery_keys", []):
+                if not key.startswith("fedsub-tx:"):
+                    continue
+                if self.registry.resolve(key) is not None:
+                    continue
+                _, domain_id, root_tid = key.split(":", 2)
+                ref = ObjectRef(
+                    coordination_node_id(domain_id),
+                    subordinate_resource_id(root_tid),
+                    "SubordinateResource",
+                ).bind(self.orb)
+                self.note_subordinate_proxy(key, ref)
+
+    # -- idempotent downward replay -----------------------------------------------------
+
+    def replay_commit(self, local_tid: str, recovery_keys: List[str]) -> bool:
+        _, decided, completed = self._wal_index()
+        if local_tid in completed:
+            return True
+        if local_tid not in decided:
+            self.factory.wal.append(
+                "tx_commit_decision", tid=local_tid, recovery_keys=recovery_keys
+            )
+        for key in recovery_keys:
+            recoverable = self.registry.resolve(key)
+            if recoverable is not None:
+                recoverable.recover_commit(local_tid)
+        self.factory.wal.append("tx_completed", tid=local_tid)
+        self.factory.event_log.record("fed_replay_commit", tid=local_tid)
+        return True
+
+    def replay_abort(self, local_tid: str, recovery_keys: List[str]) -> bool:
+        _, _, completed = self._wal_index()
+        for key in recovery_keys:
+            recoverable = self.registry.resolve(key)
+            if recoverable is not None:
+                recoverable.recover_abort(local_tid)
+        if local_tid not in completed:
+            self.log_resolved(local_tid)
+        self.factory.event_log.record("fed_replay_abort", tid=local_tid)
+        return True
+
+
+class FederatedTransactionClientInterceptor(ClientRequestInterceptor):
+    """Attaches the federated context to requests leaving the domain."""
+
+    name = "ots-federation-client"
+
+    def __init__(self, service: FederatedTransactionService) -> None:
+        self.service = service
+
+    def send_request(self, info: RequestInfo) -> None:
+        service = self.service
+        tx = service.current.get_transaction()
+        if tx is None or tx.status.is_terminal:
+            return
+        target_domain = service.bridge.domain_of_node(info.target_node)
+        if target_domain is None or target_domain == service.domain_id:
+            return
+        # Interposition attaches at the local root: remote work always
+        # joins the top of the local tree, which is what the superior's
+        # two-phase completion drives.
+        info.set_context(FEDERATED_TX_CONTEXT_ID, service.context_for(tx.top_level))
+
+
+class FederatedTransactionServerInterceptor(ServerRequestInterceptor):
+    """Adopts (or re-associates) a foreign transaction around dispatches."""
+
+    name = "ots-federation-server"
+
+    def __init__(self, service: FederatedTransactionService) -> None:
+        self.service = service
+        self._state = threading.local()
+
+    def _resumed(self) -> List[bool]:
+        flags = getattr(self._state, "flags", None)
+        if flags is None:
+            flags = self._state.flags = []
+        return flags
+
+    def receive_request(self, info: RequestInfo) -> None:
+        context = info.get_context(FEDERATED_TX_CONTEXT_ID)
+        service = self.service
+        if (
+            isinstance(context, FederatedTransactionContext)
+            and context.root_domain != service.domain_id
+        ):
+            # adopt() keys on the *root* tid in its own map — never on
+            # this factory's registry, whose tids are domain-local and
+            # may collide with a foreign root's.  The target servant —
+            # this domain's own subordinate resource — is exempt: the
+            # superior's phase-two/forget calls legitimately arrive
+            # after (or while) the subordinate turns terminal.
+            if info.target_object == subordinate_resource_id(context.tid):
+                self._resumed().append(False)
+                return
+            tx = service.adopt(context)
+            if tx is None:
+                # Stale association: the subordinate tree already
+                # resolved.  Fail the dispatch exactly as the
+                # intra-domain path does for a terminal transaction —
+                # the work must not run untransacted.  (Raised before
+                # this interceptor pushes its flag, mirroring how an
+                # intra-domain resume failure unwinds.)
+                raise InvalidTransaction(
+                    f"transaction {context.tid} already completed in"
+                    f" domain {service.domain_id}"
+                )
+            service.current.resume(tx)
+            self._resumed().append(True)
+            return
+        self._resumed().append(False)
+
+    def _detach(self) -> None:
+        flags = self._resumed()
+        if flags and flags.pop():
+            self.service.current.suspend()
+
+    def send_reply(self, info: RequestInfo) -> None:
+        self._detach()
+
+    def send_exception(self, info: RequestInfo) -> None:
+        self._detach()
+
+
+def install_federated_transaction_service(
+    orb: Orb,
+    current: TransactionCurrent,
+    bridge: InterOrbBridge,
+    registry: Optional[RecoverableRegistry] = None,
+    install_base: bool = True,
+) -> FederatedTransactionService:
+    """Wire full OTS interposition into a federated ORB.
+
+    Installs the ordinary intra-domain propagation interceptors (unless
+    ``install_base=False`` because they are already present) plus the
+    federated pair, and returns the domain's
+    :class:`FederatedTransactionService`.
+    """
+    if install_base:
+        install_transaction_service(orb, current)
+    service = FederatedTransactionService(current.factory, current, orb, bridge, registry=registry)
+    orb.interceptors.add_client(FederatedTransactionClientInterceptor(service))
+    orb.interceptors.add_server(FederatedTransactionServerInterceptor(service))
+    return service

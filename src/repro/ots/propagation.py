@@ -17,6 +17,7 @@ from typing import Any, List
 
 from repro.orb.core import Orb
 from repro.orb.interceptors import (
+    FEDERATED_TRANSACTION_CONTEXT_ID,
     TRANSACTION_CONTEXT_ID,
     ClientRequestInterceptor,
     RequestInfo,
@@ -83,9 +84,19 @@ class TransactionServerInterceptor(ServerRequestInterceptor):
 
     def receive_request(self, info: RequestInfo) -> None:
         context = info.get_context(TRANSACTION_CONTEXT_ID)
-        if isinstance(context, TransactionContext) and self.current.factory.knows(
-            context.tid
+        if (
+            isinstance(context, TransactionContext)
+            # A request that crossed an inter-ORB bridge carries the
+            # federation context and is re-associated by interposition:
+            # tids are only unique *per domain*, so matching a foreign
+            # tid against this factory's registry would associate an
+            # unrelated local transaction.
+            and info.get_context(FEDERATED_TRANSACTION_CONTEXT_ID) is None
+            and self.current.factory.knows(context.tid)
         ):
+            # resume raises InvalidTransaction for a terminal
+            # transaction, failing the dispatch — the historical
+            # (and CORBA) behaviour for a stale association.
             self.current.resume(self.current.factory.get(context.tid))
             self._resumed().append(True)
         else:

@@ -15,7 +15,7 @@ phase one.  Recovery:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.ots.recoverable import RecoverableRegistry
 from repro.persistence.wal import GroupCommitWAL, WriteAheadLog
@@ -28,6 +28,9 @@ class RecoveryReport:
     recommitted: Dict[str, List[str]] = field(default_factory=dict)
     presumed_aborted: Dict[str, List[str]] = field(default_factory=dict)
     unresolved_keys: List[str] = field(default_factory=list)
+    # Prepared state deliberately left in doubt (federated subordinates
+    # whose outcome belongs to a superior coordinator in another domain).
+    held: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -62,8 +65,16 @@ class RecoveryManager:
             wal.window = group_commit_window
         self.group_commit_window = getattr(wal, "window", None)
 
-    def recover(self) -> RecoveryReport:
-        """Resolve every in-doubt transaction recorded in the log."""
+    def recover(self, hold: Optional[Iterable[str]] = None) -> RecoveryReport:
+        """Resolve every in-doubt transaction recorded in the log.
+
+        ``hold`` names transaction ids whose prepared state must *not*
+        be presumed aborted: a federated subordinate's outcome is owned
+        by its superior coordinator in another domain, and only that
+        superior's decision (or an operator) may resolve it.  Held tids
+        are reported in :attr:`RecoveryReport.held`.
+        """
+        held = frozenset(hold) if hold is not None else frozenset()
         report = RecoveryReport()
         decisions: Dict[str, List[str]] = {}
         completed: Set[str] = set()
@@ -97,11 +108,16 @@ class RecoveryManager:
             self.wal.force()
 
         # Presume abort for prepared state with no commit decision.
+        seen_held: Set[str] = set()
         for key in self.registry.keys():
             recoverable = self.registry.resolve(key)
             assert recoverable is not None
             for tid in recoverable.list_in_doubt():
+                if tid in held:
+                    seen_held.add(tid)
+                    continue
                 if tid not in decisions:
                     recoverable.recover_abort(tid)
                     report.presumed_aborted.setdefault(tid, []).append(key)
+        report.held = sorted(seen_held)
         return report

@@ -48,10 +48,18 @@ class WscfError(ReproError):
 @GLOBAL_REGISTRY.register_dataclass
 @dataclass(frozen=True)
 class CoordinationContext:
-    """The token a coordinator hands to prospective participants."""
+    """The token a coordinator hands to prospective participants.
+
+    ``domain_id`` names the coordination domain that issued the context
+    (None outside a federation): a participant in another domain can
+    tell it is registering across an inter-ORB bridge — which is what
+    lets a federated registration service interpose a local subordinate
+    instead of enrolling every participant with the remote coordinator.
+    """
 
     context_id: str
     coordination_type: str
+    domain_id: Optional[str] = None
 
 
 class WscfCoordinator:
@@ -87,8 +95,11 @@ class WscfCoordinator:
         if coordination_type not in (PROTOCOL_ATOMIC, PROTOCOL_BUSINESS):
             raise WscfError(f"unknown coordination type {coordination_type!r}")
         activity = self.manager.begin(name=f"wscf:{coordination_type}")
+        orb = self.manager.orb
         context = CoordinationContext(
-            context_id=activity.activity_id, coordination_type=coordination_type
+            context_id=activity.activity_id,
+            coordination_type=coordination_type,
+            domain_id=orb.domain_id if orb is not None else None,
         )
         self._contexts[context.context_id] = context
         self._activities[context.context_id] = activity

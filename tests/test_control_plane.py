@@ -464,3 +464,129 @@ class TestSharedWheelCrossOwner:
         shared = HierarchicalTimerWheel(tick=1.0)
         factory_clock.attach_wheel(shared)
         factory_clock.attach_wheel(shared)
+
+
+class TestAdvanceTimeExpiry:
+    """Satellite: the manager's wheel attached to SimulatedClock advance.
+
+    With ``attach_wheel_to_clock=True`` a timed activity expires during
+    ``clock.advance()`` itself — no ``expire_timeouts`` poll needed —
+    while the strictly-past-deadline latch, the recorded events and the
+    not-re-reported contract all match the historical sweep.
+    """
+
+    def test_expiry_fires_during_advance(self):
+        clock = SimulatedClock()
+        manager = ActivityManager(
+            clock=clock, timer_wheel=True, attach_wheel_to_clock=True
+        )
+        timed = manager.begin(timeout=5.0)
+        untimed = manager.begin(timeout=1_000.0)
+        clock.advance(6.0)
+        assert timed.get_completion_status() is CompletionStatus.FAIL_ONLY
+        assert untimed.get_completion_status() is CompletionStatus.SUCCESS
+        # Advance-time expirations are not re-reported by a later sweep
+        # (mirroring the OTS factory's historical behaviour).
+        assert manager.expire_timeouts() == []
+
+    def test_exact_deadline_is_not_expired(self):
+        clock = SimulatedClock()
+        manager = ActivityManager(
+            clock=clock, timer_wheel=True, attach_wheel_to_clock=True
+        )
+        activity = manager.begin(timeout=5.0)
+        clock.advance(5.0)  # now == deadline: strictly-past rule holds
+        assert activity.get_completion_status() is CompletionStatus.SUCCESS
+        clock.advance(0.001)
+        assert activity.get_completion_status() is CompletionStatus.FAIL_ONLY
+
+    def test_events_match_the_poll_only_sweep(self):
+        def run(attach):
+            clock = SimulatedClock()
+            manager = ActivityManager(
+                clock=clock, timer_wheel=True, attach_wheel_to_clock=attach
+            )
+            manager.begin(timeout=5.0, name="t1")
+            manager.begin(timeout=7.0, name="t2")
+            clock.advance(10.0)
+            manager.expire_timeouts()
+            return [event.brief() for event in manager.event_log.events]
+
+        assert run(attach=True) == run(attach=False)
+
+    def test_completion_cancels_the_clock_timer(self):
+        clock = SimulatedClock()
+        manager = ActivityManager(
+            clock=clock, timer_wheel=True, attach_wheel_to_clock=True
+        )
+        activity = manager.begin(timeout=5.0)
+        activity.complete()
+        clock.advance(10.0)  # cancelled timer must not latch/raise
+        assert manager.expire_timeouts() == []
+
+    def test_reuses_a_wheel_already_attached_to_the_clock(self):
+        clock = SimulatedClock()
+        wheel = HierarchicalTimerWheel(tick=0.5)
+        clock.attach_wheel(wheel)
+        manager = ActivityManager(
+            clock=clock, timer_wheel=True, attach_wheel_to_clock=True
+        )
+        assert manager.timer_wheel is wheel
+
+    def test_requires_wheel_and_simulated_clock(self):
+        from repro.core.exceptions import ActivityServiceError
+
+        with pytest.raises(ActivityServiceError):
+            ActivityManager(attach_wheel_to_clock=True)
+        with pytest.raises(ActivityServiceError):
+            ActivityManager(
+                clock=WallClock(), timer_wheel=True, attach_wheel_to_clock=True
+            )
+
+
+class TestFactoryScheduledMaintenance:
+    """Satellite: OTS ``forget_completed`` on the wheel maintenance hook."""
+
+    def test_forget_completed_runs_on_schedule(self):
+        clock = SimulatedClock()
+        factory = TransactionFactory(clock=clock, timer_wheel=True)
+        factory.schedule_forget_completed(10.0)
+        for _ in range(4):
+            factory.create().commit()
+        live = factory.create()  # stays active across the sweep
+        assert len(factory._transactions.keys()) == 5
+        clock.advance(10.5)
+        assert len(factory._transactions.keys()) == 1
+        assert factory.get(live.tid) is live
+
+    def test_recurring_across_many_intervals(self):
+        clock = SimulatedClock()
+        factory = TransactionFactory(clock=clock, timer_wheel=True)
+        factory.schedule_forget_completed(5.0)
+        for _ in range(3):
+            factory.create().commit()
+            clock.advance(5.5)
+            assert len(factory._transactions.keys()) == 0
+
+    def test_cancel_maintenance_stops_the_cycle(self):
+        clock = SimulatedClock()
+        factory = TransactionFactory(clock=clock, timer_wheel=True)
+        factory.schedule_forget_completed(5.0)
+        assert factory.cancel_maintenance() == 1
+        factory.create().commit()
+        clock.advance(20.0)
+        assert len(factory._transactions.keys()) == 1
+
+    def test_requires_timer_wheel(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TransactionFactory().schedule_forget_completed(5.0)
+
+    def test_custom_task_mirrors_store_maintenance(self):
+        clock = SimulatedClock()
+        factory = TransactionFactory(clock=clock, timer_wheel=True)
+        ticks = []
+        factory.schedule_maintenance(2.0, lambda: ticks.append(clock.now()))
+        clock.advance(7.0)
+        assert len(ticks) == 3

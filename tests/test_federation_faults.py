@@ -1,0 +1,233 @@
+"""Cross-domain fault paths: partitions and heuristics across a bridge.
+
+The satellite coverage the federation layer demands: a
+``FaultPlan``-partitioned link during phase one, phase two and signal
+broadcast; heuristic outcomes surfacing on the parent; and the
+subordinate draining in-flight local sends before an outcome propagates
+upward.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import RecordingAction, SubordinateCoordinator
+from repro.core.broadcast import ThreadPoolBroadcastExecutor
+from repro.core.signals import Outcome, Signal
+from repro.models.twopc import SET_NAME as TWOPC_SET, TwoPhaseCommitSignalSet
+from repro.ots import (
+    HeuristicHazard,
+    HeuristicMixed,
+    HeuristicRollback,
+    TransactionRolledBack,
+    Vote,
+)
+from repro.ots.status import TransactionStatus
+
+from tests.test_federation import FederatedWorld, OtsWorld
+
+
+class TestPartitionDuringSignalBroadcast:
+    def test_partitioned_subordinate_surfaces_unreachable_and_pivots(self):
+        world = FederatedWorld(domains=2)
+        activity = world.parent.begin(name="partitioned")
+        signal_set = TwoPhaseCommitSignalSet()
+        activity.register_signal_set(signal_set, completion=True)
+        recorder = RecordingAction(
+            "remote",
+            reply=lambda s: Outcome.of(
+                "vote_commit" if s.signal_name == "prepare" else "done"
+            ),
+        )
+        activity.add_action(
+            TWOPC_SET, world.activate_remote(1, recorder, "remote")
+        )
+        world.bridge.partition("d0", "d1")
+        outcome = activity.complete()
+        # Delivery retries exhausted -> unreachable -> the 2PC set
+        # pivots to rollback; the parent observes the failure, the
+        # partitioned action never saw a signal.
+        assert outcome.name == "rolled_back"
+        assert signal_set.votes == ["vote_rollback"]
+        assert recorder.received == []
+
+    def test_heal_mid_set_lets_phase_two_through(self):
+        world = FederatedWorld(domains=2)
+        activity = world.parent.begin(name="healed")
+        signal_set = TwoPhaseCommitSignalSet()
+        activity.register_signal_set(signal_set, completion=True)
+        seen = []
+
+        class HealingAction(RecordingAction):
+            def process_signal(inner, signal):  # noqa: N805
+                seen.append(signal.signal_name)
+                if signal.signal_name == "prepare":
+                    # Cut the link after replying: phase two must fail.
+                    world.bridge.partition("d0", "d1")
+                    return Outcome.of("vote_commit")
+                return Outcome.of("done")
+
+        # Partition trips *after* the subordinate's reply is composed;
+        # severing the link between phases loses the commit signal.
+        action = HealingAction("flappy")
+        activity.add_action(TWOPC_SET, world.activate_remote(1, action, "p"))
+        outcome = activity.complete()
+        assert seen == ["prepare"]
+        assert outcome.name == "committed"  # decision stands on the parent
+        unreachable = [
+            response
+            for response in signal_set.phase_two_responses
+            if response.name == "repro.activity.unreachable"
+        ]
+        assert len(unreachable) == 1  # the lost commit surfaced upward
+
+
+class TestPartitionDuringPhaseOne:
+    def test_unreachable_subordinate_vote_is_rollback(self):
+        world = OtsWorld()
+        tx = world.current_a.begin()
+        world.cell_a.write(tx, 90)
+        world.bank_ref.invoke("deposit", 10)
+        world.bridge.partition("A", "B")
+        with pytest.raises(TransactionRolledBack):
+            world.current_a.commit()
+        assert world.cell_a.committed_value == 100
+        assert world.cell_b.committed_value == 50
+        # The subordinate never saw prepare; presumed abort applies to
+        # its in-doubt state once its own domain polices it.
+        subordinate = world.service_b.subordinate_for(tx.tid)
+        assert subordinate.get_status() is TransactionStatus.ACTIVE
+        world.bridge.heal("A", "B")
+        subordinate.transaction.rollback()
+        assert world.cell_b.committed_value == 50
+
+
+class TestPartitionDuringPhaseTwo:
+    def test_hazard_surfaces_on_parent_and_completion_replays(self):
+        world = OtsWorld()
+        tx = world.current_a.begin()
+        world.cell_a.write(tx, 90)
+
+        class PartitionTrigger:
+            """Votes commit; its phase-two commit severs the link."""
+
+            def prepare(self):
+                return Vote.COMMIT
+
+            def commit(self):
+                world.bridge.partition("A", "B")
+
+            def rollback(self):
+                pass
+
+            def forget(self):
+                pass
+
+        tx.register_resource(PartitionTrigger())
+        world.bank_ref.invoke("deposit", 10)
+        with pytest.raises(HeuristicHazard):
+            world.current_a.commit()
+        # The decision is durable and the parent committed; the
+        # subordinate is stranded PREPARED behind the partition.
+        assert tx.status is TransactionStatus.COMMITTED
+        assert world.cell_a.committed_value == 90
+        assert world.cell_b.committed_value == 50
+        subordinate = world.service_b.subordinate_for(tx.tid)
+        assert subordinate.get_status() is TransactionStatus.PREPARED
+
+        # The hazard is recorded, the transaction complete — resolution
+        # is a replay through the parent-side subordinate proxy once the
+        # link heals (what an operator, or a retry loop, would drive).
+        world.bridge.heal("A", "B")
+        proxy = world.registry_a.resolve(f"fedsub-tx:B:{tx.tid}")
+        assert proxy is not None
+        assert proxy.recover_commit(tx.tid)
+        assert world.cell_b.committed_value == 60
+        assert subordinate.get_status() is TransactionStatus.COMMITTED
+        # A second replay is idempotent.
+        assert proxy.recover_commit(tx.tid)
+        assert world.cell_b.committed_value == 60
+
+    def test_subordinate_local_heuristic_surfaces_on_parent(self):
+        world = OtsWorld()
+
+        class HeuristicB:
+            """A B-local resource that heuristically rolled back."""
+
+            def prepare(self):
+                return Vote.COMMIT
+
+            def commit(self):
+                raise HeuristicRollback("unilaterally rolled back")
+
+            def rollback(self):
+                pass
+
+            def forget(self):
+                pass
+
+        class Enlister:
+            def __init__(self, current):
+                self.current = current
+
+            def enlist(self):
+                self.current.get_transaction().register_resource(HeuristicB())
+                return True
+
+        from tests.test_federation import rebind
+
+        enlist_ref = rebind(
+            world.node_b.activate(Enlister(world.current_b), object_id="enl"),
+            world.orb_a,
+        )
+        tx = world.current_a.begin()
+        world.cell_a.write(tx, 90)
+        world.bank_ref.invoke("deposit", 10)
+        enlist_ref.invoke("enlist")
+        with pytest.raises(HeuristicMixed):
+            world.current_a.commit()
+        # The subordinate digested its local heuristic, completed the
+        # rest of its tree, and the parent recorded the outcome.
+        assert tx.status is TransactionStatus.COMMITTED
+        assert world.cell_a.committed_value == 90
+        assert world.cell_b.committed_value == 60
+        assert len(tx.heuristics) == 1
+
+
+class TestSubordinateDrain:
+    def test_in_flight_local_sends_drain_before_reply(self):
+        executor = ThreadPoolBroadcastExecutor(max_workers=4)
+        try:
+            subordinate = SubordinateCoordinator(
+                "act-1", "d1", executor=executor
+            )
+            finished = []
+            lock = threading.Lock()
+
+            def slow(tag, delay):
+                def reply(signal):
+                    time.sleep(delay)
+                    with lock:
+                        finished.append(tag)
+                    return Outcome.done(tag)
+
+                return reply
+
+            def failing(signal):
+                with lock:
+                    finished.append("boom")
+                raise RuntimeError("boom")
+
+            subordinate.register("set", RecordingAction("s1", reply=slow("s1", 0.05)))
+            subordinate.register("set", RecordingAction("bad", reply=failing))
+            subordinate.register("set", RecordingAction("s2", reply=slow("s2", 0.05)))
+            subordinate.register("set", RecordingAction("s3", reply=slow("s3", 0.02)))
+            outcome = subordinate.process_signal(Signal("go", "set"))
+            # The error outcome propagates upward only after every
+            # in-flight local send completed — nothing still racing.
+            assert outcome.is_error
+            with lock:
+                assert sorted(finished) == ["boom", "s1", "s2", "s3"]
+        finally:
+            executor.shutdown()

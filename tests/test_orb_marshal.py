@@ -8,8 +8,11 @@ import pytest
 from repro.core.signals import Outcome, Signal
 from repro.core.status import CompletionStatus
 from repro.orb.marshal import (
+    EncodeCache,
     MarshalError,
     Marshaller,
+    MarshalStats,
+    PayloadSlot,
     ValueTypeRegistry,
     marshal_roundtrip,
 )
@@ -158,3 +161,100 @@ class TestWireErrors:
     def test_empty_message(self):
         with pytest.raises(MarshalError):
             Marshaller().decode(b"")
+
+
+class TestPayloadInterning:
+    """Satellite: opt-in interning of large immutable payloads."""
+
+    def payload(self):
+        return {"blob": "x" * 4_096, "rows": list(range(64))}
+
+    def test_interned_bytes_are_identical_to_plain_encode(self):
+        payload = self.payload()
+        plain = Marshaller()
+        interning = Marshaller(encode_cache=EncodeCache(16))
+        interning.intern_payload(payload)
+        message = [Signal("go", "set", application_specific_data=payload), "ctx"]
+        expected = plain.encode(message)
+        assert interning.encode(message) == expected  # cold (miss)
+        assert interning.encode(message) == expected  # warm (hit)
+        decoded = interning.decode(expected)
+        assert decoded[0].application_specific_data == payload
+
+    def test_reuse_is_accounted(self):
+        payload = self.payload()
+        stats = MarshalStats()
+        marshaller = Marshaller(stats=stats, encode_cache=EncodeCache(16))
+        marshaller.intern_payload(payload)
+        for _ in range(3):
+            marshaller.encode([payload])
+        snapshot = stats.snapshot()
+        assert snapshot["cache_misses"] == 1
+        assert snapshot["cache_hits"] == 2
+        assert snapshot["bytes_saved"] > 2 * 4_096
+
+    def test_release_invalidates_and_restores_plain_encoding(self):
+        payload = self.payload()
+        marshaller = Marshaller(encode_cache=EncodeCache(16))
+        marshaller.intern_payload(payload)
+        first = marshaller.encode([payload])
+        assert marshaller.release_payload(payload) is True
+        assert marshaller.interned_payloads == 0
+        assert marshaller.encode([payload]) == first
+
+    def test_mutation_without_release_ships_stale_bytes(self):
+        # The documented invalidation contract: interned payloads are
+        # immutable-by-promise; a mutation is only visible after the
+        # payload is released (or re-registered as a new object).
+        payload = self.payload()
+        marshaller = Marshaller(encode_cache=EncodeCache(16))
+        marshaller.intern_payload(payload)
+        before = marshaller.encode([payload])
+        payload["rows"].append(999)
+        assert marshaller.encode([payload]) == before  # stale, as documented
+        marshaller.release_payload(payload)
+        after = marshaller.encode([payload])
+        assert after != before
+        assert marshaller.decode(after)[0]["rows"][-1] == 999
+
+    def test_interning_none_values_is_inert(self):
+        # Scalars whose identity aliases dict.get's default must never
+        # trip the gate (regression: None looped the interning path).
+        marshaller = Marshaller(encode_cache=EncodeCache(16))
+        plain = Marshaller()
+        message = [None, True, 0, "ctx", Signal("s", "set")]
+        assert marshaller.encode(message) == plain.encode(message)
+
+    def test_requires_an_encode_cache(self):
+        with pytest.raises(MarshalError):
+            Marshaller().intern_payload(self.payload())
+
+    def test_orb_level_api_counts_savings(self):
+        from repro.orb import Orb
+
+        orb = Orb()
+        payload = orb.intern_payload(self.payload())
+        node = orb.create_node("n")
+
+        class Sink:
+            def process_signal(self, signal):
+                return "ok"
+
+        ref = node.activate(Sink(), object_id="sink")
+        for _ in range(4):
+            ref.invoke(
+                "process_signal",
+                Signal("go", "set", application_specific_data=payload),
+            )
+        snapshot = orb.transport.stats.marshal.snapshot()
+        assert snapshot["cache_hits"] >= 3
+        assert snapshot["bytes_saved"] > 3 * 4_096
+        assert orb.release_payload(payload) is True
+
+    def test_slot_bearing_payloads_are_not_cached(self):
+        marshaller = Marshaller(encode_cache=EncodeCache(16))
+        payload = {"hole": PayloadSlot("h"), "pad": "y" * 128}
+        marshaller.intern_payload(payload)
+        template = marshaller.prepare([payload])
+        filled = template.fill(h="value")
+        assert filled == Marshaller().encode([{"hole": "value", "pad": "y" * 128}])
