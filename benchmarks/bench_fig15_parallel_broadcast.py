@@ -29,7 +29,7 @@ from repro.core import (
     ThreadPoolBroadcastExecutor,
 )
 from repro.models.twopc import TwoPhaseCommitSignalSet, TwoPhaseParticipant
-from repro.orb.transport import FaultPlan, Transport
+from repro.orb.transport import FaultPlan, SimulatedTransport
 from repro.util.clock import WallClock
 
 QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
@@ -44,7 +44,7 @@ class RemoteParticipant:
     def __init__(self, name: str, fault_plan: FaultPlan) -> None:
         self.name = name
         self.inner = TwoPhaseParticipant(name)
-        self.transport = Transport(WallClock(), fault_plan=fault_plan)
+        self.transport = SimulatedTransport(WallClock(), fault_plan=fault_plan)
 
     def process_signal(self, signal):
         reply = {}

@@ -1,0 +1,120 @@
+"""Demo servants for multi-process site deployments.
+
+A tiny federated bank, shaped to exercise exactly the machinery the site
+daemons exist for: a :class:`BankAccount` holds transactional state in a
+site-local :class:`~repro.ots.recoverable.TransactionalCell`, and a
+:class:`TransferDesk` moves money between accounts on *different sites*
+inside one transaction — so every transfer is a federated 2PC with
+coordinator interposition, a durable subtx-prepared record on the remote
+site, and a commit decision in the desk site's WAL.  SIGKILL either
+process mid-protocol and the WAL replay / in-doubt resolution on restart
+must make the books balance.
+
+The module-level functions are :class:`~repro.orb.site.SiteConfig`
+``app`` hooks (``"repro.apps.site_apps:bank_site"``), called with the
+:class:`~repro.orb.site.SiteRuntime` at boot.  Node ids embed the site
+id (``<site>.bank``) because ids must be unique federation-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.orb.core import Servant
+from repro.orb.reference import ObjectRef
+
+DEFAULT_ACCOUNTS = {"acct-1": 100.0, "acct-2": 100.0}
+
+
+def bank_node_id(site_id: str) -> str:
+    return f"{site_id}.bank"
+
+
+class BankAccount(Servant):
+    """One account: committed balance in a recoverable cell."""
+
+    def __init__(self, runtime: Any, key: str, initial: float) -> None:
+        self._runtime = runtime
+        self._cell = runtime.cell(f"account:{key}", float(initial))
+        self.key = key
+
+    def deposit(self, amount: float) -> float:
+        tx = self._runtime.current.get_transaction()
+        balance = self._cell.read(tx) + amount
+        self._cell.write(tx, balance)
+        return balance
+
+    def withdraw(self, amount: float) -> float:
+        tx = self._runtime.current.get_transaction()
+        balance = self._cell.read(tx)
+        if amount > balance:
+            raise ValueError(
+                f"account {self.key!r}: cannot withdraw {amount} from {balance}"
+            )
+        balance -= amount
+        self._cell.write(tx, balance)
+        return balance
+
+    def balance(self) -> float:
+        """The *committed* balance (in-flight workspaces invisible)."""
+        return self._cell.committed_value
+
+
+class TransferDesk(Servant):
+    """Moves money between accounts anywhere on the site fabric.
+
+    The desk's site is the transaction's root domain: the remote
+    ``deposit`` rides the federated context, the remote site interposes
+    a subordinate, and commit drives 2PC across both sites.
+    """
+
+    def __init__(self, runtime: Any) -> None:
+        self._runtime = runtime
+
+    def transfer(
+        self,
+        from_account: str,
+        to_node: str,
+        to_account: str,
+        amount: float,
+    ) -> Dict[str, float]:
+        runtime = self._runtime
+        current = runtime.current
+        current.begin(name=f"transfer:{from_account}->{to_node}/{to_account}")
+        try:
+            desk_node = bank_node_id(runtime.config.site_id)
+            remaining = (
+                runtime.orb.node(desk_node).servant(from_account).withdraw(amount)
+            )
+            # Remote leg: an ordinary bound-ref invocation.  When
+            # ``to_node`` lives on another site the federated client
+            # interceptor attaches the transaction context and the
+            # request crosses the socket fabric.
+            ref = ObjectRef(to_node, to_account, "BankAccount").bind(runtime.orb)
+            deposited = ref.invoke("deposit", amount)
+        except BaseException:
+            current.rollback()
+            raise
+        current.commit()
+        return {"from_balance": remaining, "to_balance": deposited}
+
+
+def bank_site(runtime: Any) -> None:
+    """App hook: a bank node with the default accounts."""
+    node = runtime.orb.create_node(bank_node_id(runtime.config.site_id))
+    for key, initial in DEFAULT_ACCOUNTS.items():
+        node.activate(
+            BankAccount(runtime, key, initial),
+            object_id=key,
+            interface="BankAccount",
+            durable=True,
+        )
+
+
+def transfer_desk_site(runtime: Any) -> None:
+    """App hook: a bank node plus the federation-driving transfer desk."""
+    bank_site(runtime)
+    node = runtime.orb.node(bank_node_id(runtime.config.site_id))
+    node.activate(
+        TransferDesk(runtime), object_id="desk", interface="TransferDesk", durable=True
+    )

@@ -1,0 +1,248 @@
+"""Typed runtime configuration for the major service entry points.
+
+The three service constructors — :class:`~repro.orb.core.Orb`,
+:class:`~repro.core.manager.ActivityManager` and
+:class:`~repro.ots.factory.TransactionFactory` — grew a sprawl of tuning
+keywords over PRs 3–5 (fast-path switches, timer wheels, registry shards,
+federation hooks).  This module collapses each surface into one frozen,
+validated dataclass:
+
+=================  ==========================================================
+:class:`OrbConfig`       marshaller cache sizing, federation domain identity
+:class:`RuntimeConfig`   ActivityManager: fast path, timer wheel, shards,
+                         federation/interposition switches
+:class:`FactoryConfig`   TransactionFactory: 2PC drive policy (parallelism,
+                         marshal-once, group commit), timers, shards
+=================  ==========================================================
+
+Resources with a lifetime of their own (clocks, stores, WALs, executors,
+event logs) stay as explicit constructor parameters — a config object
+holds *values*, not live machinery, with the deliberate exception of an
+optionally shared timer wheel / federation bridge which several services
+must point at the same instance.
+
+Every constructor still accepts the old keywords as a deprecated
+back-compat shim: legacy kwargs are folded into the config (with a
+``DeprecationWarning``), and mixing ``config=`` with a legacy keyword is
+a :class:`~repro.exceptions.ConfigurationError` — explicit beats merged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Type, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+C = TypeVar("C", bound="_BaseConfig")
+
+
+class ConfigValidationError(ConfigurationError, ValueError):
+    """An out-of-range config value.
+
+    Subclasses both :class:`ConfigurationError` (the library's own
+    configuration-failure type) and :class:`ValueError` (what the
+    pre-dataclass constructors raised), so existing callers keep
+    working whichever they catch.
+    """
+
+
+@dataclass(frozen=True)
+class _BaseConfig:
+    """Shared resolve/validate machinery for the config dataclasses."""
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on out-of-range values."""
+
+    def replace(self: C, **changes: Any) -> C:
+        """A copy with ``changes`` applied (and re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def resolve(
+        cls: Type[C],
+        config: Optional[C],
+        legacy: Dict[str, Any],
+        owner: str,
+    ) -> C:
+        """Fold deprecated constructor keywords into a config instance.
+
+        ``legacy`` is the ``**kwargs`` catch-all of the owning
+        constructor.  Unknown keys raise ``TypeError`` (same contract as
+        a real keyword argument); known keys deprecation-warn and build a
+        config, unless an explicit ``config=`` was also passed — then the
+        call is ambiguous and refused.
+        """
+        if not legacy:
+            return config if config is not None else cls()
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(legacy) - field_names)
+        if unknown:
+            raise TypeError(
+                f"{owner}() got unexpected keyword argument(s): {', '.join(unknown)}"
+            )
+        if config is not None:
+            raise ConfigurationError(
+                f"{owner}(): pass either config= or legacy keyword(s) "
+                f"{sorted(legacy)}, not both"
+            )
+        warnings.warn(
+            f"{owner}({', '.join(sorted(legacy))}=...) is deprecated; "
+            f"pass {owner}(config={cls.__name__}(...)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return cls(**legacy)
+
+    def _require(self, ok: bool, message: str) -> None:
+        if not ok:
+            raise ConfigValidationError(f"{type(self).__name__}: {message}")
+
+
+@dataclass(frozen=True)
+class OrbConfig(_BaseConfig):
+    """Tuning values for one :class:`~repro.orb.core.Orb`.
+
+    marshal_cache_entries
+        Bound on the marshaller's encode cache for interned value types
+        (activity/transaction contexts); ``0`` disables the cache (every
+        message re-encodes its full tree — the pre-fast-path behaviour).
+        Default 256: enough for the per-activity context churn the
+        benchmarks exercise without unbounded growth.
+    domain_id
+        The coordination domain this ORB belongs to when federated.
+        Normally assigned by ``InterOrbBridge.connect`` or the site
+        runtime; a standalone ORB leaves it ``None``.
+    """
+
+    marshal_cache_entries: int = 256
+    domain_id: Optional[str] = None
+
+    def validate(self) -> None:
+        self._require(
+            isinstance(self.marshal_cache_entries, int)
+            and self.marshal_cache_entries >= 0,
+            f"marshal_cache_entries must be a non-negative int, "
+            f"got {self.marshal_cache_entries!r}",
+        )
+
+
+@dataclass(frozen=True)
+class RuntimeConfig(_BaseConfig):
+    """Tuning values for one :class:`~repro.core.manager.ActivityManager`.
+
+    fast_path
+        Use versioned context snapshots + marshal-once signal payloads on
+        the signal delivery path (PR 3).  Default on; turning it off is
+        the ablation baseline.
+    registry_shards
+        Stripe count for the activity/timeout registries (PR 4), ≥ 1.
+        Default 8: past the contention knee measured in fig16 without
+        oversharding small deployments.
+    timer_wheel / wheel_tick / attach_wheel_to_clock
+        Timeout bookkeeping.  ``timer_wheel`` shares an existing
+        :class:`~repro.util.timerwheel.HierarchicalTimerWheel`; otherwise
+        one is built with ``wheel_tick`` (seconds per slot, > 0).
+        ``attach_wheel_to_clock`` hooks the wheel to a simulated clock so
+        time advancement fires expirations without polling.
+    federation / interposition
+        ``federation`` points at the shared ``InterOrbBridge`` (or a
+        site federation) when this manager coordinates across domains;
+        ``interposition`` installs the activity interposer so foreign
+        coordinators are proxied locally (PR 5).
+    """
+
+    fast_path: bool = True
+    registry_shards: int = 8
+    timer_wheel: Optional[Any] = None
+    wheel_tick: float = 1.0
+    attach_wheel_to_clock: bool = False
+    federation: Optional[Any] = None
+    interposition: bool = False
+
+    def validate(self) -> None:
+        self._require(
+            isinstance(self.registry_shards, int) and self.registry_shards >= 1,
+            f"registry_shards must be >= 1, got {self.registry_shards!r}",
+        )
+        self._require(
+            self.wheel_tick > 0,
+            f"wheel_tick must be > 0, got {self.wheel_tick!r}",
+        )
+        self._require(
+            not (self.interposition and self.federation is None),
+            "interposition=True requires a federation bridge",
+        )
+
+
+@dataclass(frozen=True)
+class FactoryConfig(_BaseConfig):
+    """Tuning values for one :class:`~repro.ots.factory.TransactionFactory`.
+
+    retry_attempts
+        Per-participant retries for transient ``CommunicationError``
+        during 2PC phases (at-least-once completion; phase-two operations
+        are idempotent so retrying is safe).  ≥ 1.
+    group_commit_window
+        Seconds the WAL may hold a commit record waiting to share an
+        fsync with neighbours (PR 2's fig13 trade-off); ``None`` forces
+        every decision individually (the durability-latency default).
+    parallel_participants
+        Worker threads driving prepare/commit fan-out per transaction;
+        ``1`` keeps the serial, trace-deterministic drive.
+    marshal_once
+        Encode each phase's request once per participant round and patch
+        per-target holes (PR 3).  On by default; off is the ablation.
+    registry_shards / timer_wheel / wheel_tick
+        As in :class:`RuntimeConfig`, for the transaction registry and
+        the timeout wheel.
+    tid_prefix
+        Prepended to every generated transaction id.  Empty (the
+        default) keeps single-process traces byte-identical; site
+        daemons set ``"<site>:<boot-nonce>:"`` because root tids key
+        remote adoption maps and durable logs, so they must stay unique
+        across sites *and* process restarts.
+    """
+
+    retry_attempts: int = 3
+    group_commit_window: Optional[float] = None
+    parallel_participants: int = 1
+    marshal_once: bool = True
+    registry_shards: int = 8
+    timer_wheel: Optional[Any] = None
+    wheel_tick: float = 1.0
+    tid_prefix: str = ""
+
+    def validate(self) -> None:
+        self._require(
+            isinstance(self.retry_attempts, int) and self.retry_attempts >= 1,
+            f"retry_attempts must be >= 1, got {self.retry_attempts!r}",
+        )
+        self._require(
+            self.group_commit_window is None or self.group_commit_window >= 0,
+            f"group_commit_window must be None or >= 0, "
+            f"got {self.group_commit_window!r}",
+        )
+        self._require(
+            isinstance(self.parallel_participants, int)
+            and self.parallel_participants >= 1,
+            f"parallel_participants must be >= 1, "
+            f"got {self.parallel_participants!r}",
+        )
+        self._require(
+            isinstance(self.tid_prefix, str),
+            f"tid_prefix must be a string, got {self.tid_prefix!r}",
+        )
+        self._require(
+            isinstance(self.registry_shards, int) and self.registry_shards >= 1,
+            f"registry_shards must be >= 1, got {self.registry_shards!r}",
+        )
+        self._require(
+            self.wheel_tick > 0,
+            f"wheel_tick must be > 0, got {self.wheel_tick!r}",
+        )

@@ -14,8 +14,9 @@ from __future__ import annotations
 import itertools
 import math
 import threading
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.config import RuntimeConfig
 from repro.core.action import Action
 from repro.core.activity import Activity
 from repro.core.broadcast import BroadcastExecutor
@@ -41,6 +42,10 @@ ActionFactory = Callable[[Dict[str, Any]], Action]
 
 class ActivityManager:
     """Creates, tracks, recovers and distributes activities.
+
+    Tuning lives in :class:`~repro.config.RuntimeConfig` (see its
+    docstring for the knobs and defaults); the old keyword arguments
+    remain as a deprecated shim.
 
     Control-plane scaling knobs:
 
@@ -74,14 +79,12 @@ class ActivityManager:
         property_groups: Optional[PropertyGroupManager] = None,
         executor: Optional[BroadcastExecutor] = None,
         action_timeout: Optional[float] = None,
-        fast_path: bool = True,
-        registry_shards: int = 8,
-        timer_wheel: Union[None, bool, HierarchicalTimerWheel] = None,
-        wheel_tick: float = 1.0,
-        attach_wheel_to_clock: bool = False,
-        federation: Optional[Any] = None,
-        interposition: bool = False,
+        config: Optional[RuntimeConfig] = None,
+        **legacy: Any,
     ) -> None:
+        self.config = config = RuntimeConfig.resolve(
+            config, legacy, "ActivityManager"
+        )
         self.clock = clock if clock is not None else SimulatedClock()
         self.event_log = event_log if event_log is not None else EventLog(self.clock)
         self.delivery = delivery if delivery is not None else AtLeastOnceDelivery()
@@ -92,7 +95,7 @@ class ActivityManager:
         # Invocation fast path: versioned context snapshots on the client
         # interceptor + marshal-once broadcast bodies in coordinators.
         # False restores build-and-marshal-per-hop everywhere.
-        self.fast_path = fast_path
+        self.fast_path = config.fast_path
         self.store = store
         self.property_groups = (
             property_groups if property_groups is not None else PropertyGroupManager()
@@ -100,13 +103,15 @@ class ActivityManager:
         self.current = ActivityCurrent(self)
         self.ids = IdGenerator()
         self.orb: Optional[Orb] = None
-        self._activities = StripedMap(shards=registry_shards)
+        self._activities = StripedMap(shards=config.registry_shards)
         self._signal_set_factories: Dict[str, SignalSetFactory] = {}
         self._action_factories: Dict[str, ActionFactory] = {}
         self.begun = 0
         self.completed = 0
         self._counter_lock = threading.Lock()
         self._begin_order = itertools.count()
+        timer_wheel = config.timer_wheel
+        attach_wheel_to_clock = config.attach_wheel_to_clock
         if timer_wheel is None or timer_wheel is False:
             self._wheel: Optional[HierarchicalTimerWheel] = None
         elif timer_wheel is True:
@@ -117,7 +122,7 @@ class ActivityManager:
             ):
                 self._wheel = self.clock.wheel
             else:
-                self._wheel = HierarchicalTimerWheel(tick=wheel_tick)
+                self._wheel = HierarchicalTimerWheel(tick=config.wheel_tick)
         else:
             self._wheel = timer_wheel
         if self._wheel is not None and self._wheel.now < self.clock.now():
@@ -142,10 +147,10 @@ class ActivityManager:
         # Federation: with a bridge and interposition enabled, every
         # coordinator this manager creates reroutes cross-domain action
         # registrations through one interposed subordinate per domain.
-        self.federation = federation
+        self.federation = config.federation
         self.interposer: Optional[ActivityInterposer] = None
-        if federation is not None and interposition:
-            self.interposer = ActivityInterposer(federation, self)
+        if config.federation is not None and config.interposition:
+            self.interposer = ActivityInterposer(config.federation, self)
         self._expired_batch: List[str] = []
         self._collecting_expired = False
         self._rearm_queue: List[str] = []

@@ -38,7 +38,12 @@ from repro.orb.marshal import (
 )
 from repro.orb.naming import NamingService
 from repro.orb.reference import ObjectRef
-from repro.orb.transport import FaultPlan, Transport, TransportStats
+from repro.orb.transport import (
+    FaultPlan,
+    SimulatedTransport,
+    Transport,
+    TransportStats,
+)
 
 __all__ = [
     "Orb",
@@ -57,6 +62,7 @@ __all__ = [
     "ValueTypeRegistry",
     "marshal_roundtrip",
     "Transport",
+    "SimulatedTransport",
     "TransportStats",
     "FaultPlan",
     "NamingService",

@@ -40,8 +40,9 @@ from repro.orb.marshal import (
     PayloadTemplate,
     ValueTypeRegistry,
 )
+from repro.config import OrbConfig
 from repro.orb.reference import ObjectRef
-from repro.orb.transport import FaultPlan, Transport
+from repro.orb.transport import FaultPlan, SimulatedTransport, Transport
 from repro.util.clock import Clock, SimulatedClock
 from repro.util.events import EventLog
 from repro.util.idgen import IdGenerator
@@ -207,10 +208,14 @@ class PreparedInvocation:
 class Orb:
     """The distribution substrate shared by a simulated deployment.
 
-    ``marshal_cache_entries`` bounds the marshaller's encode cache for
-    interned value types (activity/transaction contexts); 0 disables the
-    cache entirely (every message re-encodes its full tree — the
-    pre-fast-path behaviour).
+    Tuning values live in :class:`~repro.config.OrbConfig` (see its
+    docstring for defaults); ``marshal_cache_entries=``/``domain_id=``
+    keywords remain as a deprecated shim.  ``transport=`` injects a
+    custom :class:`~repro.orb.transport.Transport` (e.g. a
+    ``SocketTransport`` serving this ORB's nodes to other processes);
+    by default the ORB builds an in-process
+    :class:`~repro.orb.transport.SimulatedTransport` governed by
+    ``fault_plan``.
     """
 
     def __init__(
@@ -220,18 +225,32 @@ class Orb:
         registry: Optional[ValueTypeRegistry] = None,
         fault_plan: Optional[FaultPlan] = None,
         event_log: Optional[EventLog] = None,
-        marshal_cache_entries: int = 256,
-        domain_id: Optional[str] = None,
+        config: Optional[OrbConfig] = None,
+        transport: Optional[Transport] = None,
+        **legacy: Any,
     ) -> None:
+        self.config = OrbConfig.resolve(config, legacy, "Orb")
         # Federation: the coordination domain this ORB belongs to and the
         # bridge that routes to foreign domains (both set by
-        # InterOrbBridge.connect; a standalone ORB has neither).
-        self.domain_id = domain_id
+        # InterOrbBridge.connect or a site runtime; a standalone ORB has
+        # neither).
+        self.domain_id = self.config.domain_id
         self.federation: Optional[Any] = None
         self.clock = clock if clock is not None else SimulatedClock()
         self.rng = rng if rng is not None else SeededRng(0)
         self.ids = IdGenerator()
-        self.transport = Transport(self.clock, self.rng.fork("transport"), fault_plan)
+        if transport is not None:
+            if fault_plan is not None:
+                raise ConfigurationError(
+                    "fault_plan= only applies to the default SimulatedTransport; "
+                    "configure an injected transport directly"
+                )
+            self.transport = transport
+        else:
+            self.transport = SimulatedTransport(
+                self.clock, self.rng.fork("transport"), fault_plan
+            )
+        marshal_cache_entries = self.config.marshal_cache_entries
         self.marshaller = Marshaller(
             registry,
             stats=self.transport.stats.marshal,
@@ -277,6 +296,9 @@ class Orb:
             return self._nodes[node_id]
         except KeyError:
             raise ConfigurationError(f"unknown node {node_id!r}") from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
 
     def nodes(self) -> Tuple[Node, ...]:
         return tuple(self._nodes.values())
@@ -392,6 +414,13 @@ class Orb:
             raise exc
         self.interceptors.run_receive_reply(info)
         return payload
+
+    def dispatch_request(self, node_id: str, request_bytes: bytes) -> bytes:
+        """Server-side entry point for transports delivering from outside
+        this process (the site daemon hands arriving socket frames here);
+        in-process transports reach :meth:`_dispatch` through the closure
+        ``invoke`` passes to ``deliver``."""
+        return self._dispatch(node_id, request_bytes)
 
     def _dispatch(self, node_id: str, request_bytes: bytes) -> bytes:
         """Server-side: decode, intercept, run the servant, encode reply."""

@@ -40,7 +40,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 from repro.exceptions import ConfigurationError, ObjectNotExist
 from repro.orb.core import Node, Orb
 from repro.orb.reference import ObjectRef
-from repro.orb.transport import Transport
+from repro.orb.transport import SimulatedTransport, Transport
 from repro.util.clock import Clock
 from repro.util.rng import SeededRng
 
@@ -210,7 +210,9 @@ class InterOrbBridge:
         if existing is not None:
             return existing
         pair = tuple(sorted(key))
-        transport = Transport(self._clock, self._rng.fork(f"link:{pair[0]}:{pair[1]}"))
+        transport = SimulatedTransport(
+            self._clock, self._rng.fork(f"link:{pair[0]}:{pair[1]}")
+        )
         created = DomainLink(pair[0], pair[1], transport)
         self._links[key] = created
         return created

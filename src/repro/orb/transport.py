@@ -1,21 +1,30 @@
-"""Request/reply transport with fault injection.
+"""The transport seam: how request/reply payloads move between nodes.
 
-The transport carries already-marshalled request and reply payloads between
-nodes.  A :class:`FaultPlan` makes the network misbehave deterministically
-(seeded): messages may be dropped (raising ``CommunicationError``), may be
-*duplicated* (the servant executes twice — this is what motivates the
-spec's at-least-once / idempotent-Action requirement, §3.4 of the paper),
-and every hop may add latency drawn from a configurable model.
+:class:`Transport` is the abstract seam every ORB invocation crosses: it
+carries already-marshalled request bytes to a target node and returns the
+marshalled reply bytes.  Two implementations exist:
+
+- :class:`SimulatedTransport` (this module) — the in-process default.
+  A :class:`FaultPlan` makes the network misbehave deterministically
+  (seeded): messages may be dropped (raising ``CommunicationError``), may
+  be *duplicated* (the servant executes twice — this is what motivates the
+  spec's at-least-once / idempotent-Action requirement, §3.4 of the
+  paper), and every hop may add latency drawn from a configurable model.
+- :class:`~repro.orb.socket_transport.SocketTransport` — real TCP between
+  OS processes (length-prefixed frames, per-peer connections, reconnect
+  with backoff), used by the site daemon (:mod:`repro.orb.site`).
 
 All statistics (messages, bytes, drops, duplicates, simulated latency) are
-collected in :class:`TransportStats` for the benchmarks.
+collected in :class:`TransportStats` for the benchmarks; both transports
+fill the same counters so figures compare like with like.
 """
 
 from __future__ import annotations
 
+import abc
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, Optional, Set
+from typing import Any, Callable, ClassVar, Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.exceptions import CommunicationError
 from repro.orb.marshal import MarshalStats
@@ -91,13 +100,85 @@ class TransportStats:
         self.marshal.reset()
 
 
-class Transport:
-    """Moves request/reply payloads between nodes under a fault plan.
+class Transport(abc.ABC):
+    """Abstract seam between the ORB's invocation path and the wire.
+
+    Lifecycle contract (all implementations):
+
+    ``start()``
+        Bring up any background machinery (listener sockets, accept
+        threads).  Idempotent.  The in-process transport needs none, so
+        the default is a no-op; callers may rely on being able to call it
+        unconditionally.
+    ``connect_peer(peer_id, address)``
+        Pre-register where a remote peer lives.  Transports that resolve
+        targets implicitly (everything in one process) ignore it.
+    ``deliver(source_node, target_node, request_bytes, dispatch)``
+        Synchronous request/reply: carry ``request_bytes`` to the target
+        and return the reply bytes, raising ``CommunicationError`` on
+        loss, partition, or an unreachable peer.  ``dispatch`` runs the
+        server-side work when the target is served by this process.
+    ``close()``
+        Release sockets/threads.  Idempotent; ``deliver`` after ``close``
+        raises ``CommunicationError``.
+    ``stats``
+        A :class:`TransportStats` every implementation fills the same
+        way, so benchmarks compare simulated and socket runs like for
+        like.
+
+    Capability flags let callers ask what a transport can do instead of
+    reaching into implementation-only attributes:
+
+    ``supports_fault_injection``
+        Whether ``set_fault_plan``/``reliable`` exist and do anything.
+    ``remote_capable``
+        Whether targets may live in another OS process.
+    """
+
+    supports_fault_injection: ClassVar[bool] = False
+    remote_capable: ClassVar[bool] = False
+
+    stats: TransportStats
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bring up background machinery (no-op for in-process use)."""
+
+    def close(self) -> None:
+        """Release resources (no-op for in-process use)."""
+
+    def connect_peer(self, peer_id: str, address: Tuple[str, int]) -> None:
+        """Register the network address of ``peer_id`` (no-op in-process)."""
+
+    # -- delivery ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def deliver(
+        self,
+        source_node: str,
+        target_node: str,
+        request_bytes: bytes,
+        dispatch: Callable[[bytes], bytes],
+    ) -> bytes:
+        """Carry one request to ``target_node`` and return the reply bytes."""
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        return {"transport": type(self).__name__}
+
+
+class SimulatedTransport(Transport):
+    """In-process transport with deterministic fault injection.
 
     ``deliver`` is synchronous: it models a blocking two-way CORBA
     invocation.  The ``dispatch`` callable is supplied by the ORB and runs
     the server-side work for one request payload.
     """
+
+    supports_fault_injection: ClassVar[bool] = True
+    remote_capable: ClassVar[bool] = False
 
     def __init__(
         self,
@@ -216,6 +297,7 @@ class Transport:
 
     def describe(self) -> Dict[str, Any]:
         return {
+            "transport": type(self).__name__,
             "drop_probability": self.fault_plan.drop_probability,
             "duplicate_probability": self.fault_plan.duplicate_probability,
             "latency": self.fault_plan.latency,

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import threading
-from typing import Callable, List, Optional, Set, Union
+from typing import Any, Callable, List, Optional, Set
 
+from repro.config import FactoryConfig
 from repro.exceptions import ConfigurationError
 from repro.ots.coordinator import Control, Transaction
 from repro.ots.exceptions import InvalidTransaction, SimulatedCrash
@@ -24,11 +25,17 @@ class Failpoints:
 
     ``arm("after_commit_log")`` makes the next pass through that point
     raise :class:`SimulatedCrash`; points disarm after firing once.
+
+    ``on_fire`` (when set) runs just before the raise.  The site daemon
+    uses it to turn a simulated crash into a real one — SIGKILL of its
+    own process — so the same armed points drive both the in-process
+    crash tests and the true multi-process fault-tolerance tests.
     """
 
     def __init__(self) -> None:
         self._armed: Set[str] = set()
         self.fired: List[str] = []
+        self.on_fire: Optional[Callable[[str], None]] = None
 
     def arm(self, name: str) -> None:
         self._armed.add(name)
@@ -39,10 +46,15 @@ class Failpoints:
     def clear(self) -> None:
         self._armed.clear()
 
+    def armed(self) -> List[str]:
+        return sorted(self._armed)
+
     def hit(self, name: str) -> None:
         if name in self._armed:
             self._armed.discard(name)
             self.fired.append(name)
+            if self.on_fire is not None:
+                self.on_fire(name)
             raise SimulatedCrash(f"fail-point {name!r} fired")
 
 
@@ -55,6 +67,10 @@ class TransactionFactory:
     transactions by tid, which is what lets the propagation interceptors
     re-associate an incoming request with its transaction — the moral
     equivalent of OTS interposition.
+
+    Tuning lives in :class:`~repro.config.FactoryConfig` (see its
+    docstring for the knobs and defaults); the old keyword arguments
+    remain as a deprecated shim.  Highlights:
 
     ``group_commit_window`` selects the logging engine: ``None`` keeps
     the classic immediate-force WAL; a float (seconds, 0 allowed) builds
@@ -82,14 +98,13 @@ class TransactionFactory:
         clock: Optional[Clock] = None,
         wal: Optional[WriteAheadLog] = None,
         event_log: Optional[EventLog] = None,
-        retry_attempts: int = 3,
-        group_commit_window: Optional[float] = None,
-        parallel_participants: int = 1,
-        marshal_once: bool = True,
-        registry_shards: int = 8,
-        timer_wheel: Union[None, bool, HierarchicalTimerWheel] = None,
-        wheel_tick: float = 1.0,
+        config: Optional[FactoryConfig] = None,
+        **legacy: Any,
     ) -> None:
+        self.config = config = FactoryConfig.resolve(
+            config, legacy, "TransactionFactory"
+        )
+        group_commit_window = config.group_commit_window
         self.clock = clock if clock is not None else SimulatedClock()
         if wal is None:
             if group_commit_window is not None:
@@ -108,22 +123,20 @@ class TransactionFactory:
         self.event_log = event_log if event_log is not None else EventLog(self.clock)
         self.lock_manager = LockManager()
         self.failpoints = Failpoints()
-        self.retry_attempts = retry_attempts
-        if parallel_participants < 1:
-            raise ValueError("parallel_participants must be at least 1")
-        self.parallel_participants = parallel_participants
+        self.retry_attempts = config.retry_attempts
+        self.parallel_participants = config.parallel_participants
         # Invocation fast path: each protocol round (prepare / commit /
         # rollback) over remote participants encodes its request body
         # once per ORB and patches only the target per call.
-        self.marshal_once = marshal_once
+        self.marshal_once = config.marshal_once
         self._participant_pool = ReentrantWorkerPool(
-            parallel_participants, thread_name_prefix="participants"
+            config.parallel_participants, thread_name_prefix="participants"
         )
-        self.ids = IdGenerator()
+        self.ids = IdGenerator(prefix=config.tid_prefix)
         # Striped registries: begin/get/finish from parallel participant
         # workers touch only the owning segment, not one global lock.
-        self._transactions = StripedMap(shards=registry_shards)
-        self._active = StripedMap(shards=registry_shards)
+        self._transactions = StripedMap(shards=config.registry_shards)
+        self._active = StripedMap(shards=config.registry_shards)
         self._counter_lock = threading.Lock()
         self.created = 0
         self.committed = 0
@@ -137,13 +150,14 @@ class TransactionFactory:
         # (now >= deadline, firing during clock advance, recording
         # tx_timeout), while activity expiry is strictly-past and
         # poll-only; keep the two in mind before unifying them.
+        timer_wheel = config.timer_wheel
         if timer_wheel is None or timer_wheel is False:
             self._wheel: Optional[HierarchicalTimerWheel] = None
         elif timer_wheel is True:
             if isinstance(self.clock, SimulatedClock) and self.clock.wheel is not None:
                 self._wheel = self.clock.wheel
             else:
-                self._wheel = HierarchicalTimerWheel(tick=wheel_tick)
+                self._wheel = HierarchicalTimerWheel(tick=config.wheel_tick)
         else:
             self._wheel = timer_wheel
         if self._wheel is not None:

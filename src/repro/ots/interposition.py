@@ -41,9 +41,9 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CommunicationError, ConfigurationError, ObjectNotExist
 from repro.orb.core import Orb, Servant
-from repro.orb.federation import InterOrbBridge, coordination_node_id
+from repro.orb.federation import coordination_node_id
 from repro.orb.interceptors import (
     FEDERATED_TRANSACTION_CONTEXT_ID as _FEDERATED_CONTEXT_ID,
     ClientRequestInterceptor,
@@ -63,6 +63,7 @@ from repro.ots.status import TransactionStatus, Vote
 FEDERATED_TX_CONTEXT_ID = _FEDERATED_CONTEXT_ID
 SERVICE_NAME = "ots_federation"
 SUBTX_PREPARED = "subtx_prepared"
+RECOVERY_SERVANT_ID = "fedrecovery"
 
 
 def subordinate_resource_id(root_tid: str) -> str:
@@ -121,6 +122,31 @@ class ParentCoordinatorServant(Servant):
         return self._tx.status
 
 
+class FederationRecoveryServant(Servant):
+    """Durable per-domain answerer for in-doubt status queries.
+
+    A subordinate left holding prepared state polls this servant (at the
+    well-known ``fed:<domain>/fedrecovery`` address) to learn the fate of
+    a root transaction whose live export died with the superior's
+    process.  Presumed abort done right: the answer comes from the
+    superior's *durable* record, so "no live transaction and no logged
+    commit decision" — and only that — means rolled back.
+    """
+
+    def __init__(self, service: "FederatedTransactionService") -> None:
+        self._service = service
+
+    def transaction_status(self, tid: str) -> TransactionStatus:
+        try:
+            return self._service.factory.get(tid).status
+        except InvalidTransaction:
+            pass
+        _, decided, _ = self._service._wal_index()
+        if tid in decided:
+            return TransactionStatus.COMMITTED
+        return TransactionStatus.ROLLED_BACK
+
+
 class _SubordinateProxyRecoverable(Recoverable):
     """Parent-side recovery stand-in for one remote subordinate.
 
@@ -152,9 +178,11 @@ class SubordinateTransactionResource(Servant):
         service: "FederatedTransactionService",
         root_tid: str,
         tx: Transaction,
+        root_domain: Optional[str] = None,
     ) -> None:
         self._service = service
         self.root_tid = root_tid
+        self.root_domain = root_domain
         self.transaction = tx
         self._prepared_logged = False
 
@@ -166,7 +194,9 @@ class SubordinateTransactionResource(Servant):
             # Durable in *this* domain: after a crash the subordinate is
             # recovered from this record and the superior's decision
             # replays downward.
-            self._service.log_prepared(self.root_tid, self.transaction)
+            self._service.log_prepared(
+                self.root_tid, self.transaction, self.root_domain
+            )
             self._prepared_logged = True
         return vote
 
@@ -227,11 +257,13 @@ class RecoveredSubordinateResource(Servant):
         root_tid: str,
         local_tid: str,
         recovery_keys: List[str],
+        root_domain: Optional[str] = None,
     ) -> None:
         self._service = service
         self.root_tid = root_tid
         self.local_tid = local_tid
         self.recovery_keys = list(recovery_keys)
+        self.root_domain = root_domain
 
     def prepare(self) -> Vote:
         # Already durably prepared before the crash; re-prepare is a
@@ -276,9 +308,12 @@ class FederatedTransactionService:
         factory: Any,
         current: TransactionCurrent,
         orb: Orb,
-        bridge: InterOrbBridge,
+        bridge: Any,
         registry: Optional[RecoverableRegistry] = None,
     ) -> None:
+        # ``bridge`` is duck-typed: an in-process InterOrbBridge or a
+        # multi-process SiteFederation — anything providing
+        # coordination_node / domain_of_node / register_service / route.
         if orb.domain_id is None or orb.federation is not bridge:
             raise ConfigurationError(
                 "connect the ORB to the bridge before installing the"
@@ -296,6 +331,19 @@ class FederatedTransactionService:
         self._lock = threading.Lock()
         self.adoptions = 0
         bridge.register_service(self.domain_id, SERVICE_NAME, self)
+        self._activate_recovery_servant()
+
+    def _activate_recovery_servant(self) -> None:
+        """Export this domain's durable status answerer at its well-known
+        address (``fed:<domain>/fedrecovery``); idempotent."""
+        node = self.bridge.coordination_node(self.domain_id)
+        if not node.has_object(RECOVERY_SERVANT_ID):
+            node.activate(
+                FederationRecoveryServant(self),
+                object_id=RECOVERY_SERVANT_ID,
+                interface="FederationRecovery",
+                durable=True,
+            )
 
     # -- superior role ---------------------------------------------------------
 
@@ -350,7 +398,9 @@ class FederatedTransactionService:
                 tx = entry.transaction
                 return None if tx.status.is_terminal else tx
             tx = self.factory.create(name=f"sub:{context.tid}")
-            resource = SubordinateTransactionResource(self, context.tid, tx)
+            resource = SubordinateTransactionResource(
+                self, context.tid, tx, root_domain=context.root_domain
+            )
             node = self.bridge.coordination_node(self.domain_id)
             object_id = subordinate_resource_id(context.tid)
             if node.has_object(object_id):
@@ -387,13 +437,24 @@ class FederatedTransactionService:
 
     # -- durable prepared state -----------------------------------------------------
 
-    def log_prepared(self, root_tid: str, tx: Transaction) -> None:
+    def log_prepared(
+        self, root_tid: str, tx: Transaction, root_domain: Optional[str] = None
+    ) -> None:
         keys = [
             record.recovery_key
             for record in tx.resources
             if record.vote is Vote.COMMIT and record.recovery_key
         ]
-        self.factory.wal.append(SUBTX_PREPARED, root=root_tid, tid=tx.tid, recovery_keys=keys)
+        # root_domain rides along so a recovered subordinate knows whom
+        # to ask about the outcome (resolve_in_doubt); records written by
+        # older versions lack it and simply hold until the superior calls.
+        self.factory.wal.append(
+            SUBTX_PREPARED,
+            root=root_tid,
+            tid=tx.tid,
+            recovery_keys=keys,
+            root_domain=root_domain,
+        )
 
     def log_resolved(self, local_tid: str) -> None:
         """Durably mark a prepared subordinate resolved by rollback: the
@@ -403,10 +464,10 @@ class FederatedTransactionService:
 
     def _wal_index(
         self, records: Optional[List[Any]] = None
-    ) -> Tuple[Dict[str, Tuple[str, List[str]]], Set[str], Set[str]]:
+    ) -> Tuple[Dict[str, Tuple[str, List[str], Optional[str]]], Set[str], Set[str]]:
         if records is None:
             records = self.factory.wal.records()
-        prepared: Dict[str, Tuple[str, List[str]]] = {}
+        prepared: Dict[str, Tuple[str, List[str], Optional[str]]] = {}
         decided: Set[str] = set()
         completed: Set[str] = set()
         for record in records:
@@ -414,6 +475,7 @@ class FederatedTransactionService:
                 prepared[record.payload["root"]] = (
                     record.payload["tid"],
                     list(record.payload.get("recovery_keys", [])),
+                    record.payload.get("root_domain"),
                 )
             elif record.kind == "tx_commit_decision":
                 decided.add(record.payload["tid"])
@@ -444,15 +506,18 @@ class FederatedTransactionService:
         node = self.bridge.coordination_node(self.domain_id)
         if node.crashed:
             node.restart()
+        self._activate_recovery_servant()  # restart dropped transient servants
         records = self.factory.wal.records()  # one scan for the whole pass
         prepared, decided, completed = self._wal_index(records)
         held: List[str] = []
-        for root_tid, (local_tid, keys) in sorted(prepared.items()):
+        for root_tid, (local_tid, keys, root_domain) in sorted(prepared.items()):
             if local_tid in completed:
                 continue
             if local_tid not in decided:
                 held.append(local_tid)
-            resource = RecoveredSubordinateResource(self, root_tid, local_tid, keys)
+            resource = RecoveredSubordinateResource(
+                self, root_tid, local_tid, keys, root_domain=root_domain
+            )
             object_id = subordinate_resource_id(root_tid)
             if node.has_object(object_id):
                 node.deactivate(object_id)
@@ -484,6 +549,98 @@ class FederatedTransactionService:
                     "SubordinateResource",
                 ).bind(self.orb)
                 self.note_subordinate_proxy(key, ref)
+
+    # -- subordinate-driven in-doubt resolution ----------------------------------------
+
+    def _superior_status(self, root_domain: str, root_tid: str) -> TransactionStatus:
+        """Ask the superior domain's durable recovery servant for an
+        outcome.  Raises ``CommunicationError``/``ObjectNotExist`` while
+        the superior is unreachable — callers keep holding."""
+        ref = ObjectRef(
+            coordination_node_id(root_domain),
+            RECOVERY_SERVANT_ID,
+            "FederationRecovery",
+        ).bind(self.orb)
+        return ref.invoke("transaction_status", root_tid)
+
+    def resolve_in_doubt(self) -> Dict[str, str]:
+        """One polling round over this domain's held in-doubt subordinates.
+
+        Complements superior-driven completion (phase two or the
+        superior's recovery replay): when the superior's process died and
+        restarted, nothing replays downward for transactions it presumed
+        aborted — it never heard of them deciding.  Each held subordinate
+        therefore asks the superior's *durable* recovery servant and acts
+        only on a definite answer:
+
+        - ``COMMITTING``/``COMMITTED`` → replay commit locally;
+        - ``ROLLING_BACK``/``ROLLED_BACK``/``NO_TRANSACTION`` → abort;
+        - anything in flight (``ACTIVE``..``PREPARED``,
+          ``MARKED_ROLLBACK``) or any communication failure → keep
+          holding; the superior is alive (or will be) and will drive the
+          outcome itself.
+
+        Returns ``{root_tid: action}`` with actions ``committed``,
+        ``aborted`` or ``held``.  Safe to call repeatedly; replay is
+        idempotent and races with superior-driven completion are benign.
+        """
+        _, decided, completed = self._wal_index()
+        candidates: List[Tuple[str, Optional[str], str, List[str]]] = []
+        with self._lock:
+            for root_tid, res in self._adopted.items():
+                if res.transaction.status is TransactionStatus.PREPARED:
+                    keys = [
+                        record.recovery_key
+                        for record in res.transaction.resources
+                        if record.vote is Vote.COMMIT and record.recovery_key
+                    ]
+                    candidates.append(
+                        (root_tid, res.root_domain, res.transaction.tid, keys)
+                    )
+            for root_tid, res in self._recovered.items():
+                if res.local_tid in decided or res.local_tid in completed:
+                    continue
+                candidates.append(
+                    (root_tid, res.root_domain, res.local_tid, res.recovery_keys)
+                )
+        outcomes: Dict[str, str] = {}
+        for root_tid, root_domain, local_tid, keys in candidates:
+            if root_domain is None:
+                outcomes[root_tid] = "held"  # pre-provenance record: hold forever
+                continue
+            try:
+                status = self._superior_status(root_domain, root_tid)
+            except (CommunicationError, ObjectNotExist):
+                outcomes[root_tid] = "held"
+                continue
+            if status in (TransactionStatus.COMMITTING, TransactionStatus.COMMITTED):
+                live = self._adopted.get(root_tid)
+                if live is not None and live.transaction.tid == local_tid:
+                    live.recover_commit(root_tid)
+                else:
+                    self.replay_commit(local_tid, keys)
+                outcomes[root_tid] = "committed"
+            elif status in (
+                TransactionStatus.ROLLING_BACK,
+                TransactionStatus.ROLLED_BACK,
+                TransactionStatus.NO_TRANSACTION,
+            ):
+                live = self._adopted.get(root_tid)
+                if live is not None and live.transaction.tid == local_tid:
+                    live.recover_abort(root_tid)
+                else:
+                    self.replay_abort(local_tid, keys)
+                outcomes[root_tid] = "aborted"
+            else:
+                outcomes[root_tid] = "held"
+            if outcomes[root_tid] != "held":
+                self.factory.event_log.record(
+                    "fed_resolve_in_doubt",
+                    root=root_tid,
+                    domain=self.domain_id,
+                    action=outcomes[root_tid],
+                )
+        return outcomes
 
     # -- idempotent downward replay -----------------------------------------------------
 
@@ -600,7 +757,7 @@ class FederatedTransactionServerInterceptor(ServerRequestInterceptor):
 def install_federated_transaction_service(
     orb: Orb,
     current: TransactionCurrent,
-    bridge: InterOrbBridge,
+    bridge: Any,
     registry: Optional[RecoverableRegistry] = None,
     install_base: bool = True,
 ) -> FederatedTransactionService:

@@ -212,13 +212,16 @@ class SegmentedFileStore(ObjectStore):
 
     Segments roll over once the active file passes ``segment_bytes``;
     superseded frames accumulate until :meth:`compact` rewrites the live
-    set into a fresh segment and deletes the old files.  With
-    ``auto_compact_ratio`` set, :meth:`put`/:meth:`put_many` trigger
-    that compaction automatically once the dead-record ratio (frames
-    written minus live keys, over frames written) crosses the
-    threshold — bounded by ``auto_compact_min_records`` so tiny stores
-    never churn, and reentrancy-safe (compaction's own rewrite never
-    re-triggers itself).
+    set into a fresh segment and deletes the old files.
+    :meth:`put`/:meth:`put_many` trigger that compaction automatically
+    once the dead-record ratio (frames written minus live keys, over
+    frames written) crosses ``auto_compact_ratio`` — **on by default**
+    at 0.5 since long-lived stores (site-daemon WALs and cell stores)
+    otherwise grow without bound; pass ``auto_compact_ratio=None`` to
+    opt out (e.g. to measure raw append cost, or to control compaction
+    points explicitly).  Bounded by ``auto_compact_min_records`` so tiny
+    stores never churn, and reentrancy-safe (compaction's own rewrite
+    never re-triggers itself).
     """
 
     _LEN = struct.Struct(">II")
@@ -228,7 +231,7 @@ class SegmentedFileStore(ObjectStore):
         root: str,
         registry: Optional[ValueTypeRegistry] = None,
         segment_bytes: int = 1 << 20,
-        auto_compact_ratio: Optional[float] = None,
+        auto_compact_ratio: Optional[float] = 0.5,
         auto_compact_min_records: int = 64,
     ) -> None:
         self._root = root

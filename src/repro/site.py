@@ -1,0 +1,66 @@
+"""Site daemon entry point: ``python -m repro.site --config site.json``.
+
+Loads a :class:`~repro.orb.site.SiteConfig`, wires a
+:class:`~repro.orb.site.SiteRuntime` and serves until a ``shutdown``
+control frame (or a signal) arrives.  One deliberate daemon-only twist:
+armed fail-points (``arm_kill`` control op) fire a **real SIGKILL** of
+this process instead of the in-process :class:`SimulatedCrash` — the
+same protocol points the simulated crash tests exercise become genuine
+process deaths, and recovery must work from the on-disk WAL alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+from typing import List, Optional
+
+from repro.orb.site import SiteConfig, SiteRuntime
+
+
+def build_runtime(config: SiteConfig) -> SiteRuntime:
+    runtime = SiteRuntime(config)
+
+    def kill_self(point: str) -> None:
+        # Flush what little buffering we own, then die without cleanup:
+        # no atexit, no finally blocks, no WAL niceties.  Durability must
+        # come from records already forced to disk.
+        print(f"[site {config.site_id}] fail-point {point!r}: SIGKILL", flush=True)
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    runtime.factory.failpoints.on_fire = kill_self
+    return runtime
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.site", description="Run one activity-service site daemon."
+    )
+    parser.add_argument(
+        "--config", required=True, help="path to a SiteConfig JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    config = SiteConfig.from_file(args.config)
+    runtime = build_runtime(config)
+    runtime.transport.start()
+    address = runtime.transport.address
+    print(
+        f"[site {config.site_id}] listening on {address[0]}:{address[1]}",
+        flush=True,
+    )
+
+    def request_stop(signum: int, frame: object) -> None:
+        runtime.stop()
+
+    signal.signal(signal.SIGTERM, request_stop)
+    signal.signal(signal.SIGINT, request_stop)
+    runtime.serve()
+    print(f"[site {config.site_id}] stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

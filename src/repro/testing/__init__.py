@@ -1,0 +1,5 @@
+"""Test utilities shipped with the library (process harness, etc.)."""
+
+from repro.testing.process_harness import SiteCluster, SiteProcess, free_port
+
+__all__ = ["SiteCluster", "SiteProcess", "free_port"]

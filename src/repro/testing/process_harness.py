@@ -1,0 +1,200 @@
+"""Spawn, SIGKILL and restart real site-daemon processes.
+
+The multi-process tests and benchmarks need exactly four verbs: start a
+site daemon as a child process, wait until it answers pings, kill it
+dead (SIGKILL — no cleanup handlers, the whole point), and restart it on
+the same config/data directory so WAL replay drives recovery.
+:class:`SiteProcess` is one daemon; :class:`SiteCluster` allocates ports
+for a set of sites, gives every daemon the full site list, and tears
+everything down as a context manager.
+
+Daemon stdout/stderr land in ``<data_dir>/site.out`` — kept across
+restarts (append mode) so a test failure shows the whole history.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+from repro.orb.site import SiteClient, SiteConfig
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """A currently-free TCP port (best effort: released before use)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def _daemon_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    return env
+
+
+class SiteProcess:
+    """One site daemon as a child OS process."""
+
+    def __init__(self, config: SiteConfig, run_dir: str) -> None:
+        self.config = config
+        self.run_dir = run_dir
+        os.makedirs(run_dir, exist_ok=True)
+        self.config_path = os.path.join(run_dir, f"{config.site_id}.json")
+        config.write(self.config_path)
+        self.log_path = os.path.join(run_dir, f"{config.site_id}.out")
+        self._proc: Optional[subprocess.Popen] = None
+
+    def start(self) -> None:
+        if self.alive():
+            raise RuntimeError(f"site {self.config.site_id} is already running")
+        with open(self.log_path, "a", encoding="utf-8") as log:
+            self._proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.site", "--config", self.config_path],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=_daemon_env(),
+            )
+
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.poll() is None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    def kill(self) -> None:
+        """SIGKILL: the daemon gets no chance to clean up."""
+        if self._proc is None:
+            return
+        try:
+            self._proc.send_signal(signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        self._proc.wait()
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        if self._proc is None:
+            return
+        try:
+            self._proc.terminate()
+            self._proc.wait(timeout=timeout)
+        except (ProcessLookupError, subprocess.TimeoutExpired):
+            self.kill()
+
+    def wait_exit(self, timeout: float = 15.0) -> int:
+        """Block until the process exits (e.g. an armed kill fired)."""
+        assert self._proc is not None
+        return self._proc.wait(timeout=timeout)
+
+    def restart(self) -> None:
+        """Start again on the same config + data directory."""
+        if self.alive():
+            raise RuntimeError(f"site {self.config.site_id} is still running")
+        self.start()
+
+    def tail(self, lines: int = 40) -> str:
+        try:
+            with open(self.log_path, "r", encoding="utf-8") as log:
+                return "".join(log.readlines()[-lines:])
+        except OSError:
+            return ""
+
+
+class SiteCluster:
+    """A set of site daemons sharing one site list.
+
+    ``specs`` maps site id → extra :class:`SiteConfig` fields (``app``,
+    ``cell_store``, ``factory`` …).  Ports are allocated up front so
+    every config carries the complete peers map; each site gets
+    ``<root>/<site_id>`` as its data directory.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        specs: Dict[str, Dict[str, Any]],
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.root = root
+        self.host = host
+        ports = {site_id: free_port(host) for site_id in specs}
+        self.addresses: Dict[str, Tuple[str, int]] = {
+            site_id: (host, port) for site_id, port in ports.items()
+        }
+        self.sites: Dict[str, SiteProcess] = {}
+        for site_id, extra in specs.items():
+            fields = dict(extra)
+            fields.setdefault("data_dir", os.path.join(root, site_id, "data"))
+            peers = {
+                other: addr
+                for other, addr in self.addresses.items()
+                if other != site_id
+            }
+            config = SiteConfig(
+                site_id=site_id,
+                host=host,
+                port=ports[site_id],
+                peers=peers,
+                **fields,
+            )
+            self.sites[site_id] = SiteProcess(config, os.path.join(root, site_id))
+
+    def start(self, wait_ready: bool = True, timeout: float = 20.0) -> None:
+        for site in self.sites.values():
+            site.start()
+        if wait_ready:
+            self.wait_ready(timeout=timeout)
+
+    def wait_ready(self, timeout: float = 20.0) -> None:
+        client = self.client()
+        try:
+            for site_id in self.sites:
+                client.wait_ready(site_id, timeout=timeout)
+        finally:
+            client.close()
+
+    def client(self, client_id: str = "client") -> SiteClient:
+        return SiteClient(dict(self.addresses), client_id=client_id)
+
+    def __getitem__(self, site_id: str) -> SiteProcess:
+        return self.sites[site_id]
+
+    def stop(self) -> None:
+        for site in self.sites.values():
+            site.terminate()
+
+    def __enter__(self) -> "SiteCluster":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def debug_dump(self) -> str:
+        chunks = []
+        for site_id, site in self.sites.items():
+            chunks.append(f"===== {site_id} (alive={site.alive()}) =====")
+            chunks.append(site.tail())
+        return "\n".join(chunks)
+
+
+def wait_until(
+    predicate: Any, timeout: float = 10.0, interval: float = 0.05
+) -> bool:
+    """Poll ``predicate()`` until truthy or ``timeout`` elapses."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())

@@ -14,16 +14,22 @@ from typing import Dict
 
 
 class IdGenerator:
-    """Produces ids of the form ``<namespace>-<n>``, unique per instance."""
+    """Produces ids of the form ``<prefix><namespace>-<n>``.
 
-    def __init__(self) -> None:
+    Ids are unique per instance; a ``prefix`` extends that to unique
+    across instances — site daemons prefix with site id + boot nonce so
+    transaction ids never collide across processes or restarts.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
         self._counters: Dict[str, itertools.count] = {}
         self._lock = threading.Lock()
+        self._prefix = prefix
 
     def next(self, namespace: str = "id") -> str:
         with self._lock:
             counter = self._counters.setdefault(namespace, itertools.count(1))
-            return f"{namespace}-{next(counter)}"
+            return f"{self._prefix}{namespace}-{next(counter)}"
 
     def reset(self) -> None:
         """Forget all counters (tests only)."""

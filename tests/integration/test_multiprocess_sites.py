@@ -1,0 +1,204 @@
+"""True fault tolerance: SIGKILL real site daemons mid-2PC and recover.
+
+Each test spawns the two-site bank (`repro.apps.site_apps`) as separate
+OS processes via the process harness, drives a federated transfer from a
+client transport, and kills a daemon at an armed protocol point — the
+same fail-point names the in-process crash tests use, except here the
+crash is a real ``SIGKILL`` and recovery must come entirely from the
+on-disk WAL of the restarted process.
+
+Store parametrization: the WAL is always disk-backed (the site runtime
+insists), but application cell state honours ``cell_store``.  With
+``segmented`` cells the books must balance exactly after recovery; with
+``memory`` cells the killed site's data is explicitly non-durable — the
+protocol must still *converge* (no held in-doubt state, no stuck locks,
+the surviving site consistent with the logged decision), which is
+precisely the property the WAL owns.
+"""
+
+import pytest
+
+from repro.exceptions import CommunicationError
+from repro.testing import SiteCluster
+from repro.testing.process_harness import wait_until
+
+DESK = "site-a.bank"
+BANK = "site-b.bank"
+
+
+@pytest.fixture
+def cluster_factory(tmp_path):
+    clusters = []
+
+    def build(cell_store="segmented"):
+        specs = {
+            "site-a": {
+                "app": "repro.apps.site_apps:transfer_desk_site",
+                "cell_store": cell_store,
+            },
+            "site-b": {
+                "app": "repro.apps.site_apps:bank_site",
+                "cell_store": cell_store,
+            },
+        }
+        cluster = SiteCluster(str(tmp_path / f"run{len(clusters)}"), specs)
+        clusters.append(cluster)
+        cluster.start()
+        return cluster
+
+    yield build
+    for cluster in clusters:
+        cluster.stop()
+
+
+def balances(client):
+    a = client.ref(DESK, "acct-1", "BankAccount").invoke("balance")
+    b = client.ref(BANK, "acct-2", "BankAccount").invoke("balance")
+    return a, b
+
+
+def transfer_expecting_death(client, amount=10.0):
+    desk = client.ref(DESK, "desk", "TransferDesk")
+    with pytest.raises(CommunicationError):
+        desk.invoke("transfer", "acct-1", BANK, "acct-2", amount)
+
+
+def in_doubt_drained(client, site_id="site-b"):
+    return not client.control(site_id, {"op": "resolve"})["outcomes"]
+
+
+class TestHappyPath:
+    def test_federated_transfer_across_processes(self, cluster_factory):
+        cluster = cluster_factory()
+        client = cluster.client()
+        try:
+            desk = client.ref(DESK, "desk", "TransferDesk")
+            out = desk.invoke("transfer", "acct-1", BANK, "acct-2", 25.0)
+            assert out == {"from_balance": 75.0, "to_balance": 125.0}
+            assert balances(client) == (75.0, 125.0)
+            status = client.control("site-a", {"op": "status"})
+            assert status["recovered"] is True
+            assert status["stats"]["requests_sent"] > 0
+        finally:
+            client.close()
+
+
+class TestCoordinatorSigkill:
+    @pytest.mark.parametrize("cell_store", ["segmented", "memory"])
+    def test_killed_during_phase_two_recommits_on_restart(
+        self, cluster_factory, cell_store
+    ):
+        """Decision logged, SIGKILL before phase two reaches anyone."""
+        cluster = cluster_factory(cell_store)
+        client = cluster.client()
+        try:
+            client.control("site-a", {"op": "arm_kill", "point": "after_commit_log"})
+            transfer_expecting_death(client)
+            cluster["site-a"].wait_exit()
+            assert not cluster["site-a"].alive()
+
+            cluster["site-a"].restart()
+            client.wait_ready("site-a")
+            # The logged decision replays downward: the surviving
+            # participant commits no matter what.
+            assert wait_until(
+                lambda: client.ref(BANK, "acct-2", "BankAccount").invoke("balance")
+                == 110.0
+            ), cluster.debug_dump()
+            if cell_store == "segmented":
+                # Durable cells: the killed site's debit survives too.
+                assert balances(client) == (90.0, 110.0)
+            else:
+                # Memory cells died with the process; protocol state
+                # still converged (nothing held, fabric usable).
+                assert in_doubt_drained(client)
+            desk = client.ref(DESK, "desk", "TransferDesk")
+            desk.invoke("transfer", "acct-1", BANK, "acct-2", 5.0)
+        finally:
+            client.close()
+
+    @pytest.mark.parametrize("cell_store", ["segmented", "memory"])
+    def test_killed_during_phase_one_presumes_abort(
+        self, cluster_factory, cell_store
+    ):
+        """Votes collected, SIGKILL before the decision is logged.
+
+        The subordinate on site-b is durably prepared and must NOT
+        presume abort on its own; it polls the restarted coordinator's
+        recovery servant, which answers from the WAL: no logged decision
+        → rolled back.
+        """
+        cluster = cluster_factory(cell_store)
+        client = cluster.client()
+        try:
+            client.control("site-a", {"op": "arm_kill", "point": "before_commit_log"})
+            transfer_expecting_death(client)
+            cluster["site-a"].wait_exit()
+
+            # While the coordinator is down the subordinate holds.
+            outcomes = client.control("site-b", {"op": "resolve"})["outcomes"]
+            assert outcomes and all(v == "held" for v in outcomes.values())
+
+            cluster["site-a"].restart()
+            client.wait_ready("site-a")
+            assert wait_until(lambda: in_doubt_drained(client)), cluster.debug_dump()
+            assert balances(client) == (100.0, 100.0)
+            # Locks released: the same accounts transfer cleanly.
+            desk = client.ref(DESK, "desk", "TransferDesk")
+            out = desk.invoke("transfer", "acct-1", BANK, "acct-2", 10.0)
+            assert out == {"from_balance": 90.0, "to_balance": 110.0}
+        finally:
+            client.close()
+
+    def test_killed_mid_commit_broadcast(self, cluster_factory):
+        """Decision logged, SIGKILL after the first participant's commit
+        but before the broadcast reaches the rest."""
+        cluster = cluster_factory()
+        client = cluster.client()
+        try:
+            client.control(
+                "site-a", {"op": "arm_kill", "point": "before_commit_resource_1"}
+            )
+            transfer_expecting_death(client)
+            cluster["site-a"].wait_exit()
+
+            cluster["site-a"].restart()
+            client.wait_ready("site-a")
+            assert wait_until(
+                lambda: balances(client) == (90.0, 110.0)
+            ), cluster.debug_dump()
+            assert in_doubt_drained(client)
+        finally:
+            client.close()
+
+
+class TestOrphanedSubordinate:
+    def test_readoption_after_both_sites_restart(self, cluster_factory):
+        """Kill coordinator mid-protocol AND the participant; restart the
+        participant first.  Its recovery re-exports the subordinate from
+        the ``subtx_prepared`` record under the original object id and
+        holds; when the coordinator comes back, its WAL replay lands on
+        the re-adopted resource and completes the tree."""
+        cluster = cluster_factory()
+        client = cluster.client()
+        try:
+            client.control("site-a", {"op": "arm_kill", "point": "after_commit_log"})
+            transfer_expecting_death(client)
+            cluster["site-a"].wait_exit()
+            cluster["site-b"].kill()
+
+            # Participant restarts first: orphaned (superior still down).
+            cluster["site-b"].restart()
+            client.wait_ready("site-b")
+            outcomes = client.control("site-b", {"op": "resolve"})["outcomes"]
+            assert outcomes and all(v == "held" for v in outcomes.values())
+            assert client.ref(BANK, "acct-2", "BankAccount").invoke("balance") == 100.0
+
+            cluster["site-a"].restart()
+            client.wait_ready("site-a")
+            assert wait_until(
+                lambda: balances(client) == (90.0, 110.0)
+            ), cluster.debug_dump()
+            assert in_doubt_drained(client)
+        finally:
+            client.close()

@@ -1,0 +1,143 @@
+"""The typed runtime-config surface and its legacy-keyword shim."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ConfigValidationError,
+    FactoryConfig,
+    OrbConfig,
+    RuntimeConfig,
+)
+from repro.core.manager import ActivityManager
+from repro.exceptions import ConfigurationError
+from repro.orb.core import Orb
+from repro.ots.factory import TransactionFactory
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        OrbConfig()
+        RuntimeConfig()
+        FactoryConfig()
+
+    @pytest.mark.parametrize(
+        "cls, kwargs",
+        [
+            (OrbConfig, {"marshal_cache_entries": -1}),
+            (OrbConfig, {"marshal_cache_entries": "lots"}),
+            (RuntimeConfig, {"registry_shards": 0}),
+            (RuntimeConfig, {"wheel_tick": 0}),
+            (RuntimeConfig, {"interposition": True}),  # needs federation
+            (FactoryConfig, {"retry_attempts": 0}),
+            (FactoryConfig, {"group_commit_window": -0.5}),
+            (FactoryConfig, {"parallel_participants": 0}),
+            (FactoryConfig, {"registry_shards": 0}),
+            (FactoryConfig, {"wheel_tick": -1.0}),
+            (FactoryConfig, {"tid_prefix": 7}),
+        ],
+    )
+    def test_out_of_range(self, cls, kwargs):
+        with pytest.raises(ConfigValidationError):
+            cls(**kwargs)
+
+    def test_validation_error_is_both_types(self):
+        # Pre-dataclass constructors raised ValueError; the library's own
+        # failures are ConfigurationError.  Callers catching either must
+        # keep working.
+        with pytest.raises(ValueError):
+            FactoryConfig(parallel_participants=0)
+        with pytest.raises(ConfigurationError):
+            FactoryConfig(parallel_participants=0)
+
+    def test_frozen(self):
+        config = FactoryConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.retry_attempts = 5
+
+    def test_replace_revalidates(self):
+        config = RuntimeConfig(registry_shards=4)
+        assert config.replace(registry_shards=2).registry_shards == 2
+        with pytest.raises(ConfigValidationError):
+            config.replace(registry_shards=0)
+
+
+class TestLegacyShim:
+    def test_legacy_keywords_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning):
+            factory = TransactionFactory(parallel_participants=3, marshal_once=False)
+        assert factory.config.parallel_participants == 3
+        assert factory.config.marshal_once is False
+
+    def test_config_object_does_not_warn(self, recwarn):
+        factory = TransactionFactory(
+            config=FactoryConfig(parallel_participants=3, marshal_once=False)
+        )
+        assert factory.config.parallel_participants == 3
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_mixing_config_and_legacy_refused(self):
+        with pytest.raises(ConfigurationError):
+            TransactionFactory(config=FactoryConfig(), parallel_participants=2)
+        with pytest.raises(ConfigurationError):
+            Orb(config=OrbConfig(), marshal_cache_entries=16)
+        with pytest.raises(ConfigurationError):
+            ActivityManager(config=RuntimeConfig(), registry_shards=4)
+
+    def test_unknown_keyword_is_type_error(self):
+        with pytest.raises(TypeError):
+            TransactionFactory(no_such_option=1)
+        with pytest.raises(TypeError):
+            Orb(no_such_option=1)
+        with pytest.raises(TypeError):
+            ActivityManager(no_such_option=1)
+
+    @pytest.mark.parametrize(
+        "legacy",
+        [
+            {"fast_path": False},
+            {"registry_shards": 16},
+            {"timer_wheel": True, "wheel_tick": 0.5},
+        ],
+    )
+    def test_manager_equivalence(self, legacy):
+        with pytest.warns(DeprecationWarning):
+            via_legacy = ActivityManager(**legacy)
+        via_config = ActivityManager(config=RuntimeConfig(**legacy))
+        assert via_legacy.config == via_config.config
+        assert via_legacy.fast_path == via_config.fast_path
+
+    def test_orb_equivalence(self):
+        with pytest.warns(DeprecationWarning):
+            via_legacy = Orb(marshal_cache_entries=32)
+        via_config = Orb(config=OrbConfig(marshal_cache_entries=32))
+        assert via_legacy.config == via_config.config
+
+    def test_factory_equivalence_behaviour(self):
+        """The shim configures the same runtime structures, not just the
+        same dataclass: drive a commit through both and compare."""
+        with pytest.warns(DeprecationWarning):
+            via_legacy = TransactionFactory(parallel_participants=2, retry_attempts=4)
+        via_config = TransactionFactory(
+            config=FactoryConfig(parallel_participants=2, retry_attempts=4)
+        )
+        for factory in (via_legacy, via_config):
+            tx = factory.create(name="probe")
+            tx.commit()
+        assert via_legacy.committed == via_config.committed == 1
+        assert via_legacy.retry_attempts == via_config.retry_attempts == 4
+        assert via_legacy.parallel_participants == 2
+        assert via_config.parallel_participants == 2
+
+
+class TestTidPrefix:
+    def test_default_is_bare(self):
+        factory = TransactionFactory()
+        assert factory.create().tid == "tx-1"
+
+    def test_prefix_applies(self):
+        factory = TransactionFactory(config=FactoryConfig(tid_prefix="site-a.b00t:"))
+        assert factory.create().tid == "site-a.b00t:tx-1"

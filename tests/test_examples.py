@@ -24,6 +24,7 @@ def test_expected_example_set_present():
         "btp_booking.py",
         "bulletin_board_compensation.py",
         "distributed_activity.py",
+        "multiprocess_sites.py",
         "name_server_billing.py",
         "quickstart.py",
         "travel_booking.py",

@@ -1,5 +1,7 @@
 """Unit tests for object stores and the write-ahead log."""
 
+import os
+
 import pytest
 
 from repro.persistence import FileStore, MemoryStore, WriteAheadLog
@@ -254,10 +256,23 @@ class TestAutoCompaction:
         # Old segments were actually deleted, not just superseded.
         assert len(os.listdir(str(tmp_path / "seg"))) <= 3
 
-    def test_disabled_by_default(self, tmp_path):
+    def test_enabled_by_default(self, tmp_path):
         from repro.persistence import SegmentedFileStore
 
         store = SegmentedFileStore(str(tmp_path / "seg"), segment_bytes=256)
+        for wave in range(40):
+            store.put_many({f"k{i}": wave for i in range(4)})
+        assert store.auto_compactions >= 1
+        # Dead frames are reclaimed as we go: disk stays bounded instead
+        # of accumulating one segment per ~16 records forever.
+        assert len(os.listdir(str(tmp_path / "seg"))) < 6
+
+    def test_opt_out(self, tmp_path):
+        from repro.persistence import SegmentedFileStore
+
+        store = SegmentedFileStore(
+            str(tmp_path / "seg"), segment_bytes=256, auto_compact_ratio=None
+        )
         for wave in range(20):
             store.put_many({f"k{i}": wave for i in range(4)})
         assert store.auto_compactions == 0
