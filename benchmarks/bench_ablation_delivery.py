@@ -99,6 +99,11 @@ class TestDeliveryAblation:
                 f"{r['undelivered']:11d}  {r['wire_requests']:9d}"
                 for name, r in results.items()
             ],
+            data={
+                f"{name.replace('-', '_')}_{key}": value
+                for name, result in results.items()
+                for key, value in result.items()
+            },
         )
 
     @pytest.mark.parametrize("policy", list(POLICIES))

@@ -78,6 +78,10 @@ class TestPropagationAblation:
             ["ablation — context bytes for 5 calls carrying a group:",
              "  propagation    size  bytes_on_wire  requests"]
             + [f"  {p:12s}  {s:5d}  {b:13d}  {r:8d}" for p, s, b, r in rows],
+            data={
+                "by_value_bytes_at_256": by_value[256],
+                "by_reference_bytes_at_256": by_ref[256],
+            },
         )
 
     def test_semantics_difference(self, benchmark, emit):

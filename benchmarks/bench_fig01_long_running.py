@@ -13,6 +13,7 @@ concurrent-success rate; decomposed ≈ monolithic on outcome.
 """
 
 import pytest
+from conftest import bench_mean_seconds
 
 from repro.apps import TravelScenario
 from repro.core import ActivityManager
@@ -109,6 +110,10 @@ class TestFig1:
                 "fig 1 — monolithic transaction: concurrent taxi probes",
                 f"  granted={outcome['granted']} denied={outcome['denied']}",
             ],
+            data={
+                "monolithic_granted": outcome["granted"],
+                "monolithic_denied": outcome["denied"],
+            },
         )
 
     def test_decomposed_releases_early(self, benchmark, emit):
@@ -129,6 +134,10 @@ class TestFig1:
                 f"  granted={outcome['granted']} denied={outcome['denied']}",
                 "  shape check: decomposed grants >> monolithic grants (0)",
             ],
+            data={
+                "decomposed_granted": outcome["granted"],
+                "decomposed_denied": outcome["denied"],
+            },
         )
 
     def test_timeline_regenerated(self, benchmark, emit):
@@ -147,6 +156,10 @@ class TestFig1:
             "fig01",
             ["fig 1 — timeline (waves of top-level transactions):"]
             + [f"  wave {i}: {wave}" for i, wave in enumerate(result.waves)],
+            data={
+                "timeline_waves": len(result.waves),
+                "timeline_mean_s": bench_mean_seconds(benchmark),
+            },
         )
 
     @pytest.mark.parametrize("style", ["monolithic", "decomposed"])

@@ -78,6 +78,14 @@ class TestFig2:
                 f"theatre={scenario.theatre.available()} "
                 f"hotel={scenario.hotel.available()}",
             ],
+            data={
+                "compensated_tasks": len(result.compensated),
+                "completed_tasks": sum(
+                    1
+                    for state in result.states.values()
+                    if state is TaskState.COMPLETED
+                ),
+            },
         )
 
     def test_compensation_ordering(self, benchmark, emit):

@@ -105,4 +105,4 @@ class TestFig3Layers:
             ]
 
         lines = benchmark.pedantic(scenario_run, rounds=1, iterations=1)
-        emit("fig03", lines)
+        emit("fig03", lines, data={"layers": len(lines) - 1})

@@ -86,6 +86,11 @@ class TestFig4:
                 "  A3' activity nested in A3: True",
                 f"  A3' transaction nested in A3 transaction: {inner_tx.parent is outer_tx}",
             ],
+            data={
+                "a1_transactions": len(used["A1"]),
+                "a2_transactions": len(used["A2"]),
+                "nested_tx_ok": inner_tx.parent is outer_tx,
+            },
         )
 
     def test_activity_lifetime_spans_transactions(self, benchmark):

@@ -45,6 +45,10 @@ class TestFig5:
             ["fig 5 — coordinator/action interaction:"]
             + [f"  {event.brief()}" for event in coordinator.event_log
                if event.kind in ("get_signal", "transmit", "set_response", "get_outcome")],
+            data={
+                "protocol_steps": len(kinds),
+                "transmissions": kinds.count("transmit"),
+            },
         )
 
     @pytest.mark.parametrize("actions", ACTION_COUNTS)

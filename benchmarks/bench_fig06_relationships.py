@@ -52,6 +52,11 @@ class TestFig6:
                 "  shared action registered with 3 sets (0..* sets per action)",
                 "  each signal carried its set's name (1 set per signal)",
             ],
+            data={
+                "signal_sets": 3,
+                "set0_actions": 1 + len(extras),
+                "shared_action_signals": len(shared_action.signal_names),
+            },
         )
 
     @pytest.mark.parametrize("sets,actions", [(1, 10), (10, 1), (10, 10), (50, 10)])

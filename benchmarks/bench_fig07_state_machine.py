@@ -49,6 +49,7 @@ class TestFig7:
             ["fig 7 — state machine trace:"]
             + [f"  {state.name}" for state in states]
             + ["  (Waiting → GetSignal → End, no regressions)"],
+            data={"trace_states": len(states)},
         )
 
     def test_illegal_moves_rejected(self, benchmark, emit):
@@ -81,7 +82,11 @@ class TestFig7:
 
         rejections = benchmark.pedantic(scenario_run, rounds=1, iterations=1)
         assert rejections == 4
-        emit("fig07", [f"fig 7 — illegal transitions rejected: {rejections}/4"])
+        emit(
+            "fig07",
+            [f"fig 7 — illegal transitions rejected: {rejections}/4"],
+            data={"illegal_transitions_rejected": rejections},
+        )
 
     @pytest.mark.parametrize("signals", [1, 8, 64])
     def test_bench_guarded_lifecycle(self, benchmark, signals):

@@ -61,6 +61,7 @@ class TestFig8Trace:
             "fig08",
             ["fig 8 — exact 2PC message sequence (matches the chart):"]
             + [f"  {step}" for step in trace],
+            data={"commit_protocol_steps": len(trace)},
         )
 
     def test_rollback_pivot_regenerated(self, benchmark, emit):
@@ -165,4 +166,9 @@ class TestFig8Trace:
             ["fig 8 — commit cost vs participants (simulated wire):",
              "  participants  messages  simulated_seconds"]
             + [f"  {c:12d}  {m:8d}  {s:17.6f}" for c, m, s in rows],
+            data={
+                "max_participants": rows[-1][0],
+                "messages_at_max": rows[-1][1],
+                "simulated_latency_at_max_s": rows[-1][2],
+            },
         )

@@ -56,6 +56,7 @@ class TestFig9:
             ["fig 9 — outcomes (B, A, visible posts, retracted):"]
             + [f"  B_commits={b} A_commits={a} visible={v} retracted={r}"
                for b, a, v, r in rows],
+            data={"outcome_rows": len(rows)},
         )
 
     def test_early_release_regenerated(self, benchmark, emit):
@@ -85,6 +86,10 @@ class TestFig9:
                 "fig 9 — early release: board locked during A? "
                 f"{locked_mid_A}; concurrent post succeeded: True",
             ],
+            data={
+                "open_nested_locked_mid_A": locked_mid_A,
+                "concurrent_posts": board.post_count(),
+            },
         )
 
     def test_closed_nesting_baseline_blocks(self, benchmark, emit):

@@ -46,6 +46,7 @@ class TestFig10:
             "fig10",
             ["fig 10 — start/start_ack/outcome/outcome_ack exchange:"]
             + [f"  {signal:8s} -> {ack}" for signal, ack in exchange],
+            data={"exchange_steps": len(exchange)},
         )
 
     @pytest.mark.parametrize("fanout", [2, 8, 32])
@@ -97,4 +98,8 @@ class TestFig10:
             ["fig 10 — wave structure vs fan-out:",
              "  fanout  waves  middle_wave_width"]
             + [f"  {f:6d}  {w:5d}  {m:17d}" for f, w, m in rows],
+            data={
+                "max_fanout": rows[-1][0],
+                "waves_at_max_fanout": rows[-1][1],
+            },
         )

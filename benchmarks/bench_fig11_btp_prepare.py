@@ -44,6 +44,7 @@ class TestFig11:
             "fig11",
             ["fig 11 — BTP PrepareSignalSet sequence (matches the chart):"]
             + [f"  {step}" for step in trace],
+            data={"prepare_protocol_steps": len(trace)},
         )
 
     def test_prepare_places_holds_not_bookings(self, benchmark, emit):
@@ -77,6 +78,10 @@ class TestFig11:
                 f"bookings={scenario.taxi.booking_count()} "
                 f"available={scenario.taxi.available()}",
             ],
+            data={
+                "holds_after_prepare": scenario.taxi.holds_outstanding,
+                "bookings_after_prepare": scenario.taxi.booking_count(),
+            },
         )
 
     @pytest.mark.parametrize("participants", [1, 4, 16, 64])

@@ -47,6 +47,7 @@ class TestFig12:
             "fig12",
             ["fig 12 — BTP CompleteSignalSet confirm sequence:"]
             + [f"  {step}" for step in trace],
+            data={"confirm_protocol_steps": len(trace)},
         )
 
     def test_cancel_variant_regenerated(self, benchmark, emit):
@@ -95,6 +96,7 @@ class TestFig12:
             ["fig 12 — cohesion confirm-set selection:",
              "  members  confirm_set  confirmed  cancelled"]
             + [f"  {m:7d}  {s:11d}  {c:9d}  {x:9d}" for m, s, c, x in rows],
+            data={"cohesion_rows": len(rows)},
         )
 
     @pytest.mark.parametrize("members", [2, 8, 32])

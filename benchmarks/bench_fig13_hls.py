@@ -67,6 +67,7 @@ class TestFig13:
             ["fig 13 — model swap by service name:",
              f"  atomic      -> {outcomes['atomic'].name}",
              f"  open-nested -> {outcomes['open-nested'].name}"],
+            data={"models_swapped": len(outcomes)},
         )
 
     def test_bench_direct_framework_use(self, benchmark):

@@ -123,6 +123,13 @@ class TestFig14GroupCommit:
                 f"  {imm[1]:13.0f}  {grp[1]:9.0f}"
                 for threads, imm, grp in rows
             ],
+            data={
+                "max_threads": rows[-1][0],
+                "immediate_forces_per_commit": rows[-1][1][0],
+                "group_forces_per_commit": rows[-1][2][0],
+                "immediate_commits_per_s": rows[-1][1][1],
+                "group_commits_per_s": rows[-1][2][1],
+            },
         )
 
         # Immediate force pays 2 forces per commit; at 16 concurrent

@@ -117,6 +117,12 @@ class TestFig15ParallelBroadcast:
                 f"  {serial / pool:7.2f}x"
                 for count, serial, pool in rows
             ],
+            data={
+                "max_participants": rows[-1][0],
+                "serial_latency_s": rows[-1][1],
+                "pool_latency_s": rows[-1][2],
+                "pool_speedup": rows[-1][1] / rows[-1][2],
+            },
         )
 
         # Acceptance: ≥ 4x latency reduction at 16 registered actions.

@@ -21,8 +21,8 @@ wheel stays off by default everywhere figure traces are asserted — no
 other bench's event sequences change.
 
 Results are written both human-readably (``results/fig17.txt``) and as
-JSON (``results/fig17.json``, uploaded as the ``BENCH_fig17`` CI
-artifact) so the perf trajectory is tracked across PRs.
+JSON (``results/BENCH_fig17.json``, uploaded as a CI artifact) so the
+perf trajectory is tracked across PRs.
 
 Quick mode (``BENCH_QUICK=1``) shrinks the sweep for CI smoke runs.
 """
@@ -327,7 +327,9 @@ class TestFig17RegistryThroughput:
         assert sharded >= coarse * 0.98
 
 
-RESULTS_JSON = os.path.join(os.path.dirname(__file__), "results", "fig17.json")
+RESULTS_JSON = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_fig17.json"
+)
 
 
 def _merge_json(payload):

@@ -21,8 +21,8 @@ transactions over real recoverable cells) and sweeps the subordinate
 domain's ``SegmentedFileStore.auto_compact_ratio`` under the checkpoint
 churn this workload produces, recording the recommended default.
 
-Results land in ``results/fig18.txt`` + ``results/fig18.json`` (uploaded
-as the ``BENCH_fig18`` CI artifact).  ``BENCH_QUICK=1`` shrinks the sweep.
+Results land in ``results/fig18.txt`` + ``results/BENCH_fig18.json``
+(uploaded as a CI artifact).  ``BENCH_QUICK=1`` shrinks the sweep.
 """
 
 import json
@@ -53,7 +53,9 @@ LINK_LATENCIES = [0.005] if QUICK else [0.0, 0.005, 0.020]
 OTS_TRANSACTIONS = 40 if QUICK else 200
 COMPACT_RATIOS = [None, 0.25, 0.5, 0.75]
 
-RESULTS_JSON = os.path.join(os.path.dirname(__file__), "results", "fig18.json")
+RESULTS_JSON = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_fig18.json"
+)
 
 
 def _merge_json(payload):

@@ -106,6 +106,13 @@ class TestFig19Multiprocess:
                 f"  {mode:>12}  {rate:7.1f}  {mean:7.2f}  {p50:6.2f}  {p95:6.2f}"
                 for mode, rate, mean, p50, p95 in rows
             ],
+            data={
+                "transfers": TRANSFERS,
+                "marshal_once_tx_s": rows[0][1],
+                "marshal_once_p95_ms": rows[0][4],
+                "marshal_off_tx_s": rows[1][1],
+                "marshal_off_p95_ms": rows[1][4],
+            },
         )
 
         # Every transfer is a durable cross-process 2PC; the run proving

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""CI bench-regression gate for the fig16 hot-path engine.
+
+Compares a freshly generated ``results/BENCH_fig16.json`` against the
+committed ``baselines/BENCH_fig16.json`` and fails (exit 1) when the
+engine regressed by more than the allowed fraction.
+
+Only *machine-independent ratios* are gated: raw calls/s depends on the
+runner, but ``raw_speedup`` (struct engine vs legacy baseline, measured
+back-to-back in one process) and ``sweep_byte_ratio`` (deterministic
+byte counts) are stable across hosts.  A >25% drop in throughput speedup
+— ``fresh < 0.75 * baseline`` — is a regression; byte ratios are
+deterministic, so they get a tight 2% tolerance.  Deterministic cache
+counters must not decrease at all: a lost decode-cache hit means the
+memoized frame path silently stopped firing.
+
+Usage:
+    python benchmarks/check_bench_regression.py \
+        [--fresh results/BENCH_fig16.json] \
+        [--baseline baselines/BENCH_fig16.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+# (key, allowed fraction of the baseline value the fresh run must reach)
+RATIO_GATES = [
+    ("raw_speedup", 0.75),       # >25% throughput-speedup drop fails
+    ("sweep_byte_ratio", 0.98),  # deterministic: effectively exact
+]
+# Deterministic counters that must not decrease.
+COUNTER_GATES = [
+    "raw_decode_hits",
+    "raw_encode_cache_hits",
+    "sweep_encode_cache_hits",
+    "sweep_context_hits",
+    "sweep_template_fills",
+]
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fresh",
+        default=os.path.join(HERE, "results", "BENCH_fig16.json"),
+        help="JSON produced by the bench run under test",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(HERE, "baselines", "BENCH_fig16.json"),
+        help="committed baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = []
+
+    for key, fraction in RATIO_GATES:
+        if key not in baseline:
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh results")
+            continue
+        floor = baseline[key] * fraction
+        status = "ok" if fresh[key] >= floor else "REGRESSED"
+        print(
+            f"{key}: fresh={fresh[key]:.3f} baseline={baseline[key]:.3f} "
+            f"floor={floor:.3f} [{status}]"
+        )
+        if fresh[key] < floor:
+            failures.append(
+                f"{key}: {fresh[key]:.3f} < {floor:.3f} "
+                f"(baseline {baseline[key]:.3f}, allowed {fraction:.0%})"
+            )
+
+    for key in COUNTER_GATES:
+        if key not in baseline:
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh results")
+            continue
+        status = "ok" if fresh[key] >= baseline[key] else "REGRESSED"
+        print(f"{key}: fresh={fresh[key]} baseline={baseline[key]} [{status}]")
+        if fresh[key] < baseline[key]:
+            failures.append(
+                f"{key}: {fresh[key]} below baseline {baseline[key]}"
+            )
+
+    if failures:
+        print("\nBENCH REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

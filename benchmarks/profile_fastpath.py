@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""cProfile the fig16 hot-path engine and report the top-20 hot spots.
+
+Runs the same single-thread invocation loop as the fig16 raw-throughput
+acceptance test under cProfile (struct codec + caches + fast path) and
+writes the top 20 functions by cumulative time to
+``results/profile_top20.txt`` — uploaded as a CI artifact so a perf
+regression caught by ``check_bench_regression.py`` comes with the
+profile that explains it.
+
+Usage:
+    PYTHONPATH=src python benchmarks/profile_fastpath.py [calls]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+
+from bench_fig16_invocation_fastpath import run_raw_engine  # noqa: E402
+
+
+def main() -> int:
+    calls = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    run_raw_engine("struct", True, min(100, calls))  # warm import/JIT paths
+    profiler = cProfile.Profile()
+    profiler.enable()
+    rate, _, _ = run_raw_engine("struct", True, calls)
+    profiler.disable()
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(20)
+    report = (
+        f"fig16 hot-path engine profile ({calls} calls, "
+        f"{rate:.0f} calls/s under cProfile)\n\n" + buffer.getvalue()
+    )
+
+    results = os.path.join(HERE, "results")
+    os.makedirs(results, exist_ok=True)
+    out_path = os.path.join(results, "profile_top20.txt")
+    with open(out_path, "w") as handle:
+        handle.write(report)
+    print(report)
+    print(f"written: {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,10 +118,23 @@ class OrbConfig(_BaseConfig):
         The coordination domain this ORB belongs to when federated.
         Normally assigned by ``InterOrbBridge.connect`` or the site
         runtime; a standalone ORB leaves it ``None``.
+    codec
+        Wire format for the ORB's marshaller: ``"legacy"`` (default, the
+        historical tagged encoding — byte-identical to every prior
+        release) or ``"struct"`` (the hot-path engine's struct-packed
+        format with framed-context decode memoization).  Both ends of a
+        link must agree; see README "Hot-path engine".
+    dispatch_loop
+        Delivery scheduling seam: ``"inline"`` (default — invoke runs
+        the transport delivery on the calling thread, the historical
+        behaviour) or ``"asyncio"`` (deliveries are scheduled onto a
+        background asyncio event loop; the caller blocks on a future).
     """
 
     marshal_cache_entries: int = 256
     domain_id: Optional[str] = None
+    codec: str = "legacy"
+    dispatch_loop: str = "inline"
 
     def validate(self) -> None:
         self._require(
@@ -129,6 +142,15 @@ class OrbConfig(_BaseConfig):
             and self.marshal_cache_entries >= 0,
             f"marshal_cache_entries must be a non-negative int, "
             f"got {self.marshal_cache_entries!r}",
+        )
+        self._require(
+            self.codec in ("legacy", "struct"),
+            f"codec must be 'legacy' or 'struct', got {self.codec!r}",
+        )
+        self._require(
+            self.dispatch_loop in ("inline", "asyncio"),
+            f"dispatch_loop must be 'inline' or 'asyncio', "
+            f"got {self.dispatch_loop!r}",
         )
 
 

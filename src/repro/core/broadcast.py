@@ -53,7 +53,6 @@ from __future__ import annotations
 import abc
 import threading
 from concurrent.futures import Future, TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.signals import Outcome, Signal
@@ -64,7 +63,6 @@ from repro.util.workers import ReentrantWorkerPool
 _SKIPPED = object()
 
 
-@dataclass
 class Transmission:
     """One planned logical transmission: a registered action awaiting a signal.
 
@@ -72,12 +70,23 @@ class Transmission:
     always from the broadcast's calling thread, in registration order);
     ``send`` pushes the stamped signal through the delivery policy and by
     that policy's contract never raises ``CommunicationError``.
+
+    Slotted (PR 7): broadcasts build one per action per round.
     """
 
-    index: int
-    label: str
-    stamp: Callable[[], Signal]
-    send: Callable[[Signal], Outcome]
+    __slots__ = ("index", "label", "stamp", "send")
+
+    def __init__(
+        self,
+        index: int,
+        label: str,
+        stamp: Callable[[], Signal],
+        send: Callable[[Signal], Outcome],
+    ) -> None:
+        self.index = index
+        self.label = label
+        self.stamp = stamp
+        self.send = send
 
 
 # digest(transmission, stamped_signal, outcome) -> True to abandon the

@@ -25,8 +25,7 @@ that activity.  Disable the whole path with
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
 
 from repro.core.property_group import (
     Propagation,
@@ -42,19 +41,41 @@ from repro.orb.interceptors import (
 )
 from repro.orb.marshal import GLOBAL_REGISTRY
 from repro.orb.reference import ObjectRef
+from repro.util.records import FrozenRecord
 
 
-@GLOBAL_REGISTRY.register_dataclass
-@dataclass(frozen=True)
-class ActivityContext:
-    """Wire form of a propagated activity association."""
+@GLOBAL_REGISTRY.register_slotted
+class ActivityContext(FrozenRecord):
+    """Wire form of a propagated activity association.
 
-    activity_id: str
-    activity_name: str
-    # group name -> snapshot dict (by-value groups)
-    property_values: Dict[str, Dict[str, Any]] = field(default_factory=dict)
-    # group name -> ObjectRef of the origin group (by-reference groups)
-    property_refs: Dict[str, ObjectRef] = field(default_factory=dict)
+    Slotted record (PR 7): one context travels with *every* invocation
+    inside an activity, so its storage is ``__slots__``; ``_fields``
+    keeps the original dataclass order, so the wire bytes are unchanged.
+    """
+
+    __slots__ = (
+        "activity_id",
+        "activity_name",
+        "property_values",
+        "property_refs",
+    )
+    _fields: ClassVar[Tuple[str, ...]] = __slots__
+
+    def __init__(
+        self,
+        activity_id: str,
+        activity_name: str,
+        property_values: Optional[Dict[str, Dict[str, Any]]] = None,
+        property_refs: Optional[Dict[str, ObjectRef]] = None,
+    ) -> None:
+        self._init(
+            activity_id=activity_id,
+            activity_name=activity_name,
+            # group name -> snapshot dict (by-value groups)
+            property_values=property_values if property_values is not None else {},
+            # group name -> ObjectRef of the origin group (by-reference groups)
+            property_refs=property_refs if property_refs is not None else {},
+        )
 
     def received_groups(self) -> Dict[str, PropertyGroup]:
         """Materialise the context's property groups on the receiving side."""
@@ -102,12 +123,14 @@ def context_version(activity: Any) -> Optional[Tuple[Any, ...]]:
     return tuple(parts)
 
 
-@dataclass
 class _ContextSnapshot:
     """One cached (version vector, built context) pair for an activity."""
 
-    version: Tuple[Any, ...]
-    context: ActivityContext
+    __slots__ = ("version", "context")
+
+    def __init__(self, version: Tuple[Any, ...], context: ActivityContext) -> None:
+        self.version = version
+        self.context = context
 
 
 def _build_context(activity: Any) -> ActivityContext:

@@ -25,8 +25,7 @@ logical sequence while the physical sends overlap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Union
 
 from repro.core.action import Action
 from repro.core.broadcast import (
@@ -44,6 +43,7 @@ from repro.orb.marshal import PayloadSlot
 from repro.orb.reference import ObjectRef
 from repro.util.events import EventLog
 from repro.util.idgen import IdGenerator
+from repro.util.records import SlottedRecord
 
 # Per-send hole in a broadcast's marshal-once template: the stamped
 # delivery id is the only part of the signal that differs per action.
@@ -52,16 +52,32 @@ _DELIVERY_ID_SLOT = "delivery_id"
 ActionLike = Union[Action, ObjectRef]
 
 
-@dataclass
-class ActionRecord:
-    """One registration of an action with a signal-set name."""
+class ActionRecord(SlottedRecord):
+    """One registration of an action with a signal-set name (slotted, PR 7)."""
 
-    action_id: str
-    signal_set_name: str
-    action: ActionLike
-    # Durable-recovery metadata (optional): how to re-create this action.
-    factory_name: Optional[str] = None
-    factory_config: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = (
+        "action_id",
+        "signal_set_name",
+        "action",
+        "factory_name",
+        "factory_config",
+    )
+    _fields: ClassVar[Tuple[str, ...]] = __slots__
+
+    def __init__(
+        self,
+        action_id: str,
+        signal_set_name: str,
+        action: ActionLike,
+        factory_name: Optional[str] = None,
+        factory_config: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.action_id = action_id
+        self.signal_set_name = signal_set_name
+        self.action = action
+        # Durable-recovery metadata (optional): how to re-create this action.
+        self.factory_name = factory_name
+        self.factory_config = factory_config if factory_config is not None else {}
 
     @property
     def label(self) -> str:

@@ -49,6 +49,8 @@ SendFn = Callable[[Signal], Outcome]
 class DeliveryPolicy(abc.ABC):
     """Strategy for pushing one stamped signal to one action."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def deliver(self, send: SendFn, signal: Signal) -> Outcome:
         """Deliver ``signal`` via ``send``; never raises CommunicationError —
@@ -63,6 +65,8 @@ class AtMostOnceDelivery(DeliveryPolicy):
     assert on any policy uniformly; here ``retries`` and ``exhausted``
     are always zero by construction.
     """
+
+    __slots__ = ("attempts", "failures", "retries", "exhausted", "_lock")
 
     def __init__(self) -> None:
         self.attempts = 0
@@ -84,6 +88,15 @@ class AtMostOnceDelivery(DeliveryPolicy):
 
 class AtLeastOnceDelivery(DeliveryPolicy):
     """Retry transient losses, reusing the delivery id (duplicates possible)."""
+
+    __slots__ = (
+        "max_attempts",
+        "attempts",
+        "retries",
+        "failures",
+        "exhausted",
+        "_lock",
+    )
 
     def __init__(self, max_attempts: int = 5) -> None:
         if max_attempts < 1:
@@ -135,6 +148,16 @@ class ExactlyOnceDelivery(DeliveryPolicy):
     durable flushes on an append-oriented store.  A delivery only
     returns once its outcome is durable (in-ledger), exactly as before.
     """
+
+    __slots__ = (
+        "_inner",
+        "_store",
+        "_lock",
+        "_flush_lock",
+        "_pending",
+        "ledger_hits",
+        "ledger_flushes",
+    )
 
     def __init__(self, max_attempts: int = 5, store: Optional[ObjectStore] = None) -> None:
         self._inner = AtLeastOnceDelivery(max_attempts)

@@ -370,6 +370,12 @@ class ActivityInterposer:
         lives in a foreign domain; None → caller registers directly."""
         if not isinstance(action, ObjectRef) or not action.is_bound:
             return None
+        if action.object_id == subordinate_object_id(coordinator.activity_id):
+            # Already an interposed subordinate for this activity (e.g. a
+            # WSCF registration service enlisted it on behalf of a whole
+            # foreign domain): registering it through *another* subordinate
+            # at the same object id would enlist the servant with itself.
+            return None
         target_domain = self.bridge.domain_of_node(action.node_id)
         local_domain = self._local_domain()
         if target_domain is None or target_domain == local_domain:

@@ -14,14 +14,22 @@ actions can deduplicate under the at-least-once delivery regime (§3.4).
 
 ``Outcome`` is an action's reply to a signal, and also the collated result
 of processing a whole SignalSet.
+
+Both are slotted :class:`~repro.util.records.FrozenRecord`\\ s (PR 7):
+one signal instance per stamped transmission × N participants used to
+cost an instance dict each — on the broadcast hot path that dominated
+the per-delivery allocation count.  The field order in ``_fields``
+matches the original dataclass declaration order, so the wire encoding
+(via :meth:`~repro.orb.marshal.ValueTypeRegistry.register_slotted`) is
+byte-identical to every prior release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any, Optional
+from typing import Any, ClassVar, Optional, Tuple
 
 from repro.orb.marshal import GLOBAL_REGISTRY
+from repro.util.records import FrozenRecord
 
 # Well-known outcome names.
 OUTCOME_DONE = "repro.activity.done"
@@ -29,38 +37,62 @@ OUTCOME_ERROR = "repro.activity.error"
 OUTCOME_UNREACHABLE = "repro.activity.unreachable"
 
 
-@GLOBAL_REGISTRY.register_dataclass
-@dataclass(frozen=True)
-class Signal:
+@GLOBAL_REGISTRY.register_slotted
+class Signal(FrozenRecord):
     """One coordination event sent from a SignalSet to Actions."""
 
-    signal_name: str
-    signal_set_name: str
-    application_specific_data: Any = None
-    delivery_id: Optional[str] = None
+    __slots__ = (
+        "signal_name",
+        "signal_set_name",
+        "application_specific_data",
+        "delivery_id",
+    )
+    _fields: ClassVar[Tuple[str, ...]] = __slots__
+
+    def __init__(
+        self,
+        signal_name: str,
+        signal_set_name: str,
+        application_specific_data: Any = None,
+        delivery_id: Optional[str] = None,
+    ) -> None:
+        self._init(
+            signal_name=signal_name,
+            signal_set_name=signal_set_name,
+            application_specific_data=application_specific_data,
+            delivery_id=delivery_id,
+        )
 
     @property
     def name(self) -> str:
         return self.signal_name
 
     def with_delivery_id(self, delivery_id: str) -> "Signal":
-        return replace(self, delivery_id=delivery_id)
+        return Signal(
+            self.signal_name,
+            self.signal_set_name,
+            self.application_specific_data,
+            delivery_id,
+        )
 
     def with_data(self, data: Any) -> "Signal":
-        return replace(self, application_specific_data=data)
+        return Signal(
+            self.signal_name, self.signal_set_name, data, self.delivery_id
+        )
 
     def __str__(self) -> str:
         return f"Signal({self.signal_name}@{self.signal_set_name})"
 
 
-@GLOBAL_REGISTRY.register_dataclass
-@dataclass(frozen=True)
-class Outcome:
+@GLOBAL_REGISTRY.register_slotted
+class Outcome(FrozenRecord):
     """An action's (or a whole SignalSet's) result."""
 
-    name: str
-    data: Any = None
-    is_error: bool = False
+    __slots__ = ("name", "data", "is_error")
+    _fields: ClassVar[Tuple[str, ...]] = __slots__
+
+    def __init__(self, name: str, data: Any = None, is_error: bool = False) -> None:
+        self._init(name=name, data=data, is_error=is_error)
 
     @classmethod
     def done(cls, data: Any = None) -> "Outcome":

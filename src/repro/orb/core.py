@@ -31,8 +31,10 @@ from repro.exceptions import (
     TimeoutError_,
 )
 from repro.orb.current import InvocationCurrent
+from repro.orb.dispatch import DispatchLoop, build_dispatch_loop
 from repro.orb.interceptors import InterceptorChain, RequestInfo
 from repro.orb.marshal import (
+    DecodeCache,
     EncodeCache,
     MarshalError,
     Marshaller,
@@ -227,6 +229,7 @@ class Orb:
         event_log: Optional[EventLog] = None,
         config: Optional[OrbConfig] = None,
         transport: Optional[Transport] = None,
+        dispatch_loop: Optional[DispatchLoop] = None,
         **legacy: Any,
     ) -> None:
         self.config = OrbConfig.resolve(config, legacy, "Orb")
@@ -259,6 +262,19 @@ class Orb:
                 if marshal_cache_entries > 0
                 else None
             ),
+            codec=self.config.codec,
+            decode_cache=(
+                DecodeCache(marshal_cache_entries)
+                if marshal_cache_entries > 0
+                else None
+            ),
+        )
+        # Delivery scheduling seam (PR 7).  None means inline — invoke
+        # calls the transport directly, so the default path pays nothing.
+        self.dispatch_loop = (
+            dispatch_loop
+            if dispatch_loop is not None
+            else build_dispatch_loop(self.config.dispatch_loop)
         )
         self.interceptors = InterceptorChain()
         self.current = InvocationCurrent()
@@ -394,12 +410,21 @@ class Orb:
                 reply_bytes = self.federation.route(
                     self, source_node, ref, request_bytes
                 )
-            else:
+            elif self.dispatch_loop is None:
                 reply_bytes = self.transport.deliver(
                     source_node,
                     ref.node_id,
                     request_bytes,
                     lambda payload: self._dispatch(ref.node_id, payload),
+                )
+            else:
+                reply_bytes = self.dispatch_loop.dispatch(
+                    lambda: self.transport.deliver(
+                        source_node,
+                        ref.node_id,
+                        request_bytes,
+                        lambda payload: self._dispatch(ref.node_id, payload),
+                    )
                 )
         except CommunicationError as exc:
             info.exception = exc

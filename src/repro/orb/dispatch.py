@@ -1,0 +1,172 @@
+"""Pluggable delivery scheduling for the invocation path.
+
+PR 7 extracts the *scheduling* decision out of :meth:`Orb.invoke
+<repro.orb.core.Orb.invoke>`: marshalling produces request bytes, the
+transport moves them, and a :class:`DispatchLoop` decides **on which
+thread of control the delivery runs**.  The historical behaviour — the
+caller's own thread walks straight through ``transport.deliver`` — is
+:class:`InlineDispatchLoop` and stays the default with zero added
+per-invoke cost (the ORB skips the seam entirely unless a loop is
+configured).
+
+:class:`AsyncioDispatchLoop` routes every delivery through a background
+asyncio event loop: the invoking thread submits a coroutine and blocks
+on its future, the coroutine bounds concurrency with a semaphore and
+runs the (blocking) transport delivery on an executor thread.  That
+gives one place where *all* of an ORB's outbound deliveries are
+scheduled — admission control, pacing and instrumentation hooks attach
+here — while composing unchanged with marshal-once templates and
+group-commit (both operate on the bytes, not the scheduling).  It pairs
+with :class:`~repro.orb.socket_transport.SocketTransport`'s asyncio
+accept loop (``accept_loop="asyncio"``) for a deployment whose socket
+handling is event-driven end to end.
+
+Wire traces are identical under every loop: scheduling never touches
+bytes.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, ClassVar, Optional
+
+from repro.exceptions import ConfigurationError
+
+
+class DispatchLoop(abc.ABC):
+    """Strategy for running one blocking delivery thunk to completion.
+
+    ``dispatch(deliver)`` must return ``deliver()``'s result (or raise
+    its exception) *synchronously from the caller's point of view* —
+    invocation semantics stay request/reply; only the thread of control
+    that executes the delivery is the loop's choice.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    @abc.abstractmethod
+    def dispatch(self, deliver: Callable[[], Any]) -> Any:
+        """Run ``deliver`` and return its result."""
+
+    def close(self) -> None:
+        """Release any scheduling resources (idempotent)."""
+
+
+class InlineDispatchLoop(DispatchLoop):
+    """The historical behaviour: the invoking thread runs the delivery."""
+
+    name: ClassVar[str] = "inline"
+
+    def dispatch(self, deliver: Callable[[], Any]) -> Any:
+        return deliver()
+
+
+class AsyncioDispatchLoop(DispatchLoop):
+    """Schedule deliveries onto a background asyncio event loop.
+
+    The loop thread starts lazily on first dispatch and runs as a
+    daemon; ``close()`` tears it down (subsequent dispatches refuse).
+    ``max_concurrency`` bounds deliveries in flight via a semaphore —
+    size it for the product of caller concurrency and nesting depth
+    (a servant that invokes during dispatch holds one slot per level),
+    and keep it at or below ``executor_workers``.
+    """
+
+    name: ClassVar[str] = "asyncio"
+
+    def __init__(
+        self, max_concurrency: int = 32, executor_workers: Optional[int] = None
+    ) -> None:
+        if max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be at least 1")
+        self.max_concurrency = max_concurrency
+        self._executor_workers = (
+            executor_workers if executor_workers is not None else max_concurrency
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self.dispatches = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _ensure_started(self) -> asyncio.AbstractEventLoop:
+        loop = self._loop
+        if loop is not None:
+            return loop
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("dispatch loop is closed")
+            if self._loop is None:
+                loop = asyncio.new_event_loop()
+                ready = threading.Event()
+
+                def run() -> None:
+                    asyncio.set_event_loop(loop)
+                    loop.call_soon(ready.set)
+                    loop.run_forever()
+
+                thread = threading.Thread(
+                    target=run, name="orb-dispatch-loop", daemon=True
+                )
+                thread.start()
+                ready.wait()
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._executor_workers,
+                    thread_name_prefix="orb-dispatch",
+                )
+                # Created here (not on the loop thread) so the bound is
+                # fixed before the first coroutine can observe it.
+                self._semaphore = asyncio.Semaphore(self.max_concurrency)
+                self._thread = thread
+                self._loop = loop
+            return self._loop
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            loop, thread, executor = self._loop, self._thread, self._executor
+            self._loop = self._thread = self._executor = None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(timeout=5.0)
+            loop.close()
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # -- dispatch ---------------------------------------------------------
+
+    async def _run(self, deliver: Callable[[], Any]) -> Any:
+        assert self._semaphore is not None and self._executor is not None
+        async with self._semaphore:
+            loop = asyncio.get_event_loop()
+            return await loop.run_in_executor(self._executor, deliver)
+
+    def dispatch(self, deliver: Callable[[], Any]) -> Any:
+        if self._closed:
+            raise ConfigurationError("dispatch loop is closed")
+        loop = self._ensure_started()
+        self.dispatches += 1
+        future = asyncio.run_coroutine_threadsafe(self._run(deliver), loop)
+        return future.result()
+
+
+def build_dispatch_loop(name: str) -> Optional[DispatchLoop]:
+    """Map an ``OrbConfig.dispatch_loop`` value to a loop instance.
+
+    ``"inline"`` maps to ``None`` — the ORB's invoke path special-cases
+    it to call the transport directly, so the default pays nothing for
+    the seam.
+    """
+    if name == "inline":
+        return None
+    if name == "asyncio":
+        return AsyncioDispatchLoop()
+    raise ConfigurationError(f"unknown dispatch loop {name!r}")

@@ -14,7 +14,6 @@ context values must be marshallable (they cross the simulated wire).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 
@@ -28,18 +27,43 @@ PROPERTY_CONTEXT_ID = "CosActivityProperties"
 FEDERATED_TRANSACTION_CONTEXT_ID = "CosTransactionsFederation"
 
 
-@dataclass
 class RequestInfo:
-    """Everything an interceptor may inspect about one invocation."""
+    """Everything an interceptor may inspect about one invocation.
 
-    operation: str
-    target_node: str
-    target_object: str
-    interface: str
-    service_contexts: Dict[str, Any] = field(default_factory=dict)
-    # Filled in on the reply path:
-    reply_contexts: Dict[str, Any] = field(default_factory=dict)
-    exception: Optional[BaseException] = None
+    Slotted (PR 7): two are built per invocation (client and server
+    side), so the instance dict was pure per-send churn.
+    """
+
+    __slots__ = (
+        "operation",
+        "target_node",
+        "target_object",
+        "interface",
+        "service_contexts",
+        "reply_contexts",
+        "exception",
+    )
+
+    def __init__(
+        self,
+        operation: str,
+        target_node: str,
+        target_object: str,
+        interface: str,
+        service_contexts: Optional[Dict[str, Any]] = None,
+        reply_contexts: Optional[Dict[str, Any]] = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        self.operation = operation
+        self.target_node = target_node
+        self.target_object = target_object
+        self.interface = interface
+        self.service_contexts = (
+            service_contexts if service_contexts is not None else {}
+        )
+        # Filled in on the reply path:
+        self.reply_contexts = reply_contexts if reply_contexts is not None else {}
+        self.exception = exception
 
     def get_context(self, context_id: str) -> Any:
         return self.service_contexts.get(context_id)

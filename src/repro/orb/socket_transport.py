@@ -44,6 +44,7 @@ from explicit registration or ``locate`` control queries).
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
@@ -113,18 +114,27 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def _read_frame(sock: socket.socket) -> Tuple[int, str, str, bytes]:
-    header = _recv_exact(sock, _HEADER.size)
-    length, kind = _HEADER.unpack(header)
-    if not 1 <= length <= _MAX_FRAME:
-        raise ConnectionError(f"invalid frame length {length}")
-    body = _recv_exact(sock, length - 1)
+def _parse_frame_body(body: bytes) -> Tuple[str, str, bytes]:
+    """Split a frame body into (source, target, payload).
+
+    Shared by the blocking reader below and the asyncio accept loop —
+    one parser, whatever moves the bytes."""
     src_len = struct.unpack_from(">H", body, 0)[0]
     source = body[2 : 2 + src_len].decode("utf-8")
     offset = 2 + src_len
     dst_len = struct.unpack_from(">H", body, offset)[0]
     target = body[offset + 2 : offset + 2 + dst_len].decode("utf-8")
     payload = body[offset + 2 + dst_len :]
+    return source, target, payload
+
+
+def _read_frame(sock: socket.socket) -> Tuple[int, str, str, bytes]:
+    header = _recv_exact(sock, _HEADER.size)
+    length, kind = _HEADER.unpack(header)
+    if not 1 <= length <= _MAX_FRAME:
+        raise ConnectionError(f"invalid frame length {length}")
+    body = _recv_exact(sock, length - 1)
+    source, target, payload = _parse_frame_body(body)
     return kind, source, target, payload
 
 
@@ -155,6 +165,14 @@ class SocketTransport(Transport):
     (host, port) is where :meth:`start` listens — port 0 picks a free
     port, readable from :attr:`address` afterwards.  Peers are added
     with :meth:`connect_peer` and dialed lazily on first use.
+
+    ``accept_loop`` selects the server-side engine (PR 7 dispatch
+    layer): ``"threads"`` (default) runs the historical
+    thread-per-connection accept loop; ``"asyncio"`` serves every
+    connection from one event-loop thread (frames read with
+    ``readexactly``, handlers run on an executor so a blocking ORB
+    dispatch never stalls the loop).  The wire protocol is identical —
+    a threads client talks to an asyncio server and vice versa.
     """
 
     supports_fault_injection: ClassVar[bool] = False
@@ -168,9 +186,15 @@ class SocketTransport(Transport):
         reconnect_base_delay: float = 0.05,
         connect_timeout: float = 5.0,
         request_timeout: float = 30.0,
+        accept_loop: str = "threads",
     ) -> None:
+        if accept_loop not in ("threads", "asyncio"):
+            raise ConfigurationError(
+                f"accept_loop must be 'threads' or 'asyncio', got {accept_loop!r}"
+            )
         self.site_id = site_id
         self.bind = bind
+        self.accept_loop = accept_loop
         self.stats = TransportStats()
         self.reconnect_attempts = reconnect_attempts
         self.reconnect_base_delay = reconnect_base_delay
@@ -182,6 +206,9 @@ class SocketTransport(Transport):
         self._lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
+        self._aio_loop: Optional[asyncio.AbstractEventLoop] = None
+        self._aio_server: Optional[asyncio.AbstractServer] = None
+        self._aio_thread: Optional[threading.Thread] = None
         self._server_conns: List[socket.socket] = []
         self._closed = False
         self._started = False
@@ -218,6 +245,10 @@ class SocketTransport(Transport):
             # A client-only transport: dials peers, accepts nothing.
             self._started = True
             return
+        if self.accept_loop == "asyncio":
+            self._start_asyncio_server()
+            self._started = True
+            return
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind(self.bind)
@@ -238,6 +269,7 @@ class SocketTransport(Transport):
             except OSError:
                 pass
             self._listener = None
+        self._stop_asyncio_server()
         with self._lock:
             idle = [conn for conns in self._idle.values() for conn in conns]
             self._idle.clear()
@@ -256,7 +288,87 @@ class SocketTransport(Transport):
     def peers(self) -> Tuple[str, ...]:
         return tuple(sorted(self._peers))
 
-    # -- server side -------------------------------------------------------
+    # -- server side (asyncio accept loop) ---------------------------------
+
+    def _start_asyncio_server(self) -> None:
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.call_soon(ready.set)
+            loop.run_forever()
+
+        thread = threading.Thread(
+            target=run, name=f"site-{self.site_id}-aio", daemon=True
+        )
+        thread.start()
+        ready.wait()
+        host, port = self.bind
+        server = asyncio.run_coroutine_threadsafe(
+            asyncio.start_server(self._serve_asyncio_connection, host, port), loop
+        ).result()
+        self._aio_loop = loop
+        self._aio_server = server
+        self._aio_thread = thread
+        self.address = server.sockets[0].getsockname()[:2]
+
+    def _stop_asyncio_server(self) -> None:
+        loop, server, thread = self._aio_loop, self._aio_server, self._aio_thread
+        self._aio_loop = self._aio_server = self._aio_thread = None
+        if loop is None:
+            return
+
+        async def shutdown() -> None:
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+
+        try:
+            asyncio.run_coroutine_threadsafe(shutdown(), loop).result(timeout=5.0)
+        except Exception:
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=5.0)
+        loop.close()
+
+    async def _serve_asyncio_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Frames on one connection are processed sequentially (the
+        # client checks a connection out exclusively per round, so
+        # there is never a second in-flight request to pipeline); the
+        # blocking ORB dispatch runs on the default executor so slow
+        # handlers never stall other connections sharing the loop.
+        loop = asyncio.get_event_loop()
+        try:
+            while not self._closed:
+                header = await reader.readexactly(_HEADER.size)
+                length, kind = _HEADER.unpack(header)
+                if not 1 <= length <= _MAX_FRAME:
+                    break
+                body = await reader.readexactly(length - 1)
+                source, target, payload = _parse_frame_body(body)
+                reply_kind, reply_payload = await loop.run_in_executor(
+                    None, self._handle_frame, kind, source, target, payload
+                )
+                writer.write(
+                    _encode_frame(reply_kind, self.site_id, source, reply_payload)
+                )
+                await writer.drain()
+                with self._lock:
+                    self.stats.replies_sent += 1
+                    self.stats.bytes_sent += len(reply_payload)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # -- server side (thread-per-connection) -------------------------------
 
     def _accept_loop(self) -> None:
         while not self._closed:

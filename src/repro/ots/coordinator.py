@@ -27,8 +27,7 @@ between any two protocol steps to reproduce coordinator failures.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Any, List, Optional, Set
+from typing import Any, ClassVar, List, Optional, Set, Tuple
 
 from repro.exceptions import CommunicationError
 from repro.orb.reference import ObjectRef
@@ -47,6 +46,7 @@ from repro.ots.exceptions import (
 )
 from repro.ots.resource import call_participant
 from repro.ots.status import TransactionStatus, Vote
+from repro.util.records import SlottedRecord
 
 # Sentinel a prepare worker returns when the round was abandoned before
 # its participant was asked (distinct from a participant's own return
@@ -55,14 +55,23 @@ from repro.ots.status import TransactionStatus, Vote
 _NOT_ASKED = object()
 
 
-@dataclass
-class ResourceRecord:
-    """Bookkeeping for one registered two-phase participant."""
+class ResourceRecord(SlottedRecord):
+    """Bookkeeping for one registered two-phase participant (slotted, PR 7)."""
 
-    participant: Any
-    recovery_key: Optional[str] = None
-    vote: Optional[Vote] = None
-    completed: bool = False
+    __slots__ = ("participant", "recovery_key", "vote", "completed")
+    _fields: ClassVar[Tuple[str, ...]] = __slots__
+
+    def __init__(
+        self,
+        participant: Any,
+        recovery_key: Optional[str] = None,
+        vote: Optional[Vote] = None,
+        completed: bool = False,
+    ) -> None:
+        self.participant = participant
+        self.recovery_key = recovery_key
+        self.vote = vote
+        self.completed = completed
 
 
 class _ParticipantRound:

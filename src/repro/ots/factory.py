@@ -271,7 +271,7 @@ class TransactionFactory:
 
     def active_transactions(self) -> List[Transaction]:
         listed = []
-        for tid in sorted(self._active.keys()):
+        for tid in self._active.sorted_keys():
             tx = self._transactions.get(tid)
             if tx is not None:
                 listed.append(tx)
@@ -339,7 +339,7 @@ class TransactionFactory:
             expired, self._expired_batch = self._expired_batch, []
             return sorted(expired)
         expired = []
-        for tid in sorted(self._active.keys()):
+        for tid in self._active.sorted_keys():
             tx = self._transactions.get(tid)
             if (
                 tx is not None

@@ -12,8 +12,7 @@ caller's transaction as its own current transaction).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Any, List
+from typing import Any, ClassVar, List, Tuple
 
 from repro.orb.core import Orb
 from repro.orb.interceptors import (
@@ -25,14 +24,18 @@ from repro.orb.interceptors import (
 )
 from repro.orb.marshal import GLOBAL_REGISTRY
 from repro.ots.current import TransactionCurrent
+from repro.util.records import FrozenRecord
 
 
-@GLOBAL_REGISTRY.register_dataclass
-@dataclass(frozen=True)
-class TransactionContext:
-    """Wire form of a propagated transaction association."""
+@GLOBAL_REGISTRY.register_slotted
+class TransactionContext(FrozenRecord):
+    """Wire form of a propagated transaction association (slotted, PR 7)."""
 
-    tid: str
+    __slots__ = ("tid",)
+    _fields: ClassVar[Tuple[str, ...]] = __slots__
+
+    def __init__(self, tid: str) -> None:
+        self._init(tid=tid)
 
 
 # A transaction's context never changes (the tid is its identity), so

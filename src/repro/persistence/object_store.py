@@ -89,12 +89,19 @@ class MemoryStore(ObjectStore):
         self._marshaller = Marshaller(registry)
         self._data: Dict[str, bytes] = {}
         self._write_lock = threading.Lock()
+        # Same memoization contract as SegmentedFileStore.keys(): the
+        # sorted listing is cached until a mutation changes the key
+        # *set* (overwrites keep it valid), so recovery scans stop
+        # re-sorting per lookup pass.
+        self._keys_cache: Optional[Tuple[str, ...]] = None
         self.writes = 0
         self.reads = 0
 
     def put(self, uid: str, state: Any) -> None:
         encoded = self._marshaller.encode(state)
         with self._write_lock:
+            if uid not in self._data:
+                self._keys_cache = None
             self._data[uid] = encoded
             self.writes += 1
 
@@ -103,6 +110,8 @@ class MemoryStore(ObjectStore):
         # untouched — the batch is all-or-nothing, like one flush.
         encoded = {uid: self._marshaller.encode(state) for uid, state in dict(items).items()}
         with self._write_lock:
+            if any(uid not in self._data for uid in encoded):
+                self._keys_cache = None
             self._data.update(encoded)
             self.writes += 1
 
@@ -119,12 +128,20 @@ class MemoryStore(ObjectStore):
             if uid not in self._data:
                 raise StoreError(f"no state stored under {uid!r}")
             del self._data[uid]
+            self._keys_cache = None
 
     def contains(self, uid: str) -> bool:
         return uid in self._data
 
     def keys(self) -> Tuple[str, ...]:
-        return tuple(self._data)
+        cache = self._keys_cache
+        if cache is None:
+            with self._write_lock:
+                cache = self._keys_cache
+                if cache is None:
+                    cache = tuple(sorted(self._data))
+                    self._keys_cache = cache
+        return cache
 
 
 class FileStore(ObjectStore):

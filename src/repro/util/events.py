@@ -11,17 +11,28 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, ClassVar, Dict, Iterator, List, Optional, Tuple
+
+from repro.util.records import FrozenRecord
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded protocol step."""
+class TraceEvent(FrozenRecord):
+    """One recorded protocol step (slotted, PR 7: one per traced step)."""
 
-    kind: str
-    detail: Dict[str, Any] = field(default_factory=dict)
-    timestamp: float = 0.0
+    __slots__ = ("kind", "detail", "timestamp")
+    _fields: ClassVar[Tuple[str, ...]] = __slots__
+
+    def __init__(
+        self,
+        kind: str,
+        detail: Optional[Dict[str, Any]] = None,
+        timestamp: float = 0.0,
+    ) -> None:
+        self._init(
+            kind=kind,
+            detail=detail if detail is not None else {},
+            timestamp=timestamp,
+        )
 
     def matches(self, kind: str, **detail: Any) -> bool:
         """True if this event has ``kind`` and every given detail item."""

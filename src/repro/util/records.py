@@ -1,0 +1,74 @@
+"""Slotted record bases for the invocation hot path.
+
+Every per-send object — signals, outcomes, wire contexts, delivery and
+registration records — used to be a plain ``@dataclass``.  A dataclass
+instance carries a ``__dict__``: one extra allocation per record plus a
+hashtable probe per attribute access, which the allocation profiler
+(:mod:`repro.util.profiling`) shows dominating the per-delivery garbage
+once marshalling is cached.  These bases give the same value semantics
+(ordered fields, ``==``/``hash`` over the field tuple, dataclass-style
+``repr``) on ``__slots__`` storage:
+
+- :class:`SlottedRecord` — mutable; subclasses declare ``__slots__`` and
+  list the same names (in order) in ``_fields``;
+- :class:`FrozenRecord` — additionally refuses attribute assignment
+  after ``__init__`` (subclass ``__init__`` assigns through
+  :meth:`FrozenRecord._init`), mirroring ``@dataclass(frozen=True)``;
+  the raised ``AttributeError`` matches what frozen dataclasses raise
+  (``FrozenInstanceError`` is an ``AttributeError`` subclass).
+
+The marshal registry's :meth:`~repro.orb.marshal.ValueTypeRegistry.
+register_slotted` derives the wire encoding from ``_fields`` exactly as
+``register_dataclass`` derives it from dataclass fields — same part
+order, same part names — so converting a registered record type leaves
+its bytes untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Tuple
+
+
+class SlottedRecord:
+    """Mutable record on ``__slots__`` storage with value semantics."""
+
+    __slots__ = ()
+    _fields: ClassVar[Tuple[str, ...]] = ()
+
+    def _astuple(self) -> Tuple[Any, ...]:
+        return tuple(getattr(self, name) for name in self._fields)
+
+    def __eq__(self, other: object) -> Any:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self._astuple() == other._astuple()  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._fields
+        )
+        return f"{type(self).__name__}({parts})"
+
+
+class FrozenRecord(SlottedRecord):
+    """Immutable record: hashable, assignment refused after ``__init__``."""
+
+    __slots__ = ()
+
+    def _init(self, **values: Any) -> None:
+        """Assign the field values (bypassing the frozen guard)."""
+        for name, value in values.items():
+            object.__setattr__(self, name, value)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(
+            f"cannot assign to field {name!r} of frozen {type(self).__name__}"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"cannot delete field {name!r} of frozen {type(self).__name__}"
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())

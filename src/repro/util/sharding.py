@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 import zlib
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 class StripedMap:
@@ -38,42 +38,60 @@ class StripedMap:
         self.shards = shards
         self._segments: List[Dict[str, Any]] = [{} for _ in range(shards)]
         self._locks: List[threading.Lock] = [threading.Lock() for _ in range(shards)]
+        # Key-set generation per segment, bumped (under that segment's
+        # lock) only when a mutation adds or removes a key — overwrites
+        # keep the listing valid.  ``sorted_keys`` caches one sorted
+        # snapshot against the summed generations, so registry scans
+        # (timeout sweeps, ``active_transactions``) stop re-sorting the
+        # whole key space on every call; the single-attribute cache
+        # assignment keeps readers lock-free.
+        self._versions: List[int] = [0] * shards
+        self._sorted_cache: Optional[Tuple[int, Tuple[str, ...]]] = None
+        self.listing_rebuilds = 0
 
-    def _segment(self, key: str) -> Tuple[threading.Lock, Dict[str, Any]]:
+    def _segment(
+        self, key: str
+    ) -> Tuple[threading.Lock, Dict[str, Any], int]:
         index = zlib.crc32(key.encode("utf-8")) % self.shards
-        return self._locks[index], self._segments[index]
+        return self._locks[index], self._segments[index], index
 
     # -- single-key operations (one segment lock) -----------------------------
 
     def put(self, key: str, value: Any) -> None:
-        lock, segment = self._segment(key)
+        lock, segment, index = self._segment(key)
         with lock:
+            if key not in segment:
+                self._versions[index] += 1
             segment[key] = value
 
     def get(self, key: str, default: Any = None) -> Any:
-        lock, segment = self._segment(key)
+        lock, segment, _ = self._segment(key)
         with lock:
             return segment.get(key, default)
 
     def __getitem__(self, key: str) -> Any:
-        lock, segment = self._segment(key)
+        lock, segment, _ = self._segment(key)
         with lock:
             return segment[key]
 
     def pop(self, key: str, default: Any = None) -> Any:
-        lock, segment = self._segment(key)
+        lock, segment, index = self._segment(key)
         with lock:
+            if key in segment:
+                self._versions[index] += 1
             return segment.pop(key, default)
 
     def setdefault(self, key: str, value: Any) -> Any:
-        lock, segment = self._segment(key)
+        lock, segment, index = self._segment(key)
         with lock:
+            if key not in segment:
+                self._versions[index] += 1
             return segment.setdefault(key, value)
 
     def __contains__(self, key: object) -> bool:
         if not isinstance(key, str):
             return False
-        lock, segment = self._segment(key)
+        lock, segment, _ = self._segment(key)
         with lock:
             return key in segment
 
@@ -103,12 +121,33 @@ class StripedMap:
                 collected.extend(segment.items())
         return collected
 
+    def sorted_keys(self) -> Tuple[str, ...]:
+        """Memoized globally sorted key snapshot.
+
+        The generation signature is read *before* the per-segment
+        snapshots: a mutation racing the scan leaves the cache stamped
+        with a pre-mutation signature, so the next call recomputes —
+        the cache can go stale for one call, never silently forever.
+        """
+        signature = sum(self._versions)
+        cached = self._sorted_cache
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        snapshot = tuple(sorted(self.keys()))
+        self.listing_rebuilds += 1
+        self._sorted_cache = (signature, snapshot)
+        return snapshot
+
     def __iter__(self) -> Iterator[str]:
         return iter(self.keys())
 
     def clear(self) -> None:
-        for lock, segment in zip(self._locks, self._segments):
+        for index, (lock, segment) in enumerate(
+            zip(self._locks, self._segments)
+        ):
             with lock:
+                if segment:
+                    self._versions[index] += 1
                 segment.clear()
 
     def segment_sizes(self) -> List[int]:

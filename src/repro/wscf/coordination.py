@@ -15,12 +15,12 @@ framework, per §5.2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import ClassVar, Dict, Optional, Tuple, Union
 
 from repro.core.action import Action
 from repro.core.activity import Activity
 from repro.core.broadcast import BroadcastExecutor
+from repro.core.interposition import SubordinateCoordinator, subordinate_object_id
 from repro.core.manager import ActivityManager
 from repro.core.signals import Outcome
 from repro.core.status import CompletionStatus
@@ -36,6 +36,7 @@ from repro.models.twopc import TwoPhaseCommitSignalSet
 from repro.orb.core import Servant
 from repro.orb.marshal import GLOBAL_REGISTRY
 from repro.orb.reference import ObjectRef
+from repro.util.records import FrozenRecord
 
 PROTOCOL_ATOMIC = "wscf:atomic-outcome"
 PROTOCOL_BUSINESS = "wscf:business-outcome"
@@ -45,9 +46,8 @@ class WscfError(ReproError):
     """Coordination framework misuse."""
 
 
-@GLOBAL_REGISTRY.register_dataclass
-@dataclass(frozen=True)
-class CoordinationContext:
+@GLOBAL_REGISTRY.register_slotted
+class CoordinationContext(FrozenRecord):
     """The token a coordinator hands to prospective participants.
 
     ``domain_id`` names the coordination domain that issued the context
@@ -57,9 +57,20 @@ class CoordinationContext:
     instead of enrolling every participant with the remote coordinator.
     """
 
-    context_id: str
-    coordination_type: str
-    domain_id: Optional[str] = None
+    __slots__ = ("context_id", "coordination_type", "domain_id")
+    _fields: ClassVar[Tuple[str, ...]] = __slots__
+
+    def __init__(
+        self,
+        context_id: str,
+        coordination_type: str,
+        domain_id: Optional[str] = None,
+    ) -> None:
+        self._init(
+            context_id=context_id,
+            coordination_type=coordination_type,
+            domain_id=domain_id,
+        )
 
 
 class WscfCoordinator:
@@ -88,12 +99,42 @@ class WscfCoordinator:
         self._contexts: Dict[str, CoordinationContext] = {}
         self._activities: Dict[str, Activity] = {}
         self._terminated: Dict[str, Outcome] = {}
+        # (context_id) -> local subordinate enlisted with the issuing
+        # domain; registrations for a foreign context interpose through
+        # it instead of crossing the bridge per participant.
+        self._interposed: Dict[str, SubordinateCoordinator] = {}
+        self.interposed_registrations = 0
+        self._published = False
+
+    # -- federation ------------------------------------------------------------
+
+    def _federation(self):
+        orb = self.manager.orb
+        if orb is not None and orb.federation is not None:
+            return orb, orb.federation
+        return orb, self.manager.federation
+
+    def _publish(self) -> None:
+        """Make this coordinator findable as its domain's ``wscf`` service.
+
+        Idempotent and automatic: the first context issued (or foreign
+        registration served) on a federated manager publishes the
+        coordinator, so a peer domain's registration service can locate
+        the issuing side with ``bridge.service(domain, "wscf")``.
+        """
+        if self._published:
+            return
+        orb, bridge = self._federation()
+        if orb is not None and bridge is not None and orb.domain_id is not None:
+            bridge.register_service(orb.domain_id, "wscf", self)
+            self._published = True
 
     # -- activation ------------------------------------------------------------
 
     def create_context(self, coordination_type: str) -> CoordinationContext:
         if coordination_type not in (PROTOCOL_ATOMIC, PROTOCOL_BUSINESS):
             raise WscfError(f"unknown coordination type {coordination_type!r}")
+        self._publish()
         activity = self.manager.begin(name=f"wscf:{coordination_type}")
         orb = self.manager.orb
         context = CoordinationContext(
@@ -114,17 +155,102 @@ class WscfCoordinator:
 
     def register(
         self,
-        context_id: str,
+        context: Union[str, CoordinationContext],
         participant: Union[Action, ObjectRef],
         protocol: Optional[str] = None,
     ) -> None:
+        """Enlist ``participant`` with the context's coordinator.
+
+        ``context`` may be a bare context id (historical form, always
+        local) or the full :class:`CoordinationContext` token.  When the
+        token's ``domain_id`` names a *foreign* federation domain, the
+        registration auto-interposes: the participant enlists with a
+        local :class:`~repro.core.interposition.SubordinateCoordinator`
+        and only the subordinate — once per context — registers with the
+        issuing domain's coordinator, so broadcast traffic across the
+        bridge stays O(1) per signal regardless of local participants.
+        """
+        if isinstance(context, CoordinationContext) and self._is_foreign(context):
+            self._register_interposed(context, participant)
+            return
+        context_id = (
+            context.context_id
+            if isinstance(context, CoordinationContext)
+            else context
+        )
         activity = self._activity(context_id)
-        context = self._contexts[context_id]
-        if context.coordination_type == PROTOCOL_ATOMIC:
+        local = self._contexts[context_id]
+        if local.coordination_type == PROTOCOL_ATOMIC:
             activity.add_action(TWOPC_SET, participant)
         else:
             activity.add_action(BTP_PREPARE_SET, participant)
             activity.add_action(BTP_COMPLETE_SET, participant)
+
+    def _is_foreign(self, context: CoordinationContext) -> bool:
+        if context.domain_id is None:
+            return False
+        orb, bridge = self._federation()
+        if orb is None or bridge is None or orb.domain_id is None:
+            return False
+        return context.domain_id != orb.domain_id
+
+    def _register_interposed(
+        self,
+        context: CoordinationContext,
+        participant: Union[Action, ObjectRef],
+    ) -> None:
+        orb, bridge = self._federation()
+        self._publish()
+        issuing = bridge.service(context.domain_id, "wscf")
+        if issuing is None:
+            raise WscfError(
+                f"domain {context.domain_id!r} publishes no wscf coordinator"
+            )
+        subordinate = self._interposed.get(context.context_id)
+        enlist = subordinate is None
+        if subordinate is None:
+            node = bridge.coordination_node(orb.domain_id)
+            object_id = subordinate_object_id(context.context_id)
+            if node.has_object(object_id):
+                # Recovered (or interposer-created) subordinate: adopt it.
+                subordinate = node.servant(object_id)
+            else:
+                subordinate = SubordinateCoordinator(
+                    activity_id=context.context_id,
+                    domain_id=orb.domain_id,
+                    executor=self.manager.executor,
+                    delivery=self.manager.delivery,
+                    event_log=self.manager.event_log,
+                    store=self.manager.store,
+                    manager=self.manager,
+                )
+                node.activate(
+                    subordinate,
+                    object_id=object_id,
+                    interface="SubordinateCoordinator",
+                )
+            self._interposed[context.context_id] = subordinate
+        if context.coordination_type == PROTOCOL_ATOMIC:
+            set_names = [TWOPC_SET]
+        else:
+            set_names = [BTP_PREPARE_SET, BTP_COMPLETE_SET]
+        for set_name in set_names:
+            subordinate.register(set_name, participant)
+        self.interposed_registrations += 1
+        if enlist:
+            # The one registration that reaches the issuing domain: the
+            # subordinate, bound to the issuing orb so its signals route
+            # back across the bridge to this domain.
+            sub_ref = ObjectRef(
+                bridge.coordination_node(orb.domain_id).node_id,
+                subordinate_object_id(context.context_id),
+                "SubordinateCoordinator",
+            ).bind(issuing.manager.orb)
+            issuing.register(context, sub_ref)
+
+    def subordinate_for(self, context_id: str) -> Optional[SubordinateCoordinator]:
+        """The local subordinate interposed for a foreign context."""
+        return self._interposed.get(context_id)
 
     # -- termination -----------------------------------------------------------------
 

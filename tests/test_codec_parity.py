@@ -1,0 +1,272 @@
+"""Differential codec fuzz suite: LegacyCodec vs StructCodec (PR 7).
+
+The codec seam promises the two wire formats are interchangeable at the
+*value* level: anything the legacy codec can carry, the struct codec
+carries with identical decoded semantics — only the bytes differ.  This
+suite drives randomized (but seeded, hence reproducible) contexts,
+payloads, and wire damage through both codecs and asserts:
+
+- value equality both ways: legacy-encode→legacy-decode and
+  struct-encode→struct-decode agree with the original and each other;
+- the formats are wire-disjoint: feeding either codec the other's bytes
+  fails loudly as :class:`MarshalError`, never decodes to garbage;
+- malformed input (every truncation point, random single-byte
+  corruption) surfaces as :class:`MarshalError` from both codecs —
+  never a bare ``KeyError``/``TypeError`` leaking parser internals;
+- a servant exception crossing a real :class:`SocketTransport` revives
+  identically under both codecs (typed errors keep their type and args,
+  unregistered types degrade the same way).
+"""
+
+import random
+
+import pytest
+
+from repro.config import OrbConfig
+from repro.core.context import ActivityContext
+from repro.core.signals import Outcome, Signal
+from repro.core.status import ActivityStatus, CompletionStatus, SignalSetState
+from repro.exceptions import InvalidStateError
+from repro.orb.core import Orb, RemoteApplicationError, Servant
+from repro.orb.marshal import MarshalError, Marshaller
+from repro.orb.reference import ObjectRef
+from repro.orb.site import SiteFederation
+from repro.orb.socket_transport import SocketTransport
+from repro.ots.propagation import TransactionContext
+from repro.wscf.coordination import PROTOCOL_ATOMIC, CoordinationContext
+
+SEEDS = list(range(25))
+
+_ENUMS = (
+    ActivityStatus.ACTIVE,
+    ActivityStatus.COMPLETED,
+    CompletionStatus.FAIL_ONLY,
+    SignalSetState.WAITING,
+)
+_TEXT_POOL = "abz ABZ 09_-µé✓☃\U0001f40d"
+
+
+def _fuzz_scalar(rng: random.Random):
+    kind = rng.randrange(8)
+    if kind == 0:
+        return None
+    if kind == 1:
+        return rng.random() < 0.5
+    if kind == 2:
+        return rng.randint(-(2**62), 2**62)
+    if kind == 3:
+        return rng.choice([0.0, -1.5, 1e300, rng.uniform(-1e9, 1e9)])
+    if kind == 4:
+        return "".join(rng.choice(_TEXT_POOL) for _ in range(rng.randrange(20)))
+    if kind == 5:
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(20)))
+    if kind == 6:
+        return rng.choice(_ENUMS)
+    return ObjectRef(
+        f"node-{rng.randrange(9)}", f"obj-{rng.randrange(9)}", "Iface"
+    )
+
+
+def fuzz_value(rng: random.Random, depth: int = 0):
+    """One random wire-legal value: scalars, containers, value types."""
+    if depth >= 3 or rng.random() < 0.35:
+        return _fuzz_scalar(rng)
+    kind = rng.randrange(8)
+    if kind == 0:
+        return [fuzz_value(rng, depth + 1) for _ in range(rng.randrange(4))]
+    if kind == 1:
+        return tuple(fuzz_value(rng, depth + 1) for _ in range(rng.randrange(4)))
+    if kind == 2:
+        return {
+            rng.choice(["k1", "k2", "k3", 7, -1, True, None]): fuzz_value(
+                rng, depth + 1
+            )
+            for _ in range(rng.randrange(4))
+        }
+    if kind == 3:
+        return {rng.randint(-99, 99) for _ in range(rng.randrange(4))}
+    if kind == 4:
+        return Signal(
+            f"sig-{rng.randrange(9)}",
+            f"set-{rng.randrange(9)}",
+            fuzz_value(rng, depth + 1),
+            delivery_id=rng.choice([None, f"d-{rng.randrange(9)}"]),
+        )
+    if kind == 5:
+        return Outcome(
+            f"out-{rng.randrange(9)}",
+            fuzz_value(rng, depth + 1),
+            is_error=rng.random() < 0.5,
+        )
+    if kind == 6:
+        return ActivityContext(
+            f"act-{rng.randrange(9)}",
+            f"name-{rng.randrange(9)}",
+            {"grp": {"k": fuzz_value(rng, depth + 1)}},
+            {"grp": ObjectRef("n", "o", "PropertyGroup")},
+        )
+    return rng.choice(
+        [
+            TransactionContext(f"tid-{rng.randrange(99)}"),
+            CoordinationContext(
+                f"ctx-{rng.randrange(99)}",
+                PROTOCOL_ATOMIC,
+                rng.choice([None, "dA", "dB"]),
+            ),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def codecs():
+    return Marshaller(codec="legacy"), Marshaller(codec="struct")
+
+
+class TestDifferentialRoundtrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_value_equality_both_ways(self, codecs, seed):
+        legacy, struct_ = codecs
+        rng = random.Random(seed)
+        for _ in range(20):
+            value = fuzz_value(rng)
+            via_legacy = legacy.decode(legacy.encode(value))
+            via_struct = struct_.decode(struct_.encode(value))
+            assert via_legacy == value
+            assert via_struct == value
+            assert via_legacy == via_struct
+
+    @pytest.mark.parametrize("seed", SEEDS[:10])
+    def test_decoded_types_match_exactly(self, codecs, seed):
+        """Equality is not enough: tuple/list and bool/int must not blur."""
+        legacy, struct_ = codecs
+        rng = random.Random(1000 + seed)
+        for _ in range(10):
+            value = fuzz_value(rng)
+            via_legacy = legacy.decode(legacy.encode(value))
+            via_struct = struct_.decode(struct_.encode(value))
+            assert type(via_legacy) is type(value)
+            assert type(via_struct) is type(value)
+
+    @pytest.mark.parametrize("seed", SEEDS[:10])
+    def test_wire_formats_are_disjoint(self, codecs, seed):
+        """Either codec fed the other's bytes must fail, not mis-decode."""
+        legacy, struct_ = codecs
+        rng = random.Random(2000 + seed)
+        for _ in range(10):
+            value = fuzz_value(rng)
+            with pytest.raises(MarshalError):
+                struct_.decode(legacy.encode(value))
+            with pytest.raises(MarshalError):
+                legacy.decode(struct_.encode(value))
+
+
+class TestWireDamage:
+    @pytest.mark.parametrize("seed", SEEDS[:10])
+    def test_every_truncation_point_raises_marshal_error(self, codecs, seed):
+        rng = random.Random(3000 + seed)
+        for _ in range(5):
+            value = fuzz_value(rng)
+            for marshaller in codecs:
+                wire = marshaller.encode(value)
+                for cut in range(len(wire)):
+                    with pytest.raises(MarshalError):
+                        marshaller.decode(wire[:cut])
+
+    @pytest.mark.parametrize("seed", SEEDS[:10])
+    def test_corruption_never_escapes_marshal_error(self, codecs, seed):
+        """A flipped byte may still decode (string bodies are opaque) but
+        must never surface anything other than MarshalError."""
+        rng = random.Random(4000 + seed)
+        for _ in range(5):
+            value = fuzz_value(rng)
+            for marshaller in codecs:
+                wire = marshaller.encode(value)
+                if not wire:
+                    continue
+                for _ in range(40):
+                    damaged = bytearray(wire)
+                    damaged[rng.randrange(len(wire))] = rng.randrange(256)
+                    try:
+                        marshaller.decode(bytes(damaged))
+                    except MarshalError:
+                        pass
+
+    def test_known_regressions_stay_fixed(self, codecs):
+        """Seed-independent anchors for escapes the fuzzer once found."""
+        legacy, struct_ = codecs
+        for marshaller in (legacy, struct_):
+            enum_wire = marshaller.encode(ActivityStatus.ACTIVE)
+            # Truncated enum member once escaped as KeyError (legacy).
+            with pytest.raises(MarshalError):
+                marshaller.decode(enum_wire[:-1])
+            # A foreign member name is a malformed message, not a KeyError.
+            swapped = enum_wire.replace(b"ACTIVE", b"ABSENT")
+            with pytest.raises(MarshalError):
+                marshaller.decode(swapped)
+            # Truncated bytes body (legacy once returned a short slice).
+            bytes_wire = marshaller.encode(b"0123456789")
+            with pytest.raises(MarshalError):
+                marshaller.decode(bytes_wire[:-3])
+
+
+class _Failing(Servant):
+    def typed(self):
+        raise InvalidStateError("fuzz failure", 17)
+
+    def untyped(self):
+        raise ZeroDivisionError("not wire-typed")
+
+
+def _revived_errors(codec: str):
+    """Run typed + untyped servant failures over a real socket pair."""
+    config = OrbConfig(codec=codec)
+    server_transport = SocketTransport("server", bind=("127.0.0.1", 0))
+    server_orb = Orb(transport=server_transport, config=config)
+    SiteFederation(server_transport, server_orb)
+    server_transport.set_request_handler(server_orb.dispatch_request)
+    server_transport.set_control_handler(
+        lambda req: {
+            "site": "server",
+            "domain": "server"
+            if server_orb.has_node(str(req.get("node")))
+            else None,
+        }
+    )
+    server_transport.start()
+    server_orb.create_node("server.fail").activate(
+        _Failing(), object_id="failing", interface="Failing"
+    )
+
+    client_transport = SocketTransport("client")
+    client_orb = Orb(transport=client_transport, config=config)
+    SiteFederation(client_transport, client_orb)
+    client_transport.connect_peer("server", server_transport.address)
+    client_transport.start()
+    try:
+        ref = ObjectRef("server.fail", "failing", "Failing").bind(client_orb)
+        caught = {}
+        for operation in ("typed", "untyped"):
+            try:
+                ref.invoke(operation)
+            except Exception as exc:  # noqa: BLE001 - the revival IS the result
+                caught[operation] = exc
+        return caught
+    finally:
+        client_transport.close()
+        server_transport.close()
+
+
+class TestErrorRevivalParity:
+    def test_typed_error_revival_identical_across_codecs(self):
+        by_codec = {codec: _revived_errors(codec) for codec in ("legacy", "struct")}
+        for caught in by_codec.values():
+            typed = caught["typed"]
+            assert type(typed) is InvalidStateError
+            assert typed.args == ("fuzz failure", 17)
+            untyped = caught["untyped"]
+            assert type(untyped) is RemoteApplicationError
+        legacy, struct_ = by_codec["legacy"], by_codec["struct"]
+        assert type(legacy["typed"]) is type(struct_["typed"])
+        assert legacy["typed"].args == struct_["typed"].args
+        assert type(legacy["untyped"]) is type(struct_["untyped"])
+        assert str(legacy["untyped"]) == str(struct_["untyped"])

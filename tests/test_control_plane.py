@@ -590,3 +590,104 @@ class TestFactoryScheduledMaintenance:
         factory.schedule_maintenance(2.0, lambda: ticks.append(clock.now()))
         clock.advance(7.0)
         assert len(ticks) == 3
+
+
+class TestMemoizedListings:
+    """PR 7 satellite: registry/store listings stop re-sorting per call."""
+
+    def test_sorted_keys_memoized_until_key_set_changes(self):
+        striped = StripedMap(shards=8)
+        for i in range(100):
+            striped.put(f"k-{i:03d}", i)
+        first = striped.sorted_keys()
+        assert first == tuple(sorted(f"k-{i:03d}" for i in range(100)))
+        assert striped.listing_rebuilds == 1
+        assert striped.sorted_keys() is first  # cache hit: same tuple
+        assert striped.listing_rebuilds == 1
+        # Overwrites and missing-key pops keep the key set (and cache).
+        striped.put("k-050", "overwritten")
+        striped.pop("absent")
+        striped.setdefault("k-051", "ignored")
+        assert striped.sorted_keys() is first
+        assert striped.listing_rebuilds == 1
+        # Adding or removing a key invalidates.
+        striped.put("k-999", True)
+        second = striped.sorted_keys()
+        assert striped.listing_rebuilds == 2
+        assert "k-999" in second
+        striped.pop("k-999")
+        assert striped.sorted_keys() == first
+        assert striped.listing_rebuilds == 3
+        striped.clear()
+        assert striped.sorted_keys() == ()
+
+    def test_memory_store_keys_memoized(self):
+        from repro.persistence.object_store import MemoryStore
+
+        store = MemoryStore()
+        for i in range(20):
+            store.put(f"uid-{i:02d}", {"n": i})
+        listing = store.keys()
+        assert listing == tuple(sorted(f"uid-{i:02d}" for i in range(20)))
+        assert store.keys() is listing  # cache hit
+        store.put("uid-05", {"n": "overwrite"})  # key set unchanged
+        assert store.keys() is listing
+        store.put("uid-99", {"n": 99})
+        fresh = store.keys()
+        assert fresh is not listing and "uid-99" in fresh
+        store.remove("uid-99")
+        assert store.keys() == listing
+
+    def test_factory_sweeps_reuse_listing(self):
+        clock = SimulatedClock()
+        factory = TransactionFactory(clock=clock)
+        for _ in range(10):
+            factory.create(timeout=100.0)
+        factory.expire_timeouts()
+        rebuilds = factory._active.listing_rebuilds
+        assert rebuilds >= 1
+        # Nothing began or finished: further sweeps hit the cache.
+        factory.expire_timeouts()
+        factory.active_transactions()
+        assert factory._active.listing_rebuilds == rebuilds
+
+    def test_contention_listing_stays_consistent(self):
+        """Writers churning disjoint key ranges while readers list must
+        never surface a torn snapshot (unsorted or duplicated keys)."""
+        striped = StripedMap(shards=8)
+        for i in range(200):
+            striped.put(f"stable-{i:03d}", i)
+        stop = threading.Event()
+        errors = []
+
+        def churn(slot):
+            try:
+                for round_ in range(300):
+                    key = f"churn-{slot}-{round_ % 7}"
+                    striped.put(key, round_)
+                    striped.pop(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def lister():
+            try:
+                while not stop.is_set():
+                    snapshot = striped.sorted_keys()
+                    assert list(snapshot) == sorted(set(snapshot))
+                    assert len(snapshot) >= 200
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writers = [threading.Thread(target=churn, args=(n,)) for n in range(6)]
+        readers = [threading.Thread(target=lister) for _ in range(2)]
+        for thread in writers + readers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert errors == []
+        # After the churn settles the memoized listing is exact.
+        final = striped.sorted_keys()
+        assert final == tuple(sorted(f"stable-{i:03d}" for i in range(200)))

@@ -1,0 +1,228 @@
+"""Dispatch-loop seam + asyncio accept loop (PR 7 dispatch layer)."""
+
+import threading
+
+import pytest
+
+from repro.config import OrbConfig
+from repro.exceptions import CommunicationError, ConfigurationError
+from repro.orb import Orb
+from repro.orb.core import Servant
+from repro.orb.dispatch import (
+    AsyncioDispatchLoop,
+    DispatchLoop,
+    InlineDispatchLoop,
+    build_dispatch_loop,
+)
+from repro.orb.socket_transport import SocketTransport
+
+
+class Echo(Servant):
+    def echo(self, value):
+        return value
+
+    def boom(self):
+        raise ValueError("nope")
+
+
+def build_orb(**config):
+    orb = Orb(config=OrbConfig(**config))
+    node = orb.create_node("server")
+    ref = node.activate(Echo(), "echo")
+    return orb, ref
+
+
+class TestDispatchLoopSeam:
+    def test_inline_is_the_default_and_skips_the_seam(self):
+        orb, _ = build_orb()
+        assert orb.dispatch_loop is None
+
+    def test_inline_loop_runs_on_calling_thread(self):
+        seen = []
+        loop = InlineDispatchLoop()
+        assert loop.dispatch(lambda: seen.append(threading.current_thread()) or 7) == 7
+        assert seen == [threading.current_thread()]
+
+    def test_build_dispatch_loop_names(self):
+        assert build_dispatch_loop("inline") is None
+        loop = build_dispatch_loop("asyncio")
+        assert isinstance(loop, AsyncioDispatchLoop)
+        loop.close()
+        with pytest.raises(ConfigurationError):
+            build_dispatch_loop("wat")
+
+    def test_config_validates_loop_name(self):
+        with pytest.raises(ConfigurationError):
+            OrbConfig(dispatch_loop="wat")
+
+
+class TestAsyncioDispatchLoop:
+    def test_invocations_match_inline(self):
+        inline_orb, inline_ref = build_orb()
+        aio_orb, aio_ref = build_orb(dispatch_loop="asyncio")
+        try:
+            for payload in [1, "x", {"k": [1, 2]}, None]:
+                assert aio_ref.invoke("echo", payload) == inline_ref.invoke(
+                    "echo", payload
+                )
+            assert aio_orb.dispatch_loop.dispatches == 4
+        finally:
+            aio_orb.dispatch_loop.close()
+
+    def test_delivery_runs_off_calling_thread(self):
+        orb, ref = build_orb(dispatch_loop="asyncio")
+        threads = []
+        original = orb.transport.deliver
+
+        def recording(source, target, data, dispatch):
+            threads.append(threading.current_thread())
+            return original(source, target, data, dispatch)
+
+        orb.transport.deliver = recording
+        try:
+            assert ref.invoke("echo", 1) == 1
+            assert threads and threads[0] is not threading.current_thread()
+        finally:
+            orb.dispatch_loop.close()
+
+    def test_exceptions_propagate(self):
+        orb, ref = build_orb(dispatch_loop="asyncio")
+        try:
+            with pytest.raises(Exception) as excinfo:
+                ref.invoke("boom")
+            assert "nope" in str(excinfo.value)
+        finally:
+            orb.dispatch_loop.close()
+
+    def test_concurrent_invocations(self):
+        orb, ref = build_orb(dispatch_loop="asyncio")
+        results, errors = [], []
+
+        def worker(i):
+            try:
+                results.append(ref.invoke("echo", i))
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        try:
+            workers = [
+                threading.Thread(target=worker, args=(i,)) for i in range(16)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(timeout=10)
+            assert not errors
+            assert sorted(results) == list(range(16))
+        finally:
+            orb.dispatch_loop.close()
+
+    def test_closed_loop_refuses(self):
+        loop = AsyncioDispatchLoop()
+        assert loop.dispatch(lambda: 3) == 3
+        loop.close()
+        with pytest.raises(ConfigurationError):
+            loop.dispatch(lambda: 3)
+
+    def test_custom_loop_instance_injected(self):
+        class Counting(DispatchLoop):
+            name = "counting"
+
+            def __init__(self):
+                self.calls = 0
+
+            def dispatch(self, deliver):
+                self.calls += 1
+                return deliver()
+
+        loop = Counting()
+        orb = Orb(dispatch_loop=loop)
+        node = orb.create_node("server")
+        ref = node.activate(Echo(), "echo")
+        assert ref.invoke("echo", 5) == 5
+        assert loop.calls == 1
+
+
+class TestAsyncioAcceptLoop:
+    @pytest.mark.parametrize("server_loop", ["threads", "asyncio"])
+    def test_request_reply_across_loop_kinds(self, server_loop):
+        server = SocketTransport("srv", bind=("127.0.0.1", 0), accept_loop=server_loop)
+        server.set_request_handler(lambda node, data: b"reply:" + data)
+        server.start()
+        client = SocketTransport("cli")
+        client.start()
+        try:
+            client.connect_peer("srv", server.address)
+            assert client.request("srv", "a", "b", b"ping") == b"reply:ping"
+            # Reuse the pooled connection for a second round.
+            assert client.request("srv", "a", "b", b"pong") == b"reply:pong"
+        finally:
+            client.close()
+            server.close()
+
+    def test_typed_error_revival_over_asyncio(self):
+        server = SocketTransport("srv", bind=("127.0.0.1", 0), accept_loop="asyncio")
+
+        def handler(node, data):
+            raise CommunicationError("synthetic failure")
+
+        server.set_request_handler(handler)
+        server.start()
+        client = SocketTransport("cli")
+        client.start()
+        try:
+            client.connect_peer("srv", server.address)
+            with pytest.raises(CommunicationError, match="synthetic failure"):
+                client.request("srv", "a", "b", b"ping")
+        finally:
+            client.close()
+            server.close()
+
+    def test_concurrent_clients_one_event_loop(self):
+        server = SocketTransport("srv", bind=("127.0.0.1", 0), accept_loop="asyncio")
+        server.set_request_handler(lambda node, data: data.upper())
+        server.start()
+        clients = [SocketTransport(f"c{i}") for i in range(4)]
+        results, errors = [], []
+
+        def worker(client, i):
+            try:
+                client.start()
+                client.connect_peer("srv", server.address)
+                results.append(client.request("srv", "a", "b", f"m{i}".encode()))
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        try:
+            workers = [
+                threading.Thread(target=worker, args=(client, i))
+                for i, client in enumerate(clients)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(timeout=10)
+            assert not errors
+            assert sorted(results) == [b"M0", b"M1", b"M2", b"M3"]
+        finally:
+            for client in clients:
+                client.close()
+            server.close()
+
+    def test_invalid_accept_loop_refused(self):
+        with pytest.raises(ConfigurationError):
+            SocketTransport("srv", accept_loop="wat")
+
+    def test_close_is_clean(self):
+        server = SocketTransport("srv", bind=("127.0.0.1", 0), accept_loop="asyncio")
+        server.set_request_handler(lambda node, data: data)
+        server.start()
+        address = server.address
+        assert address is not None
+        server.close()
+        # Closing twice is fine; the port is released.
+        server.close()
+        probe = SocketTransport("srv2", bind=("127.0.0.1", address[1]),
+                                accept_loop="asyncio")
+        probe.start()
+        probe.close()

@@ -171,3 +171,88 @@ class TestWscf:
         outcome = coordinator.terminate(context.context_id)
         assert outcome.name == "committed"
         assert participant.committed
+
+
+class TestWscfCrossDomain:
+    """Federated WSCF: foreign-context registration auto-interposes."""
+
+    @staticmethod
+    def build_federation(interposition=False):
+        from repro.core import ActivityManager
+        from repro.orb import InterOrbBridge, Orb
+        from repro.util.clock import SimulatedClock
+
+        clock = SimulatedClock()
+        bridge = InterOrbBridge()
+        orb_a, orb_b = Orb(clock=clock), Orb(clock=clock)
+        bridge.connect(orb_a, "dA")
+        bridge.connect(orb_b, "dB")
+        manager_a = ActivityManager(
+            clock=clock, federation=bridge, interposition=interposition
+        )
+        manager_a.install(orb_a)
+        manager_b = ActivityManager(clock=clock)
+        manager_b.install(orb_b)
+        return bridge, WscfCoordinator(manager=manager_a), WscfCoordinator(
+            manager=manager_b
+        )
+
+    @pytest.mark.parametrize("interposition", [False, True])
+    def test_foreign_registration_interposes(self, interposition):
+        bridge, wscf_a, wscf_b = self.build_federation(interposition)
+        context = wscf_a.create_context(PROTOCOL_ATOMIC)
+        assert context.domain_id == "dA"
+        participants = [TwoPhaseParticipant(f"p{i}") for i in range(4)]
+        for participant in participants:
+            wscf_b.register(context, participant)
+        subordinate = wscf_b.subordinate_for(context.context_id)
+        assert subordinate is not None
+        assert subordinate.registration_count == 4
+        assert wscf_b.interposed_registrations == 4
+        outcome = wscf_a.terminate(context.context_id, success=True)
+        assert outcome.name == "committed"
+        assert all(p.committed for p in participants)
+
+    def test_cross_bridge_sends_stay_constant_per_signal(self):
+        """The regression the satellite pins: broadcast traffic across
+        the bridge is O(1) per signal, not O(participants)."""
+        costs = {}
+        for count in (1, 5):
+            bridge, wscf_a, wscf_b = self.build_federation()
+            context = wscf_a.create_context(PROTOCOL_ATOMIC)
+            participants = [TwoPhaseParticipant(f"p{i}") for i in range(count)]
+            for participant in participants:
+                wscf_b.register(context, participant)
+            bridge.reset_link_stats()
+            outcome = wscf_a.terminate(context.context_id, success=True)
+            assert outcome.name == "committed"
+            assert all(p.committed for p in participants)
+            costs[count] = bridge.cross_domain_requests()
+        assert costs[1] == costs[5]
+        assert costs[1] > 0
+
+    def test_failure_rolls_back_across_domains(self):
+        bridge, wscf_a, wscf_b = self.build_federation()
+        context = wscf_a.create_context(PROTOCOL_ATOMIC)
+        participant = TwoPhaseParticipant("svc")
+        wscf_b.register(context, participant)
+        outcome = wscf_a.terminate(context.context_id, success=False)
+        assert outcome.name == "rolled_back"
+        assert not participant.committed
+
+    def test_local_context_token_takes_local_path(self):
+        bridge, wscf_a, wscf_b = self.build_federation()
+        context = wscf_a.create_context(PROTOCOL_ATOMIC)
+        participant = TwoPhaseParticipant("svc")
+        wscf_a.register(context, participant)  # full token, same domain
+        assert wscf_a.subordinate_for(context.context_id) is None
+        assert wscf_a.terminate(context.context_id).name == "committed"
+        assert participant.committed
+
+    def test_unpublished_issuer_refused(self):
+        bridge, wscf_a, wscf_b = self.build_federation()
+        from repro.wscf.coordination import CoordinationContext
+
+        orphan = CoordinationContext("ctx-x", PROTOCOL_ATOMIC, "dC")
+        with pytest.raises(WscfError, match="publishes no wscf"):
+            wscf_b.register(orphan, TwoPhaseParticipant("svc"))
