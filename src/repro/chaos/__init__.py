@@ -1,0 +1,71 @@
+"""Chaos-hardened runtime: seeded fault campaigns over the federation.
+
+The package turns the repo's existing determinism seams — the
+:class:`~repro.util.clock.SimulatedClock`, seeded
+:class:`~repro.orb.transport.FaultPlan` transports, protocol failpoints
+and durable-media domain reboots — into a replayable chaos harness:
+
+- :mod:`repro.chaos.schedule` draws seeded fault schedules (partitions,
+  crashes, protocol-point failpoints, flaky links, clock jumps);
+- :mod:`repro.chaos.world` hosts the N-domain federated world whose
+  durable media survive crashes, with idempotent bank accounts;
+- :mod:`repro.chaos.workload` runs randomized mixed workloads (flat
+  transactions, sagas, BTP atoms, timed activities) and ledgers every
+  outcome the client observed;
+- :mod:`repro.chaos.invariants` judges the quiesced world: conservation,
+  exactly-once outcomes, no orphans, WAL-replay convergence;
+- :mod:`repro.chaos.campaign` ties them together — ``run_campaign(seed)``
+  is a pure function of its seed, so any CI failure replays locally;
+- :mod:`repro.chaos.multiprocess` drives the same story over real site
+  daemons with SIGKILLs (the nightly job).
+"""
+
+from repro.chaos.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+    run_sweep,
+)
+from repro.chaos.invariants import (
+    ConservationChecker,
+    InvariantChecker,
+    InvariantViolation,
+    OrphanChecker,
+    OutcomeChecker,
+    WalReplayChecker,
+    default_checkers,
+    run_checkers,
+)
+from repro.chaos.schedule import (
+    ChaosEvent,
+    ChaosProfile,
+    ChaosSchedule,
+    FAILPOINT_NAMES,
+)
+from repro.chaos.workload import DEFAULT_MIX, OpResult, WorkloadRunner
+from repro.chaos.world import ChaosAccount, ChaosDomain, ChaosWorld
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "run_sweep",
+    "ConservationChecker",
+    "InvariantChecker",
+    "InvariantViolation",
+    "OrphanChecker",
+    "OutcomeChecker",
+    "WalReplayChecker",
+    "default_checkers",
+    "run_checkers",
+    "ChaosEvent",
+    "ChaosProfile",
+    "ChaosSchedule",
+    "FAILPOINT_NAMES",
+    "DEFAULT_MIX",
+    "OpResult",
+    "WorkloadRunner",
+    "ChaosAccount",
+    "ChaosDomain",
+    "ChaosWorld",
+]

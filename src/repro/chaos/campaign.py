@@ -1,0 +1,193 @@
+"""The chaos campaign driver: seed in, verdict out, replayable always.
+
+``run_campaign(seed)`` builds a fresh :class:`~repro.chaos.world.ChaosWorld`,
+draws a :class:`~repro.chaos.schedule.ChaosSchedule` and a workload from
+independent forks of the seed, interleaves them step by step (inject the
+step's due fault events, run one workload operation, tick the simulated
+clock), then quiesces the world — heal everything, restart the dead,
+drive recovery to a fixpoint — and evaluates the invariant checkers.
+
+Everything observable about a run is a pure function of
+``(seed, config)``: the event schedule, the op stream, every transport
+fault coin-flip (the bridge's rng is a fork of the same seed) and hence
+the final trace.  A failing seed from CI replays locally to the
+identical trace — ``run_campaign(seed).trace`` — which is the entire
+debugging story for chaos findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.util.rng import SeededRng
+
+from repro.chaos.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    default_checkers,
+    run_checkers,
+)
+from repro.chaos.schedule import ChaosEvent, ChaosProfile, ChaosSchedule
+from repro.chaos.workload import OpResult, WorkloadRunner
+from repro.chaos.world import ChaosWorld
+
+#: Simulated seconds between workload steps; chosen well under the
+#: failure-detector heartbeat interval so detection latency is measured
+#: in steps, not quantised away.
+STEP_TICK = 0.05
+
+
+@dataclass
+class CampaignConfig:
+    """Shape of one campaign run (shared by every seed in a sweep)."""
+
+    steps: int = 40
+    domain_names: Sequence[str] = ("A", "B")
+    accounts_per_domain: int = 2
+    opening_balance: float = 100.0
+    profile: ChaosProfile = field(default_factory=ChaosProfile)
+    failure_detection: bool = True
+    mix: Optional[Dict[str, float]] = None
+    quiesce_rounds: int = 12
+
+
+@dataclass
+class CampaignResult:
+    """Everything a failing seed needs to be triaged and replayed."""
+
+    seed: int
+    ops: List[OpResult]
+    trace: List[str]
+    violations: List[InvariantViolation]
+    quiesced: bool
+    world_state: Dict[str, Any]
+
+    @property
+    def passed(self) -> bool:
+        return self.quiesced and not self.violations
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for op in self.ops:
+            counts[op.outcome] = counts.get(op.outcome, 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "passed": self.passed,
+            "quiesced": self.quiesced,
+            "ops": len(self.ops),
+            "outcomes": self.outcome_counts(),
+            "violations": [str(v) for v in self.violations],
+        }
+
+
+def apply_event(world: ChaosWorld, event: ChaosEvent) -> str:
+    """Inject one scheduled fault; returns a trace line fragment."""
+    kind = event.kind
+    if kind == "crash":
+        world.crash(event.target[0])
+    elif kind == "restart":
+        error = world.restart(event.target[0])
+        if error is not None:
+            return f"{event.describe()} (recovery pending: {error})"
+    elif kind == "failpoint":
+        domain = world.domain(event.target[0])
+        if domain.alive:
+            domain.factory.failpoints.arm(event.detail)
+    elif kind in ("partition", "heal", "flaky", "clear_faults") and not all(
+        world.domains[d].alive for d in event.target
+    ):
+        # The bridge only resolves links between *connected* domains; a
+        # fault window overlapping a crash is left for quiesce to clear.
+        return f"{event.describe()} (skipped: endpoint down)"
+    elif kind == "partition":
+        world.bridge.partition(*event.target)
+    elif kind == "heal":
+        world.bridge.heal(*event.target)
+    elif kind == "flaky":
+        plan = world.link_plan(*event.target)
+        if event.detail == "drops":
+            plan.drop_probability = event.value
+        elif event.detail == "duplicates":
+            plan.duplicate_probability = event.value
+        else:
+            plan.latency = event.value
+            plan.jitter = event.value / 2.0
+    elif kind == "clear_faults":
+        plan = world.link_plan(*event.target)
+        plan.drop_probability = 0.0
+        plan.duplicate_probability = 0.0
+        plan.latency = 0.0
+        plan.jitter = 0.0
+    elif kind == "clock_jump":
+        world.clock.advance(event.value)
+        for domain in world.domains.values():
+            if domain.alive:
+                domain.factory.expire_timeouts()
+                domain.manager.expire_timeouts()
+    return event.describe()
+
+
+def run_campaign(
+    seed: int, config: Optional[CampaignConfig] = None
+) -> CampaignResult:
+    """Run one seeded chaos campaign end to end and judge it."""
+    config = config if config is not None else CampaignConfig()
+    root = SeededRng(seed)
+    world = ChaosWorld(
+        seed=seed,
+        domain_names=config.domain_names,
+        accounts_per_domain=config.accounts_per_domain,
+        opening_balance=config.opening_balance,
+        failure_detection=config.failure_detection,
+    )
+    schedule = ChaosSchedule.draw(
+        root.fork("schedule"), config.steps, config.domain_names, config.profile
+    )
+    runner = WorkloadRunner(world, root.fork("workload"), mix=config.mix)
+    trace: List[str] = []
+    for step in range(config.steps):
+        for event in schedule.due(step):
+            trace.append(f"[{step}] event {apply_event(world, event)}")
+        result = runner.run_op(step)
+        trace.append(f"[{step}] op {result.describe()}")
+        world.clock.advance(STEP_TICK)
+    quiesced = world.quiesce(max_rounds=config.quiesce_rounds)
+    trace.append(f"[quiesce] quiet={quiesced}")
+    violations = evaluate(world, runner.ledger)
+    if not quiesced:
+        violations = [
+            InvariantViolation(
+                "quiescence",
+                "world failed to quiesce within the round budget",
+                {"state": world.describe()},
+            )
+        ] + violations
+    return CampaignResult(
+        seed=seed,
+        ops=list(runner.ledger),
+        trace=trace,
+        violations=violations,
+        quiesced=quiesced,
+        world_state=world.describe(),
+    )
+
+
+def evaluate(
+    world: ChaosWorld,
+    ledger: Sequence[OpResult],
+    checkers: Optional[Sequence[InvariantChecker]] = None,
+) -> List[InvariantViolation]:
+    return run_checkers(
+        world, ledger, checkers if checkers is not None else default_checkers()
+    )
+
+
+def run_sweep(
+    seeds: Sequence[int], config: Optional[CampaignConfig] = None
+) -> List[CampaignResult]:
+    """Run many seeds; the caller decides what to do with failures."""
+    return [run_campaign(seed, config) for seed in seeds]

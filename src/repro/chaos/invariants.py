@@ -1,0 +1,245 @@
+"""Generic invariant checkers evaluated after a chaos campaign quiesces.
+
+Each :class:`InvariantChecker` inspects the quiesced world plus the
+workload ledger (the per-operation outcomes the driver recorded) and
+returns :class:`InvariantViolation` records — never raises.  A campaign
+passes when every checker returns an empty list.
+
+The four stock checkers encode the safety story of the framework under
+faults:
+
+``conservation``
+    Money is neither created nor destroyed: the committed balances of
+    every account sum to the opening total, no matter how many
+    transfers crashed mid-2PC, were duplicated by the network, or were
+    replayed from the WAL.
+
+``outcomes``
+    No lost or duplicated outcome.  Every transfer the driver saw commit
+    is applied exactly once on *both* the debit and credit accounts;
+    every aborted transfer on neither; an ``unknown`` outcome (the
+    client saw a crash or communication error at commit time) must have
+    resolved atomically — both sides or neither, never one.
+
+``orphans``
+    Quiescence is real: no factory holds a live transaction, no
+    federated service holds an unresolved in-doubt subordinate, and no
+    cell keeps a prepared-but-undecided intention record or a stuck
+    lock.
+
+``wal_replay``
+    Recovery converges: crash every domain once more and replay its
+    write-ahead log; committed state must come back bit-identical (the
+    log is a faithful, idempotent description of the decided history).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+BANK_OP_KINDS = ("transfer_remote", "transfer_local")
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, with enough context to debug the seed."""
+
+    checker: str
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.checker}] {self.message} {self.details or ''}".rstrip()
+
+
+class InvariantChecker(abc.ABC):
+    """One safety property evaluated against a quiesced chaos world."""
+
+    name: str = "invariant"
+
+    @abc.abstractmethod
+    def check(self, world: Any, ledger: Sequence[Any]) -> List[InvariantViolation]:
+        """Return violations (empty list == invariant holds)."""
+
+    def violation(self, message: str, **details: Any) -> InvariantViolation:
+        return InvariantViolation(self.name, message, details)
+
+
+class ConservationChecker(InvariantChecker):
+    """Committed balances sum to the opening total."""
+
+    name = "conservation"
+
+    def check(self, world: Any, ledger: Sequence[Any]) -> List[InvariantViolation]:
+        expected = world.expected_total()
+        actual = world.total_committed()
+        if abs(actual - expected) > 1e-9:
+            return [
+                self.violation(
+                    "bank total drifted",
+                    expected=expected,
+                    actual=actual,
+                    balances=world.committed_balances(),
+                )
+            ]
+        return []
+
+
+class OutcomeChecker(InvariantChecker):
+    """No transfer outcome is lost, duplicated, or half-applied."""
+
+    name = "outcomes"
+
+    def check(self, world: Any, ledger: Sequence[Any]) -> List[InvariantViolation]:
+        violations: List[InvariantViolation] = []
+        applied = world.applied_operations()  # acct key -> list of op ids
+        for account, ops in applied.items():
+            for op_id in set(ops):
+                if ops.count(op_id) > 1:
+                    violations.append(
+                        self.violation(
+                            "operation applied more than once",
+                            account=account,
+                            op_id=op_id,
+                            count=ops.count(op_id),
+                        )
+                    )
+        for record in ledger:
+            if record.kind not in BANK_OP_KINDS:
+                continue
+            touched = sorted(
+                account
+                for account, ops in applied.items()
+                if record.op_id in ops
+            )
+            expected = sorted((record.debit, record.credit))
+            if record.outcome == "committed":
+                if touched != expected:
+                    violations.append(
+                        self.violation(
+                            "committed transfer not applied on both sides",
+                            op_id=record.op_id,
+                            expected=expected,
+                            applied=touched,
+                        )
+                    )
+            elif record.outcome in ("aborted", "skipped"):
+                if touched:
+                    violations.append(
+                        self.violation(
+                            "aborted transfer left effects behind",
+                            op_id=record.op_id,
+                            outcome=record.outcome,
+                            applied=touched,
+                        )
+                    )
+            elif record.outcome == "unknown":
+                # The client never learned the verdict; atomicity still
+                # demands all-or-nothing once the dust settles.
+                if touched and touched != expected:
+                    violations.append(
+                        self.violation(
+                            "in-doubt transfer resolved non-atomically",
+                            op_id=record.op_id,
+                            expected=expected,
+                            applied=touched,
+                        )
+                    )
+            else:
+                violations.append(
+                    self.violation(
+                        "ledger outcome unrecognised",
+                        op_id=record.op_id,
+                        outcome=record.outcome,
+                    )
+                )
+        return violations
+
+
+class OrphanChecker(InvariantChecker):
+    """No live transactions, held in-doubts, or stuck locks remain."""
+
+    name = "orphans"
+
+    def check(self, world: Any, ledger: Sequence[Any]) -> List[InvariantViolation]:
+        violations: List[InvariantViolation] = []
+        for name, domain in world.domains.items():
+            active = [tx.tid for tx in domain.factory.active_transactions()]
+            if active:
+                violations.append(
+                    self.violation(
+                        "factory still holds active transactions",
+                        domain=name,
+                        tids=active,
+                    )
+                )
+            ages = domain.service.in_doubt_ages()
+            if ages:
+                violations.append(
+                    self.violation(
+                        "federated service still holds in-doubt subordinates",
+                        domain=name,
+                        in_doubt=sorted(ages),
+                    )
+                )
+            for key, account in domain.accounts.items():
+                in_doubt = account.cell.list_in_doubt()
+                if in_doubt:
+                    violations.append(
+                        self.violation(
+                            "cell holds undecided intention records",
+                            domain=name,
+                            account=key,
+                            tids=list(in_doubt),
+                        )
+                    )
+        return violations
+
+
+class WalReplayChecker(InvariantChecker):
+    """Crashing and replaying every WAL reproduces the committed state."""
+
+    name = "wal_replay"
+
+    def check(self, world: Any, ledger: Sequence[Any]) -> List[InvariantViolation]:
+        before = world.committed_balances()
+        for name in list(world.domains):
+            world.crash(name)
+            world.restart(name)
+        after = world.committed_balances()
+        if before != after:
+            return [
+                self.violation(
+                    "WAL replay diverged from pre-crash committed state",
+                    before=before,
+                    after=after,
+                )
+            ]
+        return []
+
+
+def default_checkers() -> List[InvariantChecker]:
+    """The stock checker suite, in evaluation order.
+
+    ``wal_replay`` runs last: it reboots every domain, so earlier
+    checkers see the world exactly as the campaign left it.
+    """
+    return [
+        ConservationChecker(),
+        OutcomeChecker(),
+        OrphanChecker(),
+        WalReplayChecker(),
+    ]
+
+
+def run_checkers(
+    world: Any,
+    ledger: Sequence[Any],
+    checkers: Sequence[InvariantChecker],
+) -> List[InvariantViolation]:
+    violations: List[InvariantViolation] = []
+    for checker in checkers:
+        violations.extend(checker.check(world, ledger))
+    return violations

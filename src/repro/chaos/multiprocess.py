@@ -1,0 +1,291 @@
+"""Chaos campaigns against *real* site-daemon processes.
+
+The in-process campaign (:mod:`repro.chaos.campaign`) exercises the
+protocol stack under a simulated clock; this module aims the same idea
+at the deployment story: the two-site bank running as separate OS
+processes (:mod:`repro.testing.process_harness`), length-prefixed TCP
+between them, disk-backed WALs — and SIGKILL as the fault injector.
+
+A seeded rng drives each round: maybe arm a protocol-point kill
+(``arm_kill`` fires SIGKILL at the exact 2PC step, same fail-point
+names as the in-process tests), maybe kill a site cold, run a handful
+of federated transfers (failures are expected — they become ``unknown``
+outcomes for recovery to resolve), maybe restart the dead.  After the
+last round every site is restarted, in-doubt resolution is polled until
+both sites drain, and the books are audited: with durable (segmented)
+cell stores the two accounts must sum to exactly the opening total —
+every kill notwithstanding.
+
+Wall-clock timing makes the *schedule* (not the byte-level interleaving)
+the reproducible part: the same seed always kills the same site at the
+same protocol points around the same transfer counts, which in practice
+re-trips real findings reliably.  Run one directly::
+
+    python -m repro.chaos.multiprocess --seed 7 --rounds 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import CommunicationError, ReproError
+from repro.util.rng import SeededRng
+
+DESK = "site-a.bank"
+BANK = "site-b.bank"
+OPENING_BALANCE = 100.0
+
+#: Protocol points a round may arm; firing one SIGKILLs the coordinator
+#: at that exact step (decision not yet taken / logged but not acted on).
+KILL_POINTS = ("before_prepare", "after_commit_log")
+
+
+def build_cluster(root: str):
+    """The two-site bank with durable cell stores (conservation needs
+    the debit side to survive its own SIGKILL)."""
+    from repro.testing import SiteCluster
+
+    specs = {
+        "site-a": {
+            "app": "repro.apps.site_apps:transfer_desk_site",
+            "cell_store": "segmented",
+            "orphan_min_age": 1.0,
+        },
+        "site-b": {
+            "app": "repro.apps.site_apps:bank_site",
+            "cell_store": "segmented",
+            "orphan_min_age": 1.0,
+        },
+    }
+    cluster = SiteCluster(root, specs)
+    cluster.start()
+    return cluster
+
+
+def _balances(client) -> Dict[str, float]:
+    return {
+        "acct-1": client.ref(DESK, "acct-1", "BankAccount").invoke("balance"),
+        "acct-2": client.ref(BANK, "acct-2", "BankAccount").invoke("balance"),
+    }
+
+
+def _wait_membership_converged(cluster, client, timeout: float = 15.0) -> bool:
+    """Poll every site's membership until no peer is still DOWN.
+
+    Restarted daemons answer pings before their *peers'* failure
+    detectors have probed them back to ALIVE (one half-open probe
+    interval); auditing before re-admission would count fast-fail
+    quarantine rejections as real losses.
+    """
+    from repro.testing.process_harness import wait_until
+
+    def converged() -> bool:
+        for site_id in cluster.sites:
+            try:
+                view = client.control(site_id, {"op": "membership"})
+            except (CommunicationError, ReproError):
+                return False
+            for peer in view.get("peers", {}).values():
+                if peer["state"] == "down":
+                    return False
+        return True
+
+    return wait_until(converged, timeout=timeout, interval=0.1)
+
+
+def _drain_in_doubt(cluster, client, timeout: float = 20.0) -> bool:
+    """Poll ``resolve`` on every site until nothing is in doubt."""
+    from repro.testing.process_harness import wait_until
+
+    def drained() -> bool:
+        for site_id in cluster.sites:
+            try:
+                if client.control(site_id, {"op": "resolve"})["outcomes"]:
+                    return False
+            except (CommunicationError, ReproError):
+                return False
+        return True
+
+    return wait_until(drained, timeout=timeout, interval=0.2)
+
+
+def _wait_quiet(cluster, client, timeout: float = 20.0) -> bool:
+    """Wait until no site holds active transactions or in-doubt state.
+
+    Orphaned subordinates (adopted, superior gone) hold locks until the
+    serve loop's ``sweep_orphans`` rolls them back after
+    ``orphan_min_age``; the final audit must come after that sweep or a
+    live lock would masquerade as a lost outcome.
+    """
+    from repro.testing.process_harness import wait_until
+
+    def quiet() -> bool:
+        for site_id in cluster.sites:
+            try:
+                dump = client.control(site_id, {"op": "debug_dump"})
+            except (CommunicationError, ReproError):
+                return False
+            if dump.get("active_transactions") or dump.get("in_doubt_ages"):
+                return False
+        return True
+
+    return wait_until(quiet, timeout=timeout, interval=0.2)
+
+
+def run_multiprocess_campaign(
+    root_dir: str,
+    seed: int,
+    rounds: int = 4,
+    transfers_per_round: int = 3,
+) -> Dict[str, Any]:
+    """Run one seeded kill/transfer/recover campaign; judge the books.
+
+    Returns a result dict whose ``passed`` key is the verdict; on
+    failure ``detail`` carries the broken invariant and ``debug`` the
+    tail of every daemon log (the multiprocess analogue of the
+    in-process campaign's trace).
+    """
+    rng = SeededRng(seed)
+    trace: List[str] = []
+    kills = 0
+    committed = 0
+    failed = 0
+    cluster = build_cluster(root_dir)
+    try:
+        client = cluster.client()
+        try:
+            for round_no in range(rounds):
+                victim: Optional[str] = None
+                if rng.chance(0.6):
+                    victim = rng.choice(sorted(cluster.sites))
+                    if victim == "site-a" and rng.chance(0.6):
+                        # Armed kill: the coordinator dies at a protocol
+                        # point, not between transfers.
+                        point = rng.choice(list(KILL_POINTS))
+                        try:
+                            client.control(
+                                "site-a", {"op": "arm_kill", "point": point}
+                            )
+                            trace.append(f"[{round_no}] arm site-a@{point}")
+                        except (CommunicationError, ReproError):
+                            victim = None
+                    else:
+                        cluster[victim].kill()
+                        kills += 1
+                        trace.append(f"[{round_no}] SIGKILL {victim}")
+                for t in range(transfers_per_round):
+                    amount = float(rng.randint(1, 9))
+                    try:
+                        desk = client.ref(DESK, "desk", "TransferDesk")
+                        desk.invoke("transfer", "acct-1", BANK, "acct-2", amount)
+                        committed += 1
+                    except (CommunicationError, ReproError) as exc:
+                        # Dead peer, armed kill firing, quarantined route:
+                        # all legitimate "unknown" outcomes for recovery.
+                        failed += 1
+                        trace.append(
+                            f"[{round_no}] transfer#{t} failed:"
+                            f" {type(exc).__name__}"
+                        )
+                        if victim == "site-a" and not cluster["site-a"].alive():
+                            kills += 1  # the armed kill fired
+                if rng.chance(0.7):
+                    for site_id, site in cluster.sites.items():
+                        if not site.alive():
+                            site.restart()
+                            trace.append(f"[{round_no}] restart {site_id}")
+                    cluster.wait_ready()
+
+            # Quiesce: everyone up, nothing armed, in-doubt drained,
+            # books audited.
+            for site_id, site in cluster.sites.items():
+                if not site.alive():
+                    site.restart()
+                    trace.append(f"[final] restart {site_id}")
+            cluster.wait_ready()
+            for site_id in cluster.sites:
+                client.control(site_id, {"op": "disarm"})
+            converged = _wait_membership_converged(cluster, client)
+            trace.append(f"[final] membership converged={converged}")
+            drained = _drain_in_doubt(cluster, client)
+            quiet = _wait_quiet(cluster, client)
+            trace.append(f"[final] drained={drained} quiet={quiet}")
+            balances = _balances(client)
+            total = sum(balances.values())
+            expected = OPENING_BALANCE * 2
+            conserved = abs(total - expected) < 1e-9
+            # The fabric must still take new work after the chaos.
+            desk = client.ref(DESK, "desk", "TransferDesk")
+            desk.invoke("transfer", "acct-1", BANK, "acct-2", 1.0)
+            passed = drained and quiet and conserved
+            result: Dict[str, Any] = {
+                "seed": seed,
+                "rounds": rounds,
+                "kills": kills,
+                "committed": committed,
+                "failed": failed,
+                "drained": drained,
+                "quiet": quiet,
+                "balances": balances,
+                "total": total,
+                "expected_total": expected,
+                "passed": passed,
+                "trace": trace,
+            }
+            if not passed:
+                if not drained:
+                    result["detail"] = "in-doubt state never drained"
+                elif not quiet:
+                    result["detail"] = "stale transactions never swept"
+                else:
+                    result["detail"] = (
+                        f"conservation broken: {total} != {expected}"
+                    )
+                result["debug"] = cluster.debug_dump()
+            return result
+        finally:
+            client.close()
+    finally:
+        cluster.stop()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--transfers", type=int, default=3)
+    parser.add_argument(
+        "--root", default=None,
+        help="run directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root or tempfile.mkdtemp(prefix=f"chaos-mp-{args.seed}-")
+    result = run_multiprocess_campaign(
+        root, args.seed, rounds=args.rounds,
+        transfers_per_round=args.transfers,
+    )
+    print(json.dumps(
+        {k: v for k, v in result.items() if k not in ("trace", "debug")},
+        indent=2, sort_keys=True,
+    ))
+    if not result["passed"]:
+        print(f"\nCHAOS FAILURE seed={args.seed} — replay with:", file=sys.stderr)
+        print(
+            f"  python -m repro.chaos.multiprocess --seed {args.seed}"
+            f" --rounds {args.rounds}",
+            file=sys.stderr,
+        )
+        for line in result["trace"]:
+            print(f"  {line}", file=sys.stderr)
+        if "debug" in result:
+            print(result["debug"], file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

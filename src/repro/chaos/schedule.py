@@ -1,0 +1,224 @@
+"""Seeded fault schedules for chaos campaigns.
+
+A :class:`ChaosSchedule` is a fully materialised, deterministic list of
+fault events drawn *up front* from a :class:`~repro.util.rng.SeededRng`.
+Drawing the whole schedule before the run starts (rather than flipping
+coins while the workload executes) is what makes seed replay exact: the
+events a campaign injects are a pure function of ``(seed, steps,
+profile)``, independent of how the workload reacts to them.
+
+Events come in paired arcs so the drawn schedule is always well formed:
+
+- ``partition`` … ``heal`` — a link goes dark for a bounded window.
+- ``crash`` … ``restart`` — a whole domain process dies (SIGKILL
+  analogue) and is rebooted from its durable media a few steps later.
+- ``failpoint`` … ``restart`` — a protocol-point crash is armed
+  (:class:`~repro.ots.factory.Failpoints`); if the workload trips it the
+  domain dies mid-2PC, and the paired restart revives it either way.
+- ``flaky`` … ``clear_faults`` — a link's fault plan turns hostile
+  (drops, duplicate deliveries, latency) for a window.
+- ``clock_jump`` — the simulated clock leaps forward, firing timeouts.
+
+The scheduler tracks per-domain and per-link busy windows so arcs never
+overlap incoherently (a domain is not crashed twice before its restart,
+a link is not partitioned while already partitioned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.rng import SeededRng
+
+#: Protocol points a drawn ``failpoint`` event may arm.  These are the
+#: same names the crash-recovery tests use; each makes the *next* commit
+#: on the chosen domain die at a different spot in the 2PC state machine.
+FAILPOINT_NAMES: Tuple[str, ...] = (
+    "before_prepare",
+    "before_commit_log",
+    "after_commit_log",
+)
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One injected fault, pinned to a workload step.
+
+    ``target`` names the victim: a single domain for crash/restart/
+    failpoint events, a ``(domain_a, domain_b)`` pair for link events,
+    and is empty for clock jumps.  ``value`` carries the magnitude
+    (seconds for jumps/latency, a probability for drops/duplicates).
+    """
+
+    step: int
+    kind: str
+    target: Tuple[str, ...] = ()
+    value: float = 0.0
+    detail: str = ""
+
+    def describe(self) -> str:
+        bits = [self.kind]
+        if self.target:
+            bits.append("/".join(self.target))
+        if self.value:
+            bits.append(f"{self.value:g}")
+        if self.detail:
+            bits.append(self.detail)
+        return ":".join(bits)
+
+
+@dataclass
+class ChaosProfile:
+    """Tunable event rates and magnitudes for schedule drawing.
+
+    Probabilities are per-step chances that a new arc of that family
+    starts (subject to the victim being idle).  Durations and delays are
+    inclusive step ranges; magnitudes are uniform ranges.
+    """
+
+    partition_probability: float = 0.10
+    partition_duration: Tuple[int, int] = (2, 6)
+    crash_probability: float = 0.06
+    restart_delay: Tuple[int, int] = (2, 5)
+    failpoint_probability: float = 0.06
+    flaky_probability: float = 0.10
+    flaky_duration: Tuple[int, int] = (2, 5)
+    drop_probability_range: Tuple[float, float] = (0.05, 0.35)
+    duplicate_probability_range: Tuple[float, float] = (0.1, 0.5)
+    latency_range: Tuple[float, float] = (0.01, 0.2)
+    clock_jump_probability: float = 0.08
+    clock_jump_range: Tuple[float, float] = (0.5, 20.0)
+
+    def quiet(self) -> "ChaosProfile":
+        """A copy with every fault family switched off (control runs)."""
+        return ChaosProfile(
+            partition_probability=0.0,
+            crash_probability=0.0,
+            failpoint_probability=0.0,
+            flaky_probability=0.0,
+            clock_jump_probability=0.0,
+        )
+
+
+@dataclass
+class ChaosSchedule:
+    """An ordered, immutable-once-drawn list of fault events."""
+
+    steps: int
+    events: List[ChaosEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: (e.step, e.kind, e.target))
+        self._by_step: Dict[int, List[ChaosEvent]] = {}
+        for event in self.events:
+            self._by_step.setdefault(event.step, []).append(event)
+
+    def due(self, step: int) -> List[ChaosEvent]:
+        """Events to inject before executing workload step ``step``."""
+        return self._by_step.get(step, [])
+
+    def describe(self) -> List[str]:
+        return [f"[{e.step}] {e.describe()}" for e in self.events]
+
+    # -- drawing -----------------------------------------------------------
+
+    @classmethod
+    def draw(
+        cls,
+        rng: SeededRng,
+        steps: int,
+        domains: Sequence[str],
+        profile: Optional[ChaosProfile] = None,
+    ) -> "ChaosSchedule":
+        """Materialise a schedule for ``steps`` workload steps.
+
+        At most one new arc begins per step (keeps campaigns readable and
+        failures attributable); paired end events land later.  Busy
+        windows guarantee coherence: a domain has at most one open
+        crash/failpoint arc, a link at most one open partition or flaky
+        window, at any time.
+        """
+        profile = profile if profile is not None else ChaosProfile()
+        domains = list(domains)
+        links = [
+            (domains[i], domains[j])
+            for i in range(len(domains))
+            for j in range(i + 1, len(domains))
+        ]
+        events: List[ChaosEvent] = []
+        domain_busy: Dict[str, int] = {name: -1 for name in domains}
+        link_busy: Dict[Tuple[str, str], int] = {link: -1 for link in links}
+
+        def idle_domains(step: int) -> List[str]:
+            return [d for d in domains if domain_busy[d] < step]
+
+        def idle_links(step: int) -> List[Tuple[str, str]]:
+            return [l for l in links if link_busy[l] < step]
+
+        for step in range(steps):
+            roll = rng.random()
+            threshold = 0.0
+
+            threshold += profile.crash_probability
+            if roll < threshold:
+                victims = idle_domains(step)
+                if victims:
+                    victim = rng.choice(victims)
+                    back = step + rng.randint(*profile.restart_delay)
+                    domain_busy[victim] = back
+                    events.append(ChaosEvent(step, "crash", (victim,)))
+                    events.append(ChaosEvent(back, "restart", (victim,)))
+                continue
+
+            threshold += profile.failpoint_probability
+            if roll < threshold:
+                victims = idle_domains(step)
+                if victims:
+                    victim = rng.choice(victims)
+                    point = rng.choice(FAILPOINT_NAMES)
+                    back = step + rng.randint(*profile.restart_delay)
+                    domain_busy[victim] = back
+                    events.append(
+                        ChaosEvent(step, "failpoint", (victim,), detail=point)
+                    )
+                    events.append(ChaosEvent(back, "restart", (victim,)))
+                continue
+
+            threshold += profile.partition_probability
+            if roll < threshold:
+                open_links = idle_links(step)
+                if open_links:
+                    link = rng.choice(open_links)
+                    heal = step + rng.randint(*profile.partition_duration)
+                    link_busy[link] = heal
+                    events.append(ChaosEvent(step, "partition", link))
+                    events.append(ChaosEvent(heal, "heal", link))
+                continue
+
+            threshold += profile.flaky_probability
+            if roll < threshold:
+                open_links = idle_links(step)
+                if open_links:
+                    link = rng.choice(open_links)
+                    clear = step + rng.randint(*profile.flaky_duration)
+                    link_busy[link] = clear
+                    flavour = rng.choice(("drops", "duplicates", "latency"))
+                    if flavour == "drops":
+                        value = rng.uniform(*profile.drop_probability_range)
+                    elif flavour == "duplicates":
+                        value = rng.uniform(*profile.duplicate_probability_range)
+                    else:
+                        value = rng.uniform(*profile.latency_range)
+                    events.append(
+                        ChaosEvent(step, "flaky", link, value, detail=flavour)
+                    )
+                    events.append(ChaosEvent(clear, "clear_faults", link))
+                continue
+
+            threshold += profile.clock_jump_probability
+            if roll < threshold:
+                jump = rng.uniform(*profile.clock_jump_range)
+                events.append(ChaosEvent(step, "clock_jump", (), jump))
+
+        return cls(steps=steps, events=events)

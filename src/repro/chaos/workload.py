@@ -1,0 +1,292 @@
+"""Randomized mixed workloads for chaos campaigns.
+
+The :class:`WorkloadRunner` draws one operation per campaign step from a
+seeded stream — flat transactional transfers (local and cross-domain
+through the federation), sagas, BTP atoms, and plain timed activities —
+and records a :class:`OpResult` verdict for each into the ledger the
+invariant checkers consume.
+
+Outcome classification is the contract the checkers rely on:
+
+``committed``
+    The client saw the commit return (or the model report success).
+``aborted``
+    The client saw a clean rollback — insufficient funds, a phase-one
+    failure, a refused BTP prepare, a compensated saga.  Nothing may
+    remain applied.
+``unknown``
+    The client lost contact at completion time (communication error or
+    a simulated crash *during* commit).  The outcome belongs to
+    recovery; the checkers demand it resolves atomically either way.
+``skipped``
+    The operation was never attempted (its home domain was down).
+
+Every random draw comes from the runner's own forked
+:class:`~repro.util.rng.SeededRng`, so the op stream is identical on
+replay regardless of what the fault schedule did to the world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import ActivityManager, CompletionStatus
+from repro.exceptions import CommunicationError, InvalidStateError, ReproError
+from repro.models.btp import BtpAtom, BtpParticipant
+from repro.models.saga import Saga
+from repro.ots import SimulatedCrash, TransactionRolledBack
+from repro.util.rng import SeededRng
+
+from repro.chaos.world import ChaosWorld
+
+#: Default op mix (relative weights).
+DEFAULT_MIX: Dict[str, float] = {
+    "transfer_remote": 0.45,
+    "transfer_local": 0.2,
+    "saga": 0.15,
+    "btp": 0.1,
+    "activity": 0.1,
+}
+
+
+@dataclass
+class OpResult:
+    """One ledger entry: what the client believed happened."""
+
+    op_id: str
+    kind: str
+    outcome: str
+    source: str = ""
+    debit: str = ""   # world-qualified account key ("A:a0")
+    credit: str = ""
+    amount: float = 0.0
+    detail: str = ""
+    crashed_domain: str = ""
+
+    def describe(self) -> str:
+        bits = [self.op_id, self.kind, self.outcome]
+        if self.debit or self.credit:
+            bits.append(f"{self.debit}->{self.credit}:{self.amount:g}")
+        if self.detail:
+            bits.append(self.detail)
+        return " ".join(bits)
+
+
+class WorkloadRunner:
+    """Draws and executes one mixed operation per step."""
+
+    def __init__(
+        self,
+        world: ChaosWorld,
+        rng: SeededRng,
+        mix: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.world = world
+        self.rng = rng
+        self.mix = dict(mix) if mix else dict(DEFAULT_MIX)
+        self.ledger: List[OpResult] = []
+
+    # -- drawing -----------------------------------------------------------
+
+    def _draw_kind(self) -> str:
+        kinds = sorted(self.mix)
+        total = sum(self.mix[k] for k in kinds)
+        roll = self.rng.uniform(0.0, total)
+        acc = 0.0
+        for kind in kinds:
+            acc += self.mix[kind]
+            if roll < acc:
+                return kind
+        return kinds[-1]
+
+    def run_op(self, index: int) -> OpResult:
+        """Execute the step's drawn operation and ledger its outcome."""
+        op_id = f"op{index:04d}"
+        kind = self._draw_kind()
+        handler = getattr(self, f"_run_{kind}")
+        result = handler(op_id)
+        self.ledger.append(result)
+        return result
+
+    # -- bank transfers ----------------------------------------------------
+
+    def _pick_domain(self, exclude: str = "") -> Optional[str]:
+        names = [n for n in self.world.alive_domains() if n != exclude]
+        return self.rng.choice(names) if names else None
+
+    def _run_transfer_remote(self, op_id: str) -> OpResult:
+        src = self._pick_domain()
+        if src is None:
+            return OpResult(op_id, "transfer_remote", "skipped",
+                            detail="no alive domain")
+        dst = self._pick_domain(exclude=src)
+        if dst is None:
+            # Single survivor: degrade to a local transfer so the step
+            # still consumes the same rng draws on replay.
+            return self._transfer(op_id, "transfer_remote", src, src)
+        return self._transfer(op_id, "transfer_remote", src, dst)
+
+    def _run_transfer_local(self, op_id: str) -> OpResult:
+        src = self._pick_domain()
+        if src is None:
+            return OpResult(op_id, "transfer_local", "skipped",
+                            detail="no alive domain")
+        return self._transfer(op_id, "transfer_local", src, src)
+
+    def _transfer(self, op_id: str, kind: str, src: str, dst: str) -> OpResult:
+        world = self.world
+        debit_key = self.rng.choice(sorted(world.domain(src).accounts))
+        credit_choices = sorted(world.domain(dst).accounts)
+        if src == dst:
+            remaining = [k for k in credit_choices if k != debit_key]
+            credit_key = self.rng.choice(remaining or credit_choices)
+        else:
+            credit_key = self.rng.choice(credit_choices)
+        amount = float(self.rng.randint(1, 25))
+        result = OpResult(
+            op_id, kind, "unknown", source=src,
+            debit=f"{src}:{debit_key}", credit=f"{dst}:{credit_key}",
+            amount=amount,
+        )
+        domain = world.domain(src)
+        tx = None
+        try:
+            tx = domain.current.begin()
+            domain.accounts[debit_key].withdraw(op_id, amount)
+            if dst == src:
+                if credit_key == debit_key:
+                    raise ValueError("degenerate self-transfer")
+                domain.accounts[credit_key].deposit(op_id, amount)
+            else:
+                world.account_ref(src, dst, credit_key).invoke(
+                    "deposit", op_id, amount
+                )
+        except SimulatedCrash:
+            # A failpoint fired during the *body* — the source process
+            # dies before any decision; treat like an aborted op whose
+            # domain is gone (recovery presumes abort).
+            world.crash(src)
+            result.outcome = "unknown"
+            result.detail = "crash during body"
+            result.crashed_domain = src
+            return result
+        except (ValueError, ReproError) as exc:
+            result.outcome = "aborted"
+            result.detail = f"{type(exc).__name__}"
+            if tx is not None:
+                self._rollback(domain)
+            return result
+
+        try:
+            domain.current.commit()
+            result.outcome = "committed"
+        except SimulatedCrash:
+            world.crash(src)
+            result.outcome = "unknown"
+            result.detail = "crash during commit"
+            result.crashed_domain = src
+        except TransactionRolledBack:
+            result.outcome = "aborted"
+            result.detail = "rolled back at commit"
+        except CommunicationError as exc:
+            # Completion lost contact after the decision point may or
+            # may not have been logged: genuinely in doubt.
+            result.outcome = "unknown"
+            result.detail = f"{type(exc).__name__} at commit"
+        except ReproError as exc:
+            result.outcome = "unknown"
+            result.detail = f"{type(exc).__name__}: {exc}"
+        return result
+
+    def _rollback(self, domain) -> None:
+        try:
+            domain.current.rollback()
+        except (ReproError, SimulatedCrash):
+            pass
+
+    # -- extended-transaction models --------------------------------------
+
+    def _model_manager(self, op_id: str, kind: str):
+        name = self._pick_domain()
+        if name is None:
+            return None, OpResult(op_id, kind, "skipped",
+                                  detail="no alive domain")
+        return self.world.domain(name), None
+
+    def _run_saga(self, op_id: str) -> OpResult:
+        domain, skipped = self._model_manager(op_id, "saga")
+        if skipped is not None:
+            return skipped
+        steps = self.rng.randint(2, 4)
+        fail_at = self.rng.randint(0, steps - 1) if self.rng.chance(0.4) else -1
+        executed: List[str] = []
+        saga = Saga(domain.manager, name=op_id)
+        for i in range(steps):
+            def work(ctx, i=i):
+                if i == fail_at:
+                    raise RuntimeError(f"{op_id} step{i} injected failure")
+                executed.append(f"step{i}")
+                return i
+
+            def compensate(ctx, i=i):
+                executed.remove(f"step{i}")
+
+            saga.add_step(f"step{i}", work, compensate)
+        outcome = saga.run()
+        if outcome.succeeded:
+            ok = len(executed) == steps
+            return OpResult(op_id, "saga", "committed" if ok else "unknown",
+                            source=domain.name, detail=f"steps={steps}")
+        ok = not executed  # compensation swept the completed prefix
+        return OpResult(
+            op_id, "saga", "aborted" if ok else "unknown", source=domain.name,
+            detail=f"failed at step{fail_at}, residue={executed}",
+        )
+
+    def _run_btp(self, op_id: str) -> OpResult:
+        domain, skipped = self._model_manager(op_id, "btp")
+        if skipped is not None:
+            return skipped
+        votes = [self.rng.chance(0.8) for _ in range(self.rng.randint(2, 3))]
+        confirmed: List[str] = []
+        atom = BtpAtom(domain.manager, name=op_id)
+        for i, vote in enumerate(votes):
+            atom.enroll(
+                BtpParticipant(
+                    f"p{i}",
+                    on_prepare=lambda vote=vote: vote,
+                    on_confirm=lambda i=i: confirmed.append(f"p{i}"),
+                )
+            )
+        if atom.prepare():
+            atom.confirm()
+            ok = len(confirmed) == len(votes)
+            return OpResult(op_id, "btp", "committed" if ok else "unknown",
+                            source=domain.name, detail=f"n={len(votes)}")
+        # A refused prepare already cancelled the atom.
+        ok = not confirmed
+        return OpResult(op_id, "btp", "aborted" if ok else "unknown",
+                        source=domain.name, detail="prepare refused")
+
+    def _run_activity(self, op_id: str) -> OpResult:
+        domain, skipped = self._model_manager(op_id, "activity")
+        if skipped is not None:
+            return skipped
+        timeout = self.rng.uniform(0.5, 5.0)
+        activity = domain.manager.begin(name=f"act:{op_id}", timeout=timeout)
+        try:
+            activity.complete(CompletionStatus.SUCCESS)
+            return OpResult(op_id, "activity", "committed",
+                            source=domain.name, detail=f"timeout={timeout:.2f}")
+        except (InvalidStateError, ReproError) as exc:
+            return OpResult(op_id, "activity", "aborted",
+                            source=domain.name, detail=type(exc).__name__)
+
+
+__all__ = [
+    "DEFAULT_MIX",
+    "OpResult",
+    "WorkloadRunner",
+    "ActivityManager",
+]

@@ -1,0 +1,381 @@
+"""The in-process federated world a chaos campaign runs against.
+
+A :class:`ChaosWorld` is N transaction domains (default two) joined by
+an :class:`~repro.orb.federation.InterOrbBridge` under one
+:class:`~repro.util.clock.SimulatedClock`.  Each :class:`ChaosDomain`
+owns the full per-process stack — ORB, transaction factory with a
+write-ahead log, recoverable registry, federated transaction service,
+an :class:`~repro.core.manager.ActivityManager` for the extended-
+transaction models, and a set of idempotent bank accounts — while its
+durable *media* (WAL store, cell store) live outside the domain object
+and survive crashes, exactly like a disk survives a SIGKILL.
+
+``crash()`` therefore throws away every piece of process state and
+``restart()`` rebuilds the stack from the media and runs federated
+recovery, which is the whole point of the campaign: any state the
+framework needs to stay safe must have made it to the log.
+
+Bank accounts are **idempotent by operation id**: every deposit or
+withdrawal carries the workload's ``op_id`` and the account records the
+ids it has applied inside the same transactional cell as the balance.
+An at-least-once network (duplicate deliveries are one of the injected
+faults) may run a servant twice; the second application must be a
+no-op, and the recorded ids are what lets the
+:class:`~repro.chaos.invariants.OutcomeChecker` prove that every
+outcome was applied exactly once — or not at all — afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import ActivityManager
+from repro.exceptions import InvalidStateError, ReproError
+from repro.orb import InterOrbBridge, Orb
+from repro.orb.membership import FailureDetectorConfig
+from repro.orb.reference import ObjectRef
+from repro.ots import (
+    RecoverableRegistry,
+    TransactionCurrent,
+    TransactionFactory,
+    TransactionalCell,
+    install_federated_transaction_service,
+)
+from repro.ots.factory import FactoryConfig
+from repro.persistence import MemoryStore, WriteAheadLog
+from repro.util.clock import SimulatedClock
+from repro.util.rng import SeededRng
+
+
+def chaos_node_id(domain: str) -> str:
+    return f"{domain}-apps"
+
+
+class ChaosAccount:
+    """A bank account servant with op-id idempotency.
+
+    The cell value is ``[balance, [applied op ids...]]`` — one atom, so
+    balance and dedup history commit (or roll back, or replay from the
+    WAL) together.  ``deposit``/``withdraw`` run under the caller's
+    current transaction, which for cross-domain invocations is the
+    adopted subordinate the federation interceptors installed.
+    """
+
+    interface = "ChaosAccount"
+
+    def __init__(self, domain: "ChaosDomain", key: str, opening: float) -> None:
+        self.domain = domain
+        self.key = key
+        self.cell = domain.cell(f"acct:{key}", [float(opening), []])
+
+    # -- transactional ops (require an ambient transaction) ----------------
+
+    def _tx(self):
+        tx = self.domain.current.get_transaction()
+        if tx is None:
+            raise InvalidStateError(
+                f"account {self.key}: no ambient transaction for update"
+            )
+        return tx
+
+    def deposit(self, op_id: str, amount: float) -> float:
+        tx = self._tx()
+        balance, ops = self.cell.read(tx)
+        if op_id in ops:
+            return balance  # duplicate delivery: already applied
+        self.cell.write(tx, [balance + amount, list(ops) + [op_id]])
+        return balance + amount
+
+    def withdraw(self, op_id: str, amount: float) -> float:
+        tx = self._tx()
+        balance, ops = self.cell.read(tx)
+        if op_id in ops:
+            return balance
+        if balance < amount:
+            raise ValueError(
+                f"account {self.key}: insufficient funds"
+                f" ({balance:g} < {amount:g})"
+            )
+        self.cell.write(tx, [balance - amount, list(ops) + [op_id]])
+        return balance - amount
+
+    # -- committed views ---------------------------------------------------
+
+    def balance(self) -> float:
+        """Committed balance; runs outside any transaction, so a remote
+        call lands without adopting a subordinate — the in-process
+        analogue of a site daemon's heartbeat ping."""
+        return self.cell.committed_value[0]
+
+    @property
+    def committed_balance(self) -> float:
+        return self.cell.committed_value[0]
+
+    @property
+    def applied_ops(self) -> List[str]:
+        return list(self.cell.committed_value[1])
+
+
+class ChaosDomain:
+    """One transaction domain whose durable media outlive its process."""
+
+    def __init__(
+        self,
+        name: str,
+        bridge: InterOrbBridge,
+        clock: SimulatedClock,
+        make_store: Callable[[str], Any],
+        account_specs: Dict[str, float],
+    ) -> None:
+        self.name = name
+        self.bridge = bridge
+        self.clock = clock
+        self.make_store = make_store
+        self.account_specs = dict(account_specs)
+        self.wal_store = make_store(f"{name}-wal")
+        self.cell_store = make_store(f"{name}-cells")
+        self.alive = False
+        self.crash_count = 0
+        self.boot_count = 0
+        self.recovery_error: Optional[str] = None
+        self._boot(reopen=False)
+
+    def _boot(self, reopen: bool) -> None:
+        if reopen:
+            # A restarted process reads its media back; the in-memory
+            # store model returns the same instances (the medium
+            # survives, the process state does not).
+            self.wal_store = self.make_store(f"{self.name}-wal")
+            self.cell_store = self.make_store(f"{self.name}-cells")
+        self.boot_count += 1
+        self.orb = Orb(clock=self.clock)
+        self.bridge.connect(self.orb, self.name)
+        # Root tids key durable records that outlive this incarnation
+        # (the WAL survives the crash), so they must be unique across
+        # reboots — a restarted factory restarts its counter.  The boot
+        # counter is the nonce (deterministic, unlike the site daemon's
+        # uuid, so seed replay stays exact).
+        self.factory = TransactionFactory(
+            clock=self.clock,
+            wal=WriteAheadLog(self.wal_store, "wal"),
+            config=FactoryConfig(tid_prefix=f"{self.name}.b{self.boot_count}:"),
+        )
+        self.current = TransactionCurrent(self.factory)
+        self.registry = RecoverableRegistry()
+        self.service = install_federated_transaction_service(
+            self.orb, self.current, self.bridge, registry=self.registry
+        )
+        self.node = self.orb.create_node(chaos_node_id(self.name))
+        self.manager = ActivityManager(clock=self.clock)
+        self.accounts: Dict[str, ChaosAccount] = {}
+        for key, opening in sorted(self.account_specs.items()):
+            account = ChaosAccount(self, key, opening)
+            self.node.activate(account, object_id=f"acct:{key}")
+            self.accounts[key] = account
+        self.alive = True
+
+    def cell(self, key: str, initial: Any) -> TransactionalCell:
+        return TransactionalCell(
+            key, initial, self.factory, store=self.cell_store,
+            registry=self.registry,
+        )
+
+    # -- process lifecycle -------------------------------------------------
+
+    def crash(self) -> None:
+        """The whole domain process dies; only the media survive."""
+        if not self.alive:
+            return
+        self.bridge.disconnect(self.name)
+        self.alive = False
+        self.crash_count += 1
+
+    def restart(self) -> Optional[str]:
+        """Reboot from the media and run federated recovery.
+
+        Returns the recovery error string when recovery itself failed
+        (e.g. a superior unreachable across a still-partitioned link);
+        the campaign's quiesce loop retries those until clean.
+        """
+        if self.alive:
+            self.factory.failpoints.clear()
+            return None
+        self._boot(reopen=True)
+        return self.try_recover()
+
+    def try_recover(self) -> Optional[str]:
+        self.recovery_error = None
+        try:
+            self.service.recover()
+        except ReproError as exc:
+            self.recovery_error = f"{type(exc).__name__}: {exc}"
+        return self.recovery_error
+
+
+class ChaosWorld:
+    """N federated domains + bank accounts under one simulated clock."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        domain_names: Sequence[str] = ("A", "B"),
+        accounts_per_domain: int = 2,
+        opening_balance: float = 100.0,
+        make_store: Optional[Callable[[str], Any]] = None,
+        failure_detection: bool = True,
+        detector_config: Optional[FailureDetectorConfig] = None,
+    ) -> None:
+        self.clock = SimulatedClock()
+        self.rng = SeededRng(seed)
+        self.bridge = InterOrbBridge(clock=self.clock, rng=self.rng.fork("bridge"))
+        if failure_detection:
+            self.bridge.enable_failure_detection(
+                detector_config
+                if detector_config is not None
+                else FailureDetectorConfig(
+                    heartbeat_interval=0.5, probe_interval=0.5
+                )
+            )
+        if make_store is None:
+            stores: Dict[str, MemoryStore] = {}
+
+            def make_store(name: str) -> MemoryStore:
+                return stores.setdefault(name, MemoryStore())
+
+        self.make_store = make_store
+        self.domains: Dict[str, ChaosDomain] = {}
+        for name in domain_names:
+            specs = {
+                f"{name.lower()}{i}": opening_balance
+                for i in range(accounts_per_domain)
+            }
+            self.domains[name] = ChaosDomain(
+                name, self.bridge, self.clock, make_store, specs
+            )
+        self._opening_total = opening_balance * accounts_per_domain * len(
+            self.domains
+        )
+
+    # -- topology ----------------------------------------------------------
+
+    def domain(self, name: str) -> ChaosDomain:
+        return self.domains[name]
+
+    def alive_domains(self) -> List[str]:
+        return [name for name, d in self.domains.items() if d.alive]
+
+    def link_plan(self, domain_a: str, domain_b: str):
+        return self.bridge.link(domain_a, domain_b).transport.fault_plan
+
+    def account_ref(self, via: str, target: str, key: str) -> ObjectRef:
+        """A fresh ref to ``target``'s account, bound to ``via``'s ORB.
+
+        Built per call: restarted domains re-activate their servants, so
+        cached bound refs would go stale across crashes.
+        """
+        ref = self.domains[target].node.ref_for(f"acct:{key}")
+        return ObjectRef(ref.node_id, ref.object_id, ref.interface).bind(
+            self.domains[via].orb
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def crash(self, name: str) -> None:
+        self.domains[name].crash()
+
+    def restart(self, name: str) -> Optional[str]:
+        return self.domains[name].restart()
+
+    # -- committed views (for invariants) ----------------------------------
+
+    def expected_total(self) -> float:
+        return self._opening_total
+
+    def committed_balances(self) -> Dict[str, float]:
+        return {
+            f"{name}:{key}": account.committed_balance
+            for name, domain in sorted(self.domains.items())
+            for key, account in sorted(domain.accounts.items())
+        }
+
+    def total_committed(self) -> float:
+        return sum(self.committed_balances().values())
+
+    def applied_operations(self) -> Dict[str, List[str]]:
+        return {
+            f"{name}:{key}": account.applied_ops
+            for name, domain in sorted(self.domains.items())
+            for key, account in sorted(domain.accounts.items())
+        }
+
+    # -- quiescence --------------------------------------------------------
+
+    def heal_everything(self) -> None:
+        """Remove every injected fault: partitions, drops, latency."""
+        self.bridge.heal_all()
+        for link in self.bridge.links():
+            plan = link.transport.fault_plan
+            plan.drop_probability = 0.0
+            plan.duplicate_probability = 0.0
+            plan.latency = 0.0
+            plan.jitter = 0.0
+            plan.heal_all()
+
+    def is_quiet(self) -> bool:
+        for domain in self.domains.values():
+            if not domain.alive or domain.recovery_error is not None:
+                return False
+            if domain.factory.active_transactions():
+                return False
+            if domain.service.in_doubt_ages():
+                return False
+        return True
+
+    def quiesce(self, max_rounds: int = 12) -> bool:
+        """Heal faults, restart the dead, drive recovery to a fixpoint.
+
+        Each round advances the simulated clock (so failure-detector
+        half-open probes and timeout wheels fire), retries any failed
+        recovery, and polls every domain's in-doubt resolver.  Returns
+        True when the world reached a quiet state within the budget.
+        """
+        self.heal_everything()
+        for name, domain in self.domains.items():
+            if domain.alive:
+                domain.factory.failpoints.clear()
+            else:
+                self.restart(name)
+        for _ in range(max_rounds):
+            self.clock.advance(1.0)
+            for domain in self.domains.values():
+                if domain.recovery_error is not None:
+                    domain.try_recover()
+                domain.factory.expire_timeouts()
+                domain.manager.expire_timeouts()
+                domain.service.sweep_orphans(min_age=0.5)
+                try:
+                    domain.service.resolve_in_doubt()
+                except ReproError:
+                    continue  # link still re-admitting; next round retries
+            if self.is_quiet():
+                return True
+        return self.is_quiet()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "domains": {
+                name: {
+                    "alive": domain.alive,
+                    "crash_count": domain.crash_count,
+                    "recovery_error": domain.recovery_error,
+                    "accounts": {
+                        key: account.committed_balance
+                        for key, account in domain.accounts.items()
+                    },
+                }
+                for name, domain in self.domains.items()
+            },
+            "link_states": self.bridge.link_states(),
+            "total": self.total_committed(),
+            "expected_total": self.expected_total(),
+        }

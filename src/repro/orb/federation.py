@@ -37,8 +37,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
-from repro.exceptions import ConfigurationError, ObjectNotExist
+from repro.exceptions import CommunicationError, ConfigurationError, ObjectNotExist
 from repro.orb.core import Node, Orb
+from repro.orb.membership import FailureDetector, FailureDetectorConfig, PeerState
 from repro.orb.reference import ObjectRef
 from repro.orb.transport import SimulatedTransport, Transport
 from repro.util.clock import Clock
@@ -105,6 +106,7 @@ class InterOrbBridge:
         self._links: Dict[FrozenSet[str], DomainLink] = {}
         self._services: Dict[Tuple[str, str], Any] = {}
         self._auto_domain = 0
+        self._detector: Optional[FailureDetector] = None
 
     # -- membership ----------------------------------------------------------
 
@@ -240,6 +242,47 @@ class InterOrbBridge:
         for link in self._links.values():
             link.transport.fault_plan.heal_all()
 
+    # -- link liveness (PR 8 membership layer) ---------------------------------
+
+    def enable_failure_detection(
+        self, config: Optional[FailureDetectorConfig] = None
+    ) -> FailureDetector:
+        """Turn on per-link liveness tracking (off by default — fault
+        tests that *want* to block on partitions keep historical
+        behaviour).  Every routed invocation feeds the detector: a
+        delivered round heartbeats the link, a ``CommunicationError``
+        counts against it.  A link marked DOWN fast-fails subsequent
+        routes with a typed :class:`CommunicationError` instead of
+        re-crossing a dead wire, except for one metered half-open probe
+        per ``probe_interval``; the first probe that crosses re-admits
+        the link."""
+        if self._clock is None:
+            raise ConfigurationError(
+                "connect an ORB (or pass a clock) before enabling failure"
+                " detection"
+            )
+        if self._detector is None:
+            self._detector = FailureDetector(self._clock, config)
+        return self._detector
+
+    @property
+    def failure_detector(self) -> Optional[FailureDetector]:
+        return self._detector
+
+    def _link_key(self, domain_a: str, domain_b: str) -> str:
+        pair = sorted((domain_a, domain_b))
+        return f"link:{pair[0]}|{pair[1]}"
+
+    def link_state(self, domain_a: str, domain_b: str) -> PeerState:
+        if self._detector is None:
+            return PeerState.ALIVE
+        return self._detector.state(self._link_key(domain_a, domain_b))
+
+    def link_states(self) -> Dict[str, str]:
+        if self._detector is None:
+            return {}
+        return {peer: state.value for peer, state in self._detector.peers().items()}
+
     # -- traffic accounting ------------------------------------------------------
 
     def cross_domain_requests(self) -> int:
@@ -284,6 +327,19 @@ class InterOrbBridge:
             )
         target_orb = self.orb_for(target_domain)
         link = self.link(source_domain, target_domain)
+        detector = self._detector
+        link_key = self._link_key(source_domain, target_domain)
+        if detector is not None:
+            detector.watch(link_key)
+            if detector.is_down(link_key) and not detector.should_probe(link_key):
+                # Quarantined route: a typed fast-fail instead of
+                # blocking through a dead wire's faults again.  The
+                # metered half-open probe (one per probe_interval) is
+                # the only traffic allowed to re-test the link.
+                raise CommunicationError(
+                    f"link {source_domain}<->{target_domain} is DOWN"
+                    f" (failure detector); failing fast"
+                )
 
         def across_link(payload: bytes) -> bytes:
             return link.transport.deliver(
@@ -301,15 +357,24 @@ class InterOrbBridge:
                 lambda final: target_orb._dispatch(ref.node_id, final),
             )
 
-        return source_orb.transport.deliver(
-            source_node,
-            coordination_node_id(target_domain),
-            request_bytes,
-            across_link,
-        )
+        try:
+            reply = source_orb.transport.deliver(
+                source_node,
+                coordination_node_id(target_domain),
+                request_bytes,
+                across_link,
+            )
+        except CommunicationError:
+            if detector is not None:
+                detector.failure(link_key)
+            raise
+        if detector is not None:
+            detector.heartbeat(link_key)
+        return reply
 
     def describe(self) -> Dict[str, Any]:
         return {
             "domains": list(self.domains()),
             "links": [link.describe() for link in self.links()],
+            "link_states": self.link_states(),
         }

@@ -1,0 +1,336 @@
+"""Membership and liveness: a phi-accrual failure detector for peers.
+
+Until PR 8 the site fabric's peers map was *static JSON with no
+liveness*: a dead peer was discovered only by blocking through the full
+reconnect backoff of whatever operation happened to touch it first, and
+every operation after that paid the same price again.  This module adds
+the membership half the paper's fault-tolerance story assumes:
+
+- every peer (or federation link) accrues a **suspicion level** ``phi``
+  from the time since its last successful heartbeat, scaled by the
+  observed heartbeat inter-arrival history (the phi-accrual detector of
+  Hayashibara et al., simplified to an exponential tail:
+  ``phi = elapsed / mean_interval / ln(10)``, i.e. phi 1 ≈ "this gap is
+  10x less likely than normal", phi 3 ≈ 1000x);
+- crossing ``suspect_phi`` marks the peer :attr:`PeerState.SUSPECT`
+  (traffic still flows — suspicion is advisory); crossing ``down_phi``
+  (or ``failure_threshold`` consecutive probe failures) marks it
+  :attr:`PeerState.DOWN`, at which point the owning transport/bridge
+  **quarantines** the route: operations fail fast with a typed
+  :class:`~repro.exceptions.CommunicationError` instead of blocking
+  through reconnect backoff;
+- while DOWN the detector meters half-open **probes**
+  (:meth:`should_probe`): one cheap liveness check per
+  ``probe_interval``, and the first success re-admits the peer (state
+  returns to ALIVE, the interval history restarts).
+
+The detector is deliberately clock-agnostic and thread-safe: the site
+daemon feeds it from wall-clock heartbeat rounds, the in-process
+:class:`~repro.orb.federation.InterOrbBridge` feeds it from delivery
+outcomes under a :class:`~repro.util.clock.SimulatedClock` — which makes
+time-to-detect / time-to-recover *deterministic* and benchmarkable
+(``bench_fig20``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Deque, Dict, Optional
+
+from repro.exceptions import ConfigurationError
+
+_LN10 = 2.302585092994046
+
+
+class PeerState(Enum):
+    """Liveness verdict for one peer/link."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+
+@dataclass(frozen=True)
+class FailureDetectorConfig:
+    """Knobs for :class:`FailureDetector` (all times in seconds).
+
+    ``heartbeat_interval``
+        The cadence heartbeats are *expected* at; also the prior for the
+        mean inter-arrival before ``min_samples`` real samples exist.
+    ``suspect_phi`` / ``down_phi``
+        Suspicion thresholds.  Defaults (1.0 / 3.0) mean: SUSPECT after
+        ~2.3x the mean interval with no heartbeat, DOWN after ~7x.
+    ``failure_threshold``
+        Consecutive *explicit* probe failures that force DOWN regardless
+        of phi — a refused connection is stronger evidence than silence.
+    ``window``
+        Inter-arrival samples kept per peer.
+    ``min_samples``
+        Samples required before the observed mean replaces the prior.
+    ``probe_interval``
+        Half-open probe cadence while a peer is DOWN; ``None`` uses
+        ``heartbeat_interval``.
+    """
+
+    heartbeat_interval: float = 0.2
+    suspect_phi: float = 1.0
+    down_phi: float = 3.0
+    failure_threshold: int = 3
+    window: int = 64
+    min_samples: int = 3
+    probe_interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                "FailureDetectorConfig: heartbeat_interval must be > 0"
+            )
+        if not 0 < self.suspect_phi <= self.down_phi:
+            raise ConfigurationError(
+                "FailureDetectorConfig: need 0 < suspect_phi <= down_phi"
+            )
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                "FailureDetectorConfig: failure_threshold must be >= 1"
+            )
+        if self.window < 2 or self.min_samples < 2:
+            raise ConfigurationError(
+                "FailureDetectorConfig: window and min_samples must be >= 2"
+            )
+        if self.probe_interval is not None and self.probe_interval <= 0:
+            raise ConfigurationError(
+                "FailureDetectorConfig: probe_interval must be > 0"
+            )
+
+
+class _PeerRecord:
+    __slots__ = (
+        "last_heartbeat",
+        "intervals",
+        "consecutive_failures",
+        "down",
+        "down_since",
+        "last_probe",
+        "transitions",
+    )
+
+    def __init__(self, window: int) -> None:
+        self.last_heartbeat: Optional[float] = None
+        self.intervals: Deque[float] = deque(maxlen=window)
+        self.consecutive_failures = 0
+        self.down = False
+        self.down_since: Optional[float] = None
+        self.last_probe: Optional[float] = None
+        self.transitions = 0
+
+
+class FailureDetector:
+    """Phi-accrual liveness tracking over a set of peers.
+
+    Feed it evidence — :meth:`heartbeat` on every successful round-trip
+    or probe, :meth:`failure` on every explicit failure — and ask
+    :meth:`state`.  DOWN latches until the next successful heartbeat
+    (phi dropping on its own cannot happen: silence only grows it), so
+    a quarantined peer is only re-admitted by a real positive signal.
+
+    ``on_transition(peer, old_state, new_state)`` observes every state
+    change (the site runtime logs them to its event log; quarantine
+    wiring hangs off the same hook).
+    """
+
+    def __init__(
+        self,
+        clock: Any,
+        config: Optional[FailureDetectorConfig] = None,
+        on_transition: Optional[Callable[[str, PeerState, PeerState], None]] = None,
+    ) -> None:
+        self.clock = clock
+        self.config = config if config is not None else FailureDetectorConfig()
+        self.on_transition = on_transition
+        self._peers: Dict[str, _PeerRecord] = {}
+        self._lock = threading.Lock()
+
+    # -- peer registry -----------------------------------------------------
+
+    def watch(self, peer_id: str) -> None:
+        """Start tracking ``peer_id`` (idempotent).  A freshly watched
+        peer is ALIVE with an implicit heartbeat *now* — membership is
+        optimistic until silence or failures say otherwise."""
+        with self._lock:
+            if peer_id not in self._peers:
+                record = _PeerRecord(self.config.window)
+                record.last_heartbeat = self.clock.now()
+                self._peers[peer_id] = record
+
+    def forget(self, peer_id: str) -> None:
+        with self._lock:
+            self._peers.pop(peer_id, None)
+
+    def peers(self) -> Dict[str, PeerState]:
+        with self._lock:
+            peer_ids = list(self._peers)
+        return {peer_id: self.state(peer_id) for peer_id in peer_ids}
+
+    # -- evidence ----------------------------------------------------------
+
+    def heartbeat(self, peer_id: str) -> None:
+        """A positive liveness signal (successful probe or round-trip)."""
+        now = self.clock.now()
+        with self._lock:
+            record = self._peers.get(peer_id)
+            if record is None:
+                record = self._peers[peer_id] = _PeerRecord(self.config.window)
+            old = self._state_locked(record, now)
+            if record.last_heartbeat is not None:
+                interval = now - record.last_heartbeat
+                if interval > 0:
+                    record.intervals.append(interval)
+            record.last_heartbeat = now
+            record.consecutive_failures = 0
+            if record.down:
+                record.down = False
+                record.down_since = None
+                # Restart the interval history: pre-outage cadence says
+                # nothing about the restarted peer's behaviour.
+                record.intervals.clear()
+            new = self._state_locked(record, now)
+        self._notify(peer_id, old, new)
+
+    def failure(self, peer_id: str) -> None:
+        """An explicit probe/round-trip failure against ``peer_id``."""
+        now = self.clock.now()
+        with self._lock:
+            record = self._peers.get(peer_id)
+            if record is None:
+                record = self._peers[peer_id] = _PeerRecord(self.config.window)
+                record.last_heartbeat = now
+            old = self._state_locked(record, now)
+            record.consecutive_failures += 1
+            if (
+                not record.down
+                and record.consecutive_failures >= self.config.failure_threshold
+            ):
+                record.down = True
+                record.down_since = now
+                record.transitions += 1
+            new = self._state_locked(record, now)
+        self._notify(peer_id, old, new)
+
+    # -- suspicion ---------------------------------------------------------
+
+    def phi(self, peer_id: str, now: Optional[float] = None) -> float:
+        """Current suspicion level for ``peer_id`` (0 = just heard)."""
+        if now is None:
+            now = self.clock.now()
+        with self._lock:
+            record = self._peers.get(peer_id)
+            if record is None or record.last_heartbeat is None:
+                return 0.0
+            mean = self._mean_interval_locked(record)
+            elapsed = max(0.0, now - record.last_heartbeat)
+        return elapsed / mean / _LN10
+
+    def _mean_interval_locked(self, record: _PeerRecord) -> float:
+        if len(record.intervals) >= self.config.min_samples:
+            return max(
+                sum(record.intervals) / len(record.intervals), 1e-9
+            )
+        return self.config.heartbeat_interval
+
+    def _state_locked(self, record: _PeerRecord, now: float) -> PeerState:
+        if record.down:
+            return PeerState.DOWN
+        if record.last_heartbeat is None:
+            return PeerState.ALIVE
+        mean = self._mean_interval_locked(record)
+        phi = max(0.0, now - record.last_heartbeat) / mean / _LN10
+        if phi >= self.config.down_phi:
+            # Phi crossing down_phi latches, like explicit failures do:
+            # silence cannot un-suspect a peer.
+            record.down = True
+            record.down_since = now
+            record.transitions += 1
+            return PeerState.DOWN
+        if phi >= self.config.suspect_phi:
+            return PeerState.SUSPECT
+        return PeerState.ALIVE
+
+    def state(self, peer_id: str, now: Optional[float] = None) -> PeerState:
+        if now is None:
+            now = self.clock.now()
+        with self._lock:
+            record = self._peers.get(peer_id)
+            if record is None:
+                return PeerState.ALIVE
+            old = self._state_locked(record, now)
+            # _state_locked may have just latched DOWN; surface it.
+            new = PeerState.DOWN if record.down else old
+        if old is not new:
+            self._notify(peer_id, old, new)
+        return new
+
+    def is_down(self, peer_id: str) -> bool:
+        return self.state(peer_id) is PeerState.DOWN
+
+    # -- half-open probing -------------------------------------------------
+
+    def should_probe(self, peer_id: str, now: Optional[float] = None) -> bool:
+        """Whether a half-open probe of a DOWN peer is due.  ALIVE and
+        SUSPECT peers are always probeable (the regular heartbeat
+        cadence applies); a DOWN peer is probed once per
+        ``probe_interval`` so re-dials never storm a dead host."""
+        if now is None:
+            now = self.clock.now()
+        with self._lock:
+            record = self._peers.get(peer_id)
+            if record is None or not record.down:
+                return True
+            interval = (
+                self.config.probe_interval
+                if self.config.probe_interval is not None
+                else self.config.heartbeat_interval
+            )
+            if record.last_probe is not None and now - record.last_probe < interval:
+                return False
+            record.last_probe = now
+            return True
+
+    # -- introspection -----------------------------------------------------
+
+    def down_since(self, peer_id: str) -> Optional[float]:
+        with self._lock:
+            record = self._peers.get(peer_id)
+            return record.down_since if record is not None else None
+
+    def describe(self, now: Optional[float] = None) -> Dict[str, Dict[str, Any]]:
+        if now is None:
+            now = self.clock.now()
+        out: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            items = list(self._peers.items())
+        for peer_id, record in items:
+            with self._lock:
+                state = self._state_locked(record, now)
+                mean = self._mean_interval_locked(record)
+                last = record.last_heartbeat
+                out[peer_id] = {
+                    "state": state.value,
+                    "phi": round(
+                        (max(0.0, now - last) / mean / _LN10) if last is not None else 0.0,
+                        3,
+                    ),
+                    "heartbeat_age": round(now - last, 3) if last is not None else None,
+                    "mean_interval": round(mean, 4),
+                    "samples": len(record.intervals),
+                    "consecutive_failures": record.consecutive_failures,
+                    "down_since": record.down_since,
+                    "transitions": record.transitions,
+                }
+        return out
+
+    def _notify(self, peer_id: str, old: PeerState, new: PeerState) -> None:
+        if old is not new and self.on_transition is not None:
+            self.on_transition(peer_id, old, new)

@@ -50,6 +50,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.config import ConfigValidationError, FactoryConfig, OrbConfig
 from repro.exceptions import CommunicationError, ConfigurationError
 from repro.orb.core import Node, Orb
+from repro.orb.membership import FailureDetector, FailureDetectorConfig, PeerState
 from repro.orb.reference import ObjectRef
 from repro.orb.socket_transport import SocketTransport
 from repro.ots.current import TransactionCurrent
@@ -62,6 +63,7 @@ from repro.ots.recoverable import RecoverableRegistry, TransactionalCell
 from repro.persistence.object_store import MemoryStore, ObjectStore, SegmentedFileStore
 from repro.persistence.wal import WriteAheadLog
 from repro.util.clock import WallClock
+from repro.util.retry import RetryPolicy
 
 _FED_PREFIX = "fed:"
 
@@ -93,10 +95,30 @@ class SiteConfig:
         needs the cells registered to replay into them).
     ``poll_interval``
         Seconds between serve-loop rounds (recovery retry /
-        ``resolve_in_doubt`` polling).
+        ``resolve_in_doubt`` polling / heartbeat probes).  While
+        recovery keeps failing the wait backs off under ``retry``
+        instead of hammering a dead superior at a fixed cadence.
     ``orb`` / ``factory``
         Keyword dictionaries folded into :class:`OrbConfig` /
         :class:`FactoryConfig` (e.g. ``{"marshal_once": false}``).
+    ``heartbeat``
+        Failure-detection knobs folded into
+        :class:`~repro.orb.membership.FailureDetectorConfig`
+        (``heartbeat_interval`` defaults to ``poll_interval``); set
+        ``{"enabled": false}`` to run with the pre-PR-8 static-peers
+        behaviour (no liveness, no quarantine).
+    ``retry``
+        Knobs folded into :class:`~repro.util.retry.RetryPolicy` for
+        the transport's reconnect backoff and the serve loop's
+        recovery/resolution polling.
+    ``orphan_min_age``
+        Seconds an adopted subordinate may sit unprepared with no word
+        from its superior before the serve loop unilaterally rolls it
+        back (presumed abort makes that safe at any age; the grace
+        period just keeps slow-but-live transactions out of the sweep).
+        Orphans happen when the superior dies — or is quarantined —
+        between adopting a subordinate and driving its completion; the
+        subordinate holds locks forever unless someone sweeps it.
     """
 
     site_id: str
@@ -109,6 +131,9 @@ class SiteConfig:
     poll_interval: float = 0.2
     orb: Dict[str, Any] = field(default_factory=dict)
     factory: Dict[str, Any] = field(default_factory=dict)
+    heartbeat: Dict[str, Any] = field(default_factory=dict)
+    retry: Dict[str, Any] = field(default_factory=dict)
+    orphan_min_age: float = 5.0
 
     def __post_init__(self) -> None:
         if not self.site_id:
@@ -126,6 +151,31 @@ class SiteConfig:
             raise ConfigValidationError(
                 f"SiteConfig: poll_interval must be > 0, got {self.poll_interval!r}"
             )
+        if self.orphan_min_age <= 0:
+            raise ConfigValidationError(
+                f"SiteConfig: orphan_min_age must be > 0,"
+                f" got {self.orphan_min_age!r}"
+            )
+        # Fail at config time, not at boot: both dicts must fold cleanly.
+        self.detector_config()
+        self.retry_policy()
+
+    def heartbeat_enabled(self) -> bool:
+        return bool(self.heartbeat.get("enabled", True))
+
+    def detector_config(self) -> FailureDetectorConfig:
+        kwargs = {k: v for k, v in self.heartbeat.items() if k != "enabled"}
+        kwargs.setdefault("heartbeat_interval", self.poll_interval)
+        try:
+            return FailureDetectorConfig(**kwargs)
+        except (TypeError, ConfigurationError) as exc:
+            raise ConfigValidationError(f"SiteConfig: bad heartbeat block: {exc}")
+
+    def retry_policy(self) -> RetryPolicy:
+        try:
+            return RetryPolicy(**self.retry)
+        except (TypeError, ConfigurationError) as exc:
+            raise ConfigValidationError(f"SiteConfig: bad retry block: {exc}")
 
     def to_dict(self) -> Dict[str, Any]:
         raw = dataclasses.asdict(self)
@@ -267,7 +317,22 @@ class SiteRuntime:
         self.config = config
         self.clock = WallClock()
         self.transport = SocketTransport(
-            config.site_id, bind=(config.host, config.port)
+            config.site_id,
+            bind=(config.host, config.port),
+            retry_policy=config.retry_policy(),
+        )
+        # Membership: a phi failure detector fed by serve-loop heartbeat
+        # probes.  DOWN quarantines the peer on the transport (fast-fail
+        # typed errors instead of reconnect-backoff blocking); the first
+        # successful half-open probe re-admits it.
+        self.failure_detector: Optional[FailureDetector] = (
+            FailureDetector(
+                self.clock,
+                config.detector_config(),
+                on_transition=self._on_peer_transition,
+            )
+            if config.heartbeat_enabled()
+            else None
         )
         orb_kwargs = dict(config.orb)
         orb_kwargs["domain_id"] = config.site_id
@@ -280,6 +345,8 @@ class SiteRuntime:
         for peer_id, address in config.peers.items():
             if peer_id != config.site_id:
                 self.transport.connect_peer(peer_id, address)
+                if self.failure_detector is not None:
+                    self.failure_detector.watch(peer_id)
 
         # The WAL is durable whenever the site has a data_dir at all:
         # commit decisions and subtx-prepared records must survive
@@ -372,8 +439,17 @@ class SiteRuntime:
             # the exact protocol point the in-process tests simulate.
             self.factory.failpoints.arm(str(request.get("point")))
             return {"ok": True, "armed": self.factory.failpoints.armed()}
+        if op == "disarm":
+            # Chaos quiesce: clear any armed-but-unfired kill point so
+            # the post-campaign audit doesn't trip it.
+            self.factory.failpoints.clear()
+            return {"ok": True}
         if op == "resolve":
             return {"outcomes": self.service.resolve_in_doubt()}
+        if op == "debug_dump":
+            return self.debug_dump()
+        if op == "membership":
+            return self.membership()
         if op == "status":
             stats = self.transport.stats
             return {
@@ -392,6 +468,73 @@ class SiteRuntime:
             self._stop.set()
             return {"ok": True}
         raise ConfigurationError(f"unknown control op {op!r}")
+
+    # -- membership ----------------------------------------------------------
+
+    def _on_peer_transition(self, peer_id: str, old: PeerState, new: PeerState) -> None:
+        if new is PeerState.DOWN:
+            self.transport.quarantine(peer_id, "failure detector marked DOWN")
+        elif old is PeerState.DOWN:
+            self.transport.readmit(peer_id)
+        self.factory.event_log.record(
+            "peer_transition", peer=peer_id, old=old.value, new=new.value
+        )
+
+    def _heartbeat_round(self) -> None:
+        """Probe every peer once (DOWN peers only when their half-open
+        probe is due) and feed the outcomes to the failure detector."""
+        detector = self.failure_detector
+        if detector is None:
+            return
+        for peer_id in self.transport.peers():
+            if not detector.should_probe(peer_id):
+                continue
+            try:
+                self.transport.control(
+                    peer_id, {"op": "ping"}, attempts=1, probe=True
+                )
+            except CommunicationError:
+                detector.failure(peer_id)
+            else:
+                detector.heartbeat(peer_id)
+
+    def membership(self) -> Dict[str, Any]:
+        if self.failure_detector is None:
+            return {"enabled": False, "peers": {}}
+        return {"enabled": True, "peers": self.failure_detector.describe()}
+
+    # -- triage ---------------------------------------------------------------
+
+    def debug_dump(self) -> Dict[str, Any]:
+        """Everything chaos-run triage needs, without a debugger:
+        membership/quarantine state, event-log pressure, and how long
+        each in-doubt subordinate has been waiting on its superior."""
+        stats = self.transport.stats
+        event_log = self.factory.event_log
+        return {
+            "site": self.config.site_id,
+            "recovered": self.recovered,
+            "recovery_error": self.last_recovery_error,
+            "membership": self.membership(),
+            "quarantined": self.transport.quarantined(),
+            "event_log": {
+                "events": len(event_log),
+                "dropped": event_log.dropped,
+                "max_events": event_log.max_events,
+            },
+            "in_doubt_ages": self.service.in_doubt_ages(),
+            "active_transactions": sorted(
+                tx.tid for tx in self.factory.active_transactions()
+            ),
+            "stats": {
+                "requests_sent": stats.requests_sent,
+                "replies_sent": stats.replies_sent,
+                "requests_dropped": stats.requests_dropped,
+                "reconnects": stats.reconnects,
+                "quarantine_rejections": stats.quarantine_rejections,
+                "bytes_sent": stats.bytes_sent,
+            },
+        }
 
     # -- serving ----------------------------------------------------------------
 
@@ -413,6 +556,7 @@ class SiteRuntime:
             )
             return
         try:
+            self.service.sweep_orphans(min_age=self.config.orphan_min_age)
             self.service.resolve_in_doubt()
         except Exception as exc:
             self.last_recovery_error = f"{type(exc).__name__}: {exc}"
@@ -422,12 +566,37 @@ class SiteRuntime:
 
         Boot sequence: listen, then replay the WAL until recovery
         succeeds (readiness — ``ping`` answers ``recovered=False``
-        meanwhile), then poll for in-doubt resolutions.
+        meanwhile), then poll for in-doubt resolutions.  Heartbeat
+        probes run every round; a recovery/resolution round that keeps
+        failing backs off under the site's :class:`RetryPolicy` (capped,
+        jittered) instead of re-hitting a dead superior at a fixed
+        cadence.
         """
         self.transport.start()
+        # The serve loop's backoff reuses the policy's shape but anchors
+        # the schedule at poll_interval (its base_delay is tuned for
+        # socket re-dials, far too short for WAL-replay retries).
+        policy = self.config.retry_policy()
+        backoff = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay=self.config.poll_interval,
+            multiplier=policy.multiplier,
+            max_delay=max(policy.max_delay, self.config.poll_interval),
+            jitter=policy.jitter,
+        )
+        consecutive_failures = 0
         while not self._stop.is_set():
+            self._heartbeat_round()
             self._recovery_round()
-            self._stop.wait(self.config.poll_interval)
+            if self.last_recovery_error is None:
+                consecutive_failures = 0
+                wait = self.config.poll_interval
+            else:
+                consecutive_failures = min(consecutive_failures + 1, 16)
+                wait = max(
+                    self.config.poll_interval, backoff.delay(consecutive_failures)
+                )
+            self._stop.wait(wait)
         self.transport.close()
 
     def serve_in_background(self) -> None:

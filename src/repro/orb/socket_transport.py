@@ -49,7 +49,6 @@ import json
 import socket
 import struct
 import threading
-import time
 from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple
 
 from repro.exceptions import (
@@ -60,6 +59,7 @@ from repro.exceptions import (
     TimeoutError_,
 )
 from repro.orb.transport import Transport, TransportStats
+from repro.util.retry import RetryPolicy
 
 PROTOCOL_VERSION = 1
 
@@ -187,6 +187,7 @@ class SocketTransport(Transport):
         connect_timeout: float = 5.0,
         request_timeout: float = 30.0,
         accept_loop: str = "threads",
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if accept_loop not in ("threads", "asyncio"):
             raise ConfigurationError(
@@ -198,8 +199,24 @@ class SocketTransport(Transport):
         self.stats = TransportStats()
         self.reconnect_attempts = reconnect_attempts
         self.reconnect_base_delay = reconnect_base_delay
+        # Reconnects follow the unified RetryPolicy: capped exponential
+        # backoff *with jitter*, so the pool slots of many clients never
+        # hammer a recovering peer in lockstep (PR 8).  The legacy
+        # (attempts, base_delay) pair folds into a policy when no
+        # explicit one is given.
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                max_attempts=reconnect_attempts,
+                base_delay=reconnect_base_delay,
+                max_delay=max(reconnect_base_delay, 2.0),
+                jitter=0.5,
+            )
+        )
         self.connect_timeout = connect_timeout
         self.request_timeout = request_timeout
+        self._quarantined: Dict[str, str] = {}
         self._peers: Dict[str, Tuple[str, int]] = {}
         self._node_homes: Dict[str, str] = {}
         self._idle: Dict[str, List[_Connection]] = {}
@@ -287,6 +304,32 @@ class SocketTransport(Transport):
 
     def peers(self) -> Tuple[str, ...]:
         return tuple(sorted(self._peers))
+
+    # -- quarantine (failure-detector integration) -------------------------
+
+    def quarantine(self, peer_id: str, reason: str = "failure detector") -> None:
+        """Fast-fail requests to ``peer_id`` until :meth:`readmit`.
+
+        A quarantined peer costs one typed :class:`CommunicationError`
+        per request — no dial, no backoff, no pool-slot pile-up — which
+        is what lets callers honour their deadline budgets while the
+        membership layer waits for the peer to come back.
+        """
+        with self._lock:
+            self._quarantined[peer_id] = reason
+
+    def readmit(self, peer_id: str) -> None:
+        """Lift the quarantine (the failure detector saw a heartbeat)."""
+        with self._lock:
+            self._quarantined.pop(peer_id, None)
+
+    def quarantined(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._quarantined)
+
+    def is_quarantined(self, peer_id: str) -> bool:
+        with self._lock:
+            return peer_id in self._quarantined
 
     # -- server side (asyncio accept loop) ---------------------------------
 
@@ -493,44 +536,72 @@ class SocketTransport(Transport):
         target: str,
         payload: bytes,
         attempts: Optional[int] = None,
+        ignore_quarantine: bool = False,
     ) -> Tuple[int, bytes]:
-        """One request/reply against ``peer_id``, reconnecting with
-        exponential backoff when the peer is down or a pooled connection
-        has died underneath us."""
+        """One request/reply against ``peer_id``, reconnecting under the
+        transport's :class:`RetryPolicy` (capped backoff + jitter) when
+        the peer is down or a pooled connection has died underneath us.
+        A quarantined peer fails fast — no dial at all — unless the
+        caller is the membership layer's half-open probe."""
         if self._closed:
             raise CommunicationError(f"transport for site {self.site_id} is closed")
         if peer_id not in self._peers:
             raise CommunicationError(
                 f"site {self.site_id} has no address for peer {peer_id!r}"
             )
-        if attempts is None:
-            attempts = self.reconnect_attempts
-        last_error: Optional[Exception] = None
-        for attempt in range(attempts):
-            if attempt:
-                time.sleep(self.reconnect_base_delay * (2 ** (attempt - 1)))
-            try:
-                conn = self._checkout(peer_id)
-            except (ConnectionError, OSError) as exc:
-                last_error = exc
-                continue
+        if not ignore_quarantine:
+            with self._lock:
+                reason = self._quarantined.get(peer_id)
+            if reason is not None:
+                with self._lock:
+                    self.stats.requests_dropped += 1
+                    self.stats.quarantine_rejections += 1
+                raise CommunicationError(
+                    f"peer {peer_id} quarantined ({reason}); failing fast"
+                )
+        policy = self.retry_policy
+        if attempts is not None:
+            policy = RetryPolicy(
+                max_attempts=attempts,
+                base_delay=policy.base_delay,
+                multiplier=policy.multiplier,
+                max_delay=policy.max_delay,
+                jitter=policy.jitter,
+                deadline=policy.deadline,
+            )
+
+        def one_round() -> Tuple[int, bytes]:
+            conn = self._checkout(peer_id)
             try:
                 reply = conn.round_trip(kind, source, target, payload)
-            except (ConnectionError, OSError) as exc:
+            except (ConnectionError, OSError):
                 # The connection died mid-round; the request may or may
                 # not have executed (at-least-once, like a duplicated
                 # simulated delivery).  Retry on a fresh connection.
                 conn.close()
-                last_error = exc
-                continue
+                raise
             self._checkin(peer_id, conn)
             return reply
-        with self._lock:
-            self.stats.requests_dropped += 1
-        raise CommunicationError(
-            f"peer {peer_id} unreachable after {attempts}"
-            f" attempts: {last_error}"
-        )
+
+        def count_reconnect(_attempt: int, _error: BaseException) -> None:
+            # Distinct re-dial attempts, not requests: a request that
+            # succeeds first try contributes nothing here.
+            with self._lock:
+                self.stats.reconnects += 1
+
+        try:
+            return policy.call(  # type: ignore[return-value]
+                one_round,
+                retry_on=(ConnectionError, OSError),
+                on_retry=count_reconnect,
+            )
+        except (ConnectionError, OSError) as exc:
+            with self._lock:
+                self.stats.requests_dropped += 1
+            raise CommunicationError(
+                f"peer {peer_id} unreachable after {policy.max_attempts}"
+                f" attempts: {exc}"
+            )
 
     def request(
         self, peer_id: str, source_node: str, target_node: str, request_bytes: bytes
@@ -552,18 +623,28 @@ class SocketTransport(Transport):
         peer_id: str,
         operation: Dict[str, Any],
         attempts: Optional[int] = None,
+        probe: bool = False,
     ) -> Dict[str, Any]:
         """Site-level JSON RPC (ping, locate) against one peer.
 
         ``attempts=1`` probes without the reconnect backoff — the right
         setting for discovery sweeps that must not stall on a dead peer.
+        ``probe=True`` additionally bypasses quarantine: it is how the
+        membership layer's half-open heartbeat reaches a DOWN peer to
+        discover it recovered.
         """
         payload = json.dumps(operation).encode("utf-8")
         with self._lock:
             self.stats.requests_sent += 1
             self.stats.bytes_sent += len(payload)
         kind, reply = self._round_trip(
-            peer_id, KIND_CONTROL, self.site_id, peer_id, payload, attempts=attempts
+            peer_id,
+            KIND_CONTROL,
+            self.site_id,
+            peer_id,
+            payload,
+            attempts=attempts,
+            ignore_quarantine=probe,
         )
         if kind == KIND_REPLY_ERR:
             raise self._revive_error(reply)
@@ -601,4 +682,6 @@ class SocketTransport(Transport):
             "site": self.site_id,
             "address": list(self.address) if self.address else None,
             "peers": {peer: list(addr) for peer, addr in sorted(self._peers.items())},
+            "quarantined": self.quarantined(),
+            "retry_policy": self.retry_policy.describe(),
         }

@@ -89,6 +89,8 @@ class TransportStats:
         "duplicate_dispatch_failures",
         "bytes_sent",
         "simulated_latency_total",
+        "reconnects",
+        "quarantine_rejections",
         "marshal",
     )
 
@@ -105,6 +107,8 @@ class TransportStats:
         self.duplicate_dispatch_failures = 0
         self.bytes_sent = 0
         self.simulated_latency_total = 0.0
+        self.reconnects = 0
+        self.quarantine_rejections = 0
         self.marshal.reset()
 
 

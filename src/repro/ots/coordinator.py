@@ -56,9 +56,17 @@ _NOT_ASKED = object()
 
 
 class ResourceRecord(SlottedRecord):
-    """Bookkeeping for one registered two-phase participant (slotted, PR 7)."""
+    """Bookkeeping for one registered two-phase participant (slotted, PR 7).
 
-    __slots__ = ("participant", "recovery_key", "vote", "completed")
+    ``prepare_failed`` distinguishes "voted ROLLBACK" (the participant
+    aborted itself as part of voting — presumed abort lets the sweep
+    skip it) from "prepare *raised*" (the participant's state is
+    unknown: an interposed subordinate may be stuck mid-prepare holding
+    locks, so the phase-one failure sweep must still send it a
+    rollback, best-effort).
+    """
+
+    __slots__ = ("participant", "recovery_key", "vote", "completed", "prepare_failed")
     _fields: ClassVar[Tuple[str, ...]] = __slots__
 
     def __init__(
@@ -67,11 +75,13 @@ class ResourceRecord(SlottedRecord):
         recovery_key: Optional[str] = None,
         vote: Optional[Vote] = None,
         completed: bool = False,
+        prepare_failed: bool = False,
     ) -> None:
         self.participant = participant
         self.recovery_key = recovery_key
         self.vote = vote
         self.completed = completed
+        self.prepare_failed = prepare_failed
 
 
 class _ParticipantRound:
@@ -297,7 +307,11 @@ class Transaction:
         rollback_voter = self._gather_votes(live)
         if rollback_voter is not None:
             self.status = TransactionStatus.ROLLING_BACK
-            to_undo = [r for r in live if r.vote is Vote.COMMIT]
+            # Yes-voters must be told to roll back, and so must any
+            # resource whose prepare *raised* — it never voted, so it
+            # may be wedged mid-prepare (locks held) rather than
+            # self-aborted like a genuine no-voter.
+            to_undo = [r for r in live if r.vote is Vote.COMMIT or r.prepare_failed]
             self._rollback_resources(to_undo)
             self._finish(TransactionStatus.ROLLED_BACK)
             raise TransactionRolledBack(
@@ -374,7 +388,9 @@ class Transaction:
         rollback_voter = self._gather_votes(live)
         if rollback_voter is not None:
             self.status = TransactionStatus.ROLLING_BACK
-            self._rollback_resources([r for r in live if r.vote is Vote.COMMIT])
+            self._rollback_resources(
+                [r for r in live if r.vote is Vote.COMMIT or r.prepare_failed]
+            )
             self._finish(TransactionStatus.ROLLED_BACK)
             return Vote.ROLLBACK
         if not any(r.vote is Vote.COMMIT for r in live):
@@ -492,6 +508,7 @@ class Transaction:
                 if isinstance(exc, SimulatedCrash):
                     raise
                 record.vote = Vote.ROLLBACK
+                record.prepare_failed = True
             log.record("tx_vote", tid=self.tid, vote=record.vote.name)
             if record.vote is Vote.ROLLBACK:
                 return record
@@ -549,6 +566,7 @@ class Transaction:
                 raise result
             if isinstance(result, BaseException):
                 record.vote = Vote.ROLLBACK
+                record.prepare_failed = True
             else:
                 record.vote = result
             log.record("tx_vote", tid=self.tid, vote=record.vote.name)

@@ -41,7 +41,12 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.exceptions import CommunicationError, ConfigurationError, ObjectNotExist
+from repro.exceptions import (
+    CommunicationError,
+    ConfigurationError,
+    ObjectNotExist,
+    ReproError,
+)
 from repro.orb.core import Orb, Servant
 from repro.orb.federation import coordination_node_id
 from repro.orb.interceptors import (
@@ -328,6 +333,8 @@ class FederatedTransactionService:
         self._exports: Dict[str, FederatedTransactionContext] = {}
         self._adopted: Dict[str, SubordinateTransactionResource] = {}
         self._recovered: Dict[str, RecoveredSubordinateResource] = {}
+        self._prepared_at: Dict[str, float] = {}
+        self._adopted_at: Dict[str, float] = {}
         self._lock = threading.Lock()
         self.adoptions = 0
         bridge.register_service(self.domain_id, SERVICE_NAME, self)
@@ -422,6 +429,7 @@ class FederatedTransactionService:
                 tx.rollback()
                 raise
             self._adopted[context.tid] = resource
+            self._adopted_at[context.tid] = self.factory.clock.now()
             self.adoptions += 1
         self.factory.event_log.record(
             "fed_adopt",
@@ -455,6 +463,10 @@ class FederatedTransactionService:
             recovery_keys=keys,
             root_domain=root_domain,
         )
+        # In-memory only (not replayed): ages answered by
+        # in_doubt_ages() restart from the recovery pass after a crash,
+        # which is exactly the duration triage cares about.
+        self._prepared_at[root_tid] = self.factory.clock.now()
 
     def log_resolved(self, local_tid: str) -> None:
         """Durably mark a prepared subordinate resolved by rollback: the
@@ -523,6 +535,7 @@ class FederatedTransactionService:
                 node.deactivate(object_id)
             node.activate(resource, object_id=object_id, interface="SubordinateResource")
             self._recovered[root_tid] = resource
+            self._prepared_at.setdefault(root_tid, self.factory.clock.now())
             self.factory.event_log.record(
                 "fed_readopt",
                 root=root_tid,
@@ -549,6 +562,79 @@ class FederatedTransactionService:
                     "SubordinateResource",
                 ).bind(self.orb)
                 self.note_subordinate_proxy(key, ref)
+
+    def in_doubt_ages(self) -> Dict[str, float]:
+        """How long each currently-held in-doubt subordinate has been
+        waiting on its superior, in seconds ({root_tid: age}).  Ages are
+        measured from the prepare (or, after a crash, from the recovery
+        pass that re-held the record) — the chaos triage signal for
+        "this superior never came back"."""
+        now = self.factory.clock.now()
+        _, decided, completed = self._wal_index()
+        ages: Dict[str, float] = {}
+        with self._lock:
+            for root_tid, res in self._adopted.items():
+                if res.transaction.status is TransactionStatus.PREPARED:
+                    started = self._prepared_at.get(root_tid, now)
+                    ages[root_tid] = max(0.0, now - started)
+            for root_tid, res in self._recovered.items():
+                if res.local_tid in decided or res.local_tid in completed:
+                    continue
+                started = self._prepared_at.get(root_tid, now)
+                ages[root_tid] = max(0.0, now - started)
+        return ages
+
+    def sweep_orphans(self, min_age: float = 0.0) -> List[str]:
+        """Presumed-abort sweep for adopted-but-never-prepared subordinates.
+
+        A subordinate that enlisted work but never voted holds no durable
+        stake in the outcome: the superior cannot commit without its
+        prepared vote, so rolling it back unilaterally is always safe
+        (the classic presumed-abort liberty of an unprepared
+        participant).  Such orphans arise under faults when the
+        superior's rollback broadcast is lost to a partition or the
+        superior dies before completion — nothing ever arrives to finish
+        the local transaction, it was never prepared so recovery ignores
+        it, and without this sweep it would hold locks forever.
+
+        Rolls back every adopted subordinate still in ``ACTIVE``/
+        ``MARKED_ROLLBACK`` that has been adopted for at least
+        ``min_age`` seconds; returns the swept root tids.  If the
+        superior's phase one does arrive later, the terminal local
+        transaction makes its prepare fail — the root aborts, which is
+        consistent with what the sweep already decided.
+        """
+        now = self.factory.clock.now()
+        with self._lock:
+            candidates = [
+                (root_tid, res)
+                for root_tid, res in self._adopted.items()
+                if res.transaction.status
+                in (
+                    TransactionStatus.ACTIVE,
+                    TransactionStatus.MARKED_ROLLBACK,
+                    # A prepare that died mid-flight: the vote never
+                    # reached the superior as COMMIT (that would have
+                    # flipped us to PREPARED), so aborting is still the
+                    # unprepared participant's unilateral right.
+                    TransactionStatus.PREPARING,
+                )
+                and now - self._adopted_at.get(root_tid, now) >= min_age
+            ]
+        swept: List[str] = []
+        for root_tid, res in candidates:
+            try:
+                res.transaction.rollback()
+            except ReproError:  # pragma: no cover - already finishing
+                continue
+            swept.append(root_tid)
+            self.factory.event_log.record(
+                "fed_orphan_swept",
+                root=root_tid,
+                domain=self.domain_id,
+                local_tid=res.transaction.tid,
+            )
+        return swept
 
     # -- subordinate-driven in-doubt resolution ----------------------------------------
 

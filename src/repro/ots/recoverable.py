@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.ots.coordinator import Transaction
 from repro.ots.exceptions import TransactionRequired
-from repro.ots.locks import LockMode
+from repro.ots.locks import LockConflict, LockMode
 from repro.ots.resource import Resource, SubtransactionAwareResource
 from repro.ots.status import Vote
 from repro.persistence.object_store import ObjectStore
@@ -86,6 +86,17 @@ class TransactionalCell(Recoverable):
         self._enlisted_sub: Set[str] = set()
         if store is not None and store.contains(self._state_key()):
             self._committed = store.get(self._state_key())
+        if store is not None:
+            # Durable intention records left by a previous incarnation are
+            # still-held write locks: the prepared transaction's outcome is
+            # undecided, so its lock must be re-established here even though
+            # the lock manager's in-memory state died with the old process.
+            prefix = f"prepared:{self.key}:"
+            for stored in store.keys():
+                if stored.startswith(prefix):
+                    self._prepared.setdefault(
+                        stored[len(prefix):], store.get(stored)
+                    )
         if registry is not None:
             registry.register(key, self)
 
@@ -103,6 +114,7 @@ class TransactionalCell(Recoverable):
         """Read under ``tx`` (or the committed value when tx is None)."""
         if tx is None:
             return self._committed
+        self._check_in_doubt(tx, LockMode.READ)
         self.factory.lock_manager.acquire(tx, self.key, LockMode.READ)
         self._touch(tx)
         cursor: Optional[Transaction] = tx
@@ -116,6 +128,7 @@ class TransactionalCell(Recoverable):
         """Buffer ``value`` in the transaction's workspace."""
         if tx is None:
             raise TransactionRequired(f"write to cell {self.key!r} outside a transaction")
+        self._check_in_doubt(tx, LockMode.WRITE)
         self.factory.lock_manager.acquire(tx, self.key, LockMode.WRITE)
         self._touch(tx)
         self._workspaces[tx.tid] = value
@@ -126,6 +139,23 @@ class TransactionalCell(Recoverable):
 
     def is_locked(self) -> bool:
         return bool(self.factory.lock_manager.holders(self.key))
+
+    def _check_in_doubt(self, tx: Transaction, mode: LockMode) -> None:
+        """Block access while another transaction's intention is in doubt.
+
+        A prepared-but-undecided value is neither the old state nor the
+        new one.  While the preparing process is alive its write lock
+        blocks conflicting access; after a crash-restart the lock
+        manager's memory is gone but the intention record in the store
+        is not, so strict two-phase locking has to be enforced from the
+        durable record itself — otherwise a later transaction could
+        commit over the cell and the eventual ``recover_commit`` would
+        stomp it with the stale prepared snapshot.
+        """
+        top = tx.top_level.tid
+        holders = [tid for tid in self._prepared if tid != top]
+        if holders:
+            raise LockConflict(self.key, mode, sorted(holders))
 
     # -- enlistment -----------------------------------------------------------------
 
@@ -174,6 +204,7 @@ class TransactionalCell(Recoverable):
     def _install(self, tid: str, value: Any) -> None:
         self._committed = value
         self._workspaces.pop(tid, None)
+        self._prepared.pop(tid, None)
         self._enlisted_top.discard(tid)
         if self.store is not None:
             self.store.put(self._state_key(), value)

@@ -1,0 +1,190 @@
+"""The phi-accrual failure detector under a simulated clock.
+
+Liveness verdicts are a pure function of (evidence timeline, config)
+once the clock is simulated, so every threshold crossing here is exact:
+when phi crosses ``suspect_phi`` the peer is SUSPECT, ``down_phi`` (or
+``failure_threshold`` explicit failures) latches DOWN, and only a real
+heartbeat — delivered through the metered half-open probe — re-admits.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.orb.membership import (
+    FailureDetector,
+    FailureDetectorConfig,
+    PeerState,
+)
+from repro.util.clock import SimulatedClock
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+def make_detector(clock, **kwargs):
+    transitions = []
+    config = FailureDetectorConfig(
+        heartbeat_interval=1.0, suspect_phi=1.0, down_phi=3.0,
+        failure_threshold=3, **kwargs,
+    )
+    detector = FailureDetector(
+        clock, config,
+        on_transition=lambda peer, old, new: transitions.append(
+            (peer, old, new)
+        ),
+    )
+    return detector, transitions
+
+
+class TestPhi:
+    def test_freshly_watched_peer_is_alive_with_zero_phi(self, clock):
+        detector, _ = make_detector(clock)
+        detector.watch("b")
+        assert detector.state("b") is PeerState.ALIVE
+        assert detector.phi("b") == 0.0
+
+    def test_phi_grows_with_silence(self, clock):
+        detector, _ = make_detector(clock)
+        detector.watch("b")
+        clock.advance(1.0)
+        low = detector.phi("b")
+        clock.advance(2.0)
+        assert detector.phi("b") > low
+
+    def test_suspect_then_down_as_silence_accrues(self, clock):
+        detector, _ = make_detector(clock)
+        detector.watch("b")
+        # phi = elapsed / mean / ln(10); mean is the 1.0s prior.
+        clock.advance(2.4)  # phi ~= 1.04: suspect
+        assert detector.state("b") is PeerState.SUSPECT
+        clock.advance(4.8)  # phi ~= 3.1: down, latched
+        assert detector.state("b") is PeerState.DOWN
+        assert detector.down_since("b") is not None
+
+    def test_down_latches_until_a_heartbeat(self, clock):
+        detector, _ = make_detector(clock)
+        detector.watch("b")
+        clock.advance(10.0)
+        assert detector.state("b") is PeerState.DOWN
+        # Silence can only grow suspicion; DOWN never clears on its own.
+        clock.advance(100.0)
+        assert detector.state("b") is PeerState.DOWN
+        detector.heartbeat("b")
+        assert detector.state("b") is PeerState.ALIVE
+
+    def test_observed_cadence_replaces_the_prior(self, clock):
+        """A peer heartbeating every 0.2s goes DOWN after ~1.4s of
+        silence — much sooner than the 1.0s-interval prior allows."""
+        detector, _ = make_detector(clock)
+        detector.watch("slow")
+        detector.watch("fast")
+        for _ in range(10):
+            clock.advance(0.2)
+            detector.heartbeat("fast")
+        clock.advance(1.6)
+        assert detector.state("fast") is PeerState.DOWN
+        assert detector.state("slow") is not PeerState.DOWN
+
+
+class TestExplicitFailures:
+    def test_failure_threshold_forces_down(self, clock):
+        detector, transitions = make_detector(clock)
+        detector.watch("b")
+        detector.failure("b")
+        detector.failure("b")
+        assert detector.state("b") is not PeerState.DOWN
+        detector.failure("b")
+        assert detector.state("b") is PeerState.DOWN
+        assert transitions[-1][2] is PeerState.DOWN
+
+    def test_heartbeat_resets_the_failure_streak(self, clock):
+        detector, _ = make_detector(clock)
+        detector.watch("b")
+        detector.failure("b")
+        detector.failure("b")
+        detector.heartbeat("b")
+        detector.failure("b")
+        detector.failure("b")
+        assert detector.state("b") is not PeerState.DOWN
+
+    def test_readmission_restarts_interval_history(self, clock):
+        detector, transitions = make_detector(clock)
+        detector.watch("b")
+        for _ in range(5):
+            clock.advance(0.1)
+            detector.heartbeat("b")
+        for _ in range(3):
+            detector.failure("b")
+        assert detector.state("b") is PeerState.DOWN
+        clock.advance(50.0)
+        detector.heartbeat("b")
+        # Pre-outage 0.1s cadence must not make the restarted peer
+        # instantly suspect again: history restarted with the prior.
+        clock.advance(1.0)
+        assert detector.state("b") is PeerState.ALIVE
+        assert (
+            "b", PeerState.DOWN, PeerState.ALIVE
+        ) in transitions
+
+
+class TestHalfOpenProbes:
+    def test_down_peer_probes_are_metered(self, clock):
+        detector, _ = make_detector(clock, probe_interval=2.0)
+        detector.watch("b")
+        for _ in range(3):
+            detector.failure("b")
+        assert detector.should_probe("b") is True   # first probe free
+        assert detector.should_probe("b") is False  # metered
+        clock.advance(2.0)
+        assert detector.should_probe("b") is True
+        assert detector.should_probe("b") is False
+
+    def test_alive_peers_are_always_probeable(self, clock):
+        detector, _ = make_detector(clock)
+        detector.watch("b")
+        assert all(detector.should_probe("b") for _ in range(5))
+
+
+class TestIntrospection:
+    def test_describe_reports_state_phi_and_streaks(self, clock):
+        detector, _ = make_detector(clock)
+        detector.watch("b")
+        clock.advance(0.5)
+        detector.heartbeat("b")
+        detector.failure("b")
+        info = detector.describe()["b"]
+        assert info["state"] == "alive"
+        assert info["consecutive_failures"] == 1
+        assert info["down_since"] is None
+
+    def test_forget_drops_the_peer(self, clock):
+        detector, _ = make_detector(clock)
+        detector.watch("b")
+        detector.forget("b")
+        assert "b" not in detector.peers()
+
+    def test_down_since_records_the_latch_time(self, clock):
+        detector, _ = make_detector(clock)
+        detector.watch("b")
+        clock.advance(1.0)
+        for _ in range(3):
+            detector.failure("b")
+        assert detector.down_since("b") == clock.now()
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"heartbeat_interval": 0.0},
+            {"suspect_phi": 5.0, "down_phi": 3.0},
+            {"failure_threshold": 0},
+            {"window": 1},
+            {"probe_interval": -1.0},
+        ],
+    )
+    def test_bad_knobs_fail_at_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FailureDetectorConfig(**kwargs)

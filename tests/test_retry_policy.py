@@ -1,0 +1,156 @@
+"""RetryPolicy: the one backoff loop everything waits with.
+
+The policy is pure arithmetic plus a driving loop, so these tests pin
+the delay schedule exactly (no-jitter mode is byte-identical to the
+legacy transport backoff), bound the jittered draws, and prove the
+deadline budget property the chaos acceptance criteria name: no
+operation blocks past its budget — the retry that would land beyond the
+deadline is simply not attempted.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.util.retry import RetryPolicy
+from repro.util.rng import SeededRng
+
+
+class TestDelaySchedule:
+    def test_unjittered_schedule_is_capped_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0,
+            max_delay=0.5, jitter=0.0,
+        )
+        assert list(policy.backoffs()) == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jittered_delay_stays_in_band(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.5)
+        rng = SeededRng(3)
+        for retry_index in range(1, 5):
+            raw = min(0.1 * 2 ** (retry_index - 1), policy.max_delay)
+            for _ in range(50):
+                delay = policy.delay(retry_index, rng)
+                assert raw * 0.5 <= delay <= raw
+
+    def test_jitter_is_deterministic_under_a_seeded_rng(self):
+        policy = RetryPolicy(jitter=1.0)
+        first = list(policy.backoffs(SeededRng(11)))
+        second = list(policy.backoffs(SeededRng(11)))
+        assert first == second
+
+    def test_retry_index_zero_sleeps_nothing(self):
+        assert RetryPolicy().delay(0) == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_bad_knobs_fail_at_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class _Flaky:
+    """Fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures, exc=ConnectionError):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"attempt {self.calls}")
+        return "ok"
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+        self.sleeps = []
+
+    def now(self):
+        return self.t
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.t += seconds
+
+
+class TestCall:
+    def test_retries_then_returns_the_result(self):
+        clock = _FakeClock()
+        fn = _Flaky(2)
+        policy = RetryPolicy(max_attempts=4, jitter=0.0)
+        out = policy.call(
+            fn, retry_on=(ConnectionError,),
+            sleep=clock.sleep, now=clock.now,
+        )
+        assert out == "ok"
+        assert fn.calls == 3
+        assert clock.sleeps == [0.05, 0.1]
+
+    def test_exhausted_attempts_reraise_the_last_error(self):
+        clock = _FakeClock()
+        fn = _Flaky(10)
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        with pytest.raises(ConnectionError, match="attempt 3"):
+            policy.call(
+                fn, retry_on=(ConnectionError,),
+                sleep=clock.sleep, now=clock.now,
+            )
+
+    def test_unlisted_exceptions_pass_straight_through(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.0)
+        fn = _Flaky(2, exc=ValueError)
+        with pytest.raises(ValueError, match="attempt 1"):
+            policy.call(fn, retry_on=(ConnectionError,), sleep=lambda _: None)
+        assert fn.calls == 1
+
+    def test_deadline_budget_is_never_exceeded(self):
+        """The acceptance property: a retry that would land past the
+        budget is not attempted — the caller gets the error *within*
+        its deadline, not after it."""
+        clock = _FakeClock()
+        fn = _Flaky(100)
+        policy = RetryPolicy(
+            max_attempts=50, base_delay=0.4, multiplier=1.0,
+            jitter=0.0, deadline=1.0,
+        )
+        with pytest.raises(ConnectionError):
+            policy.call(
+                fn, retry_on=(ConnectionError,),
+                sleep=clock.sleep, now=clock.now,
+            )
+        assert clock.t <= 1.0
+        # 1.0s budget / 0.4s backoff: the first two retries fit.
+        assert fn.calls == 3
+
+    def test_on_retry_counts_distinct_reconnect_attempts(self):
+        clock = _FakeClock()
+        seen = []
+        fn = _Flaky(3)
+        policy = RetryPolicy(max_attempts=5, jitter=0.0)
+        policy.call(
+            fn, retry_on=(ConnectionError,),
+            sleep=clock.sleep, now=clock.now,
+            on_retry=lambda index, exc: seen.append((index, str(exc))),
+        )
+        assert [index for index, _ in seen] == [1, 2, 3]
+        assert seen[0][1] == "attempt 1"
+
+    def test_fail_fast_policy_makes_exactly_one_attempt(self):
+        fn = _Flaky(1)
+        policy = RetryPolicy(max_attempts=1)
+        with pytest.raises(ConnectionError):
+            policy.call(fn, retry_on=(ConnectionError,), sleep=lambda _: None)
+        assert fn.calls == 1
