@@ -233,7 +233,13 @@ class ChaosWorld:
                 detector_config
                 if detector_config is not None
                 else FailureDetectorConfig(
-                    heartbeat_interval=0.5, probe_interval=0.5
+                    heartbeat_interval=0.5,
+                    probe_interval=0.5,
+                    # Link heartbeats ride on workload traffic only; an
+                    # idle link going quiet between ops is not evidence
+                    # of death.  Partitions surface as explicit
+                    # delivery failures, which still latch DOWN.
+                    phi_latches_down=False,
                 )
             )
         if make_store is None:

@@ -255,13 +255,23 @@ class InterOrbBridge:
         routes with a typed :class:`CommunicationError` instead of
         re-crossing a dead wire, except for one metered half-open probe
         per ``probe_interval``; the first probe that crosses re-admits
-        the link."""
+        the link.
+
+        Because link heartbeats come only from routed traffic (there is
+        no independent probe thread), the default config disables
+        phi-silence latching: an idle-but-healthy link must not accrue
+        phi into DOWN and spuriously fast-fail the next burst of
+        requests.  Silence still reports SUSPECT; only explicit
+        delivery failures (``failure_threshold``) quarantine a link.
+        Pass an explicit config to override."""
         if self._clock is None:
             raise ConfigurationError(
                 "connect an ORB (or pass a clock) before enabling failure"
                 " detection"
             )
         if self._detector is None:
+            if config is None:
+                config = FailureDetectorConfig(phi_latches_down=False)
             self._detector = FailureDetector(self._clock, config)
         return self._detector
 

@@ -38,7 +38,7 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 
@@ -73,6 +73,14 @@ class FailureDetectorConfig:
     ``probe_interval``
         Half-open probe cadence while a peer is DOWN; ``None`` uses
         ``heartbeat_interval``.
+    ``phi_latches_down``
+        Whether sustained silence alone (phi crossing ``down_phi``) can
+        latch DOWN.  True fits peers probed on a fixed cadence (the site
+        daemon's heartbeat rounds), where silence really is evidence.
+        Disable it for peers that are only heartbeated by request
+        traffic — e.g. federation links — where an idle peer is silent
+        because it is idle, not dead: silence then tops out at SUSPECT
+        and only ``failure_threshold`` explicit failures latch DOWN.
     """
 
     heartbeat_interval: float = 0.2
@@ -82,6 +90,7 @@ class FailureDetectorConfig:
     window: int = 64
     min_samples: int = 3
     probe_interval: Optional[float] = None
+    phi_latches_down: bool = True
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
@@ -115,6 +124,7 @@ class _PeerRecord:
         "down_since",
         "last_probe",
         "transitions",
+        "reported",
     )
 
     def __init__(self, window: int) -> None:
@@ -125,6 +135,10 @@ class _PeerRecord:
         self.down_since: Optional[float] = None
         self.last_probe: Optional[float] = None
         self.transitions = 0
+        # The state last surfaced through on_transition: every notify
+        # diffs against this, so a latch can never skip its notification
+        # (and repeats never re-fire).
+        self.reported = PeerState.ALIVE
 
 
 class FailureDetector:
@@ -183,7 +197,6 @@ class FailureDetector:
             record = self._peers.get(peer_id)
             if record is None:
                 record = self._peers[peer_id] = _PeerRecord(self.config.window)
-            old = self._state_locked(record, now)
             if record.last_heartbeat is not None:
                 interval = now - record.last_heartbeat
                 if interval > 0:
@@ -196,7 +209,7 @@ class FailureDetector:
                 # Restart the interval history: pre-outage cadence says
                 # nothing about the restarted peer's behaviour.
                 record.intervals.clear()
-            new = self._state_locked(record, now)
+            old, new = self._settle_locked(record, now)
         self._notify(peer_id, old, new)
 
     def failure(self, peer_id: str) -> None:
@@ -207,7 +220,6 @@ class FailureDetector:
             if record is None:
                 record = self._peers[peer_id] = _PeerRecord(self.config.window)
                 record.last_heartbeat = now
-            old = self._state_locked(record, now)
             record.consecutive_failures += 1
             if (
                 not record.down
@@ -216,7 +228,7 @@ class FailureDetector:
                 record.down = True
                 record.down_since = now
                 record.transitions += 1
-            new = self._state_locked(record, now)
+            old, new = self._settle_locked(record, now)
         self._notify(peer_id, old, new)
 
     # -- suspicion ---------------------------------------------------------
@@ -240,23 +252,43 @@ class FailureDetector:
             )
         return self.config.heartbeat_interval
 
-    def _state_locked(self, record: _PeerRecord, now: float) -> PeerState:
+    def _peek_state_locked(self, record: _PeerRecord, now: float) -> PeerState:
+        """Pure state computation — no latching, no counter bumps.  Safe
+        for read-only introspection (:meth:`describe`)."""
         if record.down:
             return PeerState.DOWN
         if record.last_heartbeat is None:
             return PeerState.ALIVE
         mean = self._mean_interval_locked(record)
         phi = max(0.0, now - record.last_heartbeat) / mean / _LN10
-        if phi >= self.config.down_phi:
-            # Phi crossing down_phi latches, like explicit failures do:
-            # silence cannot un-suspect a peer.
-            record.down = True
-            record.down_since = now
-            record.transitions += 1
+        if phi >= self.config.down_phi and self.config.phi_latches_down:
             return PeerState.DOWN
         if phi >= self.config.suspect_phi:
             return PeerState.SUSPECT
         return PeerState.ALIVE
+
+    def _settle_locked(
+        self, record: _PeerRecord, now: float
+    ) -> Tuple[PeerState, PeerState]:
+        """Latch a due phi-DOWN (silence cannot un-suspect a peer) and
+        diff the result against the state last reported through
+        ``on_transition``.  Returns ``(old, new)`` for the caller to
+        notify outside the lock."""
+        if (
+            self.config.phi_latches_down
+            and not record.down
+            and record.last_heartbeat is not None
+        ):
+            mean = self._mean_interval_locked(record)
+            phi = max(0.0, now - record.last_heartbeat) / mean / _LN10
+            if phi >= self.config.down_phi:
+                record.down = True
+                record.down_since = now
+                record.transitions += 1
+        new = self._peek_state_locked(record, now)
+        old = record.reported
+        record.reported = new
+        return old, new
 
     def state(self, peer_id: str, now: Optional[float] = None) -> PeerState:
         if now is None:
@@ -265,11 +297,8 @@ class FailureDetector:
             record = self._peers.get(peer_id)
             if record is None:
                 return PeerState.ALIVE
-            old = self._state_locked(record, now)
-            # _state_locked may have just latched DOWN; surface it.
-            new = PeerState.DOWN if record.down else old
-        if old is not new:
-            self._notify(peer_id, old, new)
+            old, new = self._settle_locked(record, now)
+        self._notify(peer_id, old, new)
         return new
 
     def is_down(self, peer_id: str) -> bool:
@@ -306,14 +335,20 @@ class FailureDetector:
             return record.down_since if record is not None else None
 
     def describe(self, now: Optional[float] = None) -> Dict[str, Dict[str, Any]]:
+        """Read-only snapshot of every peer's liveness evidence.
+
+        Introspection must not change verdicts: a latch taken here
+        would bypass ``on_transition`` (no quarantine wiring, no
+        ``peer_transition`` event) and leave later :meth:`state` calls
+        seeing old == new, never notifying.  States are computed with
+        the pure peek; latching stays with :meth:`state` and the
+        evidence feeds."""
         if now is None:
             now = self.clock.now()
         out: Dict[str, Dict[str, Any]] = {}
         with self._lock:
-            items = list(self._peers.items())
-        for peer_id, record in items:
-            with self._lock:
-                state = self._state_locked(record, now)
+            for peer_id, record in self._peers.items():
+                state = self._peek_state_locked(record, now)
                 mean = self._mean_interval_locked(record)
                 last = record.last_heartbeat
                 out[peer_id] = {

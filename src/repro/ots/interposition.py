@@ -38,6 +38,7 @@ byte-identical.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -69,6 +70,11 @@ FEDERATED_TX_CONTEXT_ID = _FEDERATED_CONTEXT_ID
 SERVICE_NAME = "ots_federation"
 SUBTX_PREPARED = "subtx_prepared"
 RECOVERY_SERVANT_ID = "fedrecovery"
+# Retired root tids kept as tombstones so a straggler request for a
+# resolved tree still declines adoption cheaply.  Bounded: a tombstone
+# falling off the end degrades to a failed re-registration with the
+# (terminal) superior — still a typed failure, never untransacted work.
+RESOLVED_TOMBSTONE_LIMIT = 4096
 
 
 def subordinate_resource_id(root_tid: str) -> str:
@@ -176,7 +182,15 @@ class _SubordinateProxyRecoverable(Recoverable):
 
 
 class SubordinateTransactionResource(Servant):
-    """The interposed per-domain participant, wrapping a live local tx."""
+    """The interposed per-domain participant, wrapping a live local tx.
+
+    ``completion_lock`` serializes every protocol step that can change
+    the transaction's fate — prepare, phase two, recovery replay, and
+    the service's orphan sweep.  The sweep re-checks the status under
+    this lock before rolling back, so a prepare that has already voted
+    COMMIT to the superior can never be yanked back (that would let the
+    superior commit a participant that aborted).
+    """
 
     def __init__(
         self,
@@ -190,38 +204,44 @@ class SubordinateTransactionResource(Servant):
         self.root_domain = root_domain
         self.transaction = tx
         self._prepared_logged = False
+        # RLock: commit_one_phase re-enters through prepare().
+        self.completion_lock = threading.RLock()
 
     # -- Resource protocol (dispatched by the superior) -----------------------
 
     def prepare(self) -> Vote:
-        vote = self.transaction.prepare_interposed()
-        if vote is Vote.COMMIT:
-            # Durable in *this* domain: after a crash the subordinate is
-            # recovered from this record and the superior's decision
-            # replays downward.
-            self._service.log_prepared(
-                self.root_tid, self.transaction, self.root_domain
-            )
-            self._prepared_logged = True
-        return vote
+        with self.completion_lock:
+            vote = self.transaction.prepare_interposed()
+            if vote is Vote.COMMIT:
+                # Durable in *this* domain: after a crash the subordinate is
+                # recovered from this record and the superior's decision
+                # replays downward.
+                self._service.log_prepared(
+                    self.root_tid, self.transaction, self.root_domain
+                )
+                self._prepared_logged = True
+            return vote
 
     def commit(self) -> None:
-        self.transaction.commit_interposed()
+        with self.completion_lock:
+            self.transaction.commit_interposed()
 
     def rollback(self) -> None:
-        self.transaction.rollback_interposed()
-        if self._prepared_logged:
-            # Supersede the subtx_prepared record, or every later
-            # recovery would resurrect this subordinate as held-in-doubt.
-            self._service.log_resolved(self.transaction.tid)
-            self._prepared_logged = False
+        with self.completion_lock:
+            self.transaction.rollback_interposed()
+            if self._prepared_logged:
+                # Supersede the subtx_prepared record, or every later
+                # recovery would resurrect this subordinate as held-in-doubt.
+                self._service.log_resolved(self.transaction.tid)
+                self._prepared_logged = False
 
     def commit_one_phase(self) -> None:
-        vote = self.prepare()
-        if vote is Vote.ROLLBACK:
-            raise TransactionRolledBack(f"subordinate {self.transaction.tid} voted rollback")
-        if vote is Vote.COMMIT:
-            self.transaction.commit_interposed()
+        with self.completion_lock:
+            vote = self.prepare()
+            if vote is Vote.ROLLBACK:
+                raise TransactionRolledBack(f"subordinate {self.transaction.tid} voted rollback")
+            if vote is Vote.COMMIT:
+                self.transaction.commit_interposed()
 
     def forget(self) -> None:
         pass
@@ -229,19 +249,21 @@ class SubordinateTransactionResource(Servant):
     # -- recovery replay (idempotent) -------------------------------------------
 
     def recover_commit(self, root_tid: str) -> bool:
-        status = self.transaction.status
-        if status is TransactionStatus.COMMITTED:
-            return True
-        if status in (TransactionStatus.PREPARED, TransactionStatus.COMMITTING):
-            self.transaction.commit_interposed()
-            return True
-        return False
+        with self.completion_lock:
+            status = self.transaction.status
+            if status is TransactionStatus.COMMITTED:
+                return True
+            if status in (TransactionStatus.PREPARED, TransactionStatus.COMMITTING):
+                self.transaction.commit_interposed()
+                return True
+            return False
 
     def recover_abort(self, root_tid: str) -> bool:
-        if self.transaction.status.is_terminal:
-            return self.transaction.status is TransactionStatus.ROLLED_BACK
-        self.rollback()
-        return True
+        with self.completion_lock:
+            if self.transaction.status.is_terminal:
+                return self.transaction.status is TransactionStatus.ROLLED_BACK
+            self.rollback()
+            return True
 
     def get_status(self) -> TransactionStatus:
         return self.transaction.status
@@ -335,6 +357,7 @@ class FederatedTransactionService:
         self._recovered: Dict[str, RecoveredSubordinateResource] = {}
         self._prepared_at: Dict[str, float] = {}
         self._adopted_at: Dict[str, float] = {}
+        self._resolved: "OrderedDict[str, None]" = OrderedDict()
         self._lock = threading.Lock()
         self.adoptions = 0
         bridge.register_service(self.domain_id, SERVICE_NAME, self)
@@ -400,6 +423,10 @@ class FederatedTransactionService:
         lock across it cannot deadlock.
         """
         with self._lock:
+            if context.tid in self._resolved:
+                # The subordinate tree already resolved and its
+                # bookkeeping was retired; a straggler must not re-adopt.
+                return None
             entry = self._adopted.get(context.tid)
             if entry is not None:
                 tx = entry.transaction
@@ -584,6 +611,43 @@ class FederatedTransactionService:
                 ages[root_tid] = max(0.0, now - started)
         return ages
 
+    def _mark_resolved_locked(self, root_tid: str) -> None:
+        """Retire one root's bookkeeping, leaving a bounded tombstone so
+        :meth:`adopt` still declines stragglers for the resolved tree."""
+        self._adopted.pop(root_tid, None)
+        self._recovered.pop(root_tid, None)
+        self._adopted_at.pop(root_tid, None)
+        self._prepared_at.pop(root_tid, None)
+        self._resolved[root_tid] = None
+        self._resolved.move_to_end(root_tid)
+        while len(self._resolved) > RESOLVED_TOMBSTONE_LIMIT:
+            self._resolved.popitem(last=False)
+
+    def retire_completed(self) -> int:
+        """Drop bookkeeping for subordinates that reached a terminal state.
+
+        A long-lived site daemon adopts one subordinate per cross-domain
+        root transaction; without retirement ``_adopted``/``_adopted_at``
+        /``_prepared_at`` grow forever and every
+        :meth:`in_doubt_ages`/:meth:`sweep_orphans` round rescans the
+        dead entries.  Recovered subordinates retire once their local
+        decision is durably completed.  Runs at the top of every
+        :meth:`sweep_orphans` round (the serve loop's housekeeping
+        cadence); returns how many roots were retired.
+        """
+        _, _, completed = self._wal_index()
+        retired = 0
+        with self._lock:
+            for root_tid, res in list(self._adopted.items()):
+                if res.transaction.status.is_terminal:
+                    self._mark_resolved_locked(root_tid)
+                    retired += 1
+            for root_tid, res in list(self._recovered.items()):
+                if res.local_tid in completed:
+                    self._mark_resolved_locked(root_tid)
+                    retired += 1
+        return retired
+
     def sweep_orphans(self, min_age: float = 0.0) -> List[str]:
         """Presumed-abort sweep for adopted-but-never-prepared subordinates.
 
@@ -603,30 +667,41 @@ class FederatedTransactionService:
         superior's phase one does arrive later, the terminal local
         transaction makes its prepare fail — the root aborts, which is
         consistent with what the sweep already decided.
+
+        A subordinate in ``PREPARING`` is *not* swept: its prepare is in
+        flight on a dispatch thread and may complete — COMMIT vote on
+        the wire to the superior — before our rollback lands, after
+        which aborting unilaterally would break 2PC atomicity.  The
+        status is therefore re-checked under the resource's
+        ``completion_lock``, atomically with
+        :meth:`SubordinateTransactionResource.prepare`: whichever side
+        wins the lock decides, and the loser sees a consistent fate
+        (a swept transaction makes the late prepare fail; a completed
+        prepare makes the sweep skip).
         """
+        self.retire_completed()
         now = self.factory.clock.now()
+        sweepable = (TransactionStatus.ACTIVE, TransactionStatus.MARKED_ROLLBACK)
         with self._lock:
             candidates = [
                 (root_tid, res)
                 for root_tid, res in self._adopted.items()
-                if res.transaction.status
-                in (
-                    TransactionStatus.ACTIVE,
-                    TransactionStatus.MARKED_ROLLBACK,
-                    # A prepare that died mid-flight: the vote never
-                    # reached the superior as COMMIT (that would have
-                    # flipped us to PREPARED), so aborting is still the
-                    # unprepared participant's unilateral right.
-                    TransactionStatus.PREPARING,
-                )
+                if res.transaction.status in sweepable
                 and now - self._adopted_at.get(root_tid, now) >= min_age
             ]
         swept: List[str] = []
         for root_tid, res in candidates:
-            try:
-                res.transaction.rollback()
-            except ReproError:  # pragma: no cover - already finishing
-                continue
+            with res.completion_lock:
+                # The snapshot above is advisory; only this re-check is
+                # atomic with the prepare path.
+                if res.transaction.status not in sweepable:
+                    continue
+                try:
+                    res.transaction.rollback()
+                except ReproError:  # pragma: no cover - already finishing
+                    continue
+            with self._lock:
+                self._mark_resolved_locked(root_tid)
             swept.append(root_tid)
             self.factory.event_log.record(
                 "fed_orphan_swept",
@@ -720,6 +795,10 @@ class FederatedTransactionService:
             else:
                 outcomes[root_tid] = "held"
             if outcomes[root_tid] != "held":
+                with self._lock:
+                    entry = self._adopted.get(root_tid)
+                    if entry is None or entry.transaction.status.is_terminal:
+                        self._mark_resolved_locked(root_tid)
                 self.factory.event_log.record(
                     "fed_resolve_in_doubt",
                     root=root_tid,

@@ -231,3 +231,112 @@ class TestSubordinateDrain:
                 assert sorted(finished) == ["boom", "s1", "s2", "s3"]
         finally:
             executor.shutdown()
+
+
+class _GatedResource:
+    """A participant whose prepare blocks until released — pins the
+    subordinate in PREPARING exactly when the sweep runs."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def prepare(self):
+        self.entered.set()
+        assert self.release.wait(5.0), "test never released the prepare gate"
+        return Vote.COMMIT
+
+    def commit(self):
+        pass
+
+    def rollback(self):
+        pass
+
+    def forget(self):
+        pass
+
+
+class TestOrphanSweepAndRetirement:
+    def test_sweep_never_aborts_a_prepare_in_flight(self):
+        """2PC atomicity under the sweep/prepare race: a subordinate
+        mid-prepare may already have its COMMIT vote on the wire, so the
+        sweep must leave it alone (regression: PREPARING was a sweep
+        candidate and the rollback ran unsynchronized with prepare,
+        aborting a participant the superior then committed)."""
+        world = OtsWorld()
+        tx = world.current_a.begin()
+        world.cell_a.write(tx, 90)
+        world.bank_ref.invoke("deposit", 10)
+        gate = _GatedResource()
+        world.service_b.subordinate_for(tx.tid).transaction.register_resource(gate)
+        errors = []
+
+        def commit():
+            try:
+                tx.commit()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=commit)
+        thread.start()
+        try:
+            assert gate.entered.wait(5.0)
+            # Subordinate is mid-prepare; an aggressive sweep round must
+            # not roll it back out from under the superior.
+            assert world.service_b.sweep_orphans(min_age=0.0) == []
+        finally:
+            gate.release.set()
+            thread.join(timeout=5.0)
+        assert errors == []
+        assert world.cell_a.committed_value == 90
+        assert world.cell_b.committed_value == 60
+
+    def test_prepared_subordinate_is_never_swept(self):
+        world = OtsWorld()
+        tx = world.current_a.begin()
+        world.bank_ref.invoke("deposit", 10)
+        subordinate = world.service_b.subordinate_for(tx.tid)
+        assert subordinate.prepare() is Vote.COMMIT
+        assert world.service_b.sweep_orphans(min_age=0.0) == []
+        assert subordinate.get_status() is TransactionStatus.PREPARED
+        subordinate.commit()  # leave the world clean
+        tx.rollback_only()
+
+    def test_completed_subordinates_are_retired(self):
+        """Terminal subordinates leave the bookkeeping maps (a site
+        daemon adopts one per cross-domain root forever otherwise), and
+        a straggler request for the retired tree still declines
+        adoption via the tombstone."""
+        world = OtsWorld()
+        tx = world.current_a.begin()
+        world.bank_ref.invoke("deposit", 10)
+        context = world.service_a.context_for(tx)
+        world.current_a.commit()
+        assert world.service_b.subordinate_for(tx.tid) is not None
+        assert world.service_b.retire_completed() == 1
+        assert world.service_b.subordinate_for(tx.tid) is None
+        assert world.service_b._adopted == {}
+        assert world.service_b._adopted_at == {}
+        assert world.service_b._prepared_at == {}
+        assert world.service_b.in_doubt_ages() == {}
+        assert world.service_b.adopt(context) is None
+        assert world.service_b.adoptions == 1
+
+    def test_swept_orphan_is_retired_and_not_readopted(self):
+        world = OtsWorld()
+        tx = world.current_a.begin()
+        world.cell_a.write(tx, 90)  # a second participant: full 2PC
+        world.bank_ref.invoke("deposit", 10)
+        context = world.service_a.context_for(tx)
+        # The superior goes quiet (rollback broadcast lost); the sweep
+        # exercises the unprepared participant's presumed-abort right.
+        assert world.service_b.sweep_orphans(min_age=0.0) == [tx.tid]
+        assert world.service_b.subordinate_for(tx.tid) is None
+        assert world.service_b._adopted_at == {}
+        # A late request for the swept root declines adoption...
+        assert world.service_b.adopt(context) is None
+        # ...and the superior's own late completion aborts consistently.
+        with pytest.raises(TransactionRolledBack):
+            world.current_a.commit()
+        assert world.cell_a.committed_value == 100
+        assert world.cell_b.committed_value == 50

@@ -147,7 +147,53 @@ class TestHalfOpenProbes:
         assert all(detector.should_probe("b") for _ in range(5))
 
 
+class TestPhiLatchPolicy:
+    def test_silence_only_suspects_when_phi_latch_is_disabled(self, clock):
+        """Traffic-fed peers (bridge links) are silent when idle, not
+        dead: silence tops out at SUSPECT and only explicit failures
+        latch DOWN."""
+        detector, _ = make_detector(clock, phi_latches_down=False)
+        detector.watch("b")
+        clock.advance(100.0)  # far past down_phi
+        assert detector.state("b") is PeerState.SUSPECT
+        assert detector.is_down("b") is False
+        for _ in range(3):
+            detector.failure("b")
+        assert detector.state("b") is PeerState.DOWN
+
+    def test_silent_down_discovered_by_failure_still_notifies(self, clock):
+        """A phi latch taken while recording an explicit failure must
+        fire on_transition (regression: the latch landed in the
+        old-state computation and the DOWN notification was swallowed,
+        so quarantine wiring never engaged)."""
+        detector, transitions = make_detector(clock)
+        detector.watch("b")
+        clock.advance(10.0)
+        detector.failure("b")  # first strike; phi already past down_phi
+        assert detector.state("b") is PeerState.DOWN
+        assert ("b", PeerState.ALIVE, PeerState.DOWN) in transitions
+
+
 class TestIntrospection:
+    def test_describe_never_latches_down(self, clock):
+        """describe() is read-only: it may *report* an unlatched DOWN,
+        but the latch itself (down_since, transitions, on_transition)
+        must come from state()/evidence, never from introspection
+        (regression: a describe()-latched peer skipped quarantine
+        wiring because the later state() call saw old == new)."""
+        detector, transitions = make_detector(clock)
+        detector.watch("b")
+        clock.advance(10.0)  # phi well past down_phi
+        info = detector.describe()["b"]
+        assert info["state"] == "down"      # honest peek...
+        assert info["down_since"] is None   # ...but nothing latched
+        assert info["transitions"] == 0
+        assert transitions == []
+        # The real latch still happens — and still notifies.
+        assert detector.state("b") is PeerState.DOWN
+        assert transitions[-1] == ("b", PeerState.ALIVE, PeerState.DOWN)
+        assert detector.down_since("b") is not None
+
     def test_describe_reports_state_phi_and_streaks(self, clock):
         detector, _ = make_detector(clock)
         detector.watch("b")
