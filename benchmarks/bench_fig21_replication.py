@@ -1,0 +1,210 @@
+"""Figure 21 (extension) — replicated durability costs and failover.
+
+Not a figure from the paper: the paper's recovery story (§6) assumes a
+single durable log per domain.  This bench puts numbers on the
+replicated-durability layer — quorum object store plus WAL shipping —
+using deterministic counters and the simulated clock, so every metric
+is machine-independent and the regression gate can hold tight
+tolerances:
+
+- **write amplification**: backing-store operations per acknowledged
+  ``ReplicatedStore.put`` at replication factors 1, 3 and 5 (journal
+  and meta writes included — the real price of an acked write);
+- **WAL shipping / catch-up throughput**: records shipped per force to
+  followers, and how many maintenance sweeps drain a follower that
+  missed a window of traffic;
+- **failover**: appends lost when the WAL primary's disk dies and a
+  follower is promoted mid-stream (must be zero), and the simulated
+  seconds before a healed store replica is readmitted by the
+  maintenance sweep;
+- **replicated campaign goodput**: committed fraction of a seeded
+  chaos sweep where every domain runs 3-way quorum storage and the
+  schedule kills and wipes replica disks — with the no-acked-write-lost
+  invariant enforced (zero violations).
+
+Results land in ``results/fig21.txt`` and ``results/BENCH_fig21.json``
+(gated by ``check_bench_regression.py``).  Everything is seeded and
+simulated; the whole figure costs a few seconds of wall time.
+"""
+
+from repro.chaos import CampaignConfig, ChaosProfile, run_sweep
+from repro.persistence import (
+    MemoryStore,
+    ReplicaMedium,
+    ReplicatedStore,
+    ReplicatedWAL,
+)
+from repro.util.clock import SimulatedClock
+
+PUTS = 100
+WAL_WARMUP = 30
+WAL_MISSED = 20
+CAMPAIGN_SEEDS = range(6)
+
+
+class CountingStore(MemoryStore):
+    """A backing store that counts its durable operations."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.durable_ops = 0
+
+    def put(self, uid, state):
+        self.durable_ops += 1
+        super().put(uid, state)
+
+    def put_many(self, items):
+        items = dict(items)
+        self.durable_ops += len(items)
+        super().put_many(items)
+
+    def remove(self, uid):
+        self.durable_ops += 1
+        super().remove(uid)
+
+
+def measure_write_amplification(replicas: int) -> float:
+    backings = [CountingStore() for _ in range(replicas)]
+    media = [
+        ReplicaMedium(f"m{i}", backing) for i, backing in enumerate(backings)
+    ]
+    store = ReplicatedStore(media, clock=SimulatedClock())
+    for i in range(PUTS):
+        store.put(f"k{i % 10}", {"value": i})
+    return sum(b.durable_ops for b in backings) / PUTS
+
+
+def measure_wal_shipping():
+    """Ship a warm stream, drop a follower for a window, drain it."""
+    clock = SimulatedClock()
+    media = [ReplicaMedium(f"m{i}", MemoryStore()) for i in range(3)]
+    wal = ReplicatedWAL(
+        media, "wal", window=0.0, sleep=lambda _s: None, clock=clock
+    )
+    for i in range(WAL_WARMUP):
+        wal.append("decision", tid=f"warm{i}", outcome="commit")
+    shipped_warm = wal.shipped_records
+
+    victim = next(f for f in (0, 1, 2) if f != wal.primary_index)
+    media[victim].fail()
+    for i in range(WAL_MISSED):
+        wal.append("decision", tid=f"miss{i}", outcome="commit")
+    media[victim].heal()
+
+    name = f"m{victim}"
+    lag_before = wal.health()["followers"][name]["lag"]
+    sweeps = 0
+    while wal.health()["followers"][name]["lag"] > 0:
+        clock.advance(1.0)
+        wal.catch_up()
+        sweeps += 1
+        assert sweeps < 50, "follower never drained"
+    return shipped_warm, lag_before, sweeps
+
+
+def measure_failover():
+    """Kill the WAL primary's disk mid-stream; count lost appends and
+    clock the store-replica readmission latency."""
+    clock = SimulatedClock()
+    media = [ReplicaMedium(f"m{i}", MemoryStore()) for i in range(3)]
+    wal = ReplicatedWAL(
+        media, "wal", window=0.0, sleep=lambda _s: None, clock=clock
+    )
+    failed_appends = 0
+    for i in range(20):
+        wal.append("decision", tid=f"pre{i}", outcome="commit")
+    old_primary = wal.primary_index
+    wal.promote()  # the failover runbook: promote, then lose the disk
+    media[old_primary].fail()
+    for i in range(20):
+        try:
+            wal.append("decision", tid=f"post{i}", outcome="commit")
+        except Exception:
+            failed_appends += 1
+
+    store_media = [ReplicaMedium(f"s{i}", MemoryStore()) for i in range(3)]
+    store = ReplicatedStore(store_media, clock=clock)
+    store.put("k", 0)
+    victim = next(i for i in (0, 1, 2) if i != store.primary_index)
+    store_media[victim].fail()
+    store.put("k", 1)  # strikes the dead replica DOWN
+    name = f"s{victim}"
+    assert store.health()["replicas"][name]["state"] == "down"
+    store_media[victim].heal()
+    healed_at = clock.now()
+    rounds = 0
+    while store.health()["replicas"][name]["state"] == "down":
+        clock.advance(0.25)
+        store.catch_up()
+        rounds += 1
+        assert rounds < 100, "replica never readmitted"
+    readmit_s = clock.now() - healed_at
+    return failed_appends, wal.promotions, readmit_s
+
+
+def measure_campaign_goodput():
+    profile = ChaosProfile(
+        replica_loss_probability=0.10, disk_wipe_probability=0.06
+    )
+    config = CampaignConfig(profile=profile, replicas=3, write_quorum=2)
+    results = run_sweep(CAMPAIGN_SEEDS, config)
+    committed = total = promotions = violations = 0
+    for result in results:
+        counts = result.outcome_counts()
+        committed += counts.get("committed", 0)
+        total += len(result.ops)
+        promotions += result.world_state.get("replica_promotions", 0)
+        violations += len(result.violations)
+    return committed / total, promotions, violations, total
+
+
+class TestFig21Replication:
+    def test_replication_costs_and_failover(self, emit):
+        amp = {n: measure_write_amplification(n) for n in (1, 3, 5)}
+        shipped_warm, lag_drained, catchup_sweeps = measure_wal_shipping()
+        failed_appends, promotions, readmit_s = measure_failover()
+        goodput, sweep_promotions, sweep_violations, ops = (
+            measure_campaign_goodput()
+        )
+
+        emit(
+            "fig21",
+            [
+                "fig 21 — replicated durability: quorum store + WAL "
+                "shipping (deterministic):",
+                f"  write amplification  n=1 {amp[1]:5.2f}   "
+                f"n=3 {amp[3]:5.2f}   n=5 {amp[5]:5.2f} "
+                f"(backing ops per acked put)",
+                f"  wal shipping         {shipped_warm} records shipped "
+                f"across {WAL_WARMUP} forces",
+                f"  wal catch-up         {lag_drained} records re-shipped "
+                f"to a struck follower in {catchup_sweeps} sweep(s)",
+                f"  primary failover     {failed_appends} appends lost "
+                f"({promotions} promotion)",
+                f"  replica readmission  {readmit_s:5.2f} s after heal "
+                "(maintenance probe)",
+                f"  chaos goodput        {goodput:6.1%} committed "
+                f"({ops} ops, {len(list(CAMPAIGN_SEEDS))} seeds, "
+                f"{sweep_promotions} promotions, "
+                f"{sweep_violations} violations)",
+            ],
+            data={
+                "write_amp_n1": amp[1],
+                "write_amp_n3": amp[3],
+                "write_amp_n5": amp[5],
+                "wal_shipped_records": shipped_warm,
+                "wal_catchup_lag_drained": lag_drained,
+                "wal_catchup_sweeps": catchup_sweeps,
+                "failover_failed_appends": failed_appends,
+                "failover_promotions": promotions,
+                "replica_readmit_s": readmit_s,
+                "goodput_replicated": goodput,
+                "sweep_promotions": sweep_promotions,
+                "sweep_violations": sweep_violations,
+            },
+        )
+
+        assert failed_appends == 0, "acked appends lost across failover"
+        assert sweep_violations == 0, "replicated sweep broke an invariant"
+        assert amp[3] > amp[1] >= 1.0
+        assert lag_drained >= WAL_MISSED

@@ -18,6 +18,11 @@ Only *machine-independent* metrics are gated:
   latency and campaign goodput are *exactly* reproducible — the
   tolerances are just float headroom.  A detector or recovery change
   that moves them must move the baseline deliberately.
+- **fig21** (replicated durability): write amplification, WAL
+  catch-up, failover losses and replicated-campaign goodput are all
+  deterministic counters or simulated-clock latencies.  Failover must
+  lose zero acked appends and the replicated sweep must report zero
+  invariant violations — those baselines are 0 and any increase fails.
 
 Each figure is gated independently; by default every figure with a
 committed baseline is checked.
@@ -69,6 +74,23 @@ GATES = {
             ("recover_s", 1.05),  # reboot -> in-doubt drained
         ],
         "counters": [],
+    },
+    "fig21": {
+        "floors": [
+            ("goodput_replicated", 0.99),  # deterministic committed fraction
+        ],
+        "ceilings": [
+            ("write_amp_n3", 1.05),           # backing ops per acked put
+            ("replica_readmit_s", 1.05),      # heal -> maintenance readmit
+            ("failover_failed_appends", 1.0), # baseline 0: any loss fails
+            ("sweep_violations", 1.0),        # baseline 0: any violation fails
+        ],
+        "counters": [
+            "wal_shipped_records",
+            "wal_catchup_lag_drained",
+            "failover_promotions",
+            "sweep_promotions",
+        ],
     },
 }
 

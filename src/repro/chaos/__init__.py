@@ -32,6 +32,7 @@ from repro.chaos.invariants import (
     InvariantViolation,
     OrphanChecker,
     OutcomeChecker,
+    ReplicationChecker,
     WalReplayChecker,
     default_checkers,
     run_checkers,
@@ -55,6 +56,7 @@ __all__ = [
     "InvariantViolation",
     "OrphanChecker",
     "OutcomeChecker",
+    "ReplicationChecker",
     "WalReplayChecker",
     "default_checkers",
     "run_checkers",

@@ -50,6 +50,12 @@ class CampaignConfig:
     failure_detection: bool = True
     mix: Optional[Dict[str, float]] = None
     quiesce_rounds: int = 12
+    # replicas > 1 runs every domain on quorum-replicated WAL/cell
+    # stores (see ChaosWorld); pair with a profile that draws
+    # replica_loss/disk_wipe events so the redundancy is actually
+    # attacked.
+    replicas: int = 1
+    write_quorum: Optional[int] = None
 
 
 @dataclass
@@ -97,6 +103,24 @@ def apply_event(world: ChaosWorld, event: ChaosEvent) -> str:
         domain = world.domain(event.target[0])
         if domain.alive:
             domain.factory.failpoints.arm(event.detail)
+    elif kind == "replica_loss":
+        note = world.replica_loss(event.target[0], int(event.value))
+        if note is None:
+            return f"{event.describe()} (skipped: no safe promotion)"
+        if note:
+            return f"{event.describe()} (primary failed over)"
+    elif kind == "replica_heal":
+        world.replica_heal(event.target[0], int(event.value))
+    elif kind == "disk_wipe":
+        if not world.domains[event.target[0]].alive:
+            # A wipe while the process is down is indistinguishable from
+            # wiping at reboot, and stacking it on an existing stale
+            # replica could leave no fresh copy — outside the invariant's
+            # "a quorum survives" precondition.  The reboot-election path
+            # is covered by the ReplicationChecker's disk-loss drill.
+            return f"{event.describe()} (skipped: domain down)"
+        if world.disk_wipe(event.target[0], int(event.value)):
+            return f"{event.describe()} (primary wiped; promoted a follower)"
     elif kind in ("partition", "heal", "flaky", "clear_faults") and not all(
         world.domains[d].alive for d in event.target
     ):
@@ -143,6 +167,8 @@ def run_campaign(
         accounts_per_domain=config.accounts_per_domain,
         opening_balance=config.opening_balance,
         failure_detection=config.failure_detection,
+        replicas=config.replicas,
+        write_quorum=config.write_quorum,
     )
     schedule = ChaosSchedule.draw(
         root.fork("schedule"), config.steps, config.domain_names, config.profile

@@ -31,6 +31,13 @@ faults:
     Recovery converges: crash every domain once more and replay its
     write-ahead log; committed state must come back bit-identical (the
     log is a faithful, idempotent description of the decided history).
+
+``replication``
+    (Replicated worlds only.)  No acknowledged write is ever lost while
+    any quorum survives: after quiescence every replica set reports a
+    healthy quorum and zero lag, and a disk-loss drill — crash each
+    domain, wipe its current *primary* media, reboot — must recover
+    every committed balance from follower state alone.
 """
 
 from __future__ import annotations
@@ -220,17 +227,89 @@ class WalReplayChecker(InvariantChecker):
         return []
 
 
+class ReplicationChecker(InvariantChecker):
+    """Acked writes survive losing any single disk; quiescence means
+    fully re-replicated.
+
+    No-ops on unreplicated worlds.  Two stages: first audit every
+    domain's replication health (quorum intact, no replica lagging or
+    awaiting re-sync after quiescence healed everything); then run the
+    disk-loss drill — crash the domain, wipe the media its WAL and cell
+    store currently call primary, reboot — and demand the committed
+    state come back bit-identical, recovered entirely from follower
+    copies via the election path.
+    """
+
+    name = "replication"
+
+    def check(self, world: Any, ledger: Sequence[Any]) -> List[InvariantViolation]:
+        media = getattr(world, "replica_media", None)
+        if not media:
+            return []
+        violations: List[InvariantViolation] = []
+        for name, domain in world.domains.items():
+            for layer, health in (
+                ("wal", domain.wal.health()),
+                ("cells", domain.cell_store.health()),
+            ):
+                if not health["quorum_ok"]:
+                    violations.append(
+                        self.violation(
+                            "quorum lost after quiescence",
+                            domain=name, layer=layer, health=health,
+                        )
+                    )
+                if health["under_replicated"]:
+                    violations.append(
+                        self.violation(
+                            "still under-replicated after quiescence",
+                            domain=name, layer=layer, health=health,
+                        )
+                    )
+        if violations:
+            return violations  # don't drill a world already degraded
+
+        before = world.committed_balances()
+        for name in list(world.domains):
+            domain = world.domains[name]
+            wal_primary = domain.wal.primary_index
+            cell_primary = domain.cell_store.primary_index
+            world.crash(name)
+            media[name]["wal"][wal_primary].wipe()
+            media[name]["cells"][cell_primary].wipe()
+            error = world.restart(name)
+            if error is not None:
+                violations.append(
+                    self.violation(
+                        "recovery failed after wiping the primary disk",
+                        domain=name, error=error,
+                    )
+                )
+        after = world.committed_balances()
+        if before != after:
+            violations.append(
+                self.violation(
+                    "acked writes lost to a single-disk wipe",
+                    before=before, after=after,
+                )
+            )
+        return violations
+
+
 def default_checkers() -> List[InvariantChecker]:
     """The stock checker suite, in evaluation order.
 
-    ``wal_replay`` runs last: it reboots every domain, so earlier
-    checkers see the world exactly as the campaign left it.
+    ``wal_replay`` and ``replication`` run last (in that order): both
+    reboot every domain, so earlier checkers see the world exactly as
+    the campaign left it.  ``replication`` is a no-op for unreplicated
+    worlds.
     """
     return [
         ConservationChecker(),
         OutcomeChecker(),
         OrphanChecker(),
         WalReplayChecker(),
+        ReplicationChecker(),
     ]
 
 
@@ -241,5 +320,14 @@ def run_checkers(
 ) -> List[InvariantViolation]:
     violations: List[InvariantViolation] = []
     for checker in checkers:
-        violations.extend(checker.check(world, ledger))
+        try:
+            violations.extend(checker.check(world, ledger))
+        except Exception as exc:  # a crash must stay triagable per-seed
+            violations.append(
+                InvariantViolation(
+                    checker.name,
+                    f"checker raised {type(exc).__name__}",
+                    {"error": str(exc)},
+                )
+            )
     return violations

@@ -18,6 +18,12 @@ Events come in paired arcs so the drawn schedule is always well formed:
 - ``flaky`` … ``clear_faults`` — a link's fault plan turns hostile
   (drops, duplicate deliveries, latency) for a window.
 - ``clock_jump`` — the simulated clock leaps forward, firing timeouts.
+- ``replica_loss`` … ``replica_heal`` — one of a domain's replica media
+  stops answering (pulled cable) for a window; quorum writes continue
+  degraded and the healed disk is re-synced.  Off by default.
+- ``disk_wipe`` — one replica medium is replaced with an empty disk;
+  the replication layer must re-seed it (and promote a survivor when it
+  held the primary).  Off by default.
 
 The scheduler tracks per-domain and per-link busy windows so arcs never
 overlap incoherently (a domain is not crashed twice before its restart,
@@ -89,6 +95,13 @@ class ChaosProfile:
     latency_range: Tuple[float, float] = (0.01, 0.2)
     clock_jump_probability: float = 0.08
     clock_jump_range: Tuple[float, float] = (0.5, 20.0)
+    # Replica-media faults (PR 9).  Default 0.0 — and drawn *after* every
+    # older family in the threshold chain — so schedules for existing
+    # seeds stay byte-identical unless a profile opts in.
+    replica_loss_probability: float = 0.0
+    replica_heal_delay: Tuple[int, int] = (3, 8)
+    disk_wipe_probability: float = 0.0
+    replica_count: int = 3
 
     def quiet(self) -> "ChaosProfile":
         """A copy with every fault family switched off (control runs)."""
@@ -149,6 +162,13 @@ class ChaosSchedule:
         events: List[ChaosEvent] = []
         domain_busy: Dict[str, int] = {name: -1 for name in domains}
         link_busy: Dict[Tuple[str, str], int] = {link: -1 for link in links}
+        # Replica faults get their own busy map: at most one open
+        # loss/wipe arc per domain at a time, which is what guarantees a
+        # write quorum (and at least one fresh copy) always survives —
+        # the precondition of the replication invariant the campaign
+        # asserts.  It is independent of crash arcs: a domain may lose a
+        # disk while its process is also down.
+        replica_busy: Dict[str, int] = {name: -1 for name in domains}
 
         def idle_domains(step: int) -> List[str]:
             return [d for d in domains if domain_busy[d] < step]
@@ -220,5 +240,37 @@ class ChaosSchedule:
             if roll < threshold:
                 jump = rng.uniform(*profile.clock_jump_range)
                 events.append(ChaosEvent(step, "clock_jump", (), jump))
+                continue
+
+            threshold += profile.replica_loss_probability
+            if roll < threshold:
+                victims = [d for d in domains if replica_busy[d] < step]
+                if victims:
+                    victim = rng.choice(victims)
+                    index = rng.randint(0, profile.replica_count - 1)
+                    heal = step + rng.randint(*profile.replica_heal_delay)
+                    replica_busy[victim] = heal
+                    events.append(
+                        ChaosEvent(step, "replica_loss", (victim,), float(index))
+                    )
+                    events.append(
+                        ChaosEvent(heal, "replica_heal", (victim,), float(index))
+                    )
+                continue
+
+            threshold += profile.disk_wipe_probability
+            if roll < threshold:
+                victims = [d for d in domains if replica_busy[d] < step]
+                if victims:
+                    victim = rng.choice(victims)
+                    index = rng.randint(0, profile.replica_count - 1)
+                    # A wipe resolves synchronously (the replication
+                    # layer re-seeds on note_wiped), so the busy window
+                    # only needs to block same-domain replica arcs from
+                    # stacking in this step.
+                    replica_busy[victim] = step
+                    events.append(
+                        ChaosEvent(step, "disk_wipe", (victim,), float(index))
+                    )
 
         return cls(steps=steps, events=events)

@@ -42,7 +42,13 @@ from repro.ots import (
     install_federated_transaction_service,
 )
 from repro.ots.factory import FactoryConfig
-from repro.persistence import MemoryStore, WriteAheadLog
+from repro.persistence import (
+    MemoryStore,
+    ReplicaMedium,
+    ReplicatedStore,
+    ReplicatedWAL,
+    WriteAheadLog,
+)
 from repro.util.clock import SimulatedClock
 from repro.util.rng import SeededRng
 
@@ -126,27 +132,56 @@ class ChaosDomain:
         clock: SimulatedClock,
         make_store: Callable[[str], Any],
         account_specs: Dict[str, float],
+        replica_media: Optional[Dict[str, List[ReplicaMedium]]] = None,
+        write_quorum: Optional[int] = None,
     ) -> None:
         self.name = name
         self.bridge = bridge
         self.clock = clock
         self.make_store = make_store
         self.account_specs = dict(account_specs)
-        self.wal_store = make_store(f"{name}-wal")
-        self.cell_store = make_store(f"{name}-cells")
+        # Replicated domains keep their per-disk media ({"wal": [...],
+        # "cells": [...]}) at world level, exactly as the single-copy
+        # stores do: a crash kills the ReplicatedWAL/ReplicatedStore
+        # objects, the disks survive, and reboot re-elects from them.
+        self.replica_media = replica_media
+        self.write_quorum = write_quorum
+        if replica_media is None:
+            self.wal_store = make_store(f"{name}-wal")
+            self.cell_store = make_store(f"{name}-cells")
         self.alive = False
         self.crash_count = 0
         self.boot_count = 0
         self.recovery_error: Optional[str] = None
         self._boot(reopen=False)
 
+    @property
+    def replicated(self) -> bool:
+        return self.replica_media is not None
+
     def _boot(self, reopen: bool) -> None:
-        if reopen:
-            # A restarted process reads its media back; the in-memory
-            # store model returns the same instances (the medium
-            # survives, the process state does not).
-            self.wal_store = self.make_store(f"{self.name}-wal")
-            self.cell_store = self.make_store(f"{self.name}-cells")
+        if self.replica_media is not None:
+            self.wal = ReplicatedWAL(
+                self.replica_media["wal"],
+                "wal",
+                window=0.0,
+                sleep=lambda _seconds: None,
+                write_quorum=self.write_quorum,
+                clock=self.clock,
+            )
+            self.cell_store = ReplicatedStore(
+                self.replica_media["cells"],
+                write_quorum=self.write_quorum,
+                clock=self.clock,
+            )
+        else:
+            if reopen:
+                # A restarted process reads its media back; the in-memory
+                # store model returns the same instances (the medium
+                # survives, the process state does not).
+                self.wal_store = self.make_store(f"{self.name}-wal")
+                self.cell_store = self.make_store(f"{self.name}-cells")
+            self.wal = WriteAheadLog(self.wal_store, "wal")
         self.boot_count += 1
         self.orb = Orb(clock=self.clock)
         self.bridge.connect(self.orb, self.name)
@@ -157,7 +192,7 @@ class ChaosDomain:
         # uuid, so seed replay stays exact).
         self.factory = TransactionFactory(
             clock=self.clock,
-            wal=WriteAheadLog(self.wal_store, "wal"),
+            wal=self.wal,
             config=FactoryConfig(tid_prefix=f"{self.name}.b{self.boot_count}:"),
         )
         self.current = TransactionCurrent(self.factory)
@@ -211,6 +246,17 @@ class ChaosDomain:
             self.recovery_error = f"{type(exc).__name__}: {exc}"
         return self.recovery_error
 
+    def replication_catch_up(self) -> None:
+        """Re-sync lagging/readmitted replica media (the in-process
+        analogue of the site daemon's serve-loop replication round)."""
+        if not self.replicated or not self.alive:
+            return
+        try:
+            self.wal.catch_up()
+            self.cell_store.catch_up()
+        except ReproError:
+            pass  # per-replica failures are latched in the detectors
+
 
 class ChaosWorld:
     """N federated domains + bank accounts under one simulated clock."""
@@ -224,6 +270,8 @@ class ChaosWorld:
         make_store: Optional[Callable[[str], Any]] = None,
         failure_detection: bool = True,
         detector_config: Optional[FailureDetectorConfig] = None,
+        replicas: int = 1,
+        write_quorum: Optional[int] = None,
     ) -> None:
         self.clock = SimulatedClock()
         self.rng = SeededRng(seed)
@@ -249,6 +297,23 @@ class ChaosWorld:
                 return stores.setdefault(name, MemoryStore())
 
         self.make_store = make_store
+        # With replicas > 1 every domain's WAL and cell store become
+        # quorum-replicated over per-"disk" media that live here at
+        # world level (so they survive domain crashes, like the
+        # single-copy stores above).
+        self.replica_media: Dict[str, Dict[str, List[ReplicaMedium]]] = {}
+        if replicas > 1:
+            for name in domain_names:
+                self.replica_media[name] = {
+                    kind: [
+                        ReplicaMedium(f"{name}-{kind}-{i}", MemoryStore())
+                        for i in range(replicas)
+                    ]
+                    for kind in ("wal", "cells")
+                }
+        # Cumulative across domain incarnations (the per-layer counters
+        # reset whenever a crash rebuilds the replicated objects).
+        self.replica_promotions = 0
         self.domains: Dict[str, ChaosDomain] = {}
         for name in domain_names:
             specs = {
@@ -256,7 +321,9 @@ class ChaosWorld:
                 for i in range(accounts_per_domain)
             }
             self.domains[name] = ChaosDomain(
-                name, self.bridge, self.clock, make_store, specs
+                name, self.bridge, self.clock, make_store, specs,
+                replica_media=self.replica_media.get(name),
+                write_quorum=write_quorum,
             )
         self._opening_total = opening_balance * accounts_per_domain * len(
             self.domains
@@ -292,6 +359,63 @@ class ChaosWorld:
     def restart(self, name: str) -> Optional[str]:
         return self.domains[name].restart()
 
+    # -- replica-media faults ----------------------------------------------
+
+    def replica_loss(self, name: str, index: int) -> Optional[str]:
+        """Replica ``index`` of ``name``'s media stops answering.
+
+        When the dying disk currently roots the domain's WAL, the
+        failover runbook runs first: promote a healthy follower, so the
+        in-memory log never writes through a dead primary (a follower
+        failure is retried and latched; a primary failure would poison
+        the log's volatile bookkeeping).  Returns ``None`` when the loss
+        had to be skipped because no safe promotion exists, ``"promoted"``
+        when failover ran, ``""`` otherwise.
+        """
+        media = self.replica_media.get(name)
+        if media is None:
+            return None
+        domain = self.domains[name]
+        promoted = ""
+        if domain.alive and index == domain.wal.primary_index:
+            try:
+                domain.wal.promote()
+            except ReproError:
+                return None
+            self.replica_promotions += 1
+            promoted = "promoted"
+        for kind_media in media.values():
+            kind_media[index].fail()
+        return promoted
+
+    def replica_heal(self, name: str, index: int) -> None:
+        media = self.replica_media.get(name)
+        if media is None:
+            return
+        for kind_media in media.values():
+            kind_media[index].heal()
+
+    def disk_wipe(self, name: str, index: int) -> bool:
+        """Replica ``index``'s disks are replaced with empty ones; the
+        live replication layers are told so they re-seed (or promote,
+        when the wiped disk held a primary) instead of trusting them.
+        Returns True when the wipe hit a primary and failover ran."""
+        media = self.replica_media.get(name)
+        if media is None:
+            return False
+        for kind_media in media.values():
+            kind_media[index].wipe()
+        domain = self.domains[name]
+        if not domain.alive:
+            return False
+        before = domain.wal.promotions + domain.cell_store.promotions
+        domain.wal.note_wiped(index)
+        domain.cell_store.note_wiped(index)
+        promoted = (domain.wal.promotions + domain.cell_store.promotions) > before
+        if promoted:
+            self.replica_promotions += 1
+        return promoted
+
     # -- committed views (for invariants) ----------------------------------
 
     def expected_total(self) -> float:
@@ -317,7 +441,8 @@ class ChaosWorld:
     # -- quiescence --------------------------------------------------------
 
     def heal_everything(self) -> None:
-        """Remove every injected fault: partitions, drops, latency."""
+        """Remove every injected fault: partitions, drops, latency,
+        failed replica media (wiped disks stay empty until re-seeded)."""
         self.bridge.heal_all()
         for link in self.bridge.links():
             plan = link.transport.fault_plan
@@ -326,6 +451,10 @@ class ChaosWorld:
             plan.latency = 0.0
             plan.jitter = 0.0
             plan.heal_all()
+        for kinds in self.replica_media.values():
+            for kind_media in kinds.values():
+                for medium in kind_media:
+                    medium.heal()
 
     def is_quiet(self) -> bool:
         for domain in self.domains.values():
@@ -354,9 +483,15 @@ class ChaosWorld:
         for _ in range(max_rounds):
             self.clock.advance(1.0)
             for domain in self.domains.values():
+                domain.replication_catch_up()
                 if domain.recovery_error is not None:
                     domain.try_recover()
                 domain.factory.expire_timeouts()
+                # Completions interrupted by a store-layer failure (e.g.
+                # a replica set transiently below quorum) re-drive once
+                # the media heal; without this they sit in COMMITTING/
+                # ROLLING_BACK forever and the world never goes quiet.
+                domain.factory.redrive_stuck()
                 domain.manager.expire_timeouts()
                 domain.service.sweep_orphans(min_age=0.5)
                 try:
@@ -378,10 +513,21 @@ class ChaosWorld:
                         key: account.committed_balance
                         for key, account in domain.accounts.items()
                     },
+                    **(
+                        {
+                            "replication": {
+                                "wal": domain.wal.health(),
+                                "cells": domain.cell_store.health(),
+                            }
+                        }
+                        if domain.replicated and domain.alive
+                        else {}
+                    ),
                 }
                 for name, domain in self.domains.items()
             },
             "link_states": self.bridge.link_states(),
             "total": self.total_committed(),
             "expected_total": self.expected_total(),
+            "replica_promotions": self.replica_promotions,
         }

@@ -203,6 +203,67 @@ class RuntimeConfig(_BaseConfig):
 
 
 @dataclass(frozen=True)
+class ReplicationConfig(_BaseConfig):
+    """Replica declarations for a domain's persistence (PR 9).
+
+    replicas
+        Total copies of the domain's WAL and cell store, primary
+        included.  ``1`` means unreplicated (the pre-PR-9 layout, just
+        routed through the replication layer).
+    write_quorum
+        Copies that must durably apply a mutation before it is
+        acknowledged; ``None`` (default) means a majority
+        (``replicas // 2 + 1``).  A quorum of 1 is fire-and-forget to
+        followers; a quorum of ``replicas`` refuses writes the moment
+        any disk is lost.
+    backend
+        Store kind backing each replica: ``"segmented"`` (default, the
+        append-oriented file store), ``"file"``, ``"sqlite"`` or
+        ``"memory"`` (tests/benchmarks only — a memory replica does not
+        survive the process).
+    journal_limit
+        Mutations the :class:`~repro.persistence.replicated.ReplicatedStore`
+        keeps for journal-replay catch-up before a lagging replica needs
+        a full snapshot re-sync.
+    """
+
+    replicas: int = 3
+    write_quorum: Optional[int] = None
+    backend: str = "segmented"
+    journal_limit: int = 512
+
+    def validate(self) -> None:
+        self._require(
+            isinstance(self.replicas, int) and self.replicas >= 1,
+            f"replicas must be >= 1, got {self.replicas!r}",
+        )
+        self._require(
+            self.write_quorum is None
+            or (
+                isinstance(self.write_quorum, int)
+                and 1 <= self.write_quorum <= self.replicas
+            ),
+            f"write_quorum must be None or in [1, replicas], "
+            f"got {self.write_quorum!r} for {self.replicas} replicas",
+        )
+        self._require(
+            self.backend in ("memory", "file", "segmented", "sqlite"),
+            f"backend must be one of memory/file/segmented/sqlite, "
+            f"got {self.backend!r}",
+        )
+        self._require(
+            isinstance(self.journal_limit, int) and self.journal_limit >= 1,
+            f"journal_limit must be >= 1, got {self.journal_limit!r}",
+        )
+
+    def effective_quorum(self) -> int:
+        """The write quorum actually enforced (majority when unset)."""
+        if self.write_quorum is not None:
+            return self.write_quorum
+        return self.replicas // 2 + 1
+
+
+@dataclass(frozen=True)
 class FactoryConfig(_BaseConfig):
     """Tuning values for one :class:`~repro.ots.factory.TransactionFactory`.
 

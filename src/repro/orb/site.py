@@ -38,6 +38,7 @@ Crash story (the paper's §fault-tolerance, now with real SIGKILL):
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import importlib
 import json
@@ -47,9 +48,15 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.config import ConfigValidationError, FactoryConfig, OrbConfig
+from repro.config import (
+    ConfigValidationError,
+    FactoryConfig,
+    OrbConfig,
+    ReplicationConfig,
+)
 from repro.exceptions import CommunicationError, ConfigurationError
 from repro.orb.core import Node, Orb
+from repro.orb.marshal import Marshaller
 from repro.orb.membership import FailureDetector, FailureDetectorConfig, PeerState
 from repro.orb.reference import ObjectRef
 from repro.orb.socket_transport import SocketTransport
@@ -60,7 +67,20 @@ from repro.ots.interposition import (
     install_federated_transaction_service,
 )
 from repro.ots.recoverable import RecoverableRegistry, TransactionalCell
-from repro.persistence.object_store import MemoryStore, ObjectStore, SegmentedFileStore
+from repro.persistence.object_store import (
+    FileStore,
+    MemoryStore,
+    ObjectStore,
+    SegmentedFileStore,
+    StoreError,
+)
+from repro.persistence.replicated import (
+    ReplicatedStore,
+    ReplicatedWAL,
+    ReplicaMedium,
+    ReplicationError,
+)
+from repro.persistence.sqlite_store import SqliteStore
 from repro.persistence.wal import WriteAheadLog
 from repro.util.clock import WallClock
 from repro.util.retry import RetryPolicy
@@ -119,6 +139,17 @@ class SiteConfig:
         Orphans happen when the superior dies — or is quarantined —
         between adopting a subordinate and driving its completion; the
         subordinate holds locks forever unless someone sweeps it.
+    ``replication``
+        Replica declarations folded into
+        :class:`~repro.config.ReplicationConfig` (e.g.
+        ``{"replicas": 3, "write_quorum": 2, "backend": "segmented"}``).
+        With ``replicas > 1`` the site's WAL and cell store become a
+        :class:`~repro.persistence.replicated.ReplicatedWAL` /
+        :class:`~repro.persistence.replicated.ReplicatedStore` over
+        per-replica media under ``<data_dir>/replica-<i>/`` — quorum
+        acks, degraded serving and deterministic promotion, superseding
+        the ``cell_store`` backend choice.  Empty (the default) keeps
+        the single-copy layout.
     """
 
     site_id: str
@@ -134,6 +165,7 @@ class SiteConfig:
     heartbeat: Dict[str, Any] = field(default_factory=dict)
     retry: Dict[str, Any] = field(default_factory=dict)
     orphan_min_age: float = 5.0
+    replication: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.site_id:
@@ -156,9 +188,18 @@ class SiteConfig:
                 f"SiteConfig: orphan_min_age must be > 0,"
                 f" got {self.orphan_min_age!r}"
             )
-        # Fail at config time, not at boot: both dicts must fold cleanly.
+        # Fail at config time, not at boot: all dict blocks must fold cleanly.
         self.detector_config()
         self.retry_policy()
+        replication = self.replication_config()
+        if (
+            replication is not None
+            and replication.backend != "memory"
+            and self.data_dir is None
+        ):
+            raise ConfigValidationError(
+                "SiteConfig: replication with a durable backend requires data_dir"
+            )
 
     def heartbeat_enabled(self) -> bool:
         return bool(self.heartbeat.get("enabled", True))
@@ -176,6 +217,17 @@ class SiteConfig:
             return RetryPolicy(**self.retry)
         except (TypeError, ConfigurationError) as exc:
             raise ConfigValidationError(f"SiteConfig: bad retry block: {exc}")
+
+    def replication_config(self) -> Optional[ReplicationConfig]:
+        """The folded replication block, ``None`` when replication is off
+        (no block, or a single-copy declaration)."""
+        if not self.replication:
+            return None
+        try:
+            folded = ReplicationConfig(**self.replication)
+        except (TypeError, ConfigurationError) as exc:
+            raise ConfigValidationError(f"SiteConfig: bad replication block: {exc}")
+        return folded if folded.replicas > 1 else None
 
     def to_dict(self) -> Dict[str, Any]:
         raw = dataclasses.asdict(self)
@@ -353,20 +405,45 @@ class SiteRuntime:
         # SIGKILL even when application state is parameterised to memory
         # (the cells are then rebuilt by the app hook and recovered from
         # the WAL's replay, mirroring the in-process crash tests).
+        # A replication block supersedes the single-copy layout: the WAL
+        # and cell store become quorum-replicated over per-replica media
+        # under <data_dir>/replica-<i>/, so losing one of those "disks"
+        # degrades this domain instead of erasing it.
+        replication = config.replication_config()
+        self.replication = replication
+        self.wal_media: List[ReplicaMedium] = []
+        self.cell_media: List[ReplicaMedium] = []
         if config.data_dir is not None:
             os.makedirs(config.data_dir, exist_ok=True)
-            wal_store: ObjectStore = SegmentedFileStore(
-                os.path.join(config.data_dir, "wal")
+        if replication is not None:
+            self.wal_media = self._replica_media(replication, "wal")
+            self.cell_media = self._replica_media(replication, "cells")
+            self.wal: WriteAheadLog = ReplicatedWAL(
+                self.wal_media,
+                window=0.0,
+                write_quorum=replication.effective_quorum(),
+                clock=self.clock,
+            )
+            self.cell_store: ObjectStore = ReplicatedStore(
+                self.cell_media,
+                write_quorum=replication.effective_quorum(),
+                clock=self.clock,
+                journal_limit=replication.journal_limit,
             )
         else:
-            wal_store = MemoryStore()
-        self.wal = WriteAheadLog(store=wal_store)
-        if config.cell_store == "segmented":
-            self.cell_store: ObjectStore = SegmentedFileStore(
-                os.path.join(str(config.data_dir), "cells")
-            )
-        else:
-            self.cell_store = MemoryStore()
+            if config.data_dir is not None:
+                wal_store: ObjectStore = SegmentedFileStore(
+                    os.path.join(config.data_dir, "wal")
+                )
+            else:
+                wal_store = MemoryStore()
+            self.wal = WriteAheadLog(store=wal_store)
+            if config.cell_store == "segmented":
+                self.cell_store = SegmentedFileStore(
+                    os.path.join(str(config.data_dir), "cells")
+                )
+            else:
+                self.cell_store = MemoryStore()
 
         # Root tids key adoption maps and durable records on *other*
         # sites, so they must be unique across the fabric and across
@@ -396,9 +473,37 @@ class SiteRuntime:
         self._stop = threading.Event()
         self._serve_thread: Optional[threading.Thread] = None
         self._cells: Dict[str, TransactionalCell] = {}
+        # Follower replicas this daemon hosts *for other domains*, keyed
+        # by store name and served over the "replica" control op.
+        self._hosted_replicas: Dict[str, ObjectStore] = {}
 
         if config.app:
             _resolve_app(config.app)(self)
+
+    # -- replica media ---------------------------------------------------------
+
+    def _replica_backend(
+        self, backend: str, kind: str, index: int
+    ) -> ObjectStore:
+        if backend == "memory":
+            return MemoryStore()
+        root = os.path.join(str(self.config.data_dir), f"replica-{index}")
+        if backend == "sqlite":
+            return SqliteStore(os.path.join(root, f"{kind}.db"))
+        if backend == "file":
+            return FileStore(os.path.join(root, kind))
+        return SegmentedFileStore(os.path.join(root, kind))
+
+    def _replica_media(
+        self, replication: ReplicationConfig, kind: str
+    ) -> List[ReplicaMedium]:
+        return [
+            ReplicaMedium(
+                f"{self.config.site_id}-{kind}-{index}",
+                self._replica_backend(replication.backend, kind, index),
+            )
+            for index in range(replication.replicas)
+        ]
 
     # -- app surface ---------------------------------------------------------
 
@@ -446,6 +551,8 @@ class SiteRuntime:
             return {"ok": True}
         if op == "resolve":
             return {"outcomes": self.service.resolve_in_doubt()}
+        if op == "replica":
+            return self._replica_control(request)
         if op == "debug_dump":
             return self.debug_dump()
         if op == "membership":
@@ -468,6 +575,54 @@ class SiteRuntime:
             self._stop.set()
             return {"ok": True}
         raise ConfigurationError(f"unknown control op {op!r}")
+
+    # -- hosted follower replicas ---------------------------------------------
+
+    def _hosted_replica(self, name: str) -> ObjectStore:
+        """Get-or-create a follower replica store this daemon hosts for
+        a remote domain (durable under ``<data_dir>/hosted/<name>``)."""
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+        store = self._hosted_replicas.get(safe)
+        if store is None:
+            if self.config.data_dir is not None:
+                store = SegmentedFileStore(
+                    os.path.join(str(self.config.data_dir), "hosted", safe)
+                )
+            else:
+                store = MemoryStore()
+            self._hosted_replicas[safe] = store
+        return store
+
+    def _replica_control(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one hosted-replica operation.
+
+        Values travel as base64-encoded marshalled bytes (the control
+        plane is JSON) and are stored verbatim: the hosting daemon never
+        decodes a foreign domain's state, it just keeps the bytes
+        durable — see :class:`RemoteReplicaStore` for the client side.
+        """
+        store = self._hosted_replica(str(request.get("store", "replica")))
+        action = request.get("action")
+        if action == "put_many":
+            items = dict(request.get("items", {}))
+            store.put_many({str(uid): str(value) for uid, value in items.items()})
+            return {"ok": True, "count": len(items)}
+        if action == "get":
+            uid = str(request.get("uid"))
+            if not store.contains(uid):
+                return {"missing": True}
+            return {"value": store.get(uid)}
+        if action == "remove":
+            uid = str(request.get("uid"))
+            if not store.contains(uid):
+                return {"missing": True}
+            store.remove(uid)
+            return {"ok": True}
+        if action == "contains":
+            return {"contains": store.contains(str(request.get("uid")))}
+        if action == "keys":
+            return {"keys": list(store.keys())}
+        raise ConfigurationError(f"unknown replica action {action!r}")
 
     # -- membership ----------------------------------------------------------
 
@@ -503,6 +658,35 @@ class SiteRuntime:
             return {"enabled": False, "peers": {}}
         return {"enabled": True, "peers": self.failure_detector.describe()}
 
+    # -- replication health ---------------------------------------------------
+
+    def replication_health(self) -> Dict[str, Any]:
+        """Per-replica lag, quorum status and under-replication age for
+        both replicated layers — the surface the multiprocess chaos
+        auditor gates convergence on."""
+        if self.replication is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "replicas": self.replication.replicas,
+            "write_quorum": self.replication.effective_quorum(),
+            "backend": self.replication.backend,
+            "wal": self.wal.health(),
+            "cells": self.cell_store.health(),
+        }
+
+    def _replication_round(self) -> None:
+        """Opportunistically re-sync lagging/readmitted replicas; the
+        quorum write path only touches replicas the traffic happens to
+        probe, so an idle site still heals between rounds here."""
+        if self.replication is None:
+            return
+        try:
+            self.wal.catch_up()
+            self.cell_store.catch_up()
+        except Exception:
+            pass  # per-replica failures are already latched in the detectors
+
     # -- triage ---------------------------------------------------------------
 
     def debug_dump(self) -> Dict[str, Any]:
@@ -516,6 +700,7 @@ class SiteRuntime:
             "recovered": self.recovered,
             "recovery_error": self.last_recovery_error,
             "membership": self.membership(),
+            "replication": self.replication_health(),
             "quarantined": self.transport.quarantined(),
             "event_log": {
                 "events": len(event_log),
@@ -587,6 +772,7 @@ class SiteRuntime:
         consecutive_failures = 0
         while not self._stop.is_set():
             self._heartbeat_round()
+            self._replication_round()
             self._recovery_round()
             if self.last_recovery_error is None:
                 consecutive_failures = 0
@@ -618,6 +804,81 @@ class SiteRuntime:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
             self._serve_thread = None
+
+
+class RemoteReplicaStore(ObjectStore):
+    """A follower replica hosted by a *peer* site daemon.
+
+    Implements the :class:`ObjectStore` interface over the fabric's
+    ``replica`` control op, so a :class:`ReplicatedStore` /
+    :class:`ReplicatedWAL` can place copies of a domain's state on other
+    machines — the deployment shape where losing a whole site (not just
+    a disk) leaves a quorum elsewhere.  Values are marshalled locally
+    and shipped as base64 (the control plane is JSON); the hosting
+    daemon stores the bytes without ever decoding them.
+
+    Transport failures surface as
+    :class:`~repro.persistence.replicated.ReplicationError`, which the
+    replication layer treats as medium failure (retry, mark DOWN, serve
+    degraded) — while a missing key stays a plain ``StoreError`` with
+    its usual authoritative meaning.
+    """
+
+    def __init__(
+        self,
+        transport: SocketTransport,
+        host_site: str,
+        store_name: str,
+        registry: Optional[Any] = None,
+    ) -> None:
+        self.name = f"{host_site}/{store_name}"
+        self._transport = transport
+        self._host = host_site
+        self._store = store_name
+        self._marshaller = Marshaller(registry)
+
+    def _call(self, action: str, **extra: Any) -> Dict[str, Any]:
+        request = {"op": "replica", "action": action, "store": self._store}
+        request.update(extra)
+        try:
+            return self._transport.control(self._host, request, attempts=1)
+        except CommunicationError as exc:
+            raise ReplicationError(
+                f"replica host {self._host!r} unreachable: {exc}"
+            ) from exc
+
+    def _encode(self, state: Any) -> str:
+        return base64.b64encode(self._marshaller.encode(state)).decode("ascii")
+
+    def _decode(self, value: str) -> Any:
+        return self._marshaller.decode(base64.b64decode(value))
+
+    def put(self, uid: str, state: Any) -> None:
+        self.put_many([(uid, state)])
+
+    def put_many(self, items: Any) -> None:
+        batch = dict(items)
+        if not batch:
+            return
+        encoded = {uid: self._encode(state) for uid, state in batch.items()}
+        self._call("put_many", items=encoded)
+
+    def get(self, uid: str) -> Any:
+        reply = self._call("get", uid=uid)
+        if reply.get("missing"):
+            raise StoreError(f"no state stored under {uid!r}")
+        return self._decode(reply["value"])
+
+    def remove(self, uid: str) -> None:
+        reply = self._call("remove", uid=uid)
+        if reply.get("missing"):
+            raise StoreError(f"no state stored under {uid!r}")
+
+    def contains(self, uid: str) -> bool:
+        return bool(self._call("contains", uid=uid)["contains"])
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._call("keys")["keys"])
 
 
 class SiteClient:

@@ -807,6 +807,38 @@ class Transaction:
             self.factory.event_log.record("tx_subrollback", tid=self.tid)
             self.factory.on_transaction_finished(self)
 
+    def redrive(self) -> bool:
+        """Re-drive a completion sweep that was cut short mid-flight.
+
+        A store-layer failure during phase two or the rollback sweep (a
+        participant's durable write raising, e.g. a replicated store
+        below quorum) propagates out of :meth:`commit`/:meth:`rollback`
+        and strands the transaction in ``COMMITTING``/``ROLLING_BACK``
+        with uncompleted resources — a state neither :meth:`commit`
+        (refuses non-ACTIVE) nor timeout expiry (the deadline already
+        did its job) will ever touch again.  Both sweeps skip completed
+        resources, so once the store heals, re-entering them finishes
+        the interrupted outcome.  Returns True once terminal; raises
+        whatever the retried participants raise.
+        """
+        if self.status.is_terminal:
+            return True
+        if self.status is TransactionStatus.ROLLING_BACK:
+            self.rollback()
+        elif self.status is TransactionStatus.COMMITTING:
+            records = [r for r in self._resources if not r.completed]
+            if len(self._resources) == 1 and self._resources[0].vote is None:
+                # Interrupted one-phase commit: the participant decides,
+                # so the retry is the same one-phase call.
+                self._commit_one_phase(self._resources[0], report_heuristics=False)
+            else:
+                # The commit decision is already forced to the log;
+                # finish phase two exactly as the first pass would have.
+                self._commit_resources(records)
+                self.factory.log_completion(self.tid)
+                self._finish(TransactionStatus.COMMITTED)
+        return self.status.is_terminal
+
     # -- completion plumbing ---------------------------------------------------------
 
     def _run_before_completion(self) -> bool:

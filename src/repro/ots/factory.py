@@ -6,7 +6,7 @@ import threading
 from typing import Any, Callable, List, Optional, Set
 
 from repro.config import FactoryConfig
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.ots.coordinator import Control, Transaction
 from repro.ots.exceptions import InvalidTransaction, SimulatedCrash
 from repro.ots.locks import LockManager
@@ -350,6 +350,30 @@ class TransactionFactory:
                 tx.rollback()
                 expired.append(tid)
         return expired
+
+    def redrive_stuck(self) -> List[str]:
+        """Re-drive completions interrupted mid-sweep; returns finished tids.
+
+        A durable-store failure during phase two or a rollback sweep
+        strands a transaction in ``COMMITTING``/``ROLLING_BACK`` (see
+        :meth:`Transaction.redrive`).  This sweep retries each such
+        transaction and swallows per-transaction failures — a replica
+        set still below quorum just leaves the transaction for the next
+        sweep.
+        """
+        finished = []
+        for tx in self.active_transactions():
+            if tx.status not in (
+                TransactionStatus.COMMITTING,
+                TransactionStatus.ROLLING_BACK,
+            ):
+                continue
+            try:
+                if tx.redrive():
+                    finished.append(tx.tid)
+            except ReproError:
+                continue
+        return finished
 
     # -- maintenance ----------------------------------------------------------------
 

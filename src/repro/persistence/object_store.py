@@ -157,6 +157,27 @@ class FileStore(ObjectStore):
         safe = uid.replace(os.sep, "_").replace("..", "_")
         return os.path.join(self._root, safe + ".cdr")
 
+    def _fsync_root(self) -> None:
+        """Force the directory entry itself to disk.
+
+        ``os.replace`` makes the rename atomic against a crash of the
+        *process*, but the new directory entry lives in the directory's
+        own data block — until that block is flushed, a power loss can
+        still forget a file whose contents were durably written.  Not
+        every platform lets a directory be opened for fsync; where it
+        can't be, the per-file fsync is the best available.
+        """
+        try:
+            fd = os.open(self._root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
     def put(self, uid: str, state: Any) -> None:
         data = self._marshaller.encode(state)
         path = self._path(uid)
@@ -167,6 +188,7 @@ class FileStore(ObjectStore):
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, path)
+            self._fsync_root()
 
     def put_many(self, items: BatchItems) -> None:
         """Stage every entry, then publish all of them.
@@ -188,6 +210,7 @@ class FileStore(ObjectStore):
                 staged.append((tmp, path))
             for tmp, path in staged:
                 os.replace(tmp, path)
+            self._fsync_root()
 
     def get(self, uid: str) -> Any:
         path = self._path(uid)
@@ -202,6 +225,7 @@ class FileStore(ObjectStore):
             if not os.path.exists(path):
                 raise StoreError(f"no state stored under {uid!r}")
             os.remove(path)
+            self._fsync_root()
 
     def contains(self, uid: str) -> bool:
         return os.path.exists(self._path(uid))

@@ -44,6 +44,16 @@ DEFAULT_SEGMENT_SIZE = 64
 DEFAULT_GROUP_COMMIT_WINDOW = 0.002
 
 
+class ShippedGapError(InvalidStateError):
+    """A shipped batch does not extend this log contiguously.
+
+    Raised by :meth:`WriteAheadLog.apply_shipped` when a follower log's
+    durable tail and the incoming batch leave a hole in the LSN
+    sequence; the replication layer reacts by re-syncing the follower
+    from the primary instead of appending a log with missing history.
+    """
+
+
 @dataclass(frozen=True)
 class LogRecord:
     """One durable log entry."""
@@ -205,6 +215,11 @@ class WriteAheadLog:
             {"lsn": record.lsn, "kind": record.kind, "payload": record.payload}
             for record in self._volatile
         ]
+        self._land_batch_locked(batch)
+        self._volatile.clear()
+
+    def _land_batch_locked(self, batch: List[Dict[str, Any]]) -> None:
+        """Append ``batch`` (raw record dicts, ascending LSNs) durably."""
         if not self._roster or len(self._segments[self._roster[-1]]) >= self._segment_size:
             seg_id = self._next_seg
             self._next_seg += 1
@@ -217,9 +232,50 @@ class WriteAheadLog:
         self._segments[seg_id].extend(batch)
         self._store.put(self._seg_key(seg_id), self._segments[seg_id])
         self._durable_upto = batch[-1]["lsn"]
-        self._volatile.clear()
         self.forces += 1
         self.records_forced += len(batch)
+
+    # -- replication shipping -------------------------------------------------
+
+    def apply_shipped(self, records: List[LogRecord]) -> None:
+        """Apply a batch shipped from a replication primary.
+
+        The records keep the primary's LSNs — a follower log never
+        assigns its own — and must extend this log contiguously: either
+        the log is empty (a fresh follower joins at whatever the primary
+        still retains) or the batch starts at ``durable_upto + 1``.
+        Anything else raises :class:`ShippedGapError` so the caller can
+        fall back to a full re-sync rather than persist a log with a
+        hole in its history.  The whole batch lands in one store write,
+        mirroring the primary's one-flush-per-force contract.
+        """
+        with self._lock:
+            if not records:
+                return
+            if self._volatile:
+                raise InvalidStateError(
+                    "follower log has local volatile records; "
+                    "a follower only receives shipped batches"
+                )
+            for earlier, later in zip(records, records[1:]):
+                if later.lsn != earlier.lsn + 1:
+                    raise ShippedGapError(
+                        f"shipped batch is not contiguous at lsn {earlier.lsn}"
+                    )
+            start = records[0].lsn
+            empty = self._durable_upto == 0 and not self._roster
+            expected = start if empty else self._durable_upto + 1
+            if start != expected:
+                raise ShippedGapError(
+                    f"shipped batch starts at lsn {start}, "
+                    f"follower expected {expected}"
+                )
+            batch = [
+                {"lsn": record.lsn, "kind": record.kind, "payload": dict(record.payload)}
+                for record in records
+            ]
+            self._land_batch_locked(batch)
+            self._next_lsn = max(self._next_lsn, records[-1].lsn + 1)
 
     # -- reading ------------------------------------------------------------
 

@@ -24,18 +24,24 @@ from repro.ots import (
     TransactionFactory,
     TransactionalCell,
 )
-from repro.persistence import MemoryStore, SegmentedFileStore, WriteAheadLog
+from repro.persistence import (
+    MemoryStore,
+    SegmentedFileStore,
+    SqliteStore,
+    WriteAheadLog,
+)
 
 
 class TestOtsThroughActivityService:
     """2PC driven by the *activity service* over real recoverable cells.
 
-    Parametrised over the stable-storage backend: the in-memory model
-    and the log-structured :class:`SegmentedFileStore` (real files, one
-    append+fsync per batch) must recover identically.
+    Parametrised over the stable-storage backend: the in-memory model,
+    the log-structured :class:`SegmentedFileStore` (real files, one
+    append+fsync per batch) and the SQL-transactional
+    :class:`SqliteStore` must recover identically.
     """
 
-    @pytest.fixture(params=["memory", "segmented"])
+    @pytest.fixture(params=["memory", "segmented", "sqlite"])
     def env(self, request, tmp_path):
         class Env:
             def __init__(self, stable, cell_store, reopen):
@@ -65,6 +71,17 @@ class TestOtsThroughActivityService:
 
         if request.param == "memory":
             return Env(MemoryStore(), MemoryStore(), lambda store: store)
+        if request.param == "sqlite":
+
+            def reopen_sqlite(store):
+                store.close()
+                return SqliteStore(str(tmp_path / "cells.db"))
+
+            return Env(
+                SqliteStore(str(tmp_path / "stable.db")),
+                SqliteStore(str(tmp_path / "cells.db")),
+                reopen_sqlite,
+            )
         return Env(
             SegmentedFileStore(str(tmp_path / "stable")),
             SegmentedFileStore(str(tmp_path / "cells")),

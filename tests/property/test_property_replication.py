@@ -1,0 +1,128 @@
+"""Property-based tests on quorum-replication invariants.
+
+Hypothesis drives a :class:`~repro.persistence.ReplicatedStore` through
+random interleavings of writes, replica kills, heals, and maintenance
+sweeps, checking the two safety properties the replication layer sells:
+
+- **read-your-acked-writes**: a read that succeeds returns a value at
+  least as new as the last acknowledged write (a write that raised
+  below quorum is *ambiguous* — it may or may not have landed on the
+  replicas that survive — and the model tracks both possibilities);
+- **honest quorum reporting**: ``health()`` never claims the write
+  quorum is intact while fewer than ``write_quorum`` replicas are
+  considered live, and after healing every medium one maintenance
+  sweep restores full replication.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.persistence import MemoryStore, ReplicaMedium, ReplicatedStore
+from repro.persistence.replicated import ReplicationError
+from repro.util.clock import SimulatedClock
+
+KEYS = ("k0", "k1", "k2")
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            st.sampled_from(KEYS),
+            st.integers(min_value=0, max_value=999),
+        ),
+        st.tuples(st.just("get"), st.sampled_from(KEYS)),
+        st.tuples(st.just("fail"), st.integers(min_value=0, max_value=2)),
+        st.tuples(st.just("heal"), st.integers(min_value=0, max_value=2)),
+        st.tuples(st.just("sweep")),
+    ),
+    max_size=40,
+)
+
+
+class TestReplicatedStoreProperties:
+    @given(ops)
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    def test_reads_acked_writes_and_reports_quorum_honestly(self, operations):
+        clock = SimulatedClock()
+        media = [ReplicaMedium(f"m{i}", MemoryStore()) for i in range(3)]
+        store = ReplicatedStore(media, write_quorum=2, clock=clock)
+        # key -> set of values a read may legitimately return: one value
+        # after an acked write; old and new after a failed (unacked) one.
+        model = {}
+        for op in operations:
+            if op[0] == "put":
+                _, key, value = op
+                acked = model.get(key, set())
+                try:
+                    store.put(key, value)
+                except ReplicationError:
+                    # Below quorum: the write is not acknowledged, but
+                    # it may still have applied on surviving replicas.
+                    model[key] = acked | {value}
+                else:
+                    model[key] = {value}
+            elif op[0] == "get":
+                _, key = op
+                if key not in model:
+                    continue
+                try:
+                    observed = store.get(key)
+                except ReplicationError:
+                    pass  # degraded: refusing the read is allowed
+                else:
+                    assert observed in model[key], (
+                        f"read {observed!r} for {key}, "
+                        f"acked model allows {model[key]!r}"
+                    )
+            elif op[0] == "fail":
+                media[op[1]].fail()
+            elif op[0] == "heal":
+                media[op[1]].heal()
+            else:  # sweep
+                clock.advance(1.5)
+                store.catch_up()
+            health = store.health()
+            live = sum(
+                1
+                for entry in health["replicas"].values()
+                if entry["state"] != "down"
+            )
+            assert not (health["quorum_ok"] and live < store.write_quorum), (
+                f"quorum_ok reported with only {live} live replicas"
+            )
+
+        # Heal the world: every medium back, probes due, maintenance run.
+        for medium in media:
+            medium.heal()
+        for _ in range(3):
+            clock.advance(1.5)
+            store.catch_up()
+        health = store.health()
+        assert health["quorum_ok"] is True
+        assert health["under_replicated"] is False
+        for key, allowed in model.items():
+            assert store.get(key) in allowed
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2), max_size=10),
+        st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_acked_writes_survive_any_single_disk_wipe(self, kills, value):
+        """Whatever follower churn happened before the write, an acked
+        write survives wiping any one disk afterwards."""
+        clock = SimulatedClock()
+        media = [ReplicaMedium(f"m{i}", MemoryStore()) for i in range(3)]
+        store = ReplicatedStore(media, write_quorum=2, clock=clock)
+        for index in kills:
+            media[index].fail()
+            media[index].heal()
+            clock.advance(1.5)
+            store.catch_up()
+        store.put("k", value)  # must not raise: all media are healthy
+        for index in range(3):
+            media[index].wipe()
+            store.note_wiped(index)
+            clock.advance(1.5)
+            store.catch_up()
+            assert store.get("k") == value

@@ -99,6 +99,49 @@ class TestFileStore:
         assert store.get("../evil") == 1
         assert not (tmp_path / "evil.cdr").exists()
 
+    def test_partial_write_never_tears_an_object(self, tmp_path):
+        """Regression: a crash mid-put must not corrupt the entry.
+
+        ``put`` stages into a tmp file and publishes with an atomic
+        rename; simulate a crash after a *partial* tmp write (the torn
+        bytes a power cut leaves) and verify the published entry still
+        reads back the old value — the torn tmp is never visible.
+        """
+        root = str(tmp_path / "store")
+        store = FileStore(root)
+        store.put("k", {"stable": True})
+        # crash mid-put: a half-written tmp file next to the entry
+        data = store._marshaller.encode({"stable": False})
+        with open(store._path("k") + ".tmp", "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        assert store.get("k") == {"stable": True}
+        reopened = FileStore(root)
+        assert reopened.get("k") == {"stable": True}
+        assert reopened.keys() == ("k",)
+        # the next put over the same key replaces the torn tmp cleanly
+        reopened.put("k", {"stable": "new"})
+        assert reopened.get("k") == {"stable": "new"}
+
+    def test_put_fsyncs_directory_entry(self, tmp_path, monkeypatch):
+        """The rename is published durably: put/put_many/remove fsync
+        the directory so the entry itself survives power loss."""
+        import repro.persistence.object_store as mod
+
+        store = FileStore(str(tmp_path / "store"))
+        synced = []
+        real_fsync = mod.os.fsync
+        monkeypatch.setattr(
+            mod.os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        store.put("k", 1)
+        assert len(synced) == 2  # file contents + directory entry
+        synced.clear()
+        store.put_many({"a": 1, "b": 2})
+        assert len(synced) == 3  # two staged files + one directory sync
+        synced.clear()
+        store.remove("k")
+        assert len(synced) == 1  # directory sync after the unlink
+
 
 class TestWriteAheadLog:
     def test_append_assigns_lsns(self):

@@ -1,0 +1,83 @@
+"""Unit tests for the SQLite-backed object store."""
+
+import pytest
+
+from repro.persistence import SqliteStore
+from repro.persistence.object_store import StoreError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SqliteStore(str(tmp_path / "objects.db"))
+
+
+class TestSqliteStoreContract:
+    def test_put_get_roundtrip(self, store):
+        store.put("k", [1, "two", {"three": 3}])
+        assert store.get("k") == [1, "two", {"three": 3}]
+
+    def test_get_missing(self, store):
+        with pytest.raises(StoreError):
+            store.get("ghost")
+
+    def test_overwrite(self, store):
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+
+    def test_remove(self, store):
+        store.put("k", 1)
+        store.remove("k")
+        assert not store.contains("k")
+        with pytest.raises(StoreError):
+            store.remove("k")
+
+    def test_keys_sorted_and_len(self, store):
+        store.put("b", 1)
+        store.put("a", 2)
+        assert store.keys() == ("a", "b")
+        assert len(store) == 2
+
+    def test_values_are_isolated_copies(self, store):
+        original = {"list": [1]}
+        store.put("k", original)
+        original["list"].append(2)
+        assert store.get("k") == {"list": [1]}
+
+    def test_only_marshallable_values(self, store):
+        with pytest.raises(Exception):
+            store.put("k", object())
+
+    def test_items_iteration(self, store):
+        store.put("a", 1)
+        assert dict(store.items()) == {"a": 1}
+
+
+class TestSqliteStoreDurability:
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "objects.db")
+        first = SqliteStore(path)
+        first.put("k", "persisted")
+        first.close()
+        assert SqliteStore(path).get("k") == "persisted"
+
+    def test_put_many_is_one_transaction(self, tmp_path):
+        path = str(tmp_path / "objects.db")
+        store = SqliteStore(path)
+        store.put_many({"a": 1, "b": 2, "c": 3})
+        assert store.writes == 1  # one transaction for the whole batch
+        store.close()
+        reopened = SqliteStore(path)
+        assert reopened.keys() == ("a", "b", "c")
+
+    def test_failed_batch_publishes_nothing(self, store):
+        store.put("keep", 1)
+        # the unmarshallable value poisons the whole batch before any row
+        # is written: all-or-nothing, like one flush
+        with pytest.raises(Exception):
+            store.put_many({"a": 1, "b": object()})
+        assert store.keys() == ("keep",)
+
+    def test_rejects_unknown_synchronous_mode(self, tmp_path):
+        with pytest.raises(StoreError):
+            SqliteStore(str(tmp_path / "x.db"), synchronous="TURBO")
