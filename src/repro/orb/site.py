@@ -682,6 +682,11 @@ class SiteRuntime:
         if self.replication is None:
             return
         try:
+            # An unplanned primary-medium loss would otherwise wedge the
+            # WAL (every force raises, promote is never called): detect
+            # it here and fail over to the newest surviving follower.
+            if isinstance(self.wal, ReplicatedWAL):
+                self.wal.failover_if_primary_down()
             self.wal.catch_up()
             self.cell_store.catch_up()
         except Exception:

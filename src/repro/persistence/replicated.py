@@ -16,10 +16,13 @@ of erasing it:
   replicas are latched DOWN by a
   :class:`~repro.orb.membership.FailureDetector`, after which the store
   keeps serving in *degraded mode* (as long as a quorum remains) with an
-  explicit ``under_replicated`` health surface.  Every mutation gets a
-  monotone version; a bounded op journal replays missed versions into a
-  readmitted replica, falling back to a full snapshot re-sync when the
-  journal no longer reaches back far enough (or after a wipe).
+  explicit ``under_replicated`` health surface.  A write that misses
+  the quorum is rolled back out of the journal and off the minority
+  that applied it, so unacknowledged data is never observable.  Every
+  mutation gets a monotone version; a bounded op journal replays missed
+  versions into a readmitted replica, falling back to a full snapshot
+  re-sync when the journal no longer reaches back far enough (or after
+  a wipe).
 
 - :class:`ReplicatedWAL` — a :class:`~repro.persistence.wal.GroupCommitWAL`
   on the primary medium that ships every force's batch to follower
@@ -78,6 +81,11 @@ from repro.util.retry import RetryPolicy
 #: a reboot (or promotion) can elect the newest copy without trusting
 #: any process memory.  Hidden from keys()/items()/len().
 META_KEY = "__replication__"
+
+#: Sentinel for "this key did not exist" in a captured pre-image, so a
+#: failed-quorum write can be rolled back to a state where the key is
+#: absent (None is a legitimate stored value).
+_MISSING = object()
 
 
 class ReplicationError(StoreError):
@@ -203,12 +211,14 @@ class ReplicatedStore(ObjectStore):
 
     Mutations apply to every live replica in declaration order and
     acknowledge once ``write_quorum`` replicas hold the new version
-    durably; anything less raises :class:`ReplicationError` (the write
-    may exist on a minority — the standard ack-failure ambiguity — but
-    was never acknowledged).  Reads are served from the newest live
-    replica holding at least the acked version, preferring the elected
-    primary, so the store always reads its acknowledged writes while
-    any quorum survives.
+    durably; anything less raises :class:`ReplicationError` and the
+    write is *rolled back* — un-journaled and reverted on the minority
+    that applied it (a replica whose pre-image cannot be restored is
+    distrusted and re-seeded) — so an unacknowledged write is never
+    observable through reads, catch-up replay, or promotion.  Reads are
+    served from the newest live replica holding at least the acked
+    version, preferring the elected primary, so the store always reads
+    its acknowledged writes while any quorum survives.
     """
 
     def __init__(
@@ -251,15 +261,23 @@ class ReplicatedStore(ObjectStore):
             _Replica(i, _replica_name(i, store), store)
             for i, store in enumerate(stores)
         ]
+        unversioned: List[_Replica] = []
         for replica in self._replicas:
             self._detector.watch(replica.name)
             try:
                 meta = replica.store.get_or(META_KEY)
+                populated = meta is None and any(
+                    uid != META_KEY for uid in replica.store.keys()
+                )
             except Exception:
                 replica.resync = True
                 self._detector.failure(replica.name)
             else:
                 replica.applied = int(meta["version"]) if meta else 0
+                if populated:
+                    unversioned.append(replica)
+        if unversioned:
+            self._adopt_unversioned(unversioned)
         # Election: the newest durable copy becomes the read primary;
         # ties break toward the declared order.  This is the same rule
         # promote() applies after a primary loss, which is what makes
@@ -274,6 +292,38 @@ class ReplicatedStore(ObjectStore):
                 except Exception:
                     self._detector.failure(replica.name)
         self._refresh_health_locked()
+
+    def _adopt_unversioned(self, unversioned: List[_Replica]) -> None:
+        """Place replicas holding data but no version marker.
+
+        Wrapping a pre-existing single-copy store is the legitimate
+        case: with no versioned replica anywhere, the first populated
+        one is adopted as the seed at version 1, so empty followers
+        (version 0) read as *behind* it and get re-seeded instead of
+        counting as in-sync — otherwise the first primary loss would
+        promote an empty-but-"current" follower and every pre-existing
+        key would vanish.  When versioned copies do exist, unversioned
+        content has no place in the version order and is distrusted.
+        """
+        if any(r.applied > 0 for r in self._replicas):
+            for replica in unversioned:
+                replica.resync = True
+            return
+        seed: Optional[_Replica] = None
+        for replica in unversioned:
+            if seed is None:
+                try:
+                    replica.store.put(META_KEY, {"version": 1})
+                except Exception:
+                    replica.resync = True
+                    self._detector.failure(replica.name)
+                    continue
+                replica.applied = 1
+                seed = replica
+            else:
+                # A second marker-less populated disk may hold anything;
+                # only one adopted lineage can win.
+                replica.resync = True
 
     # -- membership helpers ---------------------------------------------------
 
@@ -312,12 +362,17 @@ class ReplicatedStore(ObjectStore):
 
     def _mutate(self, kind: str, payload: Any) -> None:
         with self._lock:
+            # Pre-image of the touched keys, captured before the first
+            # replica applies: once a replica holds the new version the
+            # old values exist nowhere reachable if the rest of the
+            # quorum dies mid-write, and the rollback path needs them.
+            prior = self._capture_prior_locked(kind, payload, self._version)
             self._version += 1
             version = self._version
             self._journal.append((version, kind, payload))
             while len(self._journal) > self._journal_limit:
                 self._journal.popleft()
-            acked: List[str] = []
+            acked: List[_Replica] = []
             for replica in self._replicas:
                 if self._skip_locked(replica):
                     continue
@@ -333,16 +388,84 @@ class ReplicatedStore(ObjectStore):
                 else:
                     replica.applied = version
                     self._detector.heartbeat(replica.name)
-                    acked.append(replica.name)
-            self._refresh_health_locked()
+                    acked.append(replica)
             if len(acked) >= self._write_quorum:
                 self._acked_version = version
+                self._refresh_health_locked()
                 return
             self.quorum_failures += 1
+            self._rollback_locked(version, prior, acked)
+            self._refresh_health_locked()
             raise ReplicationError(
                 f"write v{version} acked by {len(acked)}/{len(self._replicas)} "
-                f"replicas ({acked}); write_quorum={self._write_quorum}"
+                f"replicas ({[r.name for r in acked]}) and was rolled back; "
+                f"write_quorum={self._write_quorum}"
             )
+
+    def _capture_prior_locked(
+        self, kind: str, payload: Any, at_version: int
+    ) -> Optional[Dict[str, Any]]:
+        """Pre-image of the keys this op touches, read from a replica
+        fully current at ``at_version`` (missing keys map to
+        ``_MISSING``) — what a failed-quorum write needs to roll itself
+        back out.  ``None`` when no current replica answers."""
+        keys = list(payload) if kind == "put_many" else [payload]
+        candidates = sorted(
+            (
+                r
+                for r in self._replicas
+                if not r.resync and r.applied == at_version
+            ),
+            key=lambda r: (r.index != self._primary, r.index),
+        )
+        for replica in candidates:
+            try:
+                return {
+                    uid: (
+                        replica.store.get(uid)
+                        if replica.store.contains(uid)
+                        else _MISSING
+                    )
+                    for uid in keys
+                }
+            except Exception:
+                continue
+        return None
+
+    def _rollback_locked(
+        self,
+        version: int,
+        prior: Optional[Dict[str, Any]],
+        acked: List[_Replica],
+    ) -> None:
+        """Roll a failed-quorum write back out so it is never
+        observable: un-journal it, retract the version, and restore the
+        pre-image on the minority that applied it.  A replica whose
+        pre-image cannot be restored is distrusted (full re-sync) rather
+        than left holding a write that was never acknowledged."""
+        if self._journal and self._journal[-1][0] == version:
+            self._journal.pop()
+        self._version = version - 1
+        for replica in acked:
+            try:
+                if prior is None:
+                    raise ReplicationError("no pre-image captured")
+                restore: Dict[str, Any] = {
+                    uid: value
+                    for uid, value in prior.items()
+                    if value is not _MISSING
+                }
+                for uid, value in prior.items():
+                    if value is _MISSING and replica.store.contains(uid):
+                        replica.store.remove(uid)
+                restore[META_KEY] = {"version": version - 1}
+                replica.store.put_many(restore)
+            except Exception:
+                replica.applied = 0
+                replica.resync = True
+                self._detector.failure(replica.name)
+            else:
+                replica.applied = version - 1
 
     def _apply_locked(
         self, replica: _Replica, version: int, kind: str, payload: Any
@@ -380,7 +503,18 @@ class ReplicatedStore(ObjectStore):
 
     def _catch_up_replica_locked(self, replica: _Replica, upto: int) -> None:
         if replica.resync or not self._journal_covers_locked(replica.applied):
-            self._full_resync_locked(replica)
+            self._full_resync_locked(replica, upto)
+            if replica.applied < upto and not self._journal_covers_locked(
+                replica.applied
+            ):
+                # Backstop (source eligibility should make this
+                # unreachable): replaying the journal over a gap would
+                # silently skip the versions between the snapshot and
+                # the journal's oldest entry.
+                raise ReplicationError(
+                    f"journal cannot bridge replica {replica.name!r} "
+                    f"from v{replica.applied} to v{upto}"
+                )
         for version, kind, payload in list(self._journal):
             if version <= replica.applied or version > upto:
                 continue
@@ -393,16 +527,27 @@ class ReplicatedStore(ObjectStore):
             )
         self.catch_ups += 1
 
-    def _full_resync_locked(self, replica: _Replica) -> None:
-        """Re-seed ``replica`` from the newest other live copy."""
+    def _full_resync_locked(self, replica: _Replica, upto: int) -> None:
+        """Re-seed ``replica`` from the newest other live copy.
+
+        A source is only eligible when its snapshot can be extended to
+        ``upto``: either it already holds everything needed, or the op
+        journal reaches back to its version.  A live-but-stale source
+        below the journal window must never seed a catch-up — replaying
+        the journal over the gap would skip mutations silently, then
+        report the replica in sync."""
         sources = [
             r
             for r in self._replicas
-            if r is not replica and not r.resync and not self._down_locked(r)
+            if r is not replica
+            and not r.resync
+            and not self._down_locked(r)
+            and (r.applied >= upto or self._journal_covers_locked(r.applied))
         ]
         if not sources:
             raise ReplicationError(
-                f"no live source to re-sync replica {replica.name!r} from"
+                f"no live source can re-sync replica {replica.name!r} "
+                f"to v{upto} without skipping journaled versions"
             )
         source = max(sources, key=lambda r: (r.applied, -r.index))
         snapshot = {
@@ -490,6 +635,10 @@ class ReplicatedStore(ObjectStore):
             ) from last
 
     def get(self, uid: str) -> Any:
+        if uid == META_KEY:
+            # Hidden consistently with contains()/keys(): the reserved
+            # metadata key reads as absent, never as its internal value.
+            raise StoreError(f"no state stored under {uid!r}")
         return self._read(lambda r: r.store.get(uid))
 
     def contains(self, uid: str) -> bool:
@@ -938,16 +1087,41 @@ class ReplicatedWAL(GroupCommitWAL):
                     follower.resync = True
             self._refresh_health_locked()
 
+    def failover_if_primary_down(self) -> Optional[str]:
+        """Maintenance probe for the serve loop: when the primary medium
+        stops answering, promote the newest surviving follower so the
+        WAL degrades instead of wedging — with a dead primary every
+        force raises, the volatile tail can never drain, and nothing
+        else in the runtime would ever re-root the log.  Returns the
+        promoted medium's name, or ``None`` when the primary answers."""
+        with self._lock:
+            try:
+                self._store.contains(self._head_key())
+            except Exception:
+                return self.promote()
+            return None
+
     def promote(self) -> str:
         """Re-root the log on the newest surviving follower medium.
 
         The old primary medium is demoted to a follower needing a full
         re-sync (its contents are no longer trusted).  Deterministic:
         highest ``durable_upto`` wins, declaration order breaks ties.
-        Requires a quiet log (no unforced records)."""
+
+        An unforced tail is drained through a normal quorum force first
+        (planned promotion over a healthy primary loses nothing); when
+        that force cannot complete — the unplanned-primary-loss case —
+        the tail is dropped exactly as the primary's crash dropped it:
+        none of those records were ever acknowledged (``append`` returns
+        only after quorum), and parked group-commit appenders are woken
+        so they observe the loss instead of waiting forever."""
         with self._lock:
             if self._volatile:
-                raise InvalidStateError("promote with unforced records; force first")
+                try:
+                    self._force_locked()
+                except Exception:
+                    self._volatile.clear()
+                    self._flushed.notify_all()
             best: Optional[_Follower] = None
             best_upto = -1
             for follower in self._followers:

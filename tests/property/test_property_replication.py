@@ -5,9 +5,9 @@ random interleavings of writes, replica kills, heals, and maintenance
 sweeps, checking the two safety properties the replication layer sells:
 
 - **read-your-acked-writes**: a read that succeeds returns a value at
-  least as new as the last acknowledged write (a write that raised
-  below quorum is *ambiguous* — it may or may not have landed on the
-  replicas that survive — and the model tracks both possibilities);
+  least as new as the last acknowledged write; a write that raised
+  below quorum is *rolled back* — reverted on whatever minority applied
+  it — so the model keeps only the pre-write state for it;
 - **honest quorum reporting**: ``health()`` never claims the write
   quorum is intact while fewer than ``write_quorum`` replicas are
   considered live, and after healing every medium one maintenance
@@ -46,19 +46,17 @@ class TestReplicatedStoreProperties:
         clock = SimulatedClock()
         media = [ReplicaMedium(f"m{i}", MemoryStore()) for i in range(3)]
         store = ReplicatedStore(media, write_quorum=2, clock=clock)
-        # key -> set of values a read may legitimately return: one value
-        # after an acked write; old and new after a failed (unacked) one.
+        # key -> set of values a read may legitimately return: exactly
+        # the last acked value — a below-quorum write is rolled back,
+        # so it must never become observable.
         model = {}
         for op in operations:
             if op[0] == "put":
                 _, key, value = op
-                acked = model.get(key, set())
                 try:
                     store.put(key, value)
                 except ReplicationError:
-                    # Below quorum: the write is not acknowledged, but
-                    # it may still have applied on surviving replicas.
-                    model[key] = acked | {value}
+                    pass  # below quorum: rolled back, state unchanged
                 else:
                     model[key] = {value}
             elif op[0] == "get":

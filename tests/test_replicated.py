@@ -73,6 +73,46 @@ class TestReplicatedStoreBasics:
         assert not store.contains(META_KEY)
         with pytest.raises(StoreError):
             store.put(META_KEY, {"version": 99})
+        with pytest.raises(StoreError):
+            store.get(META_KEY)  # hidden from get() like contains()/keys()
+        assert store.get_or(META_KEY) is None
+        with pytest.raises(StoreError):
+            store.remove(META_KEY)
+
+    def test_wraps_pre_existing_unversioned_store(self):
+        # The legitimate migration path: a single-copy store that predates
+        # replication is adopted as the seed and followers re-seed from
+        # it -- an empty follower must never count as "in sync" with it.
+        legacy = MemoryStore()
+        legacy.put("a", 1)
+        legacy.put("b", 2)
+        media = [
+            ReplicaMedium("disk-0", legacy),
+            ReplicaMedium("disk-1", MemoryStore()),
+            ReplicaMedium("disk-2", MemoryStore()),
+        ]
+        store = make_store(media)
+        assert set(store.keys()) == {"a", "b"}
+        for medium in media[1:]:
+            assert medium.backing.get("a") == 1
+        store.put("c", 3)
+        media[0].wipe()
+        store.note_wiped(0)  # losing the legacy disk loses nothing
+        assert store.get("a") == 1
+        assert store.get("c") == 3
+
+    def test_unversioned_content_defers_to_versioned_replicas(self):
+        media = make_media(2)
+        store = make_store(media)
+        store.put("a", 1)
+        junk = MemoryStore()
+        junk.put("zzz", 99)  # a swapped-in disk holding unrelated data
+        rebooted = make_store(
+            [media[0], media[1], ReplicaMedium("disk-2", junk)]
+        )
+        assert rebooted.get("a") == 1
+        assert not rebooted.contains("zzz")
+        assert set(junk.keys()) == {"a", META_KEY}  # re-seeded, junk gone
 
     def test_missing_key_still_raises_store_error(self):
         store = make_store(make_media(3))
@@ -147,6 +187,79 @@ class TestReplicatedStoreDegraded:
         health = store.health()
         assert health["under_replicated"] is False
         assert health["replicas"]["disk-2"]["lag"] == 0
+
+    def test_failed_quorum_write_rolls_back(self):
+        media = make_media(3)
+        clock = SimulatedClock()
+        store = make_store(media, clock=clock)
+        store.put("a", 1)
+        media[1].fail()
+        media[2].fail()
+        with pytest.raises(ReplicationError):
+            store.put_many({"a": 99, "b": 2})
+        # The unacked write is rolled back: not observable through reads,
+        # not retained on the minority, not in the version sequence.
+        assert store.get("a") == 1
+        assert not store.contains("b")
+        assert media[0].backing.get("a") == 1
+        assert not media[0].backing.contains("b")
+        health = store.health()
+        assert health["version"] == health["acked_version"] == 1
+        # Once quorum returns the sequence continues cleanly and the
+        # rolled-back write never resurfaces via catch-up replay.
+        media[1].heal()
+        media[2].heal()
+        clock.advance(2.0)
+        store.catch_up()
+        store.put("c", 3)
+        assert store.get("a") == 1
+        assert store.get("c") == 3
+        for medium in media:
+            assert not medium.backing.contains("b")
+
+    def test_failed_quorum_remove_rolls_back(self):
+        media = make_media(3)
+        store = make_store(media)
+        store.put("a", 1)
+        media[1].fail()
+        media[2].fail()
+        with pytest.raises(ReplicationError):
+            store.remove("a")
+        assert store.get("a") == 1
+        assert media[0].backing.get("a") == 1
+
+    def test_catch_up_refuses_to_replay_over_journal_gap(self):
+        media = make_media(3)
+        clock = SimulatedClock()
+        store = make_store(media, clock=clock, write_quorum=1, journal_limit=2)
+        store.put("k1", 1)
+        media[1].fail()
+        media[2].fail()
+        for i in range(2, 7):
+            store.put(f"k{i}", i)  # v2..v6; the journal retains only v5, v6
+        # disk-2 rejoins holding just v1; disk-0 -- the sole copy of
+        # v2..v4 -- dies.  (White-box detector nudges stand in for the
+        # probe traffic that would produce the same states over time.)
+        media[2].heal()
+        store._detector.heartbeat("disk-2")
+        media[0].fail()
+        store._detector.failure("disk-0")
+        media[1].wipe()
+        store.note_wiped(1)
+        clock.advance(2.0)
+        store.catch_up()
+        # Seeding disk-1 from disk-2 (v1) and replaying the journal tail
+        # would silently skip v2..v4; the store must refuse and keep the
+        # replica untrusted instead of reporting it in sync.
+        assert store.health()["replicas"]["disk-1"]["resync_required"] is True
+        with pytest.raises(ReplicationError):
+            store.get("k2")  # acked state genuinely unreachable right now
+        # The newest copy returns: everything heals, nothing was skipped.
+        media[0].heal()
+        clock.advance(2.0)
+        store.catch_up()
+        assert store.get("k2") == 2
+        assert store.health()["replicas"]["disk-1"]["lag"] == 0
 
     def test_journal_overflow_falls_back_to_full_resync(self):
         media = make_media(3)
@@ -334,6 +447,46 @@ class TestReplicatedWALPromotion:
         media[2].fail()
         with pytest.raises(ReplicationError):
             wal.promote()
+
+    def test_unplanned_primary_loss_promotes_and_drops_unacked_tail(self):
+        media = make_media(3)
+        wal = make_wal(media)
+        wal.append("op", x=1)
+        media[0].fail()  # no runbook ran: the primary just died
+        with pytest.raises(ReplicationError):
+            wal.append("op", x=2)  # force cannot reach the primary
+        # promote() no longer wedges on the stranded volatile tail: the
+        # record was never acked anywhere, so it is dropped exactly as
+        # the primary's crash dropped it, and the WAL serves again.
+        assert wal.promote() == "disk-1"
+        assert wal.primary_index == 1
+        assert lsns(wal) == [1]
+        record = wal.append("op", x=2)
+        assert record.lsn == 2
+        follower = WriteAheadLog(media[2].backing)
+        assert lsns(follower) == [1, 2]
+
+    def test_promote_drains_volatile_tail_through_healthy_primary(self):
+        media = make_media(3)
+        wal = make_wal(media)
+        wal.append("op", x=1)
+        wal.append_volatile("op", x=2)
+        name = wal.promote()  # planned promotion: the tail is forced first
+        assert name == "disk-1"
+        assert lsns(wal) == [1, 2]
+        assert [r.payload["x"] for r in wal.records()] == [1, 2]
+
+    def test_failover_probe_promotes_on_dead_primary(self):
+        media = make_media(3)
+        wal = make_wal(media)
+        wal.append("op", x=1)
+        assert wal.failover_if_primary_down() is None  # healthy: no-op
+        media[0].fail()
+        assert wal.failover_if_primary_down() == "disk-1"
+        assert wal.primary_index == 1
+        assert wal.failover_if_primary_down() is None
+        record = wal.append("op", x=2)  # degraded but serving
+        assert record.lsn == 2
 
     def test_reopen_after_primary_wipe_recovers_from_followers(self):
         media = make_media(3)
