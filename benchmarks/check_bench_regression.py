@@ -23,6 +23,11 @@ Only *machine-independent* metrics are gated:
   deterministic counters or simulated-clock latencies.  Failover must
   lose zero acked appends and the replicated sweep must report zero
   invariant violations — those baselines are 0 and any increase fails.
+- **fig22** (load & admission control): the knee sweep and population
+  hold run under a simulated clock with seeded arrivals, so goodput
+  ratios, retention, bounded p99 and the live-population peak are
+  exactly reproducible.  The socket dispatch-loop throughputs in the
+  same JSON are machine-dependent and deliberately *not* gated.
 
 Each figure is gated independently; by default every figure with a
 committed baseline is checked.
@@ -90,6 +95,22 @@ GATES = {
             "wal_catchup_lag_drained",
             "failover_promotions",
             "sweep_promotions",
+        ],
+    },
+    "fig22": {
+        "floors": [
+            # All three run under a simulated clock with seeded rngs —
+            # exactly reproducible; the slack is just float headroom.
+            ("overload_goodput_ratio", 0.90),   # gated/ungated goodput at 4x
+            ("gated_goodput_retention", 0.95),  # overload goodput vs knee
+            ("gated_goodput_overload", 0.99),   # absolute gated goodput
+        ],
+        "ceilings": [
+            ("gated_p99_s", 1.05),  # bounded by max_live/capacity, not load
+        ],
+        "counters": [
+            "live_peak",    # sustained concurrent live activities (120k)
+            "shed_total",   # deterministic shed count across the sweep
         ],
     },
 }

@@ -104,6 +104,39 @@ class _BaseConfig:
             raise ConfigValidationError(f"{type(self).__name__}: {message}")
 
 
+def _validate_admission(config: Any) -> None:
+    """Shared validation for the PR 10 admission / event-log knobs
+    (present on both :class:`RuntimeConfig` and :class:`FactoryConfig`)."""
+    config._require(
+        config.max_live is None
+        or (isinstance(config.max_live, int) and config.max_live >= 1),
+        f"max_live must be None or >= 1, got {config.max_live!r}",
+    )
+    config._require(
+        isinstance(config.admission_queue, int) and config.admission_queue >= 0,
+        f"admission_queue must be >= 0, got {config.admission_queue!r}",
+    )
+    config._require(
+        config.shed_policy in ("reject-newest", "deadline", "priority"),
+        f"shed_policy must be reject-newest/deadline/priority, "
+        f"got {config.shed_policy!r}",
+    )
+    non_default = (
+        config.admission_queue != 0
+        or config.shed_policy != "reject-newest"
+        or config.shed_priorities is not None
+    )
+    config._require(
+        not (non_default and config.max_live is None),
+        "admission_queue/shed_policy/shed_priorities require max_live",
+    )
+    config._require(
+        config.max_events is None
+        or (isinstance(config.max_events, int) and config.max_events >= 1),
+        f"max_events must be None or >= 1, got {config.max_events!r}",
+    )
+
+
 @dataclass(frozen=True)
 class OrbConfig(_BaseConfig):
     """Tuning values for one :class:`~repro.orb.core.Orb`.
@@ -177,6 +210,19 @@ class RuntimeConfig(_BaseConfig):
         site federation) when this manager coordinates across domains;
         ``interposition`` installs the activity interposer so foreign
         coordinators are proxied locally (PR 5).
+    max_live / admission_queue / shed_policy / shed_priorities
+        Admission control (PR 10).  ``max_live`` caps concurrently live
+        activities; ``None`` (default) disables the gate entirely — no
+        gate object is even constructed, keeping the default path
+        byte-identical.  ``admission_queue`` bounds parked waiters at
+        capacity (0 = fast-fail, required under a simulated clock);
+        ``shed_policy`` is one of ``reject-newest`` / ``deadline`` /
+        ``priority``; ``shed_priorities`` maps activity kinds to ranks
+        for the priority policy.
+    max_events
+        Bound for the default :class:`~repro.util.events.EventLog` ring
+        when the manager builds its own log; ``None`` keeps it
+        unbounded (the historical default).
     """
 
     fast_path: bool = True
@@ -186,6 +232,11 @@ class RuntimeConfig(_BaseConfig):
     attach_wheel_to_clock: bool = False
     federation: Optional[Any] = None
     interposition: bool = False
+    max_live: Optional[int] = None
+    admission_queue: int = 0
+    shed_policy: str = "reject-newest"
+    shed_priorities: Optional[Any] = None
+    max_events: Optional[int] = None
 
     def validate(self) -> None:
         self._require(
@@ -200,6 +251,7 @@ class RuntimeConfig(_BaseConfig):
             not (self.interposition and self.federation is None),
             "interposition=True requires a federation bridge",
         )
+        _validate_admission(self)
 
 
 @dataclass(frozen=True)
@@ -290,6 +342,11 @@ class FactoryConfig(_BaseConfig):
         daemons set ``"<site>:<boot-nonce>:"`` because root tids key
         remote adoption maps and durable logs, so they must stay unique
         across sites *and* process restarts.
+    max_live / admission_queue / shed_policy / shed_priorities / max_events
+        Admission control and event-log bounding, exactly as in
+        :class:`RuntimeConfig` (PR 10); the gate covers
+        ``TransactionFactory.create`` (top-level transactions only —
+        subtransactions ride their parent's admission).
     """
 
     retry_attempts: int = 3
@@ -300,6 +357,11 @@ class FactoryConfig(_BaseConfig):
     timer_wheel: Optional[Any] = None
     wheel_tick: float = 1.0
     tid_prefix: str = ""
+    max_live: Optional[int] = None
+    admission_queue: int = 0
+    shed_policy: str = "reject-newest"
+    shed_priorities: Optional[Any] = None
+    max_events: Optional[int] = None
 
     def validate(self) -> None:
         self._require(
@@ -329,3 +391,4 @@ class FactoryConfig(_BaseConfig):
             self.wheel_tick > 0,
             f"wheel_tick must be > 0, got {self.wheel_tick!r}",
         )
+        _validate_admission(self)

@@ -30,6 +30,7 @@ from repro.core.status import CompletionStatus
 from repro.orb.core import Node, Orb
 from repro.orb.reference import ObjectRef
 from repro.persistence.object_store import ObjectStore
+from repro.util.admission import AdmissionGate, build_gate
 from repro.util.clock import Clock, SimulatedClock
 from repro.util.events import EventLog
 from repro.util.idgen import IdGenerator
@@ -86,7 +87,16 @@ class ActivityManager:
             config, legacy, "ActivityManager"
         )
         self.clock = clock if clock is not None else SimulatedClock()
-        self.event_log = event_log if event_log is not None else EventLog(self.clock)
+        self.event_log = (
+            event_log
+            if event_log is not None
+            else EventLog(self.clock, max_events=config.max_events)
+        )
+        # Admission control (PR 10): None unless max_live is configured,
+        # so the default begin path is exactly the pre-gate code.
+        self.admission: Optional[AdmissionGate] = build_gate(
+            config, clock=self.clock, name="ActivityManager"
+        )
         self.delivery = delivery if delivery is not None else AtLeastOnceDelivery()
         # Broadcast executor shared by every activity this manager begins
         # (None → each coordinator defaults to the serial executor).
@@ -174,25 +184,41 @@ class ActivityManager:
         ``executor`` overrides the manager-wide broadcast executor for
         this one activity (models like sagas route their compensation
         fan-out through a dedicated executor this way).
+
+        With admission control configured (``RuntimeConfig.max_live``),
+        a begin past the live-population cap raises
+        :class:`~repro.exceptions.AdmissionRejected` before any state is
+        created; the slot is returned when the activity completes.
         """
-        activity_id = self.ids.next("activity")
-        activity = Activity(
-            activity_id=activity_id,
-            name=name,
-            parent=parent,
-            manager=self,
-            event_log=self.event_log,
-            delivery=self.delivery,
-            timeout=timeout,
-            clock=self.clock,
-            executor=executor if executor is not None else self.executor,
-            action_timeout=self.action_timeout,
-            marshal_once=self.fast_path,
-            interposer=self.interposer,
-        )
-        self._attach_property_groups(activity, parent)
-        activity.begin_seq = next(self._begin_order)
-        self._activities.put(activity_id, activity)
+        admitted = False
+        if self.admission is not None:
+            deadline = self.clock.now() + timeout if timeout > 0 else None
+            self.admission.admit(kind=name, deadline=deadline)
+            admitted = True
+        try:
+            activity_id = self.ids.next("activity")
+            activity = Activity(
+                activity_id=activity_id,
+                name=name,
+                parent=parent,
+                manager=self,
+                event_log=self.event_log,
+                delivery=self.delivery,
+                timeout=timeout,
+                clock=self.clock,
+                executor=executor if executor is not None else self.executor,
+                action_timeout=self.action_timeout,
+                marshal_once=self.fast_path,
+                interposer=self.interposer,
+            )
+            self._attach_property_groups(activity, parent)
+            activity.begin_seq = next(self._begin_order)
+            self._activities.put(activity_id, activity)
+        except BaseException:
+            if admitted:
+                self.admission.release()
+            raise
+        activity._admitted = admitted
         with self._counter_lock:
             self.begun += 1
         self._arm_expiry_timer(activity)
@@ -254,6 +280,12 @@ class ActivityManager:
     def on_activity_completed(self, activity: Activity) -> None:
         with self._counter_lock:
             self.completed += 1
+        if getattr(activity, "_admitted", False):
+            # Release exactly once even if completion is re-reported;
+            # adopted/recovered activities never set the flag.
+            activity._admitted = False
+            if self.admission is not None:
+                self.admission.release()
         handle = activity._expiry_timer
         if handle is not None:
             handle.cancel()

@@ -40,6 +40,33 @@ class ObjectNotExist(CommunicationError):
         super().__init__(message, transient=False)
 
 
+class OverloadError(CommunicationError):
+    """The target is shedding load and refused to accept the request.
+
+    Mirrors CORBA ``TRANSIENT`` with a minor code of "resource limit":
+    the request was never started, so retrying after backoff is always
+    safe.  Raised by admission gates, quota buckets and the site-daemon
+    inbound shed path; travels the wire as a typed fast-fail error so
+    clients back off via :class:`~repro.util.retry.RetryPolicy` instead
+    of piling on.
+    """
+
+    def __init__(self, message: str = "overloaded") -> None:
+        super().__init__(message, transient=True)
+
+
+class AdmissionRejected(OverloadError):
+    """An admission gate refused to enqueue new work.
+
+    Distinguishes a *policy* decision (queue full, population cap,
+    deadline unmeetable) from generic overload so callers can count and
+    react to sheds separately from transport-level pushback.
+    """
+
+    def __init__(self, message: str = "admission rejected") -> None:
+        super().__init__(message)
+
+
 class InvalidStateError(ReproError):
     """An operation was attempted in a state that forbids it."""
 

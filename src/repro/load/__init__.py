@@ -1,0 +1,42 @@
+"""Million-client load engine (PR 10).
+
+Open-loop (Poisson arrivals) and closed-loop (fixed population, think
+time) drivers that run against either the deterministic
+:class:`~repro.util.clock.SimulatedClock` — for reproducible knee-finding
+sweeps — or real ``SocketTransport`` sockets, plus the streaming
+measurement layer (quantile sketch, shed taxonomy, memory ceilings) that
+keeps per-op state O(1) no matter how many operations flow through.
+
+The package deliberately reuses the chaos layer's op-mix idiom
+(:mod:`repro.chaos.workload`): weighted draws over sorted keys from a
+forked :class:`~repro.util.rng.SeededRng`, so a load profile is replayed
+exactly from its seed.
+"""
+
+from repro.load.collector import LoadCollector
+from repro.load.generator import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    TrafficMix,
+    run_closed_loop_threads,
+)
+from repro.load.harness import (
+    CapacityModel,
+    run_open_loop_activities,
+    run_population_hold,
+)
+from repro.load.popularity import ZipfPopularity
+from repro.load.sketch import QuantileSketch
+
+__all__ = [
+    "CapacityModel",
+    "ClosedLoopDriver",
+    "LoadCollector",
+    "OpenLoopDriver",
+    "QuantileSketch",
+    "TrafficMix",
+    "ZipfPopularity",
+    "run_closed_loop_threads",
+    "run_open_loop_activities",
+    "run_population_hold",
+]

@@ -1,0 +1,130 @@
+"""Streaming quantile sketch: p50/p99/p999 without retaining samples.
+
+A million-client run cannot keep one float per operation just to report
+tail latency at the end — at 10⁷ ops that is hundreds of megabytes of
+evidence for four numbers.  This sketch keeps a fixed array of
+geometrically-spaced buckets instead (2% growth per bucket), so any
+quantile it reports is correct to within the bucket's relative width
+(≤ 2%) while the memory cost is a few kilobytes, independent of count.
+
+This is the same idea as HDR-histogram / DDSketch relative-error
+buckets, reduced to what the harness needs: ``add``, ``quantile``,
+``merge`` (collectors fan in from worker threads), and exact min/max
+(quantile endpoints clamp to them, so p0/p100 are never off by the
+bucket width).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+
+class QuantileSketch:
+    """Fixed-memory streaming quantiles over positive values.
+
+    ``low`` is the smallest resolvable value (everything below lands in
+    bucket 0); ``growth`` is the per-bucket geometric factor, i.e. the
+    worst-case relative error of any reported quantile.
+    """
+
+    __slots__ = ("low", "growth", "_log_growth", "_buckets", "count", "total", "_min", "_max")
+
+    def __init__(self, low: float = 1e-6, growth: float = 1.02) -> None:
+        if low <= 0.0:
+            raise ValueError("low must be positive")
+        if growth <= 1.0:
+            raise ValueError("growth must be greater than 1")
+        self.low = low
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def _index(self, value: float) -> int:
+        if value <= self.low:
+            return 0
+        return int(math.log(value / self.low) / self._log_growth) + 1
+
+    def _value(self, index: int) -> float:
+        if index <= 0:
+            return self.low
+        # Bucket midpoint (geometric) keeps the error two-sided.
+        return self.low * self.growth ** (index - 0.5)
+
+    def add(self, value: float) -> None:
+        if value < 0.0:
+            raise ValueError("sketch values must be non-negative")
+        index = self._index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch (same low/growth) into this one."""
+        if (other.low, other.growth) != (self.low, self.growth):
+            raise ValueError("cannot merge sketches with different bucket layouts")
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        for bound in (other._min, other._max):
+            if bound is None:
+                continue
+            if self._min is None or bound < self._min:
+                self._min = bound
+            if self._max is None or bound > self._max:
+                self._max = bound
+
+    @property
+    def min(self) -> float:
+        return 0.0 if self._min is None else self._min
+
+    @property
+    def max(self) -> float:
+        return 0.0 if self._max is None else self._max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], within one bucket width."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        assert self._min is not None and self._max is not None
+        target = q * (self.count - 1)
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen > target:
+                # Clamp to the observed range: the extreme buckets may
+                # be wider than the actual extremes.
+                return min(max(self._value(index), self._min), self._max)
+        return self._max
+
+    def quantiles(self, qs: List[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    def describe(self) -> Dict[str, Any]:
+        """The report block: count, mean, extremes, and the tail ladder."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+            "buckets": len(self._buckets),
+        }

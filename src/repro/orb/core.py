@@ -23,10 +23,12 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.exceptions import (
+    AdmissionRejected,
     CommunicationError,
     ConfigurationError,
     InvalidStateError,
     ObjectNotExist,
+    OverloadError,
     ReproError,
     TimeoutError_,
 )
@@ -287,6 +289,8 @@ class Orb:
         self.register_exception(InvalidStateError)
         self.register_exception(ConfigurationError)
         self.register_exception(TimeoutError_)
+        self.register_exception(OverloadError)
+        self.register_exception(AdmissionRejected)
         self.register_exception(MarshalError)
 
     # -- nodes ----------------------------------------------------------------

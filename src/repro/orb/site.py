@@ -54,9 +54,9 @@ from repro.config import (
     OrbConfig,
     ReplicationConfig,
 )
-from repro.exceptions import CommunicationError, ConfigurationError
+from repro.exceptions import CommunicationError, ConfigurationError, OverloadError
 from repro.orb.core import Node, Orb
-from repro.orb.marshal import Marshaller
+from repro.orb.marshal import CODECS, Marshaller
 from repro.orb.membership import FailureDetector, FailureDetectorConfig, PeerState
 from repro.orb.reference import ObjectRef
 from repro.orb.socket_transport import SocketTransport
@@ -82,7 +82,9 @@ from repro.persistence.replicated import (
 )
 from repro.persistence.sqlite_store import SqliteStore
 from repro.persistence.wal import WriteAheadLog
+from repro.util.admission import TokenBucket
 from repro.util.clock import WallClock
+from repro.util.events import EventLog
 from repro.util.retry import RetryPolicy
 
 _FED_PREFIX = "fed:"
@@ -150,6 +152,24 @@ class SiteConfig:
         acks, degraded serving and deterministic promotion, superseding
         the ``cell_store`` backend choice.  Empty (the default) keeps
         the single-copy layout.
+    ``max_events``
+        Ring-buffer bound for the daemon's :class:`EventLog` (PR 10).
+        Bounded *by default* (4096) so soak runs don't grow memory
+        without bound; the dropped count is surfaced in ``debug_dump``.
+        ``None`` restores the unbounded log.
+    ``quotas``
+        Per-source-site admission quotas (PR 10):
+        ``{source_site_or_"*": {"rate": r, "burst": b}}``.  Inbound
+        REQUEST frames from a source that drained its bucket are shed
+        with a typed :class:`~repro.exceptions.OverloadError` before
+        dispatch (``"*"`` is the catch-all for unlisted sources).
+        Empty (the default) installs no gate.
+    ``codecs``
+        Wire-codec preference list for HELLO negotiation (PR 10), best
+        first, e.g. ``["struct", "legacy"]``.  Peers advertising codecs
+        get the first mutual one; peers that don't are spoken to in
+        ``legacy``, so mixed fleets upgrade one site at a time.  Empty
+        (the default) disables negotiation — HELLO bytes unchanged.
     """
 
     site_id: str
@@ -166,6 +186,9 @@ class SiteConfig:
     retry: Dict[str, Any] = field(default_factory=dict)
     orphan_min_age: float = 5.0
     replication: Dict[str, Any] = field(default_factory=dict)
+    max_events: Optional[int] = 4096
+    quotas: Dict[str, Any] = field(default_factory=dict)
+    codecs: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.site_id:
@@ -187,6 +210,37 @@ class SiteConfig:
             raise ConfigValidationError(
                 f"SiteConfig: orphan_min_age must be > 0,"
                 f" got {self.orphan_min_age!r}"
+            )
+        if self.max_events is not None and (
+            not isinstance(self.max_events, int) or self.max_events < 1
+        ):
+            raise ConfigValidationError(
+                f"SiteConfig: max_events must be None or >= 1,"
+                f" got {self.max_events!r}"
+            )
+        for source, spec in self.quotas.items():
+            if not isinstance(spec, dict) or "rate" not in spec:
+                raise ConfigValidationError(
+                    f"SiteConfig: quota for {source!r} must be a dict with"
+                    f" a 'rate' key, got {spec!r}"
+                )
+            rate = spec["rate"]
+            burst = spec.get("burst", rate)
+            if not (isinstance(rate, (int, float)) and rate > 0):
+                raise ConfigValidationError(
+                    f"SiteConfig: quota rate for {source!r} must be > 0,"
+                    f" got {rate!r}"
+                )
+            if not (isinstance(burst, (int, float)) and burst > 0):
+                raise ConfigValidationError(
+                    f"SiteConfig: quota burst for {source!r} must be > 0,"
+                    f" got {burst!r}"
+                )
+        unknown_codecs = [name for name in self.codecs if name not in CODECS]
+        if unknown_codecs:
+            raise ConfigValidationError(
+                f"SiteConfig: unknown codec(s) {unknown_codecs};"
+                f" available: {sorted(CODECS)}"
             )
         # Fail at config time, not at boot: all dict blocks must fold cleanly.
         self.detector_config()
@@ -456,6 +510,10 @@ class SiteRuntime:
         self.factory = TransactionFactory(
             clock=self.clock,
             wal=self.wal,
+            # Bounded by default (PR 10): a soak-length daemon must not
+            # grow its event log without bound; drops are counted and
+            # surfaced via debug_dump.
+            event_log=EventLog(self.clock, max_events=config.max_events),
             config=FactoryConfig(**factory_kwargs),
         )
         self.current = TransactionCurrent(self.factory)
@@ -467,6 +525,41 @@ class SiteRuntime:
         )
         self.transport.set_request_handler(self.orb.dispatch_request)
         self.transport.set_control_handler(self._control)
+
+        # Per-source-site quota buckets (PR 10): inbound REQUEST frames
+        # from a source that drained its bucket are shed with a typed
+        # OverloadError before any dispatch work.
+        self._quota_buckets: Dict[str, TokenBucket] = {}
+        self._quota_shed: Dict[str, int] = {}
+        self._quota_lock = threading.Lock()
+        if config.quotas:
+            for source, spec in config.quotas.items():
+                rate = float(spec["rate"])
+                burst = float(spec.get("burst", rate))
+                self._quota_buckets[source] = TokenBucket(
+                    rate, burst, clock=self.clock
+                )
+            self.transport.set_inbound_gate(self._admit_inbound)
+
+        # Codec negotiation (PR 10): advertise the configured preference
+        # list on HELLO; transcode at the transport boundary for peers
+        # whose mutual codec differs from this ORB's own.
+        if config.codecs:
+            local_codec = self.orb.marshaller.codec_name
+            needed = dict.fromkeys(
+                list(config.codecs) + [local_codec, "legacy"]
+            )
+            marshallers = {
+                name: (
+                    self.orb.marshaller
+                    if name == local_codec
+                    else Marshaller(self.orb.marshaller.registry, codec=name)
+                )
+                for name in needed
+            }
+            self.transport.enable_codec_negotiation(
+                list(config.codecs), marshallers, local_codec=local_codec
+            )
 
         self.recovered = False
         self.last_recovery_error: Optional[str] = None
@@ -481,6 +574,29 @@ class SiteRuntime:
             _resolve_app(config.app)(self)
 
     # -- replica media ---------------------------------------------------------
+
+    def _admit_inbound(self, peer_site: Optional[str]) -> None:
+        """Inbound-gate hook: charge the source site's quota bucket.
+
+        A source without its own bucket falls back to the ``"*"``
+        catch-all (when configured); sources with neither are admitted
+        unconditionally.  Raises :class:`OverloadError` — which the
+        transport returns as a typed wire error — when the bucket is
+        dry, so remote clients fast-fail instead of queueing.
+        """
+        source = peer_site or "*"
+        bucket = self._quota_buckets.get(source)
+        if bucket is None and source != "*":
+            bucket = self._quota_buckets.get("*")
+        if bucket is None:
+            return
+        if not bucket.try_take():
+            with self._quota_lock:
+                self._quota_shed[source] = self._quota_shed.get(source, 0) + 1
+            raise OverloadError(
+                f"site {self.config.site_id!r} shed request from {source!r}: "
+                f"quota exhausted ({bucket.rate:g}/s, burst {bucket.burst:g})"
+            )
 
     def _replica_backend(
         self, backend: str, kind: str, index: int
@@ -700,7 +816,7 @@ class SiteRuntime:
         each in-doubt subordinate has been waiting on its superior."""
         stats = self.transport.stats
         event_log = self.factory.event_log
-        return {
+        dump: Dict[str, Any] = {
             "site": self.config.site_id,
             "recovered": self.recovered,
             "recovery_error": self.last_recovery_error,
@@ -725,6 +841,17 @@ class SiteRuntime:
                 "bytes_sent": stats.bytes_sent,
             },
         }
+        if self._quota_buckets:
+            with self._quota_lock:
+                shed = dict(self._quota_shed)
+            dump["quotas"] = {
+                "buckets": {
+                    source: bucket.describe()
+                    for source, bucket in sorted(self._quota_buckets.items())
+                },
+                "shed": shed,
+            }
+        return dump
 
     # -- serving ----------------------------------------------------------------
 

@@ -12,6 +12,7 @@ from repro.ots.exceptions import InvalidTransaction, SimulatedCrash
 from repro.ots.locks import LockManager
 from repro.ots.status import TransactionStatus
 from repro.persistence.wal import GroupCommitWAL, WriteAheadLog
+from repro.util.admission import AdmissionGate, build_gate
 from repro.util.clock import Clock, SimulatedClock
 from repro.util.events import EventLog
 from repro.util.idgen import IdGenerator
@@ -120,7 +121,16 @@ class TransactionFactory:
             wal.window = group_commit_window
         self.wal = wal
         self.group_commit_window = getattr(wal, "window", None)
-        self.event_log = event_log if event_log is not None else EventLog(self.clock)
+        self.event_log = (
+            event_log
+            if event_log is not None
+            else EventLog(self.clock, max_events=config.max_events)
+        )
+        # Admission control (PR 10): None unless max_live is configured,
+        # so the default create path is exactly the pre-gate code.
+        self.admission: Optional[AdmissionGate] = build_gate(
+            config, clock=self.clock, name="TransactionFactory"
+        )
         self.lock_manager = LockManager()
         self.failpoints = Failpoints()
         self.retry_attempts = config.retry_attempts
@@ -224,14 +234,51 @@ class TransactionFactory:
         """Release the shared pool's threads (idempotent; tests/teardown)."""
         self._participant_pool.shutdown()
 
+    def reap_idle_workers(self, max_idle: float = 30.0) -> bool:
+        """Tear down the participant pool when it has sat idle (PR 10).
+
+        A burst of parallel 2PC traffic lazily spawns up to
+        ``parallel_participants`` daemon threads; once the burst drains
+        they used to park forever.  Returns True when threads were
+        released; the next parallel phase transparently recreates them.
+        """
+        return self._participant_pool.reap_if_idle(max_idle)
+
+    def schedule_worker_reap(
+        self, interval: float, max_idle: float = 30.0
+    ) -> RecurringTimer:
+        """Wheel-scheduled :meth:`reap_idle_workers` every ``interval`` s."""
+        return self.schedule_maintenance(
+            interval, lambda: self.reap_idle_workers(max_idle)
+        )
+
     # -- creation ---------------------------------------------------------
 
     def create(self, timeout: float = 0.0, name: Optional[str] = None) -> Transaction:
-        """Begin a new top-level transaction."""
-        tid = self.ids.next("tx")
-        tx = Transaction(self, tid, parent=None, timeout=timeout, name=name)
-        self._transactions.put(tid, tx)
-        self._active.put(tid, True)
+        """Begin a new top-level transaction.
+
+        With admission control configured (``FactoryConfig.max_live``),
+        a create past the live-population cap raises
+        :class:`~repro.exceptions.AdmissionRejected` before any state is
+        created; the slot is returned when the transaction finishes.
+        Subtransactions ride their parent's admission and are never
+        gated.
+        """
+        admitted = False
+        if self.admission is not None:
+            deadline = self.clock.now() + timeout if timeout > 0 else None
+            self.admission.admit(kind=name, deadline=deadline)
+            admitted = True
+        try:
+            tid = self.ids.next("tx")
+            tx = Transaction(self, tid, parent=None, timeout=timeout, name=name)
+            self._transactions.put(tid, tx)
+            self._active.put(tid, True)
+        except BaseException:
+            if admitted:
+                self.admission.release()
+            raise
+        tx._admitted = admitted
         with self._counter_lock:
             self.created += 1
         self.event_log.record("tx_begin", tid=tid, top_level=True)
@@ -280,6 +327,12 @@ class TransactionFactory:
     def on_transaction_finished(self, tx: Transaction) -> None:
         """Called by transactions when they reach a terminal state."""
         self._active.pop(tx.tid, None)
+        if getattr(tx, "_admitted", False):
+            # Release exactly once even if the terminal transition is
+            # re-reported; adopted/recovered transactions never set it.
+            tx._admitted = False
+            if self.admission is not None:
+                self.admission.release()
         handle = tx._expiry_timer
         if handle is not None:
             handle.cancel()

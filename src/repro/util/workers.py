@@ -9,11 +9,19 @@ knob must not spawn threads until first use), detection of re-entrant use
 that deadlocks), and idempotent shutdown.  This helper is that shared
 core; the fan-out semantics (digestion order, abandonment, timeouts)
 stay with the callers.
+
+PR 10 adds the idle audit: pools track in-flight work and the time of
+the last submission, and :meth:`ReentrantWorkerPool.reap_if_idle`
+releases the daemon threads of a pool that has gone quiet — so a
+drained load burst returns the process to its baseline thread count
+instead of keeping ``max_workers`` threads parked forever.  The next
+submission transparently recreates the pool (the existing contract).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Optional
 
@@ -31,6 +39,9 @@ class ReentrantWorkerPool:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
         self._worker_state = threading.local()
+        self._in_flight = 0
+        self._last_used = time.monotonic()
+        self.reaped = 0
 
     def _ensure(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -48,15 +59,65 @@ class ReentrantWorkerPool:
             self._worker_state.active = True
             return fn(*call_args)
 
-        return self._ensure().submit(marked, *args)
+        with self._lock:
+            self._in_flight += 1
+            self._last_used = time.monotonic()
+        try:
+            future = self._ensure().submit(marked, *args)
+        except BaseException:
+            with self._lock:
+                self._in_flight -= 1
+            raise
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, _future: Future) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            self._last_used = time.monotonic()
 
     def in_worker(self) -> bool:
         """True when called from one of this pool's worker threads."""
         return getattr(self._worker_state, "active", False)
 
-    def shutdown(self) -> None:
-        """Release the worker threads (idempotent); next submit recreates."""
+    @property
+    def in_flight(self) -> int:
+        """Submitted work not yet finished."""
+        with self._lock:
+            return self._in_flight
+
+    def idle_seconds(self) -> float:
+        """Seconds since the last submission or completion."""
+        with self._lock:
+            return time.monotonic() - self._last_used
+
+    def reap_if_idle(self, max_idle: float) -> bool:
+        """Release the threads of a pool idle for ``max_idle`` seconds.
+
+        Returns True when a live pool was torn down.  The teardown joins
+        the workers (``wait=True`` — they are idle by definition), so a
+        ``threading.enumerate()`` audit right after sees the baseline
+        count.  Never reaps while work is in flight.
+        """
+        with self._lock:
+            if (
+                self._pool is None
+                or self._in_flight > 0
+                or time.monotonic() - self._last_used < max_idle
+            ):
+                return False
+            pool, self._pool = self._pool, None
+            self.reaped += 1
+        pool.shutdown(wait=True)
+        return True
+
+    def shutdown(self, wait: bool = False) -> None:
+        """Release the worker threads (idempotent); next submit recreates.
+
+        ``wait=True`` joins the workers before returning, for callers
+        that need the thread count back at baseline deterministically.
+        """
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=False)
+            pool.shutdown(wait=wait)

@@ -1,0 +1,247 @@
+"""Codec negotiation on the socket HELLO (PR 10).
+
+The contract: sites advertise the wire codecs they speak in their HELLO
+frame; the dialed side picks the best *mutual* one (first of its own
+preferences the dialer advertised) and announces the choice in the
+HELLO reply, so both ends always agree.  Peers that advertise nothing —
+pre-negotiation builds — keep speaking ``"legacy"`` unchanged, with the
+modern side transcoding at the transport boundary.  No mutual codec is
+a loud :class:`ConfigurationError`; and with negotiation off the HELLO
+payload is byte-identical to prior releases.
+"""
+
+import json
+
+import pytest
+
+from repro.config import OrbConfig
+from repro.exceptions import ConfigurationError
+from repro.orb.core import Orb
+from repro.orb.marshal import Marshaller
+from repro.orb.reference import ObjectRef
+from repro.orb.site import SiteConfig, SiteFederation, SiteRuntime
+from repro.orb.socket_transport import PROTOCOL_VERSION, SocketTransport
+
+
+class _Echo:
+    def ping(self, value):
+        return ("pong", value)
+
+
+def _make_end(site_id, local_codec, prefs=None, server=False):
+    """One transport+orb end, optionally serving, optionally negotiating."""
+    transport = SocketTransport(
+        site_id, bind=("127.0.0.1", 0) if server else None
+    )
+    orb = Orb(transport=transport, config=OrbConfig(codec=local_codec))
+    SiteFederation(transport, orb)
+    if server:
+        transport.set_request_handler(orb.dispatch_request)
+        transport.set_control_handler(
+            lambda req: {
+                "site": site_id,
+                "domain": site_id
+                if orb.has_node(str(req.get("node")))
+                else None,
+            }
+        )
+    if prefs is not None:
+        marshallers = {
+            name: (
+                orb.marshaller
+                if name == local_codec
+                else Marshaller(orb.marshaller.registry, codec=name)
+            )
+            for name in dict.fromkeys(list(prefs) + [local_codec, "legacy"])
+        }
+        transport.enable_codec_negotiation(
+            list(prefs), marshallers, local_codec=local_codec
+        )
+    transport.start()
+    return transport, orb
+
+
+@pytest.fixture
+def ends():
+    opened = []
+
+    def build(*args, **kwargs):
+        transport, orb = _make_end(*args, **kwargs)
+        opened.append(transport)
+        return transport, orb
+
+    yield build
+    for transport in opened:
+        transport.close()
+
+
+def _invoke_echo(server_transport, server_orb, client_orb, value):
+    server_orb.create_node("server.app").activate(
+        _Echo(), object_id="echo", interface="Echo"
+    )
+    ref = ObjectRef("server.app", "echo", "Echo").bind(client_orb)
+    return ref.invoke("ping", value)
+
+
+class TestNegotiation:
+    def test_both_modern_pick_struct_with_zero_transcodes(self, ends):
+        server, server_orb = ends(
+            "server", "struct", prefs=["struct", "legacy"], server=True
+        )
+        client, client_orb = ends("client", "struct", prefs=["struct", "legacy"])
+        client.connect_peer("server", server.address)
+        assert _invoke_echo(server, server_orb, client_orb, 7) == ("pong", 7)
+        assert client.peer_codec("server") == "struct"
+        assert client.codec_transcodes == 0
+        assert server.codec_transcodes == 0
+        assert client.describe()["codecs"]["peers"] == {"server": "struct"}
+
+    def test_server_authoritative_choice_on_asymmetric_preferences(self, ends):
+        """Client prefers struct, server prefers legacy: both must land
+        on the *server's* pick, or they would disagree forever."""
+        server, server_orb = ends(
+            "server", "legacy", prefs=["legacy", "struct"], server=True
+        )
+        client, client_orb = ends("client", "struct", prefs=["struct", "legacy"])
+        client.connect_peer("server", server.address)
+        assert _invoke_echo(server, server_orb, client_orb, 8) == ("pong", 8)
+        assert client.peer_codec("server") == "legacy"
+        # The client's ORB thinks in struct; the boundary transcodes.
+        assert client.codec_transcodes > 0
+        assert server.codec_transcodes == 0
+
+    def test_legacy_dialer_keeps_working_against_modern_server(self, ends):
+        """A pre-negotiation peer advertises nothing: the modern server
+        speaks legacy to it and transcodes to its own struct internals."""
+        server, server_orb = ends(
+            "server", "struct", prefs=["struct", "legacy"], server=True
+        )
+        client, client_orb = ends("client", "legacy")  # negotiation off
+        client.connect_peer("server", server.address)
+        assert _invoke_echo(server, server_orb, client_orb, 9) == ("pong", 9)
+        # request in, reply out: one transcode each, on the server only.
+        assert server.codec_transcodes == 2
+        assert client.codec_transcodes == 0
+        assert client.peer_codec("server") is None
+
+    def test_modern_dialer_against_legacy_server_falls_back(self, ends):
+        """The HELLO reply of a pre-negotiation server carries no codec
+        announcement; the modern dialer must assume legacy."""
+        server, server_orb = ends("server", "legacy", server=True)
+        client, client_orb = ends("client", "struct", prefs=["struct", "legacy"])
+        client.connect_peer("server", server.address)
+        assert _invoke_echo(server, server_orb, client_orb, 10) == ("pong", 10)
+        assert client.peer_codec("server") == "legacy"
+        assert client.codec_transcodes > 0
+        assert server.codec_transcodes == 0
+
+
+class TestNegotiationFailures:
+    def test_no_mutual_codec_is_loud(self):
+        transport = SocketTransport("island")
+        transport.enable_codec_negotiation(
+            ["struct"],
+            {"struct": Marshaller(codec="struct"), "legacy": Marshaller()},
+            local_codec="legacy",
+        )
+        with pytest.raises(ConfigurationError) as err:
+            transport._negotiate_codec(["exotic"])
+        assert "no mutual wire codec" in str(err.value)
+
+    def test_legacy_dialer_refused_when_server_dropped_legacy(self):
+        transport = SocketTransport("modern-only")
+        transport.enable_codec_negotiation(
+            ["struct"], {"struct": Marshaller(codec="struct")}, local_codec="struct"
+        )
+        with pytest.raises(ConfigurationError):
+            transport._negotiate_codec(None)
+
+    def test_enable_validates_marshaller_coverage(self):
+        transport = SocketTransport("t")
+        with pytest.raises(ConfigurationError):
+            transport.enable_codec_negotiation([], {}, local_codec="legacy")
+        with pytest.raises(ConfigurationError):
+            transport.enable_codec_negotiation(
+                ["struct"], {"legacy": Marshaller()}, local_codec="legacy"
+            )
+
+
+class TestWireCompatibilityWhenOff:
+    def test_hello_payload_unchanged_without_negotiation(self):
+        transport = SocketTransport("plain")
+        payload = transport._hello_payload()
+        assert payload == {"version": PROTOCOL_VERSION, "site": "plain"}
+        # And it stays JSON-stable: no surprise keys for old parsers.
+        assert sorted(json.loads(json.dumps(payload))) == ["site", "version"]
+
+    def test_hello_payload_gains_only_codecs_when_on(self):
+        transport = SocketTransport("modern")
+        transport.enable_codec_negotiation(
+            ["struct", "legacy"],
+            {"struct": Marshaller(codec="struct"), "legacy": Marshaller()},
+            local_codec="legacy",
+        )
+        payload = transport._hello_payload()
+        assert payload["codecs"] == ["struct", "legacy"]
+        assert sorted(payload) == ["codecs", "site", "version"]
+
+
+class TestSiteWiring:
+    def test_site_config_codecs_enable_negotiation(self):
+        config = SiteConfig(site_id="s-codec", port=0, codecs=["struct", "legacy"])
+        runtime = SiteRuntime(config)
+        try:
+            assert runtime.transport._codec_prefs == ["struct", "legacy"]
+            assert set(runtime.transport._codec_marshallers) >= {"struct", "legacy"}
+        finally:
+            runtime.stop()
+            runtime.transport.close()
+
+    def test_site_config_rejects_unknown_codec(self):
+        from repro.config import ConfigValidationError
+
+        with pytest.raises(ConfigValidationError):
+            SiteConfig(site_id="s", codecs=["morse"])
+
+    def test_sites_with_different_internals_interoperate(self):
+        """Two real site daemons, one struct-native and one legacy-era,
+        negotiate per-link and keep the control plane working."""
+        modern_cfg = SiteConfig(
+            site_id="modern",
+            port=0,
+            orb={"codec": "struct"},
+            codecs=["struct", "legacy"],
+            poll_interval=0.05,
+        )
+        modern = SiteRuntime(modern_cfg)
+        try:
+            modern.serve_in_background()
+            assert modern.wait_recovered(timeout=10.0)
+            import threading
+
+            pause = threading.Event()
+            for _ in range(200):
+                if modern.transport.address is not None:
+                    break
+                pause.wait(0.02)
+
+            legacy = SocketTransport("legacy-era")
+            legacy_orb = Orb(transport=legacy, config=OrbConfig())
+            SiteFederation(legacy, legacy_orb)
+            legacy.connect_peer("modern", modern.transport.address)
+            legacy.start()
+            try:
+                reply = legacy.control("modern", {"op": "ping"})
+                assert reply["site"] == "modern"
+                # And a marshalled ORB request crosses the codec seam.
+                modern.orb.create_node("modern.app").activate(
+                    _Echo(), object_id="echo", interface="Echo"
+                )
+                ref = ObjectRef("modern.app", "echo", "Echo").bind(legacy_orb)
+                assert ref.invoke("ping", 11) == ("pong", 11)
+                assert modern.transport.codec_transcodes >= 2
+            finally:
+                legacy.close()
+        finally:
+            modern.stop()
+            modern.transport.close()

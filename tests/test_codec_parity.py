@@ -26,7 +26,7 @@ from repro.config import OrbConfig
 from repro.core.context import ActivityContext
 from repro.core.signals import Outcome, Signal
 from repro.core.status import ActivityStatus, CompletionStatus, SignalSetState
-from repro.exceptions import InvalidStateError
+from repro.exceptions import AdmissionRejected, InvalidStateError, OverloadError
 from repro.orb.core import Orb, RemoteApplicationError, Servant
 from repro.orb.marshal import MarshalError, Marshaller
 from repro.orb.reference import ObjectRef
@@ -216,6 +216,12 @@ class _Failing(Servant):
     def untyped(self):
         raise ZeroDivisionError("not wire-typed")
 
+    def overloaded(self):
+        raise OverloadError("server drowning")
+
+    def shed(self):
+        raise AdmissionRejected("gate: at capacity (9/9 live)")
+
 
 def _revived_errors(codec: str):
     """Run typed + untyped servant failures over a real socket pair."""
@@ -245,7 +251,7 @@ def _revived_errors(codec: str):
     try:
         ref = ObjectRef("server.fail", "failing", "Failing").bind(client_orb)
         caught = {}
-        for operation in ("typed", "untyped"):
+        for operation in ("typed", "untyped", "overloaded", "shed"):
             try:
                 ref.invoke(operation)
             except Exception as exc:  # noqa: BLE001 - the revival IS the result
@@ -270,3 +276,18 @@ class TestErrorRevivalParity:
         assert legacy["typed"].args == struct_["typed"].args
         assert type(legacy["untyped"]) is type(struct_["untyped"])
         assert str(legacy["untyped"]) == str(struct_["untyped"])
+
+    def test_overload_errors_revive_typed_across_codecs(self):
+        """Admission/overload refusals must fast-fail as *their own*
+        types on the client — a shed op retried as a generic error
+        would defeat the deadline-aware retry policies (PR 10)."""
+        for codec in ("legacy", "struct"):
+            caught = _revived_errors(codec)
+            overloaded = caught["overloaded"]
+            assert type(overloaded) is OverloadError
+            assert "server drowning" in str(overloaded)
+            assert overloaded.transient
+            shed = caught["shed"]
+            assert type(shed) is AdmissionRejected
+            assert isinstance(shed, OverloadError)
+            assert "at capacity" in str(shed)
